@@ -1,0 +1,70 @@
+// Command appscan runs the telematics-app formula analysis (paper §4.6,
+// Algorithm 1) over the synthetic 160-app corpus, printing Table 12 or the
+// individual formulas of one app.
+//
+// Usage:
+//
+//	appscan                         # Table 12: formula counts per app
+//	appscan -app "Carly for VAG"    # every extracted formula of one app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dpreverser/internal/appanalysis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "appscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	appName := flag.String("app", "", "print every formula of this app")
+	flag.Parse()
+
+	apps := appanalysis.Corpus()
+	if *appName != "" {
+		for _, app := range apps {
+			if app.Name != *appName {
+				continue
+			}
+			formulas := appanalysis.Analyze(app)
+			fmt.Printf("%s: %d formulas\n", app.Name, len(formulas))
+			for _, f := range formulas {
+				fmt.Printf("  if prefix %q: Y = %s  [%s]\n", f.Condition, f.Expr, f.Kind)
+			}
+			return nil
+		}
+		return fmt.Errorf("app %q not in the corpus", *appName)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "APP NAME\tFORMULA TYPE\t# FORMULA")
+	withFormulas := 0
+	for _, app := range apps {
+		counts := appanalysis.CountByKind(appanalysis.Analyze(app))
+		printed := false
+		for _, kind := range []appanalysis.FormulaKind{
+			appanalysis.KindUDS, appanalysis.KindKWP, appanalysis.KindOBD,
+		} {
+			if counts[kind] > 0 {
+				fmt.Fprintf(w, "%s\t%s\t%d\n", app.Name, kind, counts[kind])
+				printed = true
+			}
+		}
+		if printed {
+			withFormulas++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d of %d apps embed decodable formulas.\n", withFormulas, len(apps))
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command carsim serves a simulated vehicle's OBD port over TCP, so
+// external tooling (any language, even a real diagnostic client) can drive
+// the simulator and record captures for the reverse-engineering pipeline.
+//
+// The wire protocol is candump-based (see internal/canbridge):
+//
+//	$ carsim -car "Car A" -listen 127.0.0.1:7777 &
+//	$ printf 'SEND 700#0322100500000000\nADVANCE 100\n' | nc 127.0.0.1 7777
+//	HELLO canbridge 1
+//	(000000.000000) 700#0322100500000000
+//	(000000.000000) 701#0462100545AAAAAA
+//	OK
+//	OK
+//
+// Usage:
+//
+//	carsim -car "Car A"                 # ephemeral port, printed on stdout
+//	carsim -car "Car K" -listen :7777   # fixed port
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dpreverser/internal/canbridge"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	car := flag.String("car", "Car A", "fleet car to serve (see dpreverse -list)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	flag.Parse()
+
+	p, ok := vehicle.ProfileByCar(*car)
+	if !ok {
+		return fmt.Errorf("unknown car %q", *car)
+	}
+	clock := sim.NewClock(0)
+	veh := vehicle.Build(p, clock)
+	defer veh.Close()
+
+	srv := canbridge.NewServer(veh.Bus, clock)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving %s (%s, %s over %s) on %s\n",
+		p.Car, p.Model, p.Protocol, p.Transport, addr)
+	for _, b := range veh.Bindings() {
+		fmt.Printf("  ECU %-20s req %03X resp %03X addr %02X\n",
+			b.ECU.Name, b.ReqID, b.RespID, b.Addr)
+	}
+	fmt.Println("commands: SEND <id>#<hex>   ADVANCE <ms>   (^C to stop)")
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	<-sigs
+	return nil
+}

@@ -1,0 +1,169 @@
+// Command dpreverse runs the full DP-Reverser pipeline against one
+// simulated vehicle: it drives the car's diagnostic tool with the robotic
+// rig, captures the CAN traffic and the OCR'd screen video, and prints
+// everything the pipeline reverse engineers — request semantics, response
+// formulas, and actuator control records.
+//
+// Usage:
+//
+//	dpreverse -car "Car A"          # reverse engineer the Skoda Octavia
+//	dpreverse -list                 # list the fleet
+//	dpreverse -car "Car K" -quick   # shorter recording, smaller GP budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"time"
+
+	"dpreverser/internal/diagtool"
+	"dpreverser/internal/reverser"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpreverse:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	car := flag.String("car", "Car A", "fleet car to reverse engineer (see -list)")
+	list := flag.Bool("list", false, "list the simulated fleet and exit")
+	quick := flag.Bool("quick", false, "short recordings and reduced GP budget")
+	seed := flag.Int64("seed", 1, "seed for OCR noise and GP")
+	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
+	saveCapture := flag.String("save-capture", "", "write the collected capture (JSON) to this file")
+	loadCapture := flag.String("load-capture", "", "skip collection and analyse this capture file instead")
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "CAR\tMODEL\tPROTOCOL\tTRANSPORT\tTOOL\tESVs\tECRs")
+		for _, p := range vehicle.Fleet() {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d+%d\t%d\n",
+				p.Car, p.Model, p.Protocol, p.Transport, p.Tool,
+				p.NumFormulaESVs, p.NumEnumESVs, p.NumECRs)
+		}
+		return w.Flush()
+	}
+
+	var cap rig.Capture
+	if *loadCapture != "" {
+		var err error
+		cap, err = rig.LoadCaptureFile(*loadCapture)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Loaded capture of %s (%s): %d CAN frames, %d video frames, %d clicks.\n",
+			cap.Car, cap.Model, len(cap.Frames), len(cap.UIFrames), len(cap.Clicks))
+	} else {
+		p, ok := vehicle.ProfileByCar(*car)
+		if !ok {
+			return fmt.Errorf("unknown car %q (try -list)", *car)
+		}
+
+		fmt.Printf("Collecting %s (%s) with %s over %s ...\n", p.Car, p.Model, p.Tool, p.Transport)
+		clock := sim.NewClock(0)
+		tool, veh, err := diagtool.ForProfile(p, clock)
+		if err != nil {
+			return err
+		}
+		defer tool.Close()
+		defer veh.Close()
+
+		cfgRig := rig.DefaultConfig()
+		cfgRig.Seed = *seed
+		if *quick {
+			cfgRig = quickRigConfig(*seed)
+		}
+		r := rig.New(tool, veh, cfgRig)
+		defer r.Close()
+		cap, err = r.RunFull()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Captured %d CAN frames, %d video frames, %d clicks over %v simulated time.\n",
+			len(cap.Frames), len(cap.UIFrames), len(cap.Clicks), clock.Now())
+		if *saveCapture != "" {
+			if err := rig.SaveCaptureFile(cap, *saveCapture); err != nil {
+				return err
+			}
+			fmt.Printf("Capture written to %s.\n", *saveCapture)
+		}
+	}
+
+	cfg := reverser.DefaultConfig()
+	cfg.GP.Seed = *seed
+	if *quick {
+		cfg.GP.PopulationSize = 300
+		cfg.GP.Generations = 20
+	}
+	res, err := reverser.Reverse(cap, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+
+	if *showTraffic {
+		s := res.Stats
+		fmt.Printf("\nTraffic mix: %d SF, %d FF, %d CF, %d FC | VW TP: %d waiting, %d last, %d control\n",
+			s.ISOTPSingle, s.ISOTPFirst, s.ISOTPConsecutive, s.ISOTPFlowControl,
+			s.VWTPWaiting, s.VWTPLast, s.VWTPControl)
+	}
+
+	fmt.Println("\nReversed ECU signal values:")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "IDENTIFIER\tSEMANTICS\tUNIT\tKIND\tFORMULA\tPAIRS")
+	for _, e := range res.ESVs {
+		kind := "formula"
+		formula := e.FormulaString()
+		if e.Enum {
+			kind = "enum"
+			formula = "-"
+		} else if formula == "" {
+			kind = "under-sampled"
+			formula = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n", e.Key, e.Label, e.Unit, kind, formula, e.Pairs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if len(res.ECRs) > 0 {
+		fmt.Println("\nReversed ECU control records:")
+		w = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SERVICE\tID\tCOMPONENT\tSTATE\tPATTERN")
+		for _, e := range res.ECRs {
+			pattern := "incomplete"
+			if e.PatternComplete() {
+				pattern = "freeze/adjust/return"
+				if e.Service == 0x30 {
+					pattern = "adjust/return"
+				}
+			}
+			fmt.Fprintf(w, "%02X\t%04X\t%s\t% X\t%s\n", e.Service, e.ID, e.Label, e.State, pattern)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func quickRigConfig(seed int64) rig.Config {
+	cfg := rig.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ReadDuration = 10 * time.Second
+	cfg.AlignDuration = 5 * time.Second
+	cfg.TestDuration = time.Second
+	return cfg
+}

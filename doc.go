@@ -1,0 +1,23 @@
+// Package dpreverser is a from-scratch Go reproduction of DP-Reverser, the
+// cyber-physical system for automatically reverse engineering vehicle
+// diagnostic protocols (Yu et al., USENIX Security 2022; poster at ICDCS
+// 2023).
+//
+// The physical testbed — 18 vehicles, commercial diagnostic tools, a
+// robotic clicker and two cameras — is replaced by deterministic
+// simulations (see DESIGN.md for the substitution inventory); everything
+// above the hardware boundary, from the ISO 15765-2 / VW TP 2.0 transports
+// through the genetic-programming formula inference, is implemented in
+// full under internal/.
+//
+// Entry points:
+//
+//   - cmd/dpreverse — reverse engineer one simulated car end to end
+//   - cmd/experiments — regenerate every table of the paper's evaluation
+//   - cmd/appscan — the §4.6 telematics-app formula analysis
+//   - examples/ — runnable walkthroughs of the public API
+//
+// The benchmarks in bench_test.go regenerate the performance-flavoured
+// artifacts (Tables 8 and 9, the OCR and planner measurements) plus
+// ablations of the design choices DESIGN.md calls out.
+package dpreverser

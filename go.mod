@@ -1,0 +1,3 @@
+module dpreverser
+
+go 1.22

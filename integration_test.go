@@ -1,0 +1,114 @@
+package dpreverser_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpreverser/internal/experiments"
+	"dpreverser/internal/vehicle"
+)
+
+// TestEndToEndThreeTransports drives the complete system — vehicle
+// simulation, diagnostic tool, cyber-physical rig, reverse-engineering
+// pipeline, ground-truth scoring — across one car per transport family.
+func TestEndToEndThreeTransports(t *testing.T) {
+	opt := experiments.Options{Quick: true, Seed: 5}
+	cars := []string{
+		"Car A", // UDS over ISO 15765-2
+		"Car C", // KWP 2000 over VW TP 2.0
+		"Car F", // UDS over BMW extended addressing
+	}
+	var runs []*experiments.CarRun
+	for _, car := range cars {
+		p, ok := vehicle.ProfileByCar(car)
+		if !ok {
+			t.Fatalf("unknown car %q", car)
+		}
+		run, err := experiments.RunCar(p, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", car, err)
+		}
+		defer run.Vehicle.Close()
+		runs = append(runs, run)
+	}
+
+	rows := experiments.Precision(runs)
+	total := experiments.PrecisionTotals(rows)
+	wantFormulas := 0
+	for _, car := range cars {
+		p, _ := vehicle.ProfileByCar(car)
+		wantFormulas += p.NumFormulaESVs
+	}
+	if total.FormulaESVs != wantFormulas {
+		t.Fatalf("formula streams = %d, want %d", total.FormulaESVs, wantFormulas)
+	}
+	if total.CorrectGP < wantFormulas*9/10 {
+		t.Fatalf("GP correct = %d/%d across three transports", total.CorrectGP, wantFormulas)
+	}
+
+	// ECRs on the cars that define them.
+	t11 := experiments.Table11(runs)
+	for _, row := range t11 {
+		p, _ := vehicle.ProfileByCar(row.Car)
+		if row.NumECR != p.NumECRs {
+			t.Errorf("%s: ECRs = %d, want %d", row.Car, row.NumECR, p.NumECRs)
+		}
+	}
+}
+
+// TestEndToEndSemanticsRecovered verifies the §3.4 deliverable across a
+// whole car: every recovered stream's label is a name the manufacturer
+// actually assigned.
+func TestEndToEndSemanticsRecovered(t *testing.T) {
+	p, _ := vehicle.ProfileByCar("Car O")
+	run, err := experiments.RunCar(p, experiments.Options{Quick: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Vehicle.Close()
+
+	truthNames := map[string]bool{}
+	for _, b := range run.Vehicle.Bindings() {
+		for _, did := range b.ECU.DIDs() {
+			spec, _ := b.ECU.DIDSpecFor(did)
+			truthNames[spec.Name] = true
+		}
+	}
+	labelled, matched := 0, 0
+	for _, esv := range run.Result.ESVs {
+		if esv.Key.Proto != "UDS" || esv.Label == "" {
+			continue
+		}
+		labelled++
+		if truthNames[esv.Label] {
+			matched++
+		}
+	}
+	if labelled == 0 {
+		t.Fatal("no labels recovered")
+	}
+	// OCR noise may corrupt an occasional majority label; require ≥90%.
+	if matched*10 < labelled*9 {
+		t.Fatalf("semantics: %d/%d labels match manufacturer names", matched, labelled)
+	}
+}
+
+// TestEndToEndAppStudyHeadline reproduces §4.6's comparison conclusion:
+// professional tools yield far more UDS/KWP knowledge than apps.
+func TestEndToEndAppStudyHeadline(t *testing.T) {
+	rows := experiments.Table12()
+	udsKwpApps := map[string]bool{}
+	for _, r := range rows {
+		if r.Kind != "OBD-II" {
+			udsKwpApps[r.App] = true
+		}
+	}
+	if len(udsKwpApps) != 3 {
+		t.Fatalf("apps with UDS/KWP formulas = %d, want 3", len(udsKwpApps))
+	}
+	for app := range udsKwpApps {
+		if !strings.HasPrefix(app, "Carly") {
+			t.Fatalf("unexpected UDS/KWP app %q", app)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package align
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dpreverser/internal/diagtool"
+	"dpreverser/internal/ocr"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/vehicle"
+)
+
+func collectAlignment(t *testing.T, cameraOffset time.Duration) rig.Capture {
+	t.Helper()
+	p, _ := vehicle.ProfileByCar("Car A")
+	clock := sim.NewClock(0)
+	tool, veh, err := diagtool.ForProfile(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tool.Close(); veh.Close() })
+	cfg := rig.DefaultConfig()
+	cfg.AlignDuration = 10 * time.Second
+	cfg.CameraOffset = cameraOffset
+	r := rig.New(tool, veh, cfg)
+	t.Cleanup(r.Close)
+	if err := r.CollectAlignment(); err != nil {
+		t.Fatal(err)
+	}
+	return r.Capture()
+}
+
+func TestEstimateOffsetOBDRecoversSkew(t *testing.T) {
+	for _, skew := range []time.Duration{0, 120 * time.Millisecond, 2 * time.Second} {
+		cap := collectAlignment(t, skew)
+		got, err := EstimateOffsetOBD(cap.Frames, cap.UIFrames)
+		if err != nil {
+			t.Fatalf("skew %v: %v", skew, err)
+		}
+		// The estimate includes the display lag (≤ one poll interval) on
+		// top of the configured skew.
+		lag := got - skew
+		if lag < 0 || lag > 600*time.Millisecond {
+			t.Fatalf("skew %v: estimated %v (lag %v outside [0, 600ms])", skew, got, lag)
+		}
+	}
+}
+
+func TestEstimateOffsetOBDNoTraffic(t *testing.T) {
+	if _, err := EstimateOffsetOBD(nil, nil); !errors.Is(err, ErrNoAnchors) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEstimateOffsetOBDNoUIMatches(t *testing.T) {
+	cap := collectAlignment(t, 0)
+	if _, err := EstimateOffsetOBD(cap.Frames, nil); !errors.Is(err, ErrNoAnchors) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplyOffset(t *testing.T) {
+	in := []ocr.Frame{{At: 5 * time.Second}, {At: 6 * time.Second}}
+	out := ApplyOffset(in, 2*time.Second)
+	if out[0].At != 3*time.Second || out[1].At != 4*time.Second {
+		t.Fatalf("out = %v, %v", out[0].At, out[1].At)
+	}
+	if in[0].At != 5*time.Second {
+		t.Fatal("ApplyOffset mutated its input")
+	}
+}
+
+func TestDisplayTolerance(t *testing.T) {
+	if displayTolerance(50) >= 0.01 {
+		t.Fatal("two-decimal tolerance too loose")
+	}
+	if displayTolerance(500) < 0.05 || displayTolerance(500) > 0.06 {
+		t.Fatal("one-decimal tolerance wrong")
+	}
+	if displayTolerance(5000) < 0.5 {
+		t.Fatal("integer tolerance wrong")
+	}
+}
+
+// The end-to-end property the pipeline relies on: after applying the
+// estimated offset, UI timestamps line up with traffic timestamps to
+// within one poll interval.
+func TestAlignmentEndToEnd(t *testing.T) {
+	cap := collectAlignment(t, 1500*time.Millisecond)
+	off, err := EstimateOffsetOBD(cap.Frames, cap.UIFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := ApplyOffset(cap.UIFrames, off)
+	// Every corrected OBD frame timestamp must be within a poll interval
+	// of some OBD traffic timestamp.
+	for _, f := range corrected {
+		if f.ScreenName != "obd-live" || len(f.Rows) == 0 {
+			continue
+		}
+		best := time.Duration(1 << 62)
+		for _, cf := range cap.Frames {
+			d := f.At - cf.Timestamp
+			if d < 0 {
+				d = -d
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 600*time.Millisecond {
+			t.Fatalf("corrected UI frame at %v is %v from nearest traffic", f.At, best)
+		}
+	}
+}

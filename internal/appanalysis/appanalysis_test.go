@@ -1,0 +1,220 @@
+package appanalysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fig9App reproduces the paper's Fig. 9 example: the "41 0C" engine-speed
+// parser whose formula is v1*0.25 + 64*v2.
+func fig9App() *App {
+	m := Method{Name: "processResponse"}
+	add := func(s Stmt) int {
+		s.ID = len(m.Stmts)
+		m.Stmts = append(m.Stmts, s)
+		return s.ID
+	}
+	add(Stmt{Kind: StmtInvoke, Def: "r7", Callee: "InputStream.read", CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "z0", Callee: "String.startsWith",
+		Uses: []string{"r7"}, StrConst: "41 0C", CtrlDep: -1})
+	ifID := add(Stmt{Kind: StmtIf, Uses: []string{"z0"}, CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "r7b", Callee: "String.replace", Uses: []string{"r7"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "r7c", Callee: "String.trim", Uses: []string{"r7b"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "r9", Callee: "String.split", Uses: []string{"r7c"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "r7_21", Callee: "Array.index", Uses: []string{"r9"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "i2", Callee: "Integer.parseInt", Uses: []string{"r7_21"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "r7_22", Callee: "Array.index", Uses: []string{"r9"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "i7", Callee: "Integer.parseInt", Uses: []string{"r7_22"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtBinOp, Def: "d0_1", Uses: []string{"i2"}, Op: "*",
+		ConstVal: 64, HasConst: true, ConstLeft: true, CtrlDep: ifID})
+	add(Stmt{Kind: StmtBinOp, Def: "d1_1", Uses: []string{"i7"}, Op: "*",
+		ConstVal: 0.25, HasConst: true, CtrlDep: ifID})
+	add(Stmt{Kind: StmtBinOp, Def: "d0_2", Uses: []string{"d1_1", "d0_1"}, Op: "+", CtrlDep: ifID})
+	add(Stmt{Kind: StmtDisplay, Uses: []string{"d0_2"}, CtrlDep: ifID})
+	return &App{Name: "Fig9", Methods: []Method{m}}
+}
+
+func TestAnalyzeFig9Example(t *testing.T) {
+	formulas := Analyze(fig9App())
+	if len(formulas) != 1 {
+		t.Fatalf("formulas = %d, want 1: %v", len(formulas), formulas)
+	}
+	f := formulas[0]
+	if f.Condition != "41 0C" {
+		t.Fatalf("condition = %q", f.Condition)
+	}
+	if f.Kind != KindOBD {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	// "v1 * 0.25 + 64 * v2" modulo variable naming.
+	if !strings.Contains(f.Expr, "* 0.25") || !strings.Contains(f.Expr, "64 *") {
+		t.Fatalf("expr = %q", f.Expr)
+	}
+}
+
+func TestAnalyzeIgnoresUntaintedMath(t *testing.T) {
+	m := uiMethod()
+	app := &App{Name: "pure-ui", Methods: []Method{m}}
+	if got := Analyze(app); len(got) != 0 {
+		t.Fatalf("untainted arithmetic extracted: %v", got)
+	}
+}
+
+func TestAnalyzeIgnoresDTCOnly(t *testing.T) {
+	app := &App{Name: "dtc", Methods: []Method{dtcMethod()}}
+	if got := Analyze(app); len(got) != 0 {
+		t.Fatalf("DTC-only app produced formulas: %v", got)
+	}
+}
+
+func TestAnalyzeUnextractableStyles(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		app := unextractableApp(i)
+		if got := Analyze(app); len(got) != 0 {
+			t.Fatalf("style %d extracted %v", i, got)
+		}
+	}
+}
+
+func TestKindForPrefix(t *testing.T) {
+	cases := map[string]FormulaKind{
+		"41 0C":    KindOBD,
+		"62 F4 0D": KindUDS,
+		"61 07":    KindKWP,
+		"70 15":    KindKWP,
+		"6F 09":    KindUDS,
+		"99":       KindUnknown,
+		"":         KindUnknown,
+	}
+	for prefix, want := range cases {
+		if got := KindForPrefix(prefix); got != want {
+			t.Errorf("KindForPrefix(%q) = %v, want %v", prefix, got, want)
+		}
+	}
+}
+
+func TestCorpusComposition(t *testing.T) {
+	apps := Corpus()
+	if len(apps) != CorpusSize {
+		t.Fatalf("corpus size = %d, want %d", len(apps), CorpusSize)
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Fatalf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+}
+
+func TestCorpusReproducesTable12(t *testing.T) {
+	apps := Corpus()
+	byName := map[string]*App{}
+	for _, a := range apps {
+		byName[a.Name] = a
+	}
+	for _, e := range Table12Expected() {
+		app, ok := byName[e.Name]
+		if !ok {
+			t.Fatalf("app %q missing from corpus", e.Name)
+		}
+		counts := CountByKind(Analyze(app))
+		if counts[e.Kind] != e.Count {
+			t.Errorf("%s: %s formulas = %d, want %d", e.Name, e.Kind, counts[e.Kind], e.Count)
+		}
+	}
+}
+
+func TestCorpusOnlyThreeUDSKWPApps(t *testing.T) {
+	apps := Corpus()
+	udsKwpApps := 0
+	for _, a := range apps {
+		counts := CountByKind(Analyze(a))
+		if counts[KindUDS] > 0 || counts[KindKWP] > 0 {
+			udsKwpApps++
+		}
+	}
+	if udsKwpApps != 3 {
+		t.Fatalf("UDS/KWP-formula apps = %d, want 3 (§4.6)", udsKwpApps)
+	}
+}
+
+func TestCorpusNoFormulasOutsideTable(t *testing.T) {
+	apps := Corpus()
+	expected := map[string]bool{}
+	for _, e := range Table12Expected() {
+		expected[e.Name] = true
+	}
+	for _, a := range apps {
+		if expected[a.Name] {
+			continue
+		}
+		if got := Analyze(a); len(got) != 0 {
+			t.Fatalf("app %q unexpectedly has %d formulas", a.Name, len(got))
+		}
+	}
+}
+
+func TestReconstructDepthBound(t *testing.T) {
+	// A pathological chain deeper than the bound must be skipped, not hang.
+	m := Method{Name: "deep"}
+	m.Stmts = append(m.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: "v0", Callee: "InputStream.read", CtrlDep: -1})
+	m.Stmts = append(m.Stmts, Stmt{ID: 1, Kind: StmtInvoke, Def: "p0", Callee: "Integer.parseInt", Uses: []string{"v0"}, CtrlDep: -1})
+	prev := "p0"
+	for i := 0; i < 100; i++ {
+		def := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: def,
+			Uses: []string{prev}, Op: "+", ConstVal: 1, HasConst: true, CtrlDep: -1})
+		prev = def
+	}
+	app := &App{Name: "deep", Methods: []Method{m}}
+	if got := Analyze(app); len(got) != 0 {
+		t.Fatalf("over-deep chain extracted: %d", len(got))
+	}
+}
+
+func TestConditionWalksNestedBranches(t *testing.T) {
+	// Formula nested under two ifs: the inner has no startsWith condition,
+	// the outer does — the walk must find the outer one.
+	m := Method{Name: "nested"}
+	add := func(s Stmt) int {
+		s.ID = len(m.Stmts)
+		m.Stmts = append(m.Stmts, s)
+		return s.ID
+	}
+	add(Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read", CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith",
+		Uses: []string{"r"}, StrConst: "61 01", CtrlDep: -1})
+	outer := add(Stmt{Kind: StmtIf, Uses: []string{"c"}, CtrlDep: -1})
+	add(Stmt{Kind: StmtAssign, Def: "flag", Uses: []string{"someField"}, CtrlDep: outer})
+	inner := add(Stmt{Kind: StmtIf, Uses: []string{"flag"}, CtrlDep: outer})
+	add(Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"r"}, CtrlDep: inner})
+	add(Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*",
+		ConstVal: 0.5, HasConst: true, CtrlDep: inner})
+	add(Stmt{Kind: StmtDisplay, Uses: []string{"y"}, CtrlDep: inner})
+	app := &App{Name: "nested", Methods: []Method{m}}
+	got := Analyze(app)
+	if len(got) != 1 {
+		t.Fatalf("formulas = %v", got)
+	}
+	if got[0].Condition != "61 01" || got[0].Kind != KindKWP {
+		t.Fatalf("formula = %+v", got[0])
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := Formula{App: "X", Condition: "41 0C", Kind: KindOBD, Expr: "(v1 * 0.25)"}
+	s := f.String()
+	if !strings.Contains(s, "41 0C") || !strings.Contains(s, "OBD-II") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFormulaMethodDeterministic(t *testing.T) {
+	a := formulaMethod(KindOBD, 3, rand.New(rand.NewSource(9)))
+	b := formulaMethod(KindOBD, 3, rand.New(rand.NewSource(9)))
+	if len(a.Stmts) != len(b.Stmts) {
+		t.Fatal("same seed produced different methods")
+	}
+}

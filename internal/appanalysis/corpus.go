@@ -1,0 +1,283 @@
+package appanalysis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TableEntry is one expected Table 12 row.
+type TableEntry struct {
+	Name  string
+	Kind  FormulaKind
+	Count int
+}
+
+// Table12Expected lists the paper's Table 12: which apps embed formulas of
+// which protocol, and how many.
+func Table12Expected() []TableEntry {
+	return []TableEntry{
+		{"Carly for VAG", KindUDS, 90},
+		{"Carly for VAG", KindKWP, 137},
+		{"Carly for Mercedes", KindUDS, 1624},
+		{"Carly for Mercedes", KindKWP, 468},
+		{"Carly for Toyota", KindKWP, 7},
+		{"inCarDoc", KindOBD, 82},
+		{"Car Computer - Olivia Drive", KindOBD, 74},
+		{"CarSys Scan", KindOBD, 64},
+		{"Easy OBD", KindOBD, 55},
+		{"inCarDoc Pro", KindOBD, 49},
+		{"OBD Boy(OBD2-ELM327)", KindOBD, 45},
+		{"FordSys Scan Free", KindOBD, 42},
+		{"ChevroSys Scan Free", KindOBD, 40},
+		{"ToyoSys Scan Free", KindOBD, 40},
+		{"Obd Mary", KindOBD, 34},
+		{"OBD2 Boost", KindOBD, 34},
+		{"Obd Harry Scan", KindOBD, 28},
+		{"Obd Arny", KindOBD, 27},
+		{"MOSX", KindOBD, 24},
+		{"Dr Prius Dr Hybrid", KindOBD, 22},
+		{"Dacar Pro OBD2", KindOBD, 21},
+		{"OBD2 Scanner Fault Codes Desc", KindOBD, 16},
+		{"Dacar Pro OBD2 (2)", KindOBD, 14},
+		{"Engie Easy Car Repair", KindOBD, 8},
+		{"PHEV Watchdog", KindOBD, 8},
+		{"Torque Lite(OBD2&Car)", KindOBD, 5},
+		{"Kiwi OBD", KindOBD, 3},
+		{"OBDclick", KindOBD, 2},
+		{"Dr Prius Dr Hybrid (2)", KindOBD, 1},
+		{"Fuel Economy for Torque Pro", KindOBD, 1},
+	}
+}
+
+// CorpusSize is the number of apps analysed in §4.6.
+const CorpusSize = 160
+
+// UnextractableApps is the number of apps whose formulas the analysis
+// cannot extract (paper: 13, due to subclass/parent splits and partial
+// byte checks).
+const UnextractableApps = 13
+
+// Corpus generates the deterministic 160-app corpus mirroring Table 12's
+// composition: the formula-bearing apps above, 13 extraction-defeating
+// apps, and DTC-only apps for the remainder.
+func Corpus() []*App {
+	rng := rand.New(rand.NewSource(412))
+	var apps []*App
+
+	// Formula-bearing apps, grouped per app name.
+	perApp := map[string][]TableEntry{}
+	var names []string
+	for _, e := range Table12Expected() {
+		if len(perApp[e.Name]) == 0 {
+			names = append(names, e.Name)
+		}
+		perApp[e.Name] = append(perApp[e.Name], e)
+	}
+	for _, name := range names {
+		app := &App{Name: name}
+		for _, e := range perApp[name] {
+			for i := 0; i < e.Count; i++ {
+				app.Methods = append(app.Methods, formulaMethod(e.Kind, i, rng))
+			}
+		}
+		// Every real app also has plumbing code with no formulas.
+		app.Methods = append(app.Methods, dtcMethod(), uiMethod())
+		apps = append(apps, app)
+	}
+
+	// Extraction-defeating apps (§4.6: subclass/parent splits, partial
+	// byte checks, unmodelled decoding helpers).
+	for i := 0; i < UnextractableApps; i++ {
+		apps = append(apps, unextractableApp(i))
+	}
+
+	// The remainder only read/clear DTCs or send requests without parsing
+	// formulas.
+	for i := len(apps); i < CorpusSize; i++ {
+		app := &App{Name: fmt.Sprintf("DTC Reader %03d", i)}
+		app.Methods = append(app.Methods, dtcMethod(), uiMethod())
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// formulaShapes are the arithmetic templates formulas are drawn from,
+// modelled on the decompiled shapes the paper shows (Fig. 9's
+// "v1 * 0.25 + 64 * v2", Carly's "0.1X - 40", plain scalings).
+var formulaShapes = []func(m *Method, vIn []string, ctrl int) string{
+	// Y = v0 * a
+	func(m *Method, vIn []string, ctrl int) string {
+		out := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: out,
+			Uses: vIn[:1], Op: "*", ConstVal: 0.25, HasConst: true, CtrlDep: ctrl})
+		return out
+	},
+	// Y = v0 * a - b
+	func(m *Method, vIn []string, ctrl int) string {
+		t := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: t,
+			Uses: vIn[:1], Op: "*", ConstVal: 0.1, HasConst: true, CtrlDep: ctrl})
+		out := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: out,
+			Uses: []string{t}, Op: "-", ConstVal: 40, HasConst: true, CtrlDep: ctrl})
+		return out
+	},
+	// Y = v0 / a
+	func(m *Method, vIn []string, ctrl int) string {
+		out := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: out,
+			Uses: vIn[:1], Op: "/", ConstVal: 2.55, HasConst: true, CtrlDep: ctrl})
+		return out
+	},
+	// Y = 64*v0 + 0.25*v1 (Fig. 9's engine-speed shape; needs two values)
+	func(m *Method, vIn []string, ctrl int) string {
+		if len(vIn) < 2 {
+			out := fresh(m)
+			m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: out,
+				Uses: vIn[:1], Op: "*", ConstVal: 64, HasConst: true, ConstLeft: true, CtrlDep: ctrl})
+			return out
+		}
+		a := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: a,
+			Uses: vIn[:1], Op: "*", ConstVal: 64, HasConst: true, ConstLeft: true, CtrlDep: ctrl})
+		b := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: b,
+			Uses: vIn[1:2], Op: "*", ConstVal: 0.25, HasConst: true, CtrlDep: ctrl})
+		out := fresh(m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtBinOp, Def: out,
+			Uses: []string{a, b}, Op: "+", CtrlDep: ctrl})
+		return out
+	},
+}
+
+// prefixFor builds a realistic response prefix for a protocol.
+func prefixFor(kind FormulaKind, i int, rng *rand.Rand) string {
+	switch kind {
+	case KindOBD:
+		return fmt.Sprintf("41 %02X", 0x04+i%0x40)
+	case KindUDS:
+		return fmt.Sprintf("62 %02X %02X", 0xF4&0xFF, (0x0D+i)&0xFF)
+	default:
+		// Local identifiers in the 0x80+ range: the apps target other
+		// model years than the simulated fleet (the paper's finding that
+		// app formulas do not cover the cars' identifiers).
+		return fmt.Sprintf("61 %02X", 0x80+(i%0x7F))
+	}
+}
+
+func fresh(m *Method) string { return fmt.Sprintf("v%d", len(m.Stmts)) }
+
+// formulaMethod generates the Fig. 9 pattern: read → startsWith(prefix) →
+// parse fragments → arithmetic → display.
+func formulaMethod(kind FormulaKind, i int, rng *rand.Rand) Method {
+	m := Method{Name: fmt.Sprintf("parse_%s_%03d", kind, i)}
+	read := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: read, Callee: "InputStream.read", CtrlDep: -1})
+
+	cond := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 1, Kind: StmtInvoke, Def: cond, Callee: "String.startsWith",
+		Uses: []string{read}, StrConst: prefixFor(kind, i, rng), CtrlDep: -1})
+	ifID := len(m.Stmts)
+	m.Stmts = append(m.Stmts, Stmt{ID: ifID, Kind: StmtIf, Uses: []string{cond}, CtrlDep: -1})
+
+	// String processing chain under the branch.
+	replaced := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtInvoke, Def: replaced,
+		Callee: "String.replace", Uses: []string{read}, CtrlDep: ifID})
+	trimmed := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtInvoke, Def: trimmed,
+		Callee: "String.trim", Uses: []string{replaced}, CtrlDep: ifID})
+	split := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtInvoke, Def: split,
+		Callee: "String.split", Uses: []string{trimmed}, CtrlDep: ifID})
+
+	// Extract one or two integer values.
+	nVals := 1 + rng.Intn(2)
+	var vals []string
+	for k := 0; k < nVals; k++ {
+		frag := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtInvoke, Def: frag,
+			Callee: "Array.index", Uses: []string{split}, CtrlDep: ifID})
+		parsed := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtInvoke, Def: parsed,
+			Callee: "Integer.parseInt", Uses: []string{frag}, CtrlDep: ifID})
+		vals = append(vals, parsed)
+	}
+	shape := formulaShapes[rng.Intn(len(formulaShapes))]
+	result := shape(&m, vals, ifID)
+	m.Stmts = append(m.Stmts, Stmt{ID: len(m.Stmts), Kind: StmtDisplay, Uses: []string{result}, CtrlDep: ifID})
+	return m
+}
+
+// dtcMethod reads and clears trouble codes: tainted data, no arithmetic.
+func dtcMethod() Method {
+	m := Method{Name: "readDTC"}
+	read := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: read, Callee: "InputStream.read", CtrlDep: -1})
+	code := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 1, Kind: StmtInvoke, Def: code, Callee: "String.substring",
+		Uses: []string{read}, CtrlDep: -1})
+	m.Stmts = append(m.Stmts, Stmt{ID: 2, Kind: StmtDisplay, Uses: []string{code}, CtrlDep: -1})
+	return m
+}
+
+// uiMethod is untainted arithmetic (layout code): must not be extracted.
+func uiMethod() Method {
+	m := Method{Name: "layout"}
+	w := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 0, Kind: StmtAssign, Def: w, Uses: []string{"screenWidth"}, CtrlDep: -1})
+	half := fresh(&m)
+	m.Stmts = append(m.Stmts, Stmt{ID: 1, Kind: StmtBinOp, Def: half, Uses: []string{w},
+		Op: "/", ConstVal: 2, HasConst: true, CtrlDep: -1})
+	m.Stmts = append(m.Stmts, Stmt{ID: 2, Kind: StmtDisplay, Uses: []string{half}, CtrlDep: -1})
+	return m
+}
+
+// unextractableApp generates the failure styles §4.6 reports: the response
+// is read in one method and processed in another (no inter-procedural
+// taint), or decoding goes through an unmodelled helper.
+func unextractableApp(i int) *App {
+	app := &App{Name: fmt.Sprintf("Complex OBD Tool %02d", i)}
+	if i%2 == 0 {
+		// Subclass reads; parent parses — split across methods.
+		reader := Method{Name: "SubClass.read"}
+		buf := fresh(&reader)
+		reader.Stmts = append(reader.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: buf,
+			Callee: "InputStream.read", CtrlDep: -1})
+		parser := Method{Name: "Parent.parse"}
+		// "field" was written by the subclass; the intraprocedural taint
+		// cannot see that.
+		v := fresh(&parser)
+		parser.Stmts = append(parser.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: v,
+			Callee: "Integer.parseInt", Uses: []string{"field"}, CtrlDep: -1})
+		out := fresh(&parser)
+		parser.Stmts = append(parser.Stmts, Stmt{ID: 1, Kind: StmtBinOp, Def: out,
+			Uses: []string{v}, Op: "*", ConstVal: 0.25, HasConst: true, CtrlDep: -1})
+		parser.Stmts = append(parser.Stmts, Stmt{ID: 2, Kind: StmtDisplay, Uses: []string{out}, CtrlDep: -1})
+		app.Methods = append(app.Methods, reader, parser)
+	} else {
+		// Decoding through an unmodelled native helper breaks propagation.
+		m := Method{Name: "parseViaHelper"}
+		read := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: 0, Kind: StmtInvoke, Def: read,
+			Callee: "InputStream.read", CtrlDep: -1})
+		decoded := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: 1, Kind: StmtInvoke, Def: decoded,
+			Callee: "NativeCodec.decode", Uses: []string{read}, CtrlDep: -1})
+		out := fresh(&m)
+		m.Stmts = append(m.Stmts, Stmt{ID: 2, Kind: StmtBinOp, Def: out,
+			Uses: []string{decoded}, Op: "*", ConstVal: 0.5, HasConst: true, CtrlDep: -1})
+		m.Stmts = append(m.Stmts, Stmt{ID: 3, Kind: StmtDisplay, Uses: []string{out}, CtrlDep: -1})
+		app.Methods = append(app.Methods, m)
+	}
+	return app
+}
+
+// CountByKind tallies extracted formulas per protocol for one app.
+func CountByKind(formulas []Formula) map[FormulaKind]int {
+	out := map[FormulaKind]int{}
+	for _, f := range formulas {
+		out[f.Kind]++
+	}
+	return out
+}

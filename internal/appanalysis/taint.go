@@ -1,0 +1,222 @@
+package appanalysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResponseAPIs are the framework calls whose results carry diagnostic
+// response bytes — the taint sources of Algorithm 1 line 5.
+var ResponseAPIs = map[string]bool{
+	"InputStream.read":        true,
+	"BluetoothSocket.read":    true,
+	"Socket.read":             true,
+	"SerialPort.read":         true,
+	"Characteristic.getValue": true,
+}
+
+// propagatingAPIs pass taint from their receiver/arguments to their result
+// (string manipulation on the response, parsing to integers).
+var propagatingAPIs = map[string]bool{
+	"String.replace":     true,
+	"String.trim":        true,
+	"String.split":       true,
+	"String.substring":   true,
+	"Integer.parseInt":   true,
+	"Long.parseLong":     true,
+	"Double.parseDouble": true,
+	"Array.index":        true,
+	"String.startsWith":  true, // boolean over tainted data: condition taint
+}
+
+// Analyze runs Algorithm 1 over one app: forward taint analysis from the
+// response-reading APIs, arithmetic detection, data-dependency formula
+// reconstruction, and control-dependency condition extraction.
+func Analyze(app *App) []Formula {
+	var out []Formula
+	for mi := range app.Methods {
+		out = append(out, analyzeMethod(app.Name, &app.Methods[mi])...)
+	}
+	return out
+}
+
+func analyzeMethod(appName string, m *Method) []Formula {
+	// defsite[v] is the statement defining v (SSA-style: last def wins,
+	// which matches the generated corpus).
+	defsite := map[string]*Stmt{}
+	tainted := map[string]bool{}
+
+	for i := range m.Stmts {
+		s := &m.Stmts[i]
+		if s.Def != "" {
+			defsite[s.Def] = s
+		}
+		switch s.Kind {
+		case StmtInvoke:
+			if ResponseAPIs[s.Callee] {
+				tainted[s.Def] = true
+				continue
+			}
+			if propagatingAPIs[s.Callee] && anyTainted(tainted, s.Uses) {
+				tainted[s.Def] = true
+			}
+		case StmtBinOp, StmtAssign:
+			if anyTainted(tainted, s.Uses) && s.Def != "" {
+				tainted[s.Def] = true
+			}
+		}
+	}
+
+	// Find the final arithmetic statements: tainted BinOps whose result is
+	// not consumed by further arithmetic (Algorithm 1 focuses on the
+	// statement computing the final result).
+	consumedByMath := map[string]bool{}
+	for i := range m.Stmts {
+		s := &m.Stmts[i]
+		if s.Kind == StmtBinOp {
+			for _, u := range s.Uses {
+				consumedByMath[u] = true
+			}
+		}
+	}
+	var out []Formula
+	for i := range m.Stmts {
+		s := &m.Stmts[i]
+		if s.Kind != StmtBinOp || !tainted[s.Def] || consumedByMath[s.Def] {
+			continue
+		}
+		expr, ok := reconstruct(s, defsite, map[string]bool{}, 0)
+		if !ok {
+			continue
+		}
+		cond := condition(s, m, defsite)
+		out = append(out, Formula{
+			App: appName, Method: m.Name,
+			Condition: cond, Kind: KindForPrefix(cond), Expr: expr,
+		})
+	}
+	return out
+}
+
+func anyTainted(tainted map[string]bool, uses []string) bool {
+	for _, u := range uses {
+		if tainted[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// reconstruct follows data dependencies backwards from a statement and
+// renders the arithmetic expression. Extraction points (parseInt of a
+// response fragment) terminate the walk as numbered terminals v0, v1, ...
+// in first-visit order (Algorithm 1 lines 9-10: "the data dependency
+// relation analysis stops at [the statements that] extract int values from
+// the response message").
+func reconstruct(s *Stmt, defsite map[string]*Stmt, visiting map[string]bool, depth int) (string, bool) {
+	if depth > 64 {
+		return "", false // runaway chain: the paper's "complex apps" limitation
+	}
+	switch s.Kind {
+	case StmtInvoke:
+		if s.Callee == "Integer.parseInt" || s.Callee == "Long.parseLong" || s.Callee == "Double.parseDouble" {
+			return "", true // terminal; caller assigns the v-number
+		}
+		return "", false
+	case StmtAssign:
+		if len(s.Uses) != 1 {
+			return "", false
+		}
+		return reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+	case StmtBinOp:
+		var left, right string
+		switch {
+		case s.HasConst && s.ConstLeft:
+			left = formatNum(s.ConstVal)
+			r, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			if !ok {
+				return "", false
+			}
+			right = r
+		case s.HasConst:
+			l, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			if !ok {
+				return "", false
+			}
+			left = l
+			right = formatNum(s.ConstVal)
+		default:
+			if len(s.Uses) != 2 {
+				return "", false
+			}
+			l, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			if !ok {
+				return "", false
+			}
+			r, ok := reconstructVar(s.Uses[1], defsite, visiting, depth+1)
+			if !ok {
+				return "", false
+			}
+			left, right = l, r
+		}
+		return "(" + left + " " + s.Op + " " + right + ")", true
+	default:
+		return "", false
+	}
+}
+
+// reconstructVar resolves a variable to its defining expression.
+func reconstructVar(v string, defsite map[string]*Stmt, visiting map[string]bool, depth int) (string, bool) {
+	if visiting[v] {
+		return "", false // cyclic dependency: not a pure formula
+	}
+	def, ok := defsite[v]
+	if !ok {
+		return "", false // parameter or field: outside the slice
+	}
+	if def.Kind == StmtInvoke &&
+		(def.Callee == "Integer.parseInt" || def.Callee == "Long.parseLong" || def.Callee == "Double.parseDouble") {
+		// Terminal: name the extracted value by its variable, normalised
+		// to vN by the corpus's naming convention (variables are "vN").
+		return normaliseTerminal(v), true
+	}
+	visiting[v] = true
+	defer delete(visiting, v)
+	return reconstruct(def, defsite, visiting, depth)
+}
+
+// normaliseTerminal renders extraction-point variables uniformly.
+func normaliseTerminal(v string) string {
+	if strings.HasPrefix(v, "v") {
+		return v
+	}
+	return "v(" + v + ")"
+}
+
+// condition recovers the branch condition guarding a statement via control
+// dependencies (Algorithm 1 lines 12-13): the dependent StmtIf whose
+// condition variable is defined by String.startsWith("prefix").
+func condition(s *Stmt, m *Method, defsite map[string]*Stmt) string {
+	id := s.CtrlDep
+	for id >= 0 && id < len(m.Stmts) {
+		branch := &m.Stmts[id]
+		if branch.Kind != StmtIf {
+			break
+		}
+		if len(branch.Uses) == 1 {
+			if def, ok := defsite[branch.Uses[0]]; ok &&
+				def.Kind == StmtInvoke && def.Callee == "String.startsWith" {
+				return def.StrConst
+			}
+		}
+		id = branch.CtrlDep
+	}
+	return ""
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

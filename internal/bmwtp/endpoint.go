@@ -1,0 +1,125 @@
+package bmwtp
+
+import (
+	"fmt"
+	"sync"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/isotp"
+)
+
+// Endpoint binds extended-addressed ISO-TP to a CAN bus for one
+// (canID, ecuAddr) pair in each direction. BMW and Mini vehicles in the
+// simulated fleet use one endpoint per ECU.
+type Endpoint struct {
+	bus    *can.Bus
+	txID   uint32
+	rxID   uint32
+	txAddr byte // address byte we stamp on outbound frames
+	rxAddr byte // address byte we accept on inbound frames
+	pad    byte
+
+	// OnMessage receives each reassembled inbound payload.
+	OnMessage func(payload []byte)
+
+	mu      sync.Mutex
+	rx      Reassembler
+	txQueue [][]byte
+
+	unsubscribe func()
+}
+
+// EndpointConfig configures a BMW-variant endpoint.
+type EndpointConfig struct {
+	TxID   uint32
+	RxID   uint32
+	TxAddr byte
+	RxAddr byte
+	Pad    byte
+}
+
+// NewEndpoint attaches the endpoint to the bus.
+func NewEndpoint(bus *can.Bus, cfg EndpointConfig) *Endpoint {
+	e := &Endpoint{
+		bus: bus, txID: cfg.TxID, rxID: cfg.RxID,
+		txAddr: cfg.TxAddr, rxAddr: cfg.RxAddr, pad: cfg.Pad,
+	}
+	e.rx.Addr = cfg.RxAddr
+	e.rx.FilterByAddr = true
+	e.unsubscribe = bus.Subscribe(e.handleFrame)
+	return e
+}
+
+// Close detaches the endpoint.
+func (e *Endpoint) Close() {
+	if e.unsubscribe != nil {
+		e.unsubscribe()
+		e.unsubscribe = nil
+	}
+}
+
+// Send transmits one payload, pausing after the first frame until the
+// peer's flow control arrives.
+func (e *Endpoint) Send(payload []byte) error {
+	frames, err := Segment(e.txAddr, payload, e.pad)
+	if err != nil {
+		return fmt.Errorf("bmwtp endpoint send: %w", err)
+	}
+	e.mu.Lock()
+	if len(frames) == 1 {
+		e.mu.Unlock()
+		e.transmit(frames[0])
+		return nil
+	}
+	e.txQueue = append([][]byte{}, frames[1:]...)
+	e.mu.Unlock()
+	e.transmit(frames[0])
+	return nil
+}
+
+func (e *Endpoint) transmit(data []byte) {
+	f, err := can.NewFrame(e.txID, data)
+	if err != nil {
+		panic(fmt.Sprintf("bmwtp: internal frame build failed: %v", err))
+	}
+	e.bus.Send(f)
+}
+
+func (e *Endpoint) handleFrame(f can.Frame) {
+	if f.ID != e.rxID || f.Len < 2 {
+		return
+	}
+	data := f.Payload()
+	if data[0] != e.rxAddr {
+		return
+	}
+	if isotp.Classify(data[1:]) == isotp.FlowControlFrame {
+		fc, err := isotp.DecodeFlowControl(data[1:])
+		if err != nil || fc.Status != isotp.ContinueToSend {
+			return
+		}
+		for {
+			e.mu.Lock()
+			if len(e.txQueue) == 0 {
+				e.mu.Unlock()
+				return
+			}
+			next := e.txQueue[0]
+			e.txQueue = e.txQueue[1:]
+			e.mu.Unlock()
+			e.transmit(next)
+		}
+	}
+	e.mu.Lock()
+	res, err := e.rx.Feed(data)
+	e.mu.Unlock()
+	if err != nil {
+		return
+	}
+	if res.NeedFlowControl {
+		e.transmit(EncodeFlowControl(e.txAddr, isotp.ContinueToSend, 0, 0))
+	}
+	if res.Message != nil && e.OnMessage != nil {
+		e.OnMessage(res.Message)
+	}
+}

@@ -1,0 +1,223 @@
+// Package can implements the CAN 2.0 data-link substrate: frames, an
+// in-process broadcast bus with ID-based arbitration ordering, and the
+// sniffer tap DP-Reverser attaches at the OBD port.
+//
+// The paper's data-collection module "monitors the OBD port to capture all
+// CAN frames" (§3.1); here the bus is simulated, but the capture surface —
+// timestamped 11/29-bit-ID frames with up to 8 data bytes — is identical,
+// so everything above this layer (ISO 15765-2, VW TP 2.0, UDS, KWP 2000,
+// and the reverse-engineering pipeline) operates exactly as it would on
+// hardware captures.
+package can
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dpreverser/internal/sim"
+)
+
+// MaxDataLen is the CAN 2.0 data-field limit in bytes.
+const MaxDataLen = 8
+
+// ErrDataTooLong reports an attempt to build a frame with more than 8 data
+// bytes.
+var ErrDataTooLong = errors.New("can: data field exceeds 8 bytes")
+
+// ErrBadID reports a CAN identifier outside the standard (11-bit) or
+// extended (29-bit) range.
+var ErrBadID = errors.New("can: identifier out of range")
+
+// Frame is one CAN 2.0 frame. Data holds Len valid bytes.
+type Frame struct {
+	// ID is the arbitration identifier. Lower IDs win arbitration.
+	ID uint32
+	// Extended marks a 29-bit identifier frame.
+	Extended bool
+	// Data is the payload; only the first Len bytes are meaningful.
+	Data [MaxDataLen]byte
+	// Len is the DLC (0-8).
+	Len int
+	// Timestamp is the virtual instant the frame appeared on the bus. It
+	// is stamped by the Bus on transmit and preserved by sniffer captures.
+	Timestamp time.Duration
+}
+
+// NewFrame builds a standard-ID frame, validating the identifier range and
+// data length.
+func NewFrame(id uint32, data []byte) (Frame, error) {
+	return newFrame(id, data, false)
+}
+
+// NewExtendedFrame builds a 29-bit-ID frame.
+func NewExtendedFrame(id uint32, data []byte) (Frame, error) {
+	return newFrame(id, data, true)
+}
+
+func newFrame(id uint32, data []byte, extended bool) (Frame, error) {
+	maxID := uint32(0x7FF)
+	if extended {
+		maxID = 0x1FFFFFFF
+	}
+	if id > maxID {
+		return Frame{}, fmt.Errorf("%w: %#x (extended=%v)", ErrBadID, id, extended)
+	}
+	if len(data) > MaxDataLen {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrDataTooLong, len(data))
+	}
+	f := Frame{ID: id, Extended: extended, Len: len(data)}
+	copy(f.Data[:], data)
+	return f, nil
+}
+
+// MustFrame is NewFrame that panics on error; for tables of literal frames
+// in tests and fixtures.
+func MustFrame(id uint32, data []byte) Frame {
+	f, err := NewFrame(id, data)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Payload returns the valid data bytes as a slice (aliasing the frame's
+// array; callers must copy before mutating).
+func (f *Frame) Payload() []byte { return f.Data[:f.Len] }
+
+// String renders the frame in candump-like notation: "123#0102AB".
+func (f Frame) String() string {
+	var b strings.Builder
+	if f.Extended {
+		fmt.Fprintf(&b, "%08X#", f.ID)
+	} else {
+		fmt.Fprintf(&b, "%03X#", f.ID)
+	}
+	for _, d := range f.Data[:f.Len] {
+		fmt.Fprintf(&b, "%02X", d)
+	}
+	return b.String()
+}
+
+// Handler consumes frames delivered by the bus.
+type Handler func(Frame)
+
+// Bus is an in-process CAN bus. Frames sent within the same virtual instant
+// are delivered in arbitration order (ascending ID, FIFO within an ID),
+// which mirrors how a real bus serialises simultaneous transmissions.
+type Bus struct {
+	clock *sim.Clock
+
+	mu       sync.Mutex
+	handlers []busHandler
+	nextSub  int
+	pending  []Frame
+	flushing bool
+	stats    BusStats
+}
+
+type busHandler struct {
+	id int
+	fn Handler
+}
+
+// BusStats counts bus-level activity.
+type BusStats struct {
+	// FramesSent is the total number of frames transmitted.
+	FramesSent int
+	// Deliveries is the total number of frame deliveries (frames × taps).
+	Deliveries int
+}
+
+// NewBus returns a bus reading timestamps from clock. A nil clock is
+// replaced with a fresh zero clock so the bus is always usable.
+func NewBus(clock *sim.Clock) *Bus {
+	if clock == nil {
+		clock = sim.NewClock(0)
+	}
+	return &Bus{clock: clock}
+}
+
+// Clock exposes the bus's virtual clock, which simulated nodes share.
+func (b *Bus) Clock() *sim.Clock { return b.clock }
+
+// Subscribe registers a handler for every frame on the bus and returns an
+// unsubscribe function. Handlers run synchronously during Send, after
+// arbitration ordering.
+func (b *Bus) Subscribe(fn Handler) (unsubscribe func()) {
+	if fn == nil {
+		panic("can: Subscribe with nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextSub
+	b.nextSub++
+	b.handlers = append(b.handlers, busHandler{id: id, fn: fn})
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for i, h := range b.handlers {
+			if h.id == id {
+				b.handlers = append(b.handlers[:i], b.handlers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Send queues the frame for transmission and flushes the pending set in
+// arbitration order. Re-entrant sends (a handler replying from within its
+// callback, as ECUs do) are queued and flushed by the outermost Send, so
+// request/response ordering on the captured trace matches a real bus.
+func (b *Bus) Send(f Frame) {
+	b.mu.Lock()
+	f.Timestamp = b.clock.Now()
+	b.pending = append(b.pending, f)
+	if b.flushing {
+		b.mu.Unlock()
+		return
+	}
+	b.flushing = true
+	b.mu.Unlock()
+	b.flush()
+}
+
+func (b *Bus) flush() {
+	for {
+		b.mu.Lock()
+		if len(b.pending) == 0 {
+			b.flushing = false
+			b.mu.Unlock()
+			return
+		}
+		// Arbitration: lowest ID wins among frames queued at this instant.
+		// sort.SliceStable keeps FIFO order within an ID.
+		sort.SliceStable(b.pending, func(i, j int) bool {
+			if b.pending[i].Timestamp != b.pending[j].Timestamp {
+				return b.pending[i].Timestamp < b.pending[j].Timestamp
+			}
+			return b.pending[i].ID < b.pending[j].ID
+		})
+		f := b.pending[0]
+		b.pending = b.pending[1:]
+		handlers := make([]busHandler, len(b.handlers))
+		copy(handlers, b.handlers)
+		b.stats.FramesSent++
+		b.stats.Deliveries += len(handlers)
+		b.mu.Unlock()
+
+		for _, h := range handlers {
+			h.fn(f)
+		}
+	}
+}
+
+// Stats returns a snapshot of bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,87 @@
+package can
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadDumpLine reports an unparsable capture line.
+var ErrBadDumpLine = errors.New("can: malformed dump line")
+
+// ParseDump parses a candump-style log (the format Dump emits:
+// "(000012.345678) 7E0#021003"), returning the frames in file order.
+// Blank lines and lines starting with '#' are skipped, so captures can be
+// annotated. Parsing a real candump from hardware works too — this is the
+// bridge for feeding DP-Reverser traffic that was recorded outside the
+// simulation.
+func ParseDump(r io.Reader) ([]Frame, error) {
+	var out []Frame
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := ParseDumpLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("can: reading dump: %w", err)
+	}
+	return out, nil
+}
+
+// ParseDumpLine parses one "(timestamp) ID#DATA" line.
+func ParseDumpLine(line string) (Frame, error) {
+	open := strings.IndexByte(line, '(')
+	closeIdx := strings.IndexByte(line, ')')
+	if open != 0 || closeIdx < 0 {
+		return Frame{}, fmt.Errorf("%w: missing timestamp in %q", ErrBadDumpLine, line)
+	}
+	tsText := strings.TrimSpace(line[1:closeIdx])
+	seconds, err := strconv.ParseFloat(tsText, 64)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: timestamp %q", ErrBadDumpLine, tsText)
+	}
+	rest := strings.TrimSpace(line[closeIdx+1:])
+	// Hardware candump logs include an interface column ("can0"); skip it.
+	if i := strings.IndexByte(rest, ' '); i >= 0 && !strings.Contains(rest[:i], "#") {
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	hash := strings.IndexByte(rest, '#')
+	if hash < 0 {
+		return Frame{}, fmt.Errorf("%w: missing '#' in %q", ErrBadDumpLine, line)
+	}
+	idText, dataText := rest[:hash], rest[hash+1:]
+	id64, err := strconv.ParseUint(idText, 16, 32)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: id %q", ErrBadDumpLine, idText)
+	}
+	data, err := hex.DecodeString(dataText)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: data %q", ErrBadDumpLine, dataText)
+	}
+	extended := len(idText) > 3 || id64 > 0x7FF
+	var f Frame
+	if extended {
+		f, err = NewExtendedFrame(uint32(id64), data)
+	} else {
+		f, err = NewFrame(uint32(id64), data)
+	}
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Timestamp = time.Duration(seconds * float64(time.Second))
+	return f, nil
+}

@@ -1,0 +1,168 @@
+// Package canbridge exposes a simulated vehicle's CAN bus over a TCP
+// socket, in a line protocol built on the candump format:
+//
+//	server → client:  HELLO canbridge 1            greeting; traffic flows from here
+//	client → server:  SEND 7E0#021003AAAAAAAAAA   inject a frame
+//	client → server:  ADVANCE 500                 advance the virtual clock (ms)
+//	server → client:  (000001.500000) 7E8#065002... every bus frame, as it happens
+//
+// The bridge is the repository's stand-in for plugging real tooling into
+// the OBD port: an external program (any language) can drive the simulated
+// car, sniff its traffic, and feed the capture to the reverse-engineering
+// pipeline via can.ParseDump.
+package canbridge
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/sim"
+)
+
+// Server bridges one bus/clock pair to TCP clients.
+type Server struct {
+	bus   *can.Bus
+	clock *sim.Clock
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a bus and its clock.
+func NewServer(bus *can.Bus, clock *sim.Clock) *Server {
+	return &Server{bus: bus, clock: clock, conns: map[net.Conn]bool{}}
+}
+
+// Listen starts accepting clients on addr ("127.0.0.1:0" for an ephemeral
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("canbridge: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener and disconnects every client.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	// Stream every bus frame to the client. Writes are serialised through
+	// a mutex because frames may fire from this connection's own SEND
+	// processing while another client's SEND also fans out.
+	var writeMu sync.Mutex
+	unsubscribe := s.bus.Subscribe(func(f can.Frame) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		fmt.Fprint(conn, can.Dump([]can.Frame{f}))
+	})
+	defer unsubscribe()
+
+	// Greet after the subscription is live, so a client that waits for
+	// HELLO is guaranteed to see all subsequent traffic.
+	writeMu.Lock()
+	fmt.Fprintln(conn, "HELLO canbridge 1")
+	writeMu.Unlock()
+
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := s.handleCommand(line); err != nil {
+			writeMu.Lock()
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			writeMu.Unlock()
+			continue
+		}
+		writeMu.Lock()
+		fmt.Fprintln(conn, "OK")
+		writeMu.Unlock()
+	}
+}
+
+func (s *Server) handleCommand(line string) error {
+	verb, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(verb) {
+	case "SEND":
+		f, err := can.ParseDumpLine(fmt.Sprintf("(%.6f) %s", s.clock.Now().Seconds(), strings.TrimSpace(rest)))
+		if err != nil {
+			return err
+		}
+		s.bus.Send(f)
+		return nil
+	case "ADVANCE":
+		ms, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil || ms < 0 {
+			return fmt.Errorf("canbridge: bad ADVANCE argument %q", rest)
+		}
+		s.clock.Advance(time.Duration(ms) * time.Millisecond)
+		return nil
+	default:
+		return fmt.Errorf("canbridge: unknown command %q", verb)
+	}
+}

@@ -1,0 +1,165 @@
+package canbridge
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/uds"
+	"dpreverser/internal/vehicle"
+)
+
+// dial connects a test client with line helpers.
+type client struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	c := &client{conn: conn, rd: bufio.NewReader(conn)}
+	if greeting := c.readLine(t); !strings.HasPrefix(greeting, "HELLO") {
+		t.Fatalf("greeting = %q", greeting)
+	}
+	return c
+}
+
+func (c *client) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readLine reads with a deadline so a hung test fails fast.
+func (c *client) readLine(t *testing.T) string {
+	t.Helper()
+	if err := c.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// readUntil reads lines until pred matches, returning that line.
+func (c *client) readUntil(t *testing.T, pred func(string) bool) string {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		line := c.readLine(t)
+		if pred(line) {
+			return line
+		}
+	}
+	t.Fatal("pattern never arrived")
+	return ""
+}
+
+func startVehicleBridge(t *testing.T) (string, *vehicle.Vehicle) {
+	t.Helper()
+	p, _ := vehicle.ProfileByCar("Car M")
+	clock := sim.NewClock(0)
+	veh := vehicle.Build(p, clock)
+	t.Cleanup(veh.Close)
+	srv := NewServer(veh.Bus, clock)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, veh
+}
+
+func TestBridgeInjectAndObserveUDSExchange(t *testing.T) {
+	addr, veh := startVehicleBridge(t)
+	c := dial(t, addr)
+
+	did := veh.Bindings()[0].ECU.DIDs()[0]
+	reqID := veh.Bindings()[0].ReqID
+	respID := veh.Bindings()[0].RespID
+	req, _ := uds.BuildRDBIRequest(did)
+	frame := can.MustFrame(reqID, append([]byte{byte(len(req))}, req...))
+
+	c.send(t, "SEND "+frame.String())
+
+	// The stream must carry our request, the ECU's response, and the OK.
+	sawResp := false
+	c.readUntil(t, func(line string) bool {
+		if strings.Contains(line, strings.ToUpper(frameIDHex(respID))+"#") {
+			sawResp = true
+		}
+		return line == "OK"
+	})
+	if !sawResp {
+		// The response may arrive after OK depending on interleave; scan a
+		// little further.
+		c.readUntil(t, func(line string) bool {
+			return strings.Contains(line, strings.ToUpper(frameIDHex(respID))+"#")
+		})
+	}
+}
+
+func frameIDHex(id uint32) string {
+	f := can.Frame{ID: id}
+	s := f.String()
+	return s[:strings.IndexByte(s, '#')]
+}
+
+func TestBridgeAdvanceMovesClock(t *testing.T) {
+	addr, veh := startVehicleBridge(t)
+	c := dial(t, addr)
+	c.send(t, "ADVANCE 1500")
+	c.readUntil(t, func(line string) bool { return line == "OK" })
+	if veh.Clock.Now() != 1500*time.Millisecond {
+		t.Fatalf("clock = %v", veh.Clock.Now())
+	}
+}
+
+func TestBridgeRejectsBadCommands(t *testing.T) {
+	addr, _ := startVehicleBridge(t)
+	c := dial(t, addr)
+	for _, bad := range []string{"NOPE", "SEND zzz", "ADVANCE xyz", "ADVANCE -5"} {
+		c.send(t, bad)
+		line := c.readUntil(t, func(l string) bool { return strings.HasPrefix(l, "ERR") })
+		if !strings.HasPrefix(line, "ERR") {
+			t.Fatalf("response to %q: %q", bad, line)
+		}
+	}
+}
+
+func TestBridgeMultipleClients(t *testing.T) {
+	addr, _ := startVehicleBridge(t)
+	c1 := dial(t, addr)
+	c2 := dial(t, addr)
+	// A frame injected by client 1 must reach client 2's stream.
+	c1.send(t, "SEND 123#DEADBEEF")
+	c2.readUntil(t, func(line string) bool { return strings.Contains(line, "123#DEADBEEF") })
+}
+
+func TestBridgeCloseIdempotent(t *testing.T) {
+	p, _ := vehicle.ProfileByCar("Car M")
+	clock := sim.NewClock(0)
+	veh := vehicle.Build(p, clock)
+	defer veh.Close()
+	srv := NewServer(veh.Bus, clock)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

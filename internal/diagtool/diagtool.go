@@ -1,0 +1,371 @@
+// Package diagtool simulates professional vehicle diagnostic tools — the
+// AUTEL 919 / LAUNCH X431 handhelds and the VCDS / Techstream laptop
+// software of the paper's Table 3. A tool is the oracle DP-Reverser mines:
+// it embeds the manufacturer-proprietary knowledge (which identifiers
+// exist, what they mean, and the formulas that decode them) and exposes it
+// only through two side channels the paper exploits — the diagnostic
+// traffic it generates on the CAN bus and the text it draws on its screen.
+//
+// The simulation keeps that boundary strict: the reverse-engineering
+// pipeline never calls into this package's database; it only sees sniffed
+// frames and OCR'd screen text.
+package diagtool
+
+import (
+	"fmt"
+
+	"dpreverser/internal/ecu"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/uds"
+	"dpreverser/internal/ui"
+	"dpreverser/internal/vehicle"
+)
+
+// Quality captures the screen class, which drives OCR accuracy (Table 4).
+type Quality int
+
+// Screen-quality classes.
+const (
+	// QualityHigh is a large high-resolution screen (AUTEL 919, laptop
+	// software).
+	QualityHigh Quality = iota
+	// QualityLow is a small low-resolution handheld screen (LAUNCH X431).
+	QualityLow
+)
+
+// StreamItem is one readable quantity in the tool's database: the vendor's
+// proprietary knowledge about a vehicle model.
+type StreamItem struct {
+	// ECUIndex selects the vehicle binding.
+	ECUIndex int
+	// Label is the display name ("Engine speed").
+	Label string
+	Unit  string
+	// Enum marks state items with no formula.
+	Enum bool
+	// DID is set on UDS cars.
+	DID uint16
+	// LocalID / ESVIndex locate the value on KWP cars.
+	LocalID  byte
+	ESVIndex int
+	// Width is the UDS data width in bytes.
+	Width int
+	// Decode applies the proprietary formula to raw bytes.
+	Decode func(data []byte) (float64, bool)
+	// Min, Max bound plausible displayed values.
+	Min, Max float64
+}
+
+// ActuatorItem is one active test in the tool's database.
+type ActuatorItem struct {
+	ECUIndex int
+	Label    string
+	Spec     ecu.ActuatorSpec
+}
+
+// Tool is one simulated diagnostic tool attached to a vehicle.
+type Tool struct {
+	Name    string
+	Quality Quality
+
+	veh   *vehicle.Vehicle
+	clock *sim.Clock
+
+	clients   map[int]vehicle.Client
+	obdClient vehicle.Client
+
+	streams   []StreamItem
+	actuators []ActuatorItem
+
+	// UI state machine.
+	screen      string
+	selectedECU int
+	page        int
+	selected    map[int]bool // stream indices selected for live view
+	liveRows    []liveRow
+	activeIdx   int
+	obdRows     []obdRow
+	dtcRows     []dtcRow
+	unlocked    map[int]bool
+	identRead   map[int]bool
+	testRunning bool
+	sessionSent map[int]bool
+
+	pollErrs int
+}
+
+type liveRow struct {
+	streamIdx int
+	value     string
+	hasValue  bool
+}
+
+// PageSize is how many stream items one selection page shows (the paper's
+// planner experiment clicks 14 ESVs on one screen).
+const PageSize = 14
+
+// New attaches a tool to a vehicle. The tool name decides the quality
+// class: "LAUNCH X431" renders on the small screen, everything else on the
+// large one.
+func New(name string, v *vehicle.Vehicle) (*Tool, error) {
+	q := QualityHigh
+	if name == "LAUNCH X431" {
+		q = QualityLow
+	}
+	t := &Tool{
+		Name: name, Quality: q, veh: v, clock: v.Clock,
+		clients:     map[int]vehicle.Client{},
+		selected:    map[int]bool{},
+		sessionSent: map[int]bool{},
+		unlocked:    map[int]bool{},
+		identRead:   map[int]bool{},
+		screen:      "home",
+	}
+	t.buildDatabase()
+	return t, nil
+}
+
+// ForProfile builds the vehicle for a fleet profile and attaches the
+// profile's tool.
+func ForProfile(p vehicle.Profile, clock *sim.Clock) (*Tool, *vehicle.Vehicle, error) {
+	v := vehicle.Build(p, clock)
+	t, err := New(p.Tool, v)
+	if err != nil {
+		v.Close()
+		return nil, nil, err
+	}
+	return t, v, nil
+}
+
+// Close releases all transport clients.
+func (t *Tool) Close() {
+	for _, c := range t.clients {
+		c.Close()
+	}
+	t.clients = map[int]vehicle.Client{}
+	if t.obdClient != nil {
+		t.obdClient.Close()
+		t.obdClient = nil
+	}
+}
+
+// buildDatabase mirrors the vendor's model coverage from the vehicle's ECU
+// specs.
+func (t *Tool) buildDatabase() {
+	for i, b := range t.veh.Bindings() {
+		for _, did := range b.ECU.DIDs() {
+			spec, _ := b.ECU.DIDSpecFor(did)
+			codec := spec.Codec
+			t.streams = append(t.streams, StreamItem{
+				ECUIndex: i, Label: spec.Name, Unit: spec.Unit, Enum: spec.Enum,
+				DID: did, Width: codec.Width,
+				Decode: func(data []byte) (float64, bool) {
+					if len(data) != codec.Width {
+						return 0, false
+					}
+					raw := uint64(0)
+					for _, by := range data {
+						raw = raw<<8 | uint64(by)
+					}
+					return codec.Decode(raw), true
+				},
+				Min: spec.Min, Max: spec.Max,
+			})
+		}
+		for _, lid := range b.ECU.Locals() {
+			ls, _ := b.ECU.LocalSpecFor(lid)
+			for k, es := range ls.ESVs {
+				es := es
+				t.streams = append(t.streams, StreamItem{
+					ECUIndex: i, Label: es.Name, Unit: es.Unit, Enum: es.Enum,
+					LocalID: lid, ESVIndex: k, Width: kwp.ESVSize,
+					Decode: func(data []byte) (float64, bool) {
+						if len(data) != kwp.ESVSize {
+							return 0, false
+						}
+						e := kwp.ESV{FType: data[0], X0: data[1], X1: data[2]}
+						if es.Enum {
+							return float64(e.X1), true
+						}
+						return e.Decode()
+					},
+					Min: es.Min, Max: es.Max,
+				})
+			}
+		}
+		for _, a := range b.ECU.Actuators() {
+			t.actuators = append(t.actuators, ActuatorItem{ECUIndex: i, Label: a.Name, Spec: a})
+		}
+	}
+}
+
+// Streams exposes the tool's readable-item database (used by experiment
+// ground truth, never by the reverser).
+func (t *Tool) Streams() []StreamItem { return append([]StreamItem(nil), t.streams...) }
+
+// Actuators exposes the active-test database.
+func (t *Tool) Actuators() []ActuatorItem { return append([]ActuatorItem(nil), t.actuators...) }
+
+// PollErrors counts failed live-data requests.
+func (t *Tool) PollErrors() int { return t.pollErrs }
+
+func (t *Tool) client(ecuIdx int) (vehicle.Client, error) {
+	if c, ok := t.clients[ecuIdx]; ok {
+		return c, nil
+	}
+	c, err := vehicle.Connect(t.veh, t.veh.Bindings()[ecuIdx])
+	if err != nil {
+		return nil, err
+	}
+	t.clients[ecuIdx] = c
+	return c, nil
+}
+
+// ensureSession sends the extended-session prologue once per ECU on UDS
+// cars (real tools do this before data streams and active tests).
+func (t *Tool) ensureSession(ecuIdx int) {
+	if t.veh.Profile.Protocol != vehicle.UDS || t.sessionSent[ecuIdx] {
+		return
+	}
+	c, err := t.client(ecuIdx)
+	if err != nil {
+		t.pollErrs++
+		return
+	}
+	if _, err := c.Request([]byte{uds.SIDDiagnosticSessionControl, uds.SessionExtended}); err != nil {
+		t.pollErrs++
+		return
+	}
+	t.sessionSent[ecuIdx] = true
+}
+
+// --- UI state machine ---
+
+// ScreenName reports the current logical screen.
+func (t *Tool) ScreenName() string { return t.screen }
+
+// Click delivers a tap at screen coordinates; it returns true if a widget
+// reacted. The rig calls this through the robotic clicker.
+func (t *Tool) Click(x, y int) bool {
+	s := t.Screen()
+	w, ok := s.WidgetAt(x, y)
+	if !ok || (w.Kind != ui.Button && w.Kind != ui.IconButton) {
+		return false
+	}
+	t.activate(w.ID)
+	return true
+}
+
+// ClickWidget activates a widget by ID (tests and the rig's planner resolve
+// coordinates first; this is the shared path).
+func (t *Tool) ClickWidget(id string) bool {
+	s := t.Screen()
+	w, ok := s.FindByID(id)
+	if !ok || (w.Kind != ui.Button && w.Kind != ui.IconButton) {
+		return false
+	}
+	t.activate(w.ID)
+	return true
+}
+
+func (t *Tool) activate(id string) {
+	switch {
+	case id == "home.diag":
+		t.screen = "ecu-list"
+	case id == "nav.back":
+		t.goBack()
+	case hasPrefix(id, "ecu."):
+		fmt.Sscanf(id, "ecu.%d", &t.selectedECU)
+		t.screen = "func-menu"
+	case id == "func.stream":
+		t.page = 0
+		t.selected = map[int]bool{}
+		t.screen = "stream-select"
+	case id == "func.active":
+		t.screen = "active-list"
+	case id == "func.obd":
+		t.screen = "obd-live"
+	case id == "func.dtc":
+		t.readDTCs()
+		t.screen = "dtc-list"
+	case id == "func.cleardtc":
+		t.clearDTCs()
+	case hasPrefix(id, "sel.item."):
+		var idx int
+		fmt.Sscanf(id, "sel.item.%d", &idx)
+		if idx >= 0 && idx < len(t.streams) {
+			t.selected[idx] = !t.selected[idx]
+		}
+	case id == "sel.next":
+		if (t.page+1)*PageSize < len(t.ecuStreamIndices()) {
+			t.page++
+		}
+	case id == "sel.prev":
+		if t.page > 0 {
+			t.page--
+		}
+	case id == "sel.ok":
+		t.buildLiveRows()
+		t.screen = "live-data"
+	case hasPrefix(id, "act.item."):
+		var idx int
+		fmt.Sscanf(id, "act.item.%d", &idx)
+		if idx >= 0 && idx < len(t.actuators) {
+			t.activeIdx = idx
+			t.screen = "active-run"
+			t.startActiveTest()
+		}
+	case id == "act.stop":
+		t.stopActiveTest()
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+func (t *Tool) goBack() {
+	switch t.screen {
+	case "ecu-list":
+		t.screen = "home"
+	case "func-menu":
+		t.screen = "ecu-list"
+	case "stream-select", "active-list", "obd-live", "dtc-list":
+		t.screen = "func-menu"
+	case "live-data":
+		t.screen = "stream-select"
+	case "active-run":
+		t.stopActiveTest()
+		t.screen = "active-list"
+	}
+}
+
+// ecuStreamIndices lists the stream-database indices belonging to the
+// selected ECU.
+func (t *Tool) ecuStreamIndices() []int {
+	var out []int
+	for i, s := range t.streams {
+		if s.ECUIndex == t.selectedECU {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (t *Tool) buildLiveRows() {
+	t.liveRows = nil
+	for _, i := range t.ecuStreamIndices() {
+		if t.selected[i] {
+			t.liveRows = append(t.liveRows, liveRow{streamIdx: i})
+		}
+	}
+}
+
+// SelectAllOnECU marks every stream of the current ECU (convenience used by
+// the rig's "Select All" path).
+func (t *Tool) SelectAllOnECU() {
+	for _, i := range t.ecuStreamIndices() {
+		t.selected[i] = true
+	}
+}

@@ -1,0 +1,386 @@
+package diagtool
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/ui"
+	"dpreverser/internal/vehicle"
+)
+
+func newTool(t *testing.T, car string) (*Tool, *vehicle.Vehicle, *sim.Clock) {
+	t.Helper()
+	p, ok := vehicle.ProfileByCar(car)
+	if !ok {
+		t.Fatalf("unknown car %q", car)
+	}
+	clock := sim.NewClock(0)
+	tool, veh, err := ForProfile(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tool.Close(); veh.Close() })
+	return tool, veh, clock
+}
+
+// navigate drives the tool to the live-data screen of ECU 0 with every
+// stream item selected.
+func navigateToLiveData(t *testing.T, tool *Tool) {
+	t.Helper()
+	for _, id := range []string{"home.diag", "ecu.0", "func.stream"} {
+		if !tool.ClickWidget(id) {
+			t.Fatalf("click %q failed on screen %q", id, tool.ScreenName())
+		}
+	}
+	tool.SelectAllOnECU()
+	if !tool.ClickWidget("sel.ok") {
+		t.Fatal("OK click failed")
+	}
+	if tool.ScreenName() != "live-data" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+}
+
+func TestToolQualityByName(t *testing.T) {
+	_, vehA, _ := newTool(t, "Car A") // LAUNCH X431
+	toolA, err := New("LAUNCH X431", vehA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolA.Close()
+	if toolA.Quality != QualityLow {
+		t.Fatal("X431 should be low quality")
+	}
+	toolB, err := New("AUTEL 919", vehA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolB.Close()
+	if toolB.Quality != QualityHigh {
+		t.Fatal("AUTEL should be high quality")
+	}
+}
+
+func TestToolMenuNavigation(t *testing.T) {
+	tool, _, _ := newTool(t, "Car A")
+	if tool.ScreenName() != "home" {
+		t.Fatalf("initial screen = %q", tool.ScreenName())
+	}
+	tool.ClickWidget("home.diag")
+	if tool.ScreenName() != "ecu-list" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	tool.ClickWidget("ecu.0")
+	if tool.ScreenName() != "func-menu" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	tool.ClickWidget("nav.back")
+	if tool.ScreenName() != "ecu-list" {
+		t.Fatalf("back: screen = %q", tool.ScreenName())
+	}
+}
+
+func TestClickByCoordinates(t *testing.T) {
+	tool, _, _ := newTool(t, "Car A")
+	s := tool.Screen()
+	w, ok := s.FindByText("Diagnostics")
+	if !ok {
+		t.Fatal("Diagnostics button missing")
+	}
+	x, y := w.Center()
+	if !tool.Click(x, y) {
+		t.Fatal("coordinate click missed")
+	}
+	if tool.ScreenName() != "ecu-list" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	// Clicking empty space does nothing.
+	if tool.Click(5, 5) {
+		t.Fatal("click on empty space reacted")
+	}
+}
+
+func TestStreamSelectPaging(t *testing.T) {
+	tool, _, _ := newTool(t, "Car R") // 40 formula ESVs: multiple pages
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	tool.ClickWidget("func.stream")
+	first := tool.Screen()
+	count := 0
+	for _, w := range first.Widgets {
+		if strings.HasPrefix(w.ID, "sel.item.") {
+			count++
+		}
+	}
+	if count == 0 || count > PageSize {
+		t.Fatalf("page shows %d items", count)
+	}
+	tool.ClickWidget("sel.next")
+	second := tool.Screen()
+	if first.Widgets[1].ID == second.Widgets[1].ID && count == PageSize {
+		t.Fatal("next page did not change items")
+	}
+	tool.ClickWidget("sel.prev")
+	tool.ClickWidget("sel.prev") // clamp at first page
+}
+
+func TestStreamItemToggle(t *testing.T) {
+	tool, _, _ := newTool(t, "Car A")
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	tool.ClickWidget("func.stream")
+	s := tool.Screen()
+	var itemID string
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "sel.item.") {
+			itemID = w.ID
+			break
+		}
+	}
+	if itemID == "" {
+		t.Fatal("no stream items")
+	}
+	tool.ClickWidget(itemID)
+	s = tool.Screen()
+	w, _ := s.FindByID(itemID)
+	if !strings.HasPrefix(w.Text, "[x] ") {
+		t.Fatalf("item not marked selected: %q", w.Text)
+	}
+	tool.ClickWidget(itemID)
+	s = tool.Screen()
+	w, _ = s.FindByID(itemID)
+	if !strings.HasPrefix(w.Text, "[ ] ") {
+		t.Fatalf("item not unmarked: %q", w.Text)
+	}
+}
+
+func TestLiveDataPollUDS(t *testing.T) {
+	tool, veh, clock := newTool(t, "Car A")
+	snif := can.NewSniffer(veh.Bus, nil)
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	clock.Advance(500 * time.Millisecond)
+	tool.Poll()
+
+	s := tool.Screen()
+	values := 0
+	for _, w := range s.Widgets {
+		if w.Kind == ui.Value && w.Text != "" {
+			values++
+			if _, err := strconv.ParseFloat(w.Text, 64); err != nil {
+				t.Fatalf("value widget %q is not numeric", w.Text)
+			}
+		}
+	}
+	if values == 0 {
+		t.Fatal("no live values displayed")
+	}
+	if snif.Len() == 0 {
+		t.Fatal("polling generated no CAN traffic")
+	}
+	if tool.PollErrors() != 0 {
+		t.Fatalf("poll errors = %d", tool.PollErrors())
+	}
+}
+
+func TestLiveDataPollKWP(t *testing.T) {
+	tool, veh, clock := newTool(t, "Car B")
+	snif := can.NewSniffer(veh.Bus, nil)
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	clock.Advance(time.Second)
+	tool.Poll()
+	s := tool.Screen()
+	values := 0
+	for _, w := range s.Widgets {
+		if w.Kind == ui.Value && w.Text != "" {
+			values++
+		}
+	}
+	if values == 0 {
+		t.Fatal("no KWP live values displayed")
+	}
+	if snif.Len() == 0 {
+		t.Fatal("no VW TP 2.0 traffic captured")
+	}
+	if tool.PollErrors() != 0 {
+		t.Fatalf("poll errors = %d", tool.PollErrors())
+	}
+}
+
+func TestLiveValuesTrackSignals(t *testing.T) {
+	tool, _, clock := newTool(t, "Car A")
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	first := valueTexts(tool)
+	for i := 0; i < 40; i++ {
+		clock.Advance(500 * time.Millisecond)
+		tool.Poll()
+	}
+	second := valueTexts(tool)
+	changed := 0
+	for i := range first {
+		if first[i] != second[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("live values frozen over 20 simulated seconds")
+	}
+}
+
+func valueTexts(tool *Tool) []string {
+	var out []string
+	for _, w := range tool.Screen().Widgets {
+		if w.Kind == ui.Value {
+			out = append(out, w.Text)
+		}
+	}
+	return out
+}
+
+func TestOBDLiveScreen(t *testing.T) {
+	tool, _, _ := newTool(t, "Car L")
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	tool.ClickWidget("func.obd")
+	if tool.ScreenName() != "obd-live" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	tool.Poll()
+	s := tool.Screen()
+	values := 0
+	for _, w := range s.Widgets {
+		if w.Kind == ui.Value && w.Text != "" {
+			values++
+		}
+	}
+	if values != 7 {
+		t.Fatalf("OBD values = %d, want 7", values)
+	}
+}
+
+func TestActiveTestLifecycle(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car A") // ECRs via UDS 0x2F
+	tool.ClickWidget("home.diag")
+
+	// Find an ECU with actuators.
+	ecuIdx := -1
+	var actName string
+	for i, b := range veh.Bindings() {
+		if acts := b.ECU.Actuators(); len(acts) > 0 {
+			ecuIdx = i
+			actName = acts[0].Name
+			break
+		}
+	}
+	if ecuIdx < 0 {
+		t.Fatal("no actuators on Car A")
+	}
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.active")
+	if tool.ScreenName() != "active-list" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	s := tool.Screen()
+	var itemID string
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "act.item.") && w.Text == actName {
+			itemID = w.ID
+			break
+		}
+	}
+	if itemID == "" {
+		t.Fatalf("actuator %q not listed", actName)
+	}
+	tool.ClickWidget(itemID)
+	if !tool.TestRunning() {
+		t.Fatal("active test did not start")
+	}
+	if !veh.Bindings()[ecuIdx].ECU.ActuatorActive(actName) {
+		t.Fatal("actuator not physically active")
+	}
+	tool.ClickWidget("act.stop")
+	if tool.TestRunning() {
+		t.Fatal("test still running after stop")
+	}
+	if veh.Bindings()[ecuIdx].ECU.ActuatorActive(actName) {
+		t.Fatal("actuator still active after stop")
+	}
+}
+
+func TestActiveTestService30(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car Q") // Nissan: 0x30 ECR service
+	tool.ClickWidget("home.diag")
+	ecuIdx := -1
+	for i, b := range veh.Bindings() {
+		if len(b.ECU.Actuators()) > 0 {
+			ecuIdx = i
+			break
+		}
+	}
+	if ecuIdx < 0 {
+		t.Fatal("no actuators")
+	}
+	act := veh.Bindings()[ecuIdx].ECU.Actuators()[0]
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.active")
+	s := tool.Screen()
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "act.item.") && w.Text == act.Name {
+			tool.ClickWidget(w.ID)
+			break
+		}
+	}
+	if !veh.Bindings()[ecuIdx].ECU.ActuatorActive(act.Name) {
+		t.Fatal("0x30-service actuator not active")
+	}
+	// Back navigation stops the test too.
+	tool.ClickWidget("nav.back")
+	if veh.Bindings()[ecuIdx].ECU.ActuatorActive(act.Name) {
+		t.Fatal("actuator still active after leaving screen")
+	}
+}
+
+func TestScreenGeometryByQuality(t *testing.T) {
+	toolHigh, _, _ := newTool(t, "Car L") // AUTEL
+	sHigh := toolHigh.Screen()
+	if sHigh.Width != 1024 || sHigh.Height != 768 {
+		t.Fatalf("high-quality screen %dx%d", sHigh.Width, sHigh.Height)
+	}
+	toolLow, _, _ := newTool(t, "Car A") // LAUNCH X431
+	sLow := toolLow.Screen()
+	if sLow.Width != 480 || sLow.Height != 320 {
+		t.Fatalf("low-quality screen %dx%d", sLow.Width, sLow.Height)
+	}
+}
+
+func TestBackButtonIsIconOnly(t *testing.T) {
+	tool, _, _ := newTool(t, "Car A")
+	tool.ClickWidget("home.diag")
+	s := tool.Screen()
+	w, ok := s.FindByID("nav.back")
+	if !ok {
+		t.Fatal("no back button")
+	}
+	if w.Kind != ui.IconButton || w.Text != "" || w.Icon == "" {
+		t.Fatalf("back button = %+v, want icon-only", w)
+	}
+}
+
+func TestDatabaseCoversInventory(t *testing.T) {
+	for _, car := range []string{"Car A", "Car B", "Car K", "Car G"} {
+		tool, _, _ := newTool(t, car)
+		p, _ := vehicle.ProfileByCar(car)
+		if got := len(tool.Streams()); got != p.NumFormulaESVs+p.NumEnumESVs {
+			t.Errorf("%s: tool DB has %d streams, want %d", car, got, p.NumFormulaESVs+p.NumEnumESVs)
+		}
+		if got := len(tool.Actuators()); got != p.NumECRs {
+			t.Errorf("%s: tool DB has %d actuators, want %d", car, got, p.NumECRs)
+		}
+	}
+}

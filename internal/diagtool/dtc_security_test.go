@@ -1,0 +1,255 @@
+package diagtool
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/ui"
+)
+
+func TestDTCScreenListsStoredCodes(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car L")
+	// Find an ECU with stored DTCs.
+	ecuIdx := -1
+	for i, b := range veh.Bindings() {
+		if len(b.ECU.DTCs()) > 0 {
+			ecuIdx = i
+			break
+		}
+	}
+	if ecuIdx < 0 {
+		t.Skip("no ECU with DTCs on this seed")
+	}
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.dtc")
+	if tool.ScreenName() != "dtc-list" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+	s := tool.Screen()
+	codes := 0
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "dtc.code.") {
+			codes++
+			if len(w.Text) != 5 || (w.Text[0] != 'P' && w.Text[0] != 'C' && w.Text[0] != 'B' && w.Text[0] != 'U') {
+				t.Fatalf("DTC text %q not in SAE form", w.Text)
+			}
+		}
+	}
+	if codes != len(veh.Bindings()[ecuIdx].ECU.DTCs()) {
+		t.Fatalf("screen shows %d codes, ECU stores %d", codes, len(veh.Bindings()[ecuIdx].ECU.DTCs()))
+	}
+}
+
+func TestClearDTCsEmptiesStore(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car L")
+	ecuIdx := -1
+	for i, b := range veh.Bindings() {
+		if len(b.ECU.DTCs()) > 0 {
+			ecuIdx = i
+			break
+		}
+	}
+	if ecuIdx < 0 {
+		t.Skip("no ECU with DTCs on this seed")
+	}
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.cleardtc")
+	if got := veh.Bindings()[ecuIdx].ECU.DTCs(); len(got) != 0 {
+		t.Fatalf("DTCs after clear = %v", got)
+	}
+	// Reading now shows the empty screen.
+	tool.ClickWidget("func.dtc")
+	s := tool.Screen()
+	if _, ok := s.FindByID("dtc.none"); !ok {
+		t.Fatal("empty DTC screen missing placeholder")
+	}
+}
+
+func TestSecuredCarActiveTestUnlocksFirst(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car H") // SecuredIO
+	snif := can.NewSniffer(veh.Bus, nil)
+
+	ecuIdx := -1
+	var actName string
+	for i, b := range veh.Bindings() {
+		if acts := b.ECU.Actuators(); len(acts) > 0 {
+			ecuIdx = i
+			actName = acts[0].Name
+			break
+		}
+	}
+	if ecuIdx < 0 {
+		t.Fatal("no actuators")
+	}
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.active")
+	s := tool.Screen()
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "act.item.") && w.Text == actName {
+			tool.ClickWidget(w.ID)
+			break
+		}
+	}
+	if !veh.Bindings()[ecuIdx].ECU.ActuatorActive(actName) {
+		t.Fatal("secured actuator not driven after unlock")
+	}
+	if tool.PollErrors() != 0 {
+		t.Fatalf("poll errors = %d", tool.PollErrors())
+	}
+	// The seed/key exchange must be on the wire.
+	sawSeed, sawKey := false, false
+	for _, f := range snif.Frames() {
+		p := f.Payload()
+		if len(p) >= 3 && p[1] == 0x27 {
+			switch p[2] {
+			case 0x01:
+				sawSeed = true
+			case 0x02:
+				sawKey = true
+			}
+		}
+	}
+	if !sawSeed || !sawKey {
+		t.Fatalf("security exchange missing from traffic (seed=%v key=%v)", sawSeed, sawKey)
+	}
+}
+
+func TestDTCScreenNavigationBack(t *testing.T) {
+	tool, _, _ := newTool(t, "Car L")
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	tool.ClickWidget("func.dtc")
+	tool.ClickWidget("nav.back")
+	if tool.ScreenName() != "func-menu" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+}
+
+func TestKWPCarDTCScreenEmpty(t *testing.T) {
+	tool, _, _ := newTool(t, "Car B")
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	tool.ClickWidget("func.dtc")
+	s := tool.Screen()
+	if _, ok := s.FindByID("dtc.none"); !ok {
+		t.Fatal("KWP car DTC screen should be empty")
+	}
+	for _, w := range s.Widgets {
+		if w.Kind == ui.Value {
+			t.Fatalf("unexpected value widget %q", w.ID)
+		}
+	}
+}
+
+func TestEnumValuesRenderAsStates(t *testing.T) {
+	tool, _, _ := newTool(t, "Car M") // 14 enum ESVs
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	s := tool.Screen()
+	states := 0
+	for _, w := range s.Widgets {
+		if w.Kind != ui.Value {
+			continue
+		}
+		if w.Text == "Off" || w.Text == "On" || strings.HasPrefix(w.Text, "State ") {
+			states++
+		}
+	}
+	if states == 0 {
+		t.Fatal("no enum values rendered as state text")
+	}
+}
+
+func TestStateTextMapping(t *testing.T) {
+	cases := map[float64]string{0: "Off", 1: "On", 3: "State 3"}
+	for v, want := range cases {
+		if got := stateText(v); got != want {
+			t.Errorf("stateText(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGoBackFromHomeStaysHome(t *testing.T) {
+	tool, _, _ := newTool(t, "Car M")
+	tool.goBack()
+	if tool.ScreenName() != "home" {
+		t.Fatalf("screen = %q", tool.ScreenName())
+	}
+}
+
+func TestPollAgainstDeadVehicleCountsErrors(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car A")
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	if tool.PollErrors() != 0 {
+		t.Fatalf("healthy poll errors = %d", tool.PollErrors())
+	}
+	// The car goes away (ignition off): every request times out and the
+	// tool must count errors rather than crash or show stale success.
+	veh.Close()
+	tool.Poll()
+	if tool.PollErrors() == 0 {
+		t.Fatal("dead vehicle produced no poll errors")
+	}
+}
+
+func TestKWPPollAgainstDeadVehicle(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car C")
+	navigateToLiveData(t, tool)
+	tool.Poll()
+	errsBefore := tool.PollErrors()
+	veh.Close()
+	tool.Poll()
+	if tool.PollErrors() <= errsBefore {
+		t.Fatal("dead KWP vehicle produced no poll errors")
+	}
+}
+
+func TestActiveTestAgainstDeadVehicle(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car I")
+	tool.ClickWidget("home.diag")
+	ecuIdx := -1
+	for i, b := range veh.Bindings() {
+		if len(b.ECU.Actuators()) > 0 {
+			ecuIdx = i
+			break
+		}
+	}
+	tool.ClickWidget("ecu." + strconv.Itoa(ecuIdx))
+	tool.ClickWidget("func.active")
+	veh.Close()
+	s := tool.Screen()
+	for _, w := range s.Widgets {
+		if strings.HasPrefix(w.ID, "act.item.") {
+			tool.ClickWidget(w.ID)
+			break
+		}
+	}
+	if tool.TestRunning() {
+		t.Fatal("test claims to run against a dead vehicle")
+	}
+	if tool.PollErrors() == 0 {
+		t.Fatal("no errors counted")
+	}
+}
+
+func TestDTCReadAgainstDeadVehicle(t *testing.T) {
+	tool, veh, _ := newTool(t, "Car L")
+	tool.ClickWidget("home.diag")
+	tool.ClickWidget("ecu.0")
+	veh.Close()
+	tool.ClickWidget("func.dtc")
+	if tool.PollErrors() == 0 {
+		t.Fatal("DTC read against dead vehicle produced no error")
+	}
+	tool.ClickWidget("nav.back")
+	tool.ClickWidget("func.cleardtc")
+	if tool.PollErrors() < 2 {
+		t.Fatal("DTC clear against dead vehicle produced no error")
+	}
+}

@@ -1,0 +1,192 @@
+package diagtool
+
+import (
+	"fmt"
+
+	"dpreverser/internal/obd"
+	"dpreverser/internal/ui"
+)
+
+// geometry scales widget layout to the screen class.
+type geometry struct {
+	width, height int
+	rowH          int
+	labelX        int
+	labelW        int
+	valueX        int
+	valueW        int
+	unitX         int
+	unitW         int
+	topY          int
+}
+
+func (t *Tool) geom() geometry {
+	if t.Quality == QualityLow {
+		return geometry{width: 480, height: 320, rowH: 20,
+			labelX: 10, labelW: 200, valueX: 220, valueW: 90, unitX: 320, unitW: 60, topY: 30}
+	}
+	return geometry{width: 1024, height: 768, rowH: 44,
+		labelX: 40, labelW: 360, valueX: 420, valueW: 160, unitX: 600, unitW: 120, topY: 60}
+}
+
+// Screen renders the tool's current UI state as widgets — what the cameras
+// see and the robotic clicker targets.
+func (t *Tool) Screen() ui.Screen {
+	g := t.geom()
+	s := ui.Screen{Name: t.screen, Width: g.width, Height: g.height}
+	addButton := func(id, text string, row int) {
+		s.Widgets = append(s.Widgets, ui.Widget{
+			ID: id, Kind: ui.Button, Text: text,
+			X: g.labelX, Y: g.topY + row*g.rowH, W: g.labelW, H: g.rowH - 4,
+		})
+	}
+	addBack := func() {
+		// The back control is an icon-only widget (no OCR-able text), the
+		// case §3.1 handles with shape similarity.
+		s.Widgets = append(s.Widgets, ui.Widget{
+			ID: "nav.back", Kind: ui.IconButton, Icon: "back-arrow",
+			X: g.width - 70, Y: g.height - 50, W: 60, H: 40,
+		})
+	}
+	addTitle := func(title string) {
+		s.Title = title
+		s.Widgets = append(s.Widgets, ui.Widget{
+			ID: "title", Kind: ui.Label, Text: title,
+			X: g.labelX, Y: g.topY - g.rowH, W: g.labelW, H: g.rowH - 4,
+		})
+	}
+
+	switch t.screen {
+	case "home":
+		addTitle(t.Name)
+		addButton("home.diag", "Diagnostics", 0)
+		addButton("home.settings", "Settings", 1)
+		addButton("home.playback", "Data Playback", 2)
+		addButton("home.update", "Software Update", 3)
+
+	case "ecu-list":
+		addTitle(fmt.Sprintf("%s — Control Units", t.veh.Profile.Model))
+		for i, b := range t.veh.Bindings() {
+			addButton(fmt.Sprintf("ecu.%d", i), b.ECU.Name, i)
+		}
+		addBack()
+
+	case "func-menu":
+		name := t.veh.Bindings()[t.selectedECU].ECU.Name
+		addTitle(fmt.Sprintf("%s — Functions", name))
+		addButton("func.stream", "Read Data Stream", 0)
+		addButton("func.active", "Active Test", 1)
+		addButton("func.obd", "OBD-II Live Data", 2)
+		addButton("func.dtc", "Read Trouble Codes", 3)
+		addButton("func.cleardtc", "Clear Trouble Codes", 4)
+		addBack()
+
+	case "stream-select":
+		addTitle("Select Data Stream Items")
+		indices := t.ecuStreamIndices()
+		start := t.page * PageSize
+		row := 0
+		for i := start; i < len(indices) && i < start+PageSize; i++ {
+			idx := indices[i]
+			text := t.streams[idx].Label
+			if t.selected[idx] {
+				text = "[x] " + text
+			} else {
+				text = "[ ] " + text
+			}
+			addButton(fmt.Sprintf("sel.item.%d", idx), text, row)
+			row++
+		}
+		// Footer controls sit in a separate column.
+		footerY := g.topY + PageSize*g.rowH
+		for i, ctl := range []struct{ id, text string }{
+			{"sel.prev", "Prev Page"}, {"sel.next", "Next Page"}, {"sel.ok", "OK"},
+		} {
+			s.Widgets = append(s.Widgets, ui.Widget{
+				ID: ctl.id, Kind: ui.Button, Text: ctl.text,
+				X: g.labelX + i*(g.labelW/3+10), Y: footerY, W: g.labelW / 3, H: g.rowH - 4,
+			})
+		}
+		addBack()
+
+	case "live-data":
+		addTitle("Data Stream")
+		for k, row := range t.liveRows {
+			item := t.streams[row.streamIdx]
+			y := g.topY + k*g.rowH
+			s.Widgets = append(s.Widgets,
+				ui.Widget{ID: fmt.Sprintf("row.label.%d", k), Kind: ui.Label, Text: item.Label,
+					X: g.labelX, Y: y, W: g.labelW, H: g.rowH - 4},
+				ui.Widget{ID: fmt.Sprintf("row.val.%d", k), Kind: ui.Value, Text: row.value,
+					X: g.valueX, Y: y, W: g.valueW, H: g.rowH - 4},
+				ui.Widget{ID: fmt.Sprintf("row.unit.%d", k), Kind: ui.Label, Text: item.Unit,
+					X: g.unitX, Y: y, W: g.unitW, H: g.rowH - 4},
+			)
+		}
+		addBack()
+
+	case "obd-live":
+		addTitle("OBD-II Live Data")
+		for k, row := range t.obdRows {
+			spec, _ := obd.Lookup(row.pid)
+			y := g.topY + k*g.rowH
+			s.Widgets = append(s.Widgets,
+				ui.Widget{ID: fmt.Sprintf("obd.label.%d", k), Kind: ui.Label, Text: spec.Name,
+					X: g.labelX, Y: y, W: g.labelW, H: g.rowH - 4},
+				ui.Widget{ID: fmt.Sprintf("obd.val.%d", k), Kind: ui.Value, Text: row.value,
+					X: g.valueX, Y: y, W: g.valueW, H: g.rowH - 4},
+				ui.Widget{ID: fmt.Sprintf("obd.unit.%d", k), Kind: ui.Label, Text: spec.Unit,
+					X: g.unitX, Y: y, W: g.unitW, H: g.rowH - 4},
+			)
+		}
+		addBack()
+
+	case "dtc-list":
+		addTitle("Trouble Codes")
+		if len(t.dtcRows) == 0 {
+			s.Widgets = append(s.Widgets, ui.Widget{
+				ID: "dtc.none", Kind: ui.Label, Text: "No trouble codes stored",
+				X: g.labelX, Y: g.topY, W: g.labelW, H: g.rowH - 4,
+			})
+		}
+		for k, row := range t.dtcRows {
+			y := g.topY + k*g.rowH
+			s.Widgets = append(s.Widgets,
+				ui.Widget{ID: fmt.Sprintf("dtc.code.%d", k), Kind: ui.Label, Text: row.code,
+					X: g.labelX, Y: y, W: g.labelW, H: g.rowH - 4},
+				ui.Widget{ID: fmt.Sprintf("dtc.status.%d", k), Kind: ui.Label, Text: row.status,
+					X: g.valueX, Y: y, W: g.valueW, H: g.rowH - 4},
+			)
+		}
+		addBack()
+
+	case "active-list":
+		addTitle("Active Test")
+		row := 0
+		for i, a := range t.actuators {
+			if a.ECUIndex != t.selectedECU {
+				continue
+			}
+			addButton(fmt.Sprintf("act.item.%d", i), a.Label, row)
+			row++
+		}
+		addBack()
+
+	case "active-run":
+		item := t.actuators[t.activeIdx]
+		addTitle("Active Test")
+		status := "Stopped"
+		if t.testRunning {
+			status = "Running"
+		}
+		s.Widgets = append(s.Widgets,
+			ui.Widget{ID: "act.name", Kind: ui.Label, Text: "Testing " + item.Label,
+				X: g.labelX, Y: g.topY, W: g.labelW, H: g.rowH - 4},
+			ui.Widget{ID: "act.status", Kind: ui.Value, Text: status,
+				X: g.valueX, Y: g.topY, W: g.valueW, H: g.rowH - 4},
+		)
+		addButton("act.stop", "Stop", 2)
+		addBack()
+	}
+	return s
+}

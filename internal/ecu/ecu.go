@@ -1,0 +1,567 @@
+// Package ecu simulates electronic control units: the devices DP-Reverser's
+// traffic ultimately comes from. An ECU owns a set of sensor-backed data
+// identifiers (UDS DIDs or KWP local identifiers), encodes live signal
+// values through manufacturer-proprietary formulas into response bytes, and
+// runs actuators through the freeze / short-term-adjustment / return-control
+// IO protocol the paper extracts in §4.5.
+//
+// The proprietary knowledge lives here (and mirrored inside the simulated
+// diagnostic tools); the reverse-engineering pipeline never reads these
+// tables — it must recover them from traffic and screen text, exactly as
+// the paper's system does against real cars.
+package ecu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dpreverser/internal/gp"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/signal"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/uds"
+)
+
+// Codec converts between physical values and raw wire integers for one UDS
+// data identifier. Truth builds the ground-truth decode formula over the
+// pipeline's byte variables (X0 = first data byte, X1 = second, ...), used
+// only by the experiment harness to score inferred formulas.
+type Codec struct {
+	// Width is the wire size in bytes (1 or 2).
+	Width int
+	// Decode maps the raw big-endian integer to the physical value.
+	Decode func(raw uint64) float64
+	// Encode maps a physical value to the raw integer (clamped to width).
+	Encode func(v float64) uint64
+	// Expr is the human-readable decode formula over X bytes.
+	Expr string
+	// Truth builds the decode formula as an expression tree over byte
+	// variables.
+	Truth func() *gp.Node
+}
+
+func clampRaw(v float64, width int) uint64 {
+	max := float64(uint64(1)<<(8*width) - 1)
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return uint64(max)
+	}
+	return uint64(math.Round(v))
+}
+
+// rawVar builds the big-endian integer expression 256^k*X0 + ... over byte
+// variables.
+func rawVar(width int) *gp.Node {
+	tree := gp.NewVar(0)
+	for i := 1; i < width; i++ {
+		tree = gp.NewBinary(gp.OpAdd,
+			gp.NewBinary(gp.OpMul, gp.NewConst(256), tree),
+			gp.NewVar(i))
+	}
+	return tree
+}
+
+// AffineCodec builds y = scale*raw + offset over a 1- or 2-byte field —
+// the dominant shape of real UDS DIDs (paper examples: Y = 0.1X − 40,
+// Y = X·1.0, Y = 64.1X0 + 0.241X1).
+func AffineCodec(width int, scale, offset float64) Codec {
+	if width < 1 || width > 2 {
+		panic(fmt.Sprintf("ecu: affine codec width %d unsupported", width))
+	}
+	expr := fmt.Sprintf("Y = %g*X + %g", scale, offset)
+	if width == 2 {
+		expr = fmt.Sprintf("Y = %g*(256*X0+X1) + %g", scale, offset)
+	}
+	return Codec{
+		Width:  width,
+		Decode: func(raw uint64) float64 { return scale*float64(raw) + offset },
+		Encode: func(v float64) uint64 { return clampRaw((v-offset)/scale, width) },
+		Expr:   expr,
+		Truth: func() *gp.Node {
+			return gp.Simplify(gp.NewBinary(gp.OpAdd,
+				gp.NewBinary(gp.OpMul, gp.NewConst(scale), rawVar(width)),
+				gp.NewConst(offset)))
+		},
+	}
+}
+
+// QuadraticCodec builds y = scale*raw² — a manufacturer-specific nonlinear
+// shape that separates GP from the linear baseline.
+func QuadraticCodec(width int, scale float64) Codec {
+	return Codec{
+		Width:  width,
+		Decode: func(raw uint64) float64 { r := float64(raw); return scale * r * r },
+		Encode: func(v float64) uint64 {
+			if v < 0 {
+				v = 0
+			}
+			return clampRaw(math.Sqrt(v/scale), width)
+		},
+		Expr: fmt.Sprintf("Y = %g*X^2", scale),
+		Truth: func() *gp.Node {
+			r := rawVar(width)
+			return gp.Simplify(gp.NewBinary(gp.OpMul, gp.NewConst(scale),
+				gp.NewBinary(gp.OpMul, r, r.Clone())))
+		},
+	}
+}
+
+// SqrtCodec builds y = scale*sqrt(raw) — a second nonlinear shape
+// (flow-style sensors).
+func SqrtCodec(width int, scale float64) Codec {
+	return Codec{
+		Width:  width,
+		Decode: func(raw uint64) float64 { return scale * math.Sqrt(float64(raw)) },
+		Encode: func(v float64) uint64 {
+			if v < 0 {
+				v = 0
+			}
+			r := v / scale
+			return clampRaw(r*r, width)
+		},
+		Expr: fmt.Sprintf("Y = %g*sqrt(X)", scale),
+		Truth: func() *gp.Node {
+			return gp.NewBinary(gp.OpMul, gp.NewConst(scale), gp.NewUnary(gp.OpSqrt, rawVar(width)))
+		},
+	}
+}
+
+// EnumCodec passes raw states through unchanged (door open/closed, gear
+// position): no formula exists, which is what puts an ESV in Table 6's
+// enum column.
+func EnumCodec(width int) Codec {
+	return Codec{
+		Width:  width,
+		Decode: func(raw uint64) float64 { return float64(raw) },
+		Encode: func(v float64) uint64 { return clampRaw(v, width) },
+		Expr:   "enum",
+		Truth:  func() *gp.Node { return rawVar(width) },
+	}
+}
+
+// DIDSpec binds one UDS data identifier to its signal source and codec.
+type DIDSpec struct {
+	DID uint16
+	// Name is the semantic label the diagnostic tool displays ("Engine
+	// speed") — the information §3.4 associates with the DID.
+	Name string
+	Unit string
+	// Enum marks no-formula ESVs.
+	Enum bool
+	// Codec encodes/decodes the value.
+	Codec Codec
+	// Signal is the live physical quantity.
+	Signal signal.Signal
+	// Min and Max bound the displayed value (feeds the OCR range filter).
+	Min, Max float64
+	// Secured requires security access before reading.
+	Secured bool
+}
+
+// LocalESVSpec is one ESV inside a KWP measuring block.
+type LocalESVSpec struct {
+	Name string
+	Unit string
+	// FType selects the kwp formula-table entry.
+	FType byte
+	// Scale is the X0 scale constant handed to the formula's encoder.
+	Scale byte
+	// Enum marks state/bitfield ESVs.
+	Enum bool
+	// Signal is the live physical quantity.
+	Signal   signal.Signal
+	Min, Max float64
+}
+
+// LocalSpec is one KWP measuring block: a local identifier grouping a set
+// of ESVs, read together by service 0x21.
+type LocalSpec struct {
+	LocalID byte
+	// Name labels the block on the tool's UI.
+	Name string
+	ESVs []LocalESVSpec
+}
+
+// ActuatorSpec describes one controllable output and the proprietary ECR
+// bytes that drive it.
+type ActuatorSpec struct {
+	// Name is the semantic label ("Fog light left").
+	Name string
+	// DID is set for UDS IO control.
+	DID uint16
+	// LocalID is set for KWP IO control.
+	LocalID byte
+	// Common marks the KWP common-identifier service (0x2F) instead of
+	// the local-identifier service (0x30).
+	Common bool
+	// CommonID is the 2-byte identifier when Common.
+	CommonID uint16
+	// State is the short-term-adjustment control-state bytes the tool
+	// sends (the proprietary part of the ECR).
+	State []byte
+}
+
+// ActuationKind classifies actuator lifecycle events.
+type ActuationKind int
+
+// Actuation event kinds, mirroring the three-message pattern of §4.5.
+const (
+	ActFreeze ActuationKind = iota
+	ActAdjust
+	ActReturn
+	ActReset
+)
+
+// String implements fmt.Stringer.
+func (k ActuationKind) String() string {
+	switch k {
+	case ActFreeze:
+		return "freeze"
+	case ActAdjust:
+		return "adjust"
+	case ActReturn:
+		return "return"
+	case ActReset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// ActuationEvent records one physical actuation, the observable the attack
+// experiment (§9.3 / Table 13) checks.
+type ActuationEvent struct {
+	Actuator string
+	Kind     ActuationKind
+	State    []byte
+	At       time.Duration
+}
+
+// actuatorState tracks the IO-control lifecycle of one actuator.
+type actuatorState struct {
+	spec   ActuatorSpec
+	frozen bool
+	active bool
+}
+
+// ECU is one simulated control unit. Exactly one of the UDS/KWP request
+// surfaces is active depending on which server the owning vehicle wires to
+// its transport, but both can be configured (some real ECUs speak both).
+type ECU struct {
+	Name  string
+	clock *sim.Clock
+
+	dids      map[uint16]*DIDSpec
+	didOrder  []uint16
+	locals    map[byte]*LocalSpec
+	localIDs  []byte
+	actuators map[string]*actuatorState // key: identifier key()
+
+	udsServer *uds.Server
+	kwpServer *kwp.Server
+
+	dtcs   []uds.DTC
+	events []ActuationEvent
+	resets int
+}
+
+// Config assembles an ECU.
+type Config struct {
+	Name      string
+	Clock     *sim.Clock
+	DIDs      []DIDSpec
+	Locals    []LocalSpec
+	Actuators []ActuatorSpec
+	// DTCs are the trouble codes stored at start-up.
+	DTCs []uds.DTC
+	// Identification is the KWP ECU-identification string (part number,
+	// component, coding) returned by service 0x1A.
+	Identification string
+	// SecuredIO requires UDS security access before IO control.
+	SecuredIO bool
+}
+
+// New builds an ECU with both protocol servers wired.
+func New(cfg Config) *ECU {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewClock(0)
+	}
+	e := &ECU{
+		Name:      cfg.Name,
+		clock:     cfg.Clock,
+		dids:      map[uint16]*DIDSpec{},
+		locals:    map[byte]*LocalSpec{},
+		actuators: map[string]*actuatorState{},
+	}
+	for i := range cfg.DIDs {
+		spec := cfg.DIDs[i]
+		e.dids[spec.DID] = &spec
+		e.didOrder = append(e.didOrder, spec.DID)
+	}
+	for i := range cfg.Locals {
+		spec := cfg.Locals[i]
+		e.locals[spec.LocalID] = &spec
+		e.localIDs = append(e.localIDs, spec.LocalID)
+	}
+	for i := range cfg.Actuators {
+		spec := cfg.Actuators[i]
+		e.actuators[actKey(spec)] = &actuatorState{spec: spec}
+	}
+
+	e.dtcs = append(e.dtcs, cfg.DTCs...)
+
+	e.udsServer = uds.NewServer()
+	e.udsServer.ReadData = e.readDID
+	e.udsServer.IOControl = e.udsIOControl
+	e.udsServer.Reset = func(byte) { e.resets++; e.record(e.Name, ActReset, nil) }
+	e.udsServer.ReadDTCs = e.readDTCs
+	e.udsServer.ClearDTCs = e.clearDTCs
+	if cfg.SecuredIO {
+		e.udsServer.SecuredServices = map[byte]bool{uds.SIDIOControlByIdentifier: true}
+	}
+
+	e.kwpServer = kwp.NewServer()
+	e.kwpServer.ReadLocal = e.readLocal
+	e.kwpServer.IOControl = e.kwpIOControl
+	if cfg.Identification != "" {
+		ident := cfg.Identification
+		e.kwpServer.Identification = func(option byte) string {
+			if option == kwp.IdentOptionECUIdent {
+				return ident
+			}
+			return ""
+		}
+	}
+	return e
+}
+
+func actKey(spec ActuatorSpec) string {
+	if spec.DID != 0 {
+		return fmt.Sprintf("did:%04X", spec.DID)
+	}
+	if spec.Common {
+		return fmt.Sprintf("cid:%04X", spec.CommonID)
+	}
+	return fmt.Sprintf("lid:%02X", spec.LocalID)
+}
+
+// HandleUDS processes one complete UDS request payload.
+func (e *ECU) HandleUDS(req []byte) []byte { return e.udsServer.Handle(req) }
+
+// HandleKWP processes one complete KWP request payload.
+func (e *ECU) HandleKWP(req []byte) []byte { return e.kwpServer.Handle(req) }
+
+// UDSServer exposes the underlying session state machine (tests and the
+// vehicle wiring use it).
+func (e *ECU) UDSServer() *uds.Server { return e.udsServer }
+
+// DIDs lists the configured UDS data identifiers in declaration order.
+func (e *ECU) DIDs() []uint16 { return append([]uint16(nil), e.didOrder...) }
+
+// DIDSpecFor returns the spec for one DID (the diagnostic tool's embedded
+// database is built from these).
+func (e *ECU) DIDSpecFor(did uint16) (DIDSpec, bool) {
+	s, ok := e.dids[did]
+	if !ok {
+		return DIDSpec{}, false
+	}
+	return *s, true
+}
+
+// Locals lists the configured KWP local identifiers in declaration order.
+func (e *ECU) Locals() []byte { return append([]byte(nil), e.localIDs...) }
+
+// LocalSpecFor returns one measuring block's spec.
+func (e *ECU) LocalSpecFor(id byte) (LocalSpec, bool) {
+	s, ok := e.locals[id]
+	if !ok {
+		return LocalSpec{}, false
+	}
+	return *s, true
+}
+
+// Actuators lists actuator specs in arbitrary-but-stable key order.
+func (e *ECU) Actuators() []ActuatorSpec {
+	out := make([]ActuatorSpec, 0, len(e.actuators))
+	for _, st := range e.actuators {
+		out = append(out, st.spec)
+	}
+	// Stable order by key.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && actKey(out[j-1]) > actKey(out[j]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Events returns the actuation log.
+func (e *ECU) Events() []ActuationEvent {
+	return append([]ActuationEvent(nil), e.events...)
+}
+
+// Resets reports how many ECUReset requests were executed.
+func (e *ECU) Resets() int { return e.resets }
+
+func (e *ECU) record(name string, kind ActuationKind, state []byte) {
+	e.events = append(e.events, ActuationEvent{
+		Actuator: name,
+		Kind:     kind,
+		State:    append([]byte(nil), state...),
+		At:       e.clock.Now(),
+	})
+}
+
+// readDID answers UDS ReadDataByIdentifier for one DID.
+func (e *ECU) readDID(did uint16) ([]byte, bool) {
+	spec, ok := e.dids[did]
+	if !ok {
+		return nil, false
+	}
+	if spec.Secured && !e.udsServer.Unlocked() {
+		return nil, false
+	}
+	raw := spec.Codec.Encode(spec.Signal.Value(e.clock.Now()))
+	out := make([]byte, spec.Codec.Width)
+	for i := spec.Codec.Width - 1; i >= 0; i-- {
+		out[i] = byte(raw)
+		raw >>= 8
+	}
+	return out, true
+}
+
+// readLocal answers KWP readDataByLocalIdentifier for one measuring block.
+func (e *ECU) readLocal(localID byte) ([]kwp.ESV, bool) {
+	spec, ok := e.locals[localID]
+	if !ok {
+		return nil, false
+	}
+	now := e.clock.Now()
+	esvs := make([]kwp.ESV, 0, len(spec.ESVs))
+	for _, es := range spec.ESVs {
+		ft, ok := kwp.LookupFormula(es.FType)
+		if !ok {
+			return nil, false
+		}
+		x0, x1 := ft.Encode(es.Scale, es.Signal.Value(now))
+		esvs = append(esvs, kwp.ESV{FType: es.FType, X0: x0, X1: x1})
+	}
+	return esvs, true
+}
+
+// udsIOControl implements the three-message actuator protocol of §4.5.
+func (e *ECU) udsIOControl(req uds.IOControlRequest) ([]byte, byte) {
+	st, ok := e.actuators[fmt.Sprintf("did:%04X", req.DID)]
+	if !ok {
+		return nil, uds.NRCRequestOutOfRange
+	}
+	switch req.Param {
+	case uds.IOFreezeCurrentState:
+		st.frozen = true
+		e.record(st.spec.Name, ActFreeze, nil)
+		return []byte{0x00}, 0
+	case uds.IOShortTermAdjustment:
+		if !st.frozen {
+			return nil, uds.NRCRequestSequenceError
+		}
+		st.active = true
+		e.record(st.spec.Name, ActAdjust, req.State)
+		return append([]byte{0x01}, req.State...), 0
+	case uds.IOReturnControlToECU:
+		st.frozen = false
+		st.active = false
+		e.record(st.spec.Name, ActReturn, nil)
+		return []byte{0x00}, 0
+	case uds.IOResetToDefault:
+		st.frozen = false
+		st.active = false
+		e.record(st.spec.Name, ActReset, nil)
+		return []byte{0x00}, 0
+	default:
+		return nil, uds.NRCSubFunctionNotSupported
+	}
+}
+
+// kwpIOControl implements KWP actuator control: the ECR's first byte plays
+// the role of the IO control parameter.
+func (e *ECU) kwpIOControl(req kwp.IOControlRequest) ([]byte, byte) {
+	var key string
+	if req.Common {
+		key = fmt.Sprintf("cid:%04X", req.CommonID)
+	} else {
+		key = fmt.Sprintf("lid:%02X", req.LocalID)
+	}
+	st, ok := e.actuators[key]
+	if !ok {
+		return nil, kwp.RCRequestOutOfRange
+	}
+	if len(req.ECR) == 0 {
+		return nil, kwp.RCIncorrectMessageLength
+	}
+	switch req.ECR[0] {
+	case uds.IOFreezeCurrentState:
+		st.frozen = true
+		e.record(st.spec.Name, ActFreeze, nil)
+		return []byte{0x00}, 0
+	case uds.IOShortTermAdjustment:
+		st.active = true
+		e.record(st.spec.Name, ActAdjust, req.ECR[1:])
+		return append([]byte{0x01}, req.ECR[1:]...), 0
+	case uds.IOReturnControlToECU:
+		st.frozen = false
+		st.active = false
+		e.record(st.spec.Name, ActReturn, nil)
+		return []byte{0x00}, 0
+	default:
+		// Legacy single-shot controls ("30 15 00 40 00"): treat any other
+		// leading byte as a direct adjustment.
+		st.active = true
+		e.record(st.spec.Name, ActAdjust, req.ECR)
+		return append([]byte{0x01}, req.ECR...), 0
+	}
+}
+
+// readDTCs answers ReadDTCInformation with the stored codes matching the
+// status mask.
+func (e *ECU) readDTCs(statusMask byte) []uds.DTC {
+	var out []uds.DTC
+	for _, d := range e.dtcs {
+		if statusMask == 0 || d.Status&statusMask != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// clearDTCs erases stored codes; group 0xFFFFFF clears everything, any
+// other group clears codes whose high byte matches the group's high byte.
+func (e *ECU) clearDTCs(group uint32) bool {
+	if group == 0xFFFFFF {
+		e.dtcs = nil
+		return true
+	}
+	kept := e.dtcs[:0]
+	for _, d := range e.dtcs {
+		if d.Code>>16 != group>>16 {
+			kept = append(kept, d)
+		}
+	}
+	e.dtcs = kept
+	return true
+}
+
+// DTCs returns the currently stored trouble codes.
+func (e *ECU) DTCs() []uds.DTC { return append([]uds.DTC(nil), e.dtcs...) }
+
+// ActuatorActive reports whether the named actuator is currently driven.
+func (e *ECU) ActuatorActive(name string) bool {
+	for _, st := range e.actuators {
+		if st.spec.Name == name {
+			return st.active
+		}
+	}
+	return false
+}

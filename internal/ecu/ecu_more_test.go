@@ -1,0 +1,199 @@
+package ecu
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/signal"
+	"dpreverser/internal/uds"
+)
+
+func TestCodecEncodeClampingNonlinear(t *testing.T) {
+	q := QuadraticCodec(1, 0.0017)
+	if q.Encode(-5) != 0 {
+		t.Fatal("negative input not clamped")
+	}
+	if q.Encode(1e9) != 255 {
+		t.Fatal("huge input not clamped to byte")
+	}
+	s := SqrtCodec(2, 0.75)
+	if s.Encode(-1) != 0 {
+		t.Fatal("sqrt negative not clamped")
+	}
+	if s.Encode(1e9) != 0xFFFF {
+		t.Fatal("sqrt huge not clamped")
+	}
+	// Round trips inside range.
+	for _, v := range []float64{5, 40, 90} {
+		if got := q.Decode(q.Encode(v)); math.Abs(got-v) > 1 {
+			t.Fatalf("quadratic round trip %v -> %v", v, got)
+		}
+	}
+	for _, v := range []float64{10, 80, 150} {
+		if got := s.Decode(s.Encode(v)); math.Abs(got-v) > 0.5 {
+			t.Fatalf("sqrt round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestECUDTCLifecycle(t *testing.T) {
+	e := New(Config{
+		Name: "Engine",
+		DTCs: []uds.DTC{
+			{Code: 0x030100, Status: uds.DTCStatusConfirmed},
+			{Code: 0x171300, Status: uds.DTCStatusPending},
+			{Code: 0x442A00, Status: uds.DTCStatusConfirmed},
+		},
+	})
+	if len(e.DTCs()) != 3 {
+		t.Fatalf("DTCs = %v", e.DTCs())
+	}
+	resp := e.HandleUDS(uds.BuildReadDTCRequest(uds.DTCStatusConfirmed))
+	_, dtcs, err := uds.ParseReadDTCResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dtcs) != 2 {
+		t.Fatalf("confirmed DTCs = %v", dtcs)
+	}
+	// Group clear: erase only the 0x03xxxx group.
+	resp = e.HandleUDS(uds.BuildClearDTCRequest(0x030000))
+	if !uds.IsPositiveResponse(resp, uds.SIDClearDiagnosticInfo) {
+		t.Fatalf("group clear resp = % X", resp)
+	}
+	if got := e.DTCs(); len(got) != 2 {
+		t.Fatalf("after group clear: %v", got)
+	}
+	// Clear all.
+	e.HandleUDS(uds.BuildClearDTCRequest(0xFFFFFF))
+	if got := e.DTCs(); len(got) != 0 {
+		t.Fatalf("after full clear: %v", got)
+	}
+	// Status mask 0 matches everything remaining (nothing).
+	if got := e.readDTCs(0); len(got) != 0 {
+		t.Fatalf("mask 0 = %v", got)
+	}
+}
+
+func TestECUUDSServerAccessor(t *testing.T) {
+	e := newTestECU(nil)
+	if e.UDSServer() == nil || e.UDSServer().Session() != uds.SessionDefault {
+		t.Fatal("UDSServer accessor broken")
+	}
+}
+
+func TestECUKWPCommonIdentifierActuator(t *testing.T) {
+	e := New(Config{
+		Name: "Body",
+		Actuators: []ActuatorSpec{
+			{Name: "Central lock", Common: true, CommonID: 0xB003, State: []byte{0x03}},
+		},
+	})
+	// Paper's Kia example: "04 2F B0 03" — IO control by common identifier.
+	resp := e.HandleKWP([]byte{0x2F, 0xB0, 0x03, 0x03, 0x01})
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByCommonIdentifier) {
+		t.Fatalf("common-id control resp = % X", resp)
+	}
+	if !e.ActuatorActive("Central lock") {
+		t.Fatal("actuator not active")
+	}
+	resp = e.HandleKWP([]byte{0x2F, 0xB0, 0x03, 0x00})
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByCommonIdentifier) {
+		t.Fatalf("return resp = % X", resp)
+	}
+	if e.ActuatorActive("Central lock") {
+		t.Fatal("actuator still active")
+	}
+	// Unknown common id.
+	resp = e.HandleKWP([]byte{0x2F, 0xAA, 0xAA, 0x03})
+	if _, rc, ok := kwp.ParseNegativeResponse(resp); !ok || rc != kwp.RCRequestOutOfRange {
+		t.Fatalf("unknown common id resp = % X", resp)
+	}
+}
+
+func TestECUKWPIOControlFreezePattern(t *testing.T) {
+	e := New(Config{
+		Name:      "Body",
+		Actuators: []ActuatorSpec{{Name: "Wiper", LocalID: 0x1C, State: []byte{0x01}}},
+	})
+	// Freeze (ECR byte 0x02), then adjust, then return.
+	resp := e.HandleKWP([]byte{0x30, 0x1C, 0x02})
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByLocalIdentifier) {
+		t.Fatalf("freeze resp = % X", resp)
+	}
+	e.HandleKWP([]byte{0x30, 0x1C, 0x03, 0x01})
+	if !e.ActuatorActive("Wiper") {
+		t.Fatal("wiper not active")
+	}
+	events := e.Events()
+	if len(events) != 2 || events[0].Kind != ActFreeze || events[1].Kind != ActAdjust {
+		t.Fatalf("events = %+v", events)
+	}
+	// Empty ECR is a length error.
+	resp = e.HandleKWP([]byte{0x30, 0x1C})
+	if _, rc, ok := kwp.ParseNegativeResponse(resp); !ok || rc != kwp.RCIncorrectMessageLength {
+		t.Fatalf("empty ECR resp = % X", resp)
+	}
+}
+
+func TestECUUDSIOControlResetToDefault(t *testing.T) {
+	e := newTestECU(nil)
+	e.HandleUDS([]byte{0x10, 0x03})
+	e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x02})
+	e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x03, 0x01})
+	resp := e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x01}) // resetToDefault
+	if !uds.IsPositiveResponse(resp, uds.SIDIOControlByIdentifier) {
+		t.Fatalf("reset resp = % X", resp)
+	}
+	if e.ActuatorActive("Fog light left") {
+		t.Fatal("actuator active after resetToDefault")
+	}
+	// Unknown IO parameter.
+	e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x02})
+	resp = e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x77})
+	if _, nrc, ok := uds.ParseNegativeResponse(resp); !ok || nrc != uds.NRCSubFunctionNotSupported {
+		t.Fatalf("unknown param resp = % X", resp)
+	}
+}
+
+func TestECUReadLocalUnknownFType(t *testing.T) {
+	e := New(Config{
+		Name: "Engine",
+		Locals: []LocalSpec{{LocalID: 0x05, Name: "Broken", ESVs: []LocalESVSpec{
+			{Name: "Bad", FType: 0xEE, Signal: signal.Constant(1)},
+		}}},
+	})
+	resp := e.HandleKWP([]byte{0x21, 0x05})
+	if _, rc, ok := kwp.ParseNegativeResponse(resp); !ok || rc != kwp.RCRequestOutOfRange {
+		t.Fatalf("unknown ftype resp = % X", resp)
+	}
+}
+
+func TestECUActuatorActiveUnknownName(t *testing.T) {
+	e := newTestECU(nil)
+	if e.ActuatorActive("nonexistent") {
+		t.Fatal("unknown actuator reported active")
+	}
+}
+
+func TestECULocalSpecForMissing(t *testing.T) {
+	e := newTestECU(nil)
+	if _, ok := e.LocalSpecFor(0x99); ok {
+		t.Fatal("missing local spec found")
+	}
+}
+
+func TestECUEventStateIsCopied(t *testing.T) {
+	e := newTestECU(nil)
+	e.HandleUDS([]byte{0x10, 0x03})
+	state := []byte{0x05, 0x01}
+	e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x02})
+	e.HandleUDS(append([]byte{0x2F, 0x09, 0x50, 0x03}, state...))
+	state[0] = 0xFF
+	events := e.Events()
+	if !bytes.Equal(events[1].State, []byte{0x05, 0x01}) {
+		t.Fatal("event state aliases caller buffer")
+	}
+}

@@ -1,0 +1,348 @@
+package ecu
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"dpreverser/internal/gp"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/signal"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/uds"
+)
+
+func TestAffineCodecRoundTrip(t *testing.T) {
+	c := AffineCodec(1, 0.1, -40) // Y = 0.1X - 40, the Carly DID 0xF43C shape
+	raw := c.Encode(-15.0)
+	if got := c.Decode(raw); math.Abs(got+15.0) > 0.06 {
+		t.Fatalf("round trip: %v", got)
+	}
+	// Clamping.
+	if c.Encode(-1000) != 0 {
+		t.Fatal("below-range not clamped to 0")
+	}
+	if c.Encode(1e9) != 255 {
+		t.Fatal("above-range not clamped to max")
+	}
+}
+
+func TestAffineCodecTwoByte(t *testing.T) {
+	c := AffineCodec(2, 0.25, 0) // OBD-style RPM
+	raw := c.Encode(1712.25)
+	if got := c.Decode(raw); math.Abs(got-1712.25) > 0.13 {
+		t.Fatalf("round trip: %v", got)
+	}
+	if raw > 0xFFFF {
+		t.Fatalf("raw %d exceeds 2 bytes", raw)
+	}
+}
+
+func TestCodecTruthMatchesDecode(t *testing.T) {
+	codecs := map[string]Codec{
+		"affine1":   AffineCodec(1, 0.5, -10),
+		"affine2":   AffineCodec(2, 0.1, 7),
+		"quadratic": QuadraticCodec(1, 0.02),
+		"sqrt":      SqrtCodec(2, 1.5),
+		"enum":      EnumCodec(1),
+	}
+	for name, c := range codecs {
+		t.Run(name, func(t *testing.T) {
+			truth := c.Truth()
+			for _, raw := range []uint64{0, 1, 7, 100, 200, 255} {
+				if c.Width == 2 {
+					raw *= 173 // spread over two bytes
+				}
+				bytes := make([]float64, c.Width)
+				r := raw
+				for i := c.Width - 1; i >= 0; i-- {
+					bytes[i] = float64(r & 0xFF)
+					r >>= 8
+				}
+				want := c.Decode(raw)
+				if got := truth.Eval(bytes); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("truth(%d) = %v, decode = %v (tree %q)", raw, got, want, truth)
+				}
+			}
+		})
+	}
+}
+
+func TestAffineCodecBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 3 accepted")
+		}
+	}()
+	AffineCodec(3, 1, 0)
+}
+
+func newTestECU(clock *sim.Clock) *ECU {
+	return New(Config{
+		Name:  "Engine",
+		Clock: clock,
+		DIDs: []DIDSpec{
+			{DID: 0xF40D, Name: "Vehicle speed", Unit: "km/h",
+				Codec: AffineCodec(1, 1, 0), Signal: signal.Constant(33), Min: 0, Max: 255},
+			{DID: 0xF44D, Name: "Engine speed", Unit: "rpm",
+				Codec: AffineCodec(2, 0.25, 0), Signal: signal.Constant(1712), Min: 0, Max: 8000},
+			{DID: 0xD100, Name: "Door state", Unit: "", Enum: true,
+				Codec: EnumCodec(1), Signal: signal.Constant(1), Min: 0, Max: 1},
+			{DID: 0xDEAD, Name: "Secured value", Unit: "",
+				Codec: AffineCodec(1, 1, 0), Signal: signal.Constant(9), Secured: true},
+		},
+		Locals: []LocalSpec{
+			{LocalID: 0x07, Name: "Engine data", ESVs: []LocalESVSpec{
+				{Name: "Engine speed", Unit: "rpm", FType: 0x01, Scale: 0xF1,
+					Signal: signal.Constant(771.2), Min: 0, Max: 8000},
+				{Name: "Coolant temperature", Unit: "°C", FType: 0x05, Scale: 10,
+					Signal: signal.Constant(88), Min: -40, Max: 150},
+			}},
+		},
+		Actuators: []ActuatorSpec{
+			{Name: "Fog light left", DID: 0x0950, State: []byte{0x05, 0x01, 0x00, 0x00}},
+			{Name: "Door lock", LocalID: 0x15, State: []byte{0x00, 0x40, 0x00}},
+		},
+	})
+}
+
+func TestECUReadDIDSingle(t *testing.T) {
+	e := newTestECU(nil)
+	resp := e.HandleUDS([]byte{0x22, 0xF4, 0x0D})
+	if !bytes.Equal(resp, []byte{0x62, 0xF4, 0x0D, 33}) {
+		t.Fatalf("resp = % X", resp)
+	}
+}
+
+func TestECUReadDIDTwoByte(t *testing.T) {
+	e := newTestECU(nil)
+	resp := e.HandleUDS([]byte{0x22, 0xF4, 0x4D})
+	if len(resp) != 5 {
+		t.Fatalf("resp = % X", resp)
+	}
+	raw := uint64(resp[3])<<8 | uint64(resp[4])
+	if got := 0.25 * float64(raw); math.Abs(got-1712) > 0.2 {
+		t.Fatalf("decoded rpm = %v", got)
+	}
+}
+
+func TestECUReadDIDUnknown(t *testing.T) {
+	e := newTestECU(nil)
+	resp := e.HandleUDS([]byte{0x22, 0xAB, 0xCD})
+	if _, nrc, ok := uds.ParseNegativeResponse(resp); !ok || nrc != uds.NRCRequestOutOfRange {
+		t.Fatalf("resp = % X", resp)
+	}
+}
+
+func TestECUSecuredDID(t *testing.T) {
+	e := newTestECU(nil)
+	resp := e.HandleUDS([]byte{0x22, 0xDE, 0xAD})
+	if _, _, ok := uds.ParseNegativeResponse(resp); !ok {
+		t.Fatalf("secured DID served while locked: % X", resp)
+	}
+	// Unlock and retry.
+	seedResp := e.HandleUDS([]byte{0x27, 0x01})
+	key := uds.DefaultSeedToKey(seedResp[2:])
+	e.HandleUDS(append([]byte{0x27, 0x02}, key...))
+	resp = e.HandleUDS([]byte{0x22, 0xDE, 0xAD})
+	if !bytes.Equal(resp, []byte{0x62, 0xDE, 0xAD, 9}) {
+		t.Fatalf("unlocked read = % X", resp)
+	}
+}
+
+func TestECUSignalTracksClock(t *testing.T) {
+	clock := sim.NewClock(0)
+	e := New(Config{
+		Name:  "Engine",
+		Clock: clock,
+		DIDs: []DIDSpec{
+			{DID: 0x1000, Name: "Ramp", Codec: AffineCodec(1, 1, 0),
+				Signal: signal.Ramp{Start: 0, PerSecond: 10, Min: 0, Max: 200}},
+		},
+	})
+	r1 := e.HandleUDS([]byte{0x22, 0x10, 0x00})
+	clock.Advance(5 * time.Second)
+	r2 := e.HandleUDS([]byte{0x22, 0x10, 0x00})
+	if r1[3] != 0 || r2[3] != 50 {
+		t.Fatalf("ramp reads = %d, %d; want 0, 50", r1[3], r2[3])
+	}
+}
+
+func TestECUReadLocalKWP(t *testing.T) {
+	e := newTestECU(nil)
+	resp := e.HandleKWP([]byte{0x21, 0x07})
+	localID, esvs, err := kwp.ParseReadResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localID != 0x07 || len(esvs) != 2 {
+		t.Fatalf("resp = % X", resp)
+	}
+	rpm, ok := esvs[0].Decode()
+	if !ok || math.Abs(rpm-771.2) > 50 {
+		t.Fatalf("decoded rpm = %v (esv %+v)", rpm, esvs[0])
+	}
+	temp, ok := esvs[1].Decode()
+	if !ok || math.Abs(temp-88) > 1 {
+		t.Fatalf("decoded temp = %v", temp)
+	}
+}
+
+func TestECUUDSIOControlLifecycle(t *testing.T) {
+	e := newTestECU(nil)
+	e.HandleUDS([]byte{0x10, 0x03}) // extended session
+
+	// Adjustment before freeze is a sequence error.
+	resp := e.HandleUDS(uds.BuildIOControlRequest(uds.IOControlRequest{
+		DID: 0x0950, Param: uds.IOShortTermAdjustment, State: []byte{0x05, 0x01, 0x00, 0x00}}))
+	if _, nrc, ok := uds.ParseNegativeResponse(resp); !ok || nrc != uds.NRCRequestSequenceError {
+		t.Fatalf("adjust before freeze: % X", resp)
+	}
+
+	// The paper's three-message pattern.
+	resp = e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x02})
+	if !uds.IsPositiveResponse(resp, uds.SIDIOControlByIdentifier) {
+		t.Fatalf("freeze: % X", resp)
+	}
+	resp = e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00})
+	if !uds.IsPositiveResponse(resp, uds.SIDIOControlByIdentifier) {
+		t.Fatalf("adjust: % X", resp)
+	}
+	if !e.ActuatorActive("Fog light left") {
+		t.Fatal("actuator not active after adjustment")
+	}
+	resp = e.HandleUDS([]byte{0x2F, 0x09, 0x50, 0x00})
+	if !uds.IsPositiveResponse(resp, uds.SIDIOControlByIdentifier) {
+		t.Fatalf("return: % X", resp)
+	}
+	if e.ActuatorActive("Fog light left") {
+		t.Fatal("actuator still active after return control")
+	}
+
+	events := e.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	kinds := []ActuationKind{ActFreeze, ActAdjust, ActReturn}
+	for i, k := range kinds {
+		if events[i].Kind != k {
+			t.Fatalf("event %d = %v, want %v", i, events[i].Kind, k)
+		}
+	}
+	if !bytes.Equal(events[1].State, []byte{0x05, 0x01, 0x00, 0x00}) {
+		t.Fatalf("adjust state = % X", events[1].State)
+	}
+}
+
+func TestECUUDSIOControlUnknownDID(t *testing.T) {
+	e := newTestECU(nil)
+	e.HandleUDS([]byte{0x10, 0x03})
+	resp := e.HandleUDS([]byte{0x2F, 0xAA, 0xBB, 0x02})
+	if _, nrc, ok := uds.ParseNegativeResponse(resp); !ok || nrc != uds.NRCRequestOutOfRange {
+		t.Fatalf("resp = % X", resp)
+	}
+}
+
+func TestECUKWPIOControlDirect(t *testing.T) {
+	// Paper example "30 15 00 40 00": direct control, first ECR byte 0x00
+	// is return-control in UDS terms, but the 3-byte legacy form acts as a
+	// one-shot; our ECU treats leading 0x00 as return and others as
+	// adjust. Use the documented freeze/adjust pattern.
+	e := newTestECU(nil)
+	resp := e.HandleKWP([]byte{0x30, 0x15, 0x03, 0x40, 0x00})
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByLocalIdentifier) {
+		t.Fatalf("adjust: % X", resp)
+	}
+	if !e.ActuatorActive("Door lock") {
+		t.Fatal("actuator not active")
+	}
+	resp = e.HandleKWP([]byte{0x30, 0x15, 0x00})
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByLocalIdentifier) {
+		t.Fatalf("return: % X", resp)
+	}
+	if e.ActuatorActive("Door lock") {
+		t.Fatal("actuator still active")
+	}
+}
+
+func TestECUResetCounting(t *testing.T) {
+	e := newTestECU(nil)
+	e.HandleUDS([]byte{0x10, 0x03})
+	e.HandleUDS([]byte{0x11, 0x01})
+	if e.Resets() != 1 {
+		t.Fatalf("Resets = %d", e.Resets())
+	}
+}
+
+func TestECUInventoryAccessors(t *testing.T) {
+	e := newTestECU(nil)
+	if len(e.DIDs()) != 4 {
+		t.Fatalf("DIDs = %v", e.DIDs())
+	}
+	spec, ok := e.DIDSpecFor(0xF40D)
+	if !ok || spec.Name != "Vehicle speed" {
+		t.Fatalf("spec = %+v, %v", spec, ok)
+	}
+	if _, ok := e.DIDSpecFor(0x9999); ok {
+		t.Fatal("unknown DID found")
+	}
+	if len(e.Locals()) != 1 || e.Locals()[0] != 0x07 {
+		t.Fatalf("Locals = %v", e.Locals())
+	}
+	ls, ok := e.LocalSpecFor(0x07)
+	if !ok || len(ls.ESVs) != 2 {
+		t.Fatalf("local spec = %+v", ls)
+	}
+	acts := e.Actuators()
+	if len(acts) != 2 {
+		t.Fatalf("Actuators = %+v", acts)
+	}
+}
+
+func TestEnumCodecIdentity(t *testing.T) {
+	c := EnumCodec(1)
+	for _, v := range []uint64{0, 1, 3, 255} {
+		if c.Decode(c.Encode(float64(v))) != float64(v) {
+			t.Fatalf("enum round trip failed for %d", v)
+		}
+	}
+	truth := c.Truth()
+	if truth.Eval([]float64{7}) != 7 {
+		t.Fatalf("enum truth = %q", truth)
+	}
+}
+
+func TestActuationKindString(t *testing.T) {
+	for k, want := range map[ActuationKind]string{
+		ActFreeze: "freeze", ActAdjust: "adjust", ActReturn: "return",
+		ActReset: "reset", ActuationKind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", k, got)
+		}
+	}
+}
+
+// The codec Truth trees must be exactly what the experiments compare GP
+// output against — affine over bytes for 2-byte codecs.
+func TestTwoByteTruthIsLinearInBytes(t *testing.T) {
+	c := AffineCodec(2, 0.25, 0)
+	truth := c.Truth()
+	// 0.25*(256*X0 + X1) = 64*X0 + 0.25*X1.
+	got := truth.Eval([]float64{0x1A, 0xF8})
+	want := 64*float64(0x1A) + 0.25*float64(0xF8)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("truth = %v, want %v", got, want)
+	}
+	vars := truth.Vars()
+	if !vars[0] || !vars[1] {
+		t.Fatalf("truth %q does not reference both bytes", truth)
+	}
+	// The truth must be expressible to the comparison harness: MAE against
+	// itself on any dataset is zero.
+	d := &gp.Dataset{X: [][]float64{{0x1A, 0xF8}}, Y: []float64{want}}
+	if gp.MAE(truth, d) > 1e-9 {
+		t.Fatal("truth does not fit its own dataset")
+	}
+}

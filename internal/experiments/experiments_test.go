@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dpreverser/internal/reverser"
+
+	"dpreverser/internal/vehicle"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 3} }
+
+// runCars runs a subset of the fleet once per test binary invocation.
+func runCars(t *testing.T, cars ...string) []*CarRun {
+	t.Helper()
+	var runs []*CarRun
+	for _, car := range cars {
+		p, ok := vehicle.ProfileByCar(car)
+		if !ok {
+			t.Fatalf("unknown car %q", car)
+		}
+		run, err := RunCar(p, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(run.Vehicle.Close)
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+func TestTable4ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	autel, launch := rows[0], rows[1]
+	if autel.Tool != "AUTEL 919" || launch.Tool != "LAUNCH X431" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Paper: 97.6% vs 85.0%. Accept the shape with slack.
+	if autel.Precision() < 0.93 {
+		t.Errorf("AUTEL precision = %.3f, want ≈0.976", autel.Precision())
+	}
+	if launch.Precision() < 0.70 || launch.Precision() > 0.95 {
+		t.Errorf("LAUNCH precision = %.3f, want ≈0.85", launch.Precision())
+	}
+	if autel.Precision() <= launch.Precision() {
+		t.Error("quality split inverted")
+	}
+	md := Table4Markdown(rows)
+	if !strings.Contains(md, "AUTEL 919") {
+		t.Error("markdown missing tool")
+	}
+}
+
+func TestTable5AllOBDFormulasCorrect(t *testing.T) {
+	runs := runCars(t, "Car P")
+	rows := Table5(runs[0])
+	if len(rows) != 7 {
+		t.Fatalf("Table 5 rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("%s (%s): recovered %q, truth %q", r.ESV, r.Request, r.SystemOutput, r.GroundTruth)
+		}
+	}
+	md := Table5Markdown(rows)
+	if !strings.Contains(md, "01 0C") {
+		t.Error("markdown missing RPM request")
+	}
+}
+
+func TestPrecisionGPBeatsBaselines(t *testing.T) {
+	// Cars with nonlinear formulas: A (UDS with quadratic/sqrt codecs) and
+	// C (KWP with product formulas).
+	runs := runCars(t, "Car A", "Car C")
+	rows := Precision(runs)
+	total := PrecisionTotals(rows)
+	if total.FormulaESVs == 0 {
+		t.Fatal("no formula streams scored")
+	}
+	gpPrec := float64(total.CorrectGP) / float64(total.FormulaESVs)
+	lrPrec := float64(total.CorrectLinear) / float64(total.FormulaESVs)
+	if gpPrec < 0.85 {
+		t.Errorf("GP precision = %.2f (%d/%d), want ≥0.85",
+			gpPrec, total.CorrectGP, total.FormulaESVs)
+	}
+	// The paper's headline: GP ≫ linear regression (98.3% vs 43.8%).
+	if total.CorrectGP <= total.CorrectLinear {
+		t.Errorf("GP (%d) did not beat linear regression (%d)", total.CorrectGP, total.CorrectLinear)
+	}
+	_ = lrPrec
+	if md := Table6Markdown(rows); !strings.Contains(md, "Total") {
+		t.Error("table 6 markdown missing totals")
+	}
+	if md := Table10Markdown(rows); !strings.Contains(md, "Linear") {
+		t.Error("table 10 markdown missing header")
+	}
+}
+
+func TestTable7DashboardValidation(t *testing.T) {
+	runs := runCars(t, "Car F")
+	rows := Table7(runs)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Car != "Car F" || r.ESV != "Engine speed" {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Formula == "" {
+		t.Fatal("no formula recovered for the dashboard ESV")
+	}
+	if !r.Same {
+		t.Errorf("dashboard validation failed: formula %q", r.Formula)
+	}
+	if md := Table7Markdown(rows); !strings.Contains(md, "Car F") {
+		t.Error("markdown missing car")
+	}
+}
+
+func TestTable8TimingShape(t *testing.T) {
+	rows := Table8(quickOpts())
+	if len(rows) != 2 || rows[0].Protocol != "UDS" || rows[1].Protocol != "KWP 2000" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		// The paper's shape: GP runs orders of magnitude slower than the
+		// closed-form baselines.
+		if r.GPSeconds <= r.LRSeconds*10 || r.GPSeconds <= r.PFSeconds*10 {
+			t.Errorf("%s: GP %.4fs vs LR %.6fs / PF %.6fs — expected GP ≫ baselines",
+				r.Protocol, r.GPSeconds, r.LRSeconds, r.PFSeconds)
+		}
+	}
+	if md := Table8Markdown(rows); !strings.Contains(md, "Genetic") {
+		t.Error("markdown header missing")
+	}
+}
+
+func TestTable9FrameMixShape(t *testing.T) {
+	runs := runCars(t, "Car A", "Car B", "Car C")
+	rows := Table9(runs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	udsRow, kwpRow := rows[0], rows[1]
+	if udsRow.Total == 0 || kwpRow.Total == 0 {
+		t.Fatalf("empty traffic: %+v", rows)
+	}
+	// Paper shape: UDS traffic is majority single-frame; KWP (VW TP 2.0)
+	// traffic is majority must-wait frames.
+	if udsRow.Single <= udsRow.Multi/2 {
+		t.Errorf("UDS mix: single %d vs multi %d — expected substantial single share", udsRow.Single, udsRow.Multi)
+	}
+	if kwpRow.Multi <= kwpRow.Single {
+		t.Errorf("KWP mix: waiting %d vs last %d — expected waiting majority", kwpRow.Multi, kwpRow.Single)
+	}
+	if md := Table9Markdown(rows); !strings.Contains(md, "KWP 2000") {
+		t.Error("markdown missing protocol")
+	}
+}
+
+func TestTable11ECRCounts(t *testing.T) {
+	runs := runCars(t, "Car E", "Car H")
+	rows := Table11(runs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		p, _ := vehicle.ProfileByCar(r.Car)
+		if r.NumECR != p.NumECRs {
+			t.Errorf("%s: ECRs = %d, want %d", r.Car, r.NumECR, p.NumECRs)
+		}
+		if r.Complete != r.NumECR {
+			t.Errorf("%s: complete patterns = %d of %d", r.Car, r.Complete, r.NumECR)
+		}
+	}
+	if md := Table11Markdown(rows); !strings.Contains(md, "Total") {
+		t.Error("markdown missing totals")
+	}
+}
+
+func TestTable12MatchesPaper(t *testing.T) {
+	rows := Table12()
+	got := map[string]int{}
+	for _, r := range rows {
+		got[r.App+"/"+string(r.Kind)] = r.Formulas
+	}
+	// Spot checks against the paper's table.
+	checks := map[string]int{
+		"Carly for VAG/UDS":         90,
+		"Carly for VAG/KWP 2000":    137,
+		"Carly for Mercedes/UDS":    1624,
+		"Carly for Toyota/KWP 2000": 7,
+		"inCarDoc/OBD-II":           82,
+		"Kiwi OBD/OBD-II":           3,
+	}
+	for key, want := range checks {
+		if got[key] != want {
+			t.Errorf("%s = %d, want %d", key, got[key], want)
+		}
+	}
+	if md := Table12Markdown(rows); !strings.Contains(md, "Carly for VAG") {
+		t.Error("markdown missing app")
+	}
+}
+
+func TestTable13ReplaySucceeds(t *testing.T) {
+	runs := runCars(t, "Car D")
+	rows, err := Table13(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no replay rows")
+	}
+	for _, r := range rows {
+		if !r.Success {
+			t.Errorf("replay failed: %s %s (%s)", r.Car, r.Message, r.Function)
+		}
+	}
+	if md := Table13Markdown(rows); !strings.Contains(md, "Car D") {
+		t.Error("markdown missing car")
+	}
+}
+
+func TestPlannerExperimentShape(t *testing.T) {
+	rows := PlannerExperiment(50, 7)
+	if len(rows) < 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var nn, rnd float64
+	for _, r := range rows {
+		switch r.Strategy {
+		case "Nearest neighbour":
+			nn = r.MeanTour
+		case "Random order":
+			rnd = r.MeanTour
+		}
+	}
+	if nn <= 0 || rnd <= 0 || nn >= rnd {
+		t.Fatalf("planner rows = %+v", rows)
+	}
+	savings := (rnd - nn) / rnd
+	if savings < 0.04 {
+		t.Errorf("NN savings = %.1f%%, paper reports ≈7.3%%", savings*100)
+	}
+	if md := PlannerMarkdown(rows); !strings.Contains(md, "Nearest") {
+		t.Error("markdown missing strategy")
+	}
+}
+
+func TestTruthForResolvesAllProtocols(t *testing.T) {
+	runs := runCars(t, "Car C") // KWP car with OBD alignment traffic
+	run := runs[0]
+	kwpSeen, obdSeen := false, false
+	for _, sd := range run.Streams {
+		truth, ok := TruthFor(run.Vehicle, sd.Key)
+		if !ok {
+			t.Fatalf("no truth for %v", sd.Key)
+		}
+		if truth.Expr == "" {
+			t.Fatalf("empty expr for %v", sd.Key)
+		}
+		switch sd.Key.Proto {
+		case "KWP":
+			kwpSeen = true
+			// Truth must evaluate on the observed variables.
+			if sd.Dataset != nil {
+				v := truth.Decode(sd.Dataset.X[0])
+				if v != v { // NaN
+					t.Fatalf("truth NaN for %v", sd.Key)
+				}
+			}
+		case "OBD":
+			obdSeen = true
+		}
+	}
+	if !kwpSeen || !obdSeen {
+		t.Fatalf("stream mix incomplete: kwp=%v obd=%v", kwpSeen, obdSeen)
+	}
+}
+
+func TestTruthForUnknownKey(t *testing.T) {
+	runs := runCars(t, "Car M")
+	var udsKey *reverser.StreamKey
+	for _, sd := range runs[0].Streams {
+		if sd.Key.Proto == "UDS" {
+			k := sd.Key
+			udsKey = &k
+			break
+		}
+	}
+	if udsKey == nil {
+		t.Fatal("no UDS stream")
+	}
+	if _, ok := TruthFor(runs[0].Vehicle, *udsKey); !ok {
+		t.Fatal("known key unresolved")
+	}
+	bad := *udsKey
+	bad.RespID = 0xFFF // OBD keys ignore RespID; UDS keys must not
+	if _, ok := TruthFor(runs[0].Vehicle, bad); ok {
+		t.Fatal("unknown RespID resolved")
+	}
+}
+
+func TestSecuredCarFleetRunRecoversECRs(t *testing.T) {
+	// Car H's IO control sits behind security access; the tool unlocks and
+	// the pipeline must still see the full three-message pattern.
+	runs := runCars(t, "Car H")
+	rows := Table11(runs)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	p, _ := vehicle.ProfileByCar("Car H")
+	if rows[0].NumECR != p.NumECRs || rows[0].Complete != p.NumECRs {
+		t.Fatalf("secured car ECRs = %+v, want %d complete", rows[0], p.NumECRs)
+	}
+}
+
+func TestToolVsAppComparison(t *testing.T) {
+	runs := runCars(t, "Car K", "Car L")
+	rows := ToolVsApp(runs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.ToolESVs == 0 || r.ToolECUs == 0 {
+			t.Fatalf("tool coverage empty: %+v", r)
+		}
+		if r.AppFormulas == 0 {
+			t.Fatalf("app %s has no formulas", r.App)
+		}
+		// The paper's conclusion: none of the car's quantities are
+		// decodable through the app's formulas.
+		if r.AppUsableESVs != 0 {
+			t.Fatalf("%s: app decodes %d of the car's ESVs, paper reports 0", r.Car, r.AppUsableESVs)
+		}
+	}
+	if md := ToolVsAppMarkdown(rows); !strings.Contains(md, "Carly for VAG") {
+		t.Fatal("markdown missing app")
+	}
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dpreverser/internal/appanalysis"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/uds"
+	"dpreverser/internal/vehicle"
+)
+
+// --- Table 11: extracted ECRs per car ---
+
+// Table11Row mirrors one row of Table 11.
+type Table11Row struct {
+	Car     string
+	NumECR  int
+	Service string
+	// Complete counts ECRs whose three-message pattern was fully
+	// observed.
+	Complete int
+}
+
+// Table11 counts the control records recovered per car.
+func Table11(runs []*CarRun) []Table11Row {
+	var rows []Table11Row
+	for _, run := range runs {
+		if run.Profile.NumECRs == 0 {
+			continue
+		}
+		row := Table11Row{Car: run.Profile.Car, Service: fmt.Sprintf("%02X", run.Profile.ECRService)}
+		for _, e := range run.Result.ECRs {
+			row.NumECR++
+			if e.PatternComplete() {
+				row.Complete++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table11Markdown renders Table 11.
+func Table11Markdown(rows []Table11Row) string {
+	var out [][]string
+	total := 0
+	for _, r := range rows {
+		total += r.NumECR
+		out = append(out, []string{r.Car, fmt.Sprint(r.NumECR), r.Service, fmt.Sprint(r.Complete)})
+	}
+	out = append(out, []string{"Total", fmt.Sprint(total), "", ""})
+	return markdownTable([]string{"Car", "#ECR", "Service ID", "#Complete pattern"}, out)
+}
+
+// --- Table 12: formulas in telematics apps ---
+
+// Table12Row mirrors one row of Table 12.
+type Table12Row struct {
+	App      string
+	Kind     appanalysis.FormulaKind
+	Formulas int
+}
+
+// Table12 runs Algorithm 1 over the 160-app corpus.
+func Table12() []Table12Row {
+	var rows []Table12Row
+	for _, app := range appanalysis.Corpus() {
+		counts := appanalysis.CountByKind(appanalysis.Analyze(app))
+		for _, kind := range []appanalysis.FormulaKind{appanalysis.KindUDS, appanalysis.KindKWP, appanalysis.KindOBD} {
+			if counts[kind] > 0 {
+				rows = append(rows, Table12Row{App: app.Name, Kind: kind, Formulas: counts[kind]})
+			}
+		}
+	}
+	return rows
+}
+
+// Table12Markdown renders Table 12.
+func Table12Markdown(rows []Table12Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, string(r.Kind), fmt.Sprint(r.Formulas)})
+	}
+	return markdownTable([]string{"APP Name", "Formula Type", "# Formula"}, out)
+}
+
+// --- Table 13: replaying reversed messages ("attack" validation) ---
+
+// Table13Row mirrors one row of Table 13.
+type Table13Row struct {
+	Car      string
+	Message  string
+	Function string
+	Success  bool
+}
+
+// Table13Cars are the replay targets. The paper attacks BMW i3, Lexus
+// NX300, Toyota Corolla and Kia; the simulated replay uses the fleet cars
+// with recoverable control records closest to that set (BMW 532Li stands
+// in for the i3 and Nissan Teana for the Corolla, whose profiles carry no
+// ECRs in Table 11 — the paper's Table 13 messages for those cars came
+// from a separate manual effort).
+var Table13Cars = []string{"Car J", "Car D", "Car Q", "Car N"}
+
+// Table13 replays reverse-engineered messages against fresh instances of
+// the same vehicle models — the §9.3 experiment: rent the same car type,
+// reverse engineer once, then inject. Success means the fresh vehicle
+// (whose "engine is running": the clock keeps advancing) actually executed
+// the read or actuation.
+func Table13(runs []*CarRun) ([]Table13Row, error) {
+	byCar := map[string]*CarRun{}
+	for _, r := range runs {
+		byCar[r.Profile.Car] = r
+	}
+	var rows []Table13Row
+	for _, car := range Table13Cars {
+		run, ok := byCar[car]
+		if !ok {
+			continue
+		}
+		carRows, err := replayCar(run)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, carRows...)
+	}
+	return rows, nil
+}
+
+// replayCar injects one car's reversed messages into a fresh vehicle.
+func replayCar(run *CarRun) ([]Table13Row, error) {
+	// "Rent a vehicle of the same type": fresh build, same profile.
+	target := vehicle.Build(run.Profile, nil)
+	defer target.Close()
+
+	var rows []Table13Row
+	// Replay up to two read messages.
+	reads := 0
+	for _, esv := range run.Result.ESVs {
+		if esv.Key.Proto != "UDS" || esv.Enum || reads >= 2 {
+			continue
+		}
+		req, err := uds.BuildRDBIRequest(esv.Key.DID)
+		if err != nil {
+			continue
+		}
+		ok := injectAndCheck(target, esv.Key.RespID, req, func(resp []byte) bool {
+			return uds.IsPositiveResponse(resp, uds.SIDReadDataByIdentifier)
+		})
+		rows = append(rows, Table13Row{
+			Car: run.Profile.Car, Message: hexBytes(req),
+			Function: "Read " + strings.ToLower(esv.Label), Success: ok,
+		})
+		reads++
+	}
+	// Replay an ECU reset (Table 13's "Reset combination instrument"
+	// rows): extended session, then ECUReset.
+	if run.Profile.Protocol == vehicle.UDS {
+		injectAndCheck(target, 0, []byte{uds.SIDDiagnosticSessionControl, uds.SessionExtended},
+			func([]byte) bool { return true })
+		ok := injectAndCheck(target, 0, []byte{uds.SIDECUReset, 0x01}, func(resp []byte) bool {
+			return uds.IsPositiveResponse(resp, uds.SIDECUReset)
+		})
+		if ok {
+			ok = false
+			for _, e := range target.ECUs() {
+				if e.Resets() > 0 {
+					ok = true
+				}
+			}
+		}
+		rows = append(rows, Table13Row{
+			Car: run.Profile.Car, Message: "11 01",
+			Function: "Reset ECU", Success: ok,
+		})
+	}
+
+	// Replay up to three control records with the recovered procedure.
+	controls := 0
+	for _, ecr := range run.Result.ECRs {
+		if controls >= 3 || !ecr.PatternComplete() {
+			continue
+		}
+		var adjust []byte
+		var respCheck func([]byte) bool
+		if ecr.Service == 0x2F {
+			// Extended session, freeze, adjust. The attacker does not know
+			// which ECU owns the record, so the injection probes every
+			// binding until one answers positively (respID 0 = try all).
+			prologue := [][]byte{
+				{uds.SIDDiagnosticSessionControl, uds.SessionExtended},
+				uds.BuildIOControlRequest(uds.IOControlRequest{DID: ecr.ID, Param: uds.IOFreezeCurrentState}),
+			}
+			for _, p := range prologue {
+				injectAndCheck(target, 0, p, func([]byte) bool { return true })
+			}
+			adjust = uds.BuildIOControlRequest(uds.IOControlRequest{
+				DID: ecr.ID, Param: uds.IOShortTermAdjustment, State: ecr.State,
+			})
+			respCheck = func(resp []byte) bool {
+				return uds.IsPositiveResponse(resp, uds.SIDIOControlByIdentifier)
+			}
+		} else {
+			adjust = append([]byte{kwp.SIDIOControlByLocalIdentifier, byte(ecr.ID), uds.IOShortTermAdjustment}, ecr.State...)
+			respCheck = func(resp []byte) bool {
+				return kwp.IsPositiveResponse(resp, kwp.SIDIOControlByLocalIdentifier)
+			}
+		}
+		ok := injectAndCheck(target, 0, adjust, respCheck)
+		// Verify the actuation physically happened on the fresh car.
+		if ok {
+			ok = actuatorDriven(target, ecr.Label)
+		}
+		rows = append(rows, Table13Row{
+			Car: run.Profile.Car, Message: hexBytes(adjust),
+			Function: "Control " + strings.ToLower(ecr.Label), Success: ok,
+		})
+		controls++
+	}
+	return rows, nil
+}
+
+// injectAndCheck opens a raw client to the ECU with the given response ID
+// and sends one message.
+func injectAndCheck(v *vehicle.Vehicle, respID uint32, req []byte, check func([]byte) bool) bool {
+	for _, b := range v.Bindings() {
+		if respID != 0 && b.RespID != respID {
+			continue
+		}
+		client, err := vehicle.Connect(v, b)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Request(req)
+		client.Close()
+		if err != nil {
+			continue
+		}
+		if check(resp) {
+			return true
+		}
+	}
+	return false
+}
+
+// actuatorDriven checks the fresh vehicle's actuation log for the named
+// component.
+func actuatorDriven(v *vehicle.Vehicle, name string) bool {
+	for _, e := range v.ECUs() {
+		for _, ev := range e.Events() {
+			if ev.Actuator == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hexBytes(b []byte) string {
+	parts := make([]string, len(b))
+	for i, by := range b {
+		parts[i] = fmt.Sprintf("%02X", by)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table13Markdown renders Table 13.
+func Table13Markdown(rows []Table13Row) string {
+	var out [][]string
+	for _, r := range rows {
+		ok := "✓"
+		if !r.Success {
+			ok = "✗"
+		}
+		out = append(out, []string{r.Car, r.Message, r.Function, ok})
+	}
+	return markdownTable([]string{"Car", "Diagnostic Message", "Function", "Success"}, out)
+}
+
+// --- Planner experiment (§3.1's 7.3% claim) ---
+
+// PlannerRow reports one planner comparison.
+type PlannerRow struct {
+	Strategy string
+	// MeanTour is the average tour length in pixels over the trials.
+	MeanTour float64
+	// MeanTime is the average total clicking time (stylus travel at the
+	// rig's speed plus the fixed per-click dwell) — the paper's metric:
+	// "the nearest neighbor algorithm saves 7.3% time of moving".
+	MeanTime float64
+}
+
+// Planner-time model. The paper's measurement (80.45s random vs 74.6s
+// nearest-neighbour for 14 ESVs) implies ≈5.3s of fixed per-click overhead
+// — stylus press, UI reaction, camera settle — on top of the travel, which
+// is why its saving is 7.3% of *time* while the travel-distance saving is
+// far larger.
+const (
+	plannerSpeedPxPerSec = 400.0
+	plannerPerClickSecs  = 4.9 // press + UI reaction + settle per click
+)
+
+// PlannerExperiment compares nearest-neighbour click planning against
+// random ordering when selecting 14 ESVs on a data-stream page (the
+// paper's setup). Layouts are the tool's real selection-page geometry: a
+// single column of items whose starting column is randomised per trial
+// (pages render at different scroll offsets on real tools).
+func PlannerExperiment(trials int, seed int64) []PlannerRow {
+	rng := rand.New(rand.NewSource(seed))
+	timeOf := func(start rig.Point, order []rig.Point) float64 {
+		return rig.TourLength(start, order)/plannerSpeedPxPerSec +
+			plannerPerClickSecs*float64(len(order))
+	}
+	var nnTour, rndTour, nnTime, rndTime float64
+	for i := 0; i < trials; i++ {
+		// The AUTEL-class page: 14 rows, 44px pitch, with per-row
+		// horizontal jitter from variable text widths.
+		baseX := 40 + rng.Intn(200)
+		points := make([]rig.Point, 14)
+		for j := range points {
+			points[j] = rig.Point{X: baseX + rng.Intn(160), Y: 60 + 44*j}
+		}
+		rng.Shuffle(len(points), func(a, b int) { points[a], points[b] = points[b], points[a] })
+		start := rig.Point{X: rng.Intn(1024), Y: rng.Intn(768)} // stylus park position
+		nn := rig.NearestNeighbor(start, points)
+		rnd := rig.RandomOrder(points, rng)
+		nnTour += rig.TourLength(start, nn)
+		rndTour += rig.TourLength(start, rnd)
+		nnTime += timeOf(start, nn)
+		rndTime += timeOf(start, rnd)
+	}
+	n := float64(trials)
+	return []PlannerRow{
+		{Strategy: "Nearest neighbour", MeanTour: nnTour / n, MeanTime: nnTime / n},
+		{Strategy: "Random order", MeanTour: rndTour / n, MeanTime: rndTime / n},
+	}
+}
+
+// PlannerMarkdown renders the planner comparison.
+func PlannerMarkdown(rows []PlannerRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Strategy, fmt.Sprintf("%.0f px", r.MeanTour), fmt.Sprintf("%.2f s", r.MeanTime)})
+	}
+	return markdownTable([]string{"Click-ordering strategy", "Mean tour length", "Mean selection time"}, out)
+}

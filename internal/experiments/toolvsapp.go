@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dpreverser/internal/appanalysis"
+	"dpreverser/internal/vehicle"
+)
+
+// ToolVsAppRow reproduces §4.6's closing comparison: how many ECUs and
+// ESVs a professional diagnostic tool exposes on a car versus how many of
+// that car's quantities the best-matching telematics app can actually
+// decode.
+type ToolVsAppRow struct {
+	Car      string
+	Model    string
+	App      string
+	ToolECUs int
+	ToolESVs int
+	// AppFormulas is how many UDS/KWP formulas the app embeds in total.
+	AppFormulas int
+	// AppUsableESVs is how many of the car's identifiers those formulas
+	// cover — the paper's finding: none ("this request message cannot be
+	// discovered in any apps").
+	AppUsableESVs int
+}
+
+// ToolVsApp runs the comparison for the paper's two subject cars, VW
+// Passat (Carly for VAG) and Toyota Corolla (Carly for Toyota).
+func ToolVsApp(runs []*CarRun) []ToolVsAppRow {
+	pairs := map[string]string{
+		"Car K": "Carly for VAG",
+		"Car L": "Carly for Toyota",
+	}
+	apps := map[string][]appanalysis.Formula{}
+	for _, app := range appanalysis.Corpus() {
+		for _, want := range pairs {
+			if app.Name == want {
+				apps[app.Name] = appanalysis.Analyze(app)
+			}
+		}
+	}
+	var rows []ToolVsAppRow
+	for _, run := range runs {
+		appName, ok := pairs[run.Profile.Car]
+		if !ok {
+			continue
+		}
+		row := ToolVsAppRow{
+			Car: run.Profile.Car, Model: run.Profile.Model, App: appName,
+			ToolECUs: len(run.Vehicle.Bindings()),
+			ToolESVs: run.Profile.NumFormulaESVs + run.Profile.NumEnumESVs,
+		}
+		formulas := apps[appName]
+		row.AppFormulas = len(formulas)
+		// A formula is usable on this car only if its response-prefix
+		// condition names an identifier the car actually serves.
+		ids := carIdentifiers(run.Vehicle)
+		for _, f := range formulas {
+			if id, ok := prefixIdentifier(f.Condition); ok && ids[id] {
+				row.AppUsableESVs++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// carIdentifiers collects the response prefixes a car's proprietary
+// identifiers would produce ("62 <did>" / "61 <local>").
+func carIdentifiers(v *vehicle.Vehicle) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range v.Bindings() {
+		for _, did := range b.ECU.DIDs() {
+			out[fmt.Sprintf("62 %02X %02X", byte(did>>8), byte(did))] = true
+		}
+		for _, lid := range b.ECU.Locals() {
+			out[fmt.Sprintf("61 %02X", lid)] = true
+		}
+	}
+	return out
+}
+
+// prefixIdentifier normalises an app formula's condition prefix to the
+// identifier form carIdentifiers produces.
+func prefixIdentifier(cond string) (string, bool) {
+	parts := strings.Fields(cond)
+	if len(parts) < 2 {
+		return "", false
+	}
+	switch parts[0] {
+	case "62":
+		if len(parts) < 3 {
+			return "", false
+		}
+		return "62 " + normHex(parts[1]) + " " + normHex(parts[2]), true
+	case "61":
+		return "61 " + normHex(parts[1]), true
+	default:
+		return "", false
+	}
+}
+
+func normHex(s string) string {
+	v, err := strconv.ParseUint(s, 16, 8)
+	if err != nil {
+		return s
+	}
+	return fmt.Sprintf("%02X", v)
+}
+
+// ToolVsAppMarkdown renders the comparison.
+func ToolVsAppMarkdown(rows []ToolVsAppRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Model, fmt.Sprint(r.ToolECUs), fmt.Sprint(r.ToolESVs),
+			r.App, fmt.Sprint(r.AppFormulas), fmt.Sprint(r.AppUsableESVs),
+		})
+	}
+	return markdownTable([]string{
+		"Vehicle", "ECUs via tool", "ESVs via tool",
+		"Best app", "Formulas in app", "Car's ESVs decodable by app",
+	}, out)
+}

@@ -1,0 +1,464 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is the (X, Y) sample set the paper's Step 1 constructs: each row
+// pairs the variables extracted from one response message with the value
+// the diagnostic tool displayed.
+type Dataset struct {
+	// X holds one row per sample; all rows must share a width (the number
+	// of variables).
+	X [][]float64
+	// Y holds the target value per sample.
+	Y []float64
+}
+
+// NumVars reports the variable count (0 for an empty dataset).
+func (d *Dataset) NumVars() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks shape invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("%w: %d X rows, %d Y values", ErrShapeMismatch, len(d.X), len(d.Y))
+	}
+	w := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("%w: row %d has width %d, want %d", ErrShapeMismatch, i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// Package errors.
+var (
+	ErrEmptyDataset  = errors.New("gp: empty dataset")
+	ErrShapeMismatch = errors.New("gp: dataset shape mismatch")
+)
+
+// Config tunes the evolution. The zero value is unusable; call
+// DefaultConfig for the paper's settings.
+type Config struct {
+	// PopulationSize is the number of programs per generation (paper: 1000).
+	PopulationSize int
+	// Generations is the evolution budget (paper: 30).
+	Generations int
+	// StopFitness halts evolution early once the best program's raw MAE
+	// falls below it — the paper's second stopping criterion.
+	StopFitness float64
+	// TournamentSize controls selection pressure.
+	TournamentSize int
+	// MaxDepth bounds trees after crossover/mutation (bloat control).
+	MaxDepth int
+	// ParsimonyCoeff penalises fitness by size*coeff, discouraging bloat
+	// without distorting the MAE scale much.
+	ParsimonyCoeff float64
+	// CrossoverProb, SubtreeMutProb, PointMutProb, HoistMutProb select the
+	// variation operator; remaining probability reproduces unchanged.
+	CrossoverProb  float64
+	SubtreeMutProb float64
+	PointMutProb   float64
+	HoistMutProb   float64
+	// ConstMin/ConstMax bound ephemeral random constants.
+	ConstMin, ConstMax float64
+	// Functions overrides the function set (nil = the full 14-entry set).
+	Functions []Op
+	// DisableLinearScaling turns off the Keijzer-style linear scaling of
+	// candidate programs. By default every candidate g is evaluated as
+	// a*g(x)+b with (a, b) fitted by trimmed least squares, so evolution
+	// searches for the *shape* of the formula while scale and offset are
+	// solved analytically — which is also what makes the engine robust to
+	// the magnitude issues the paper's Table 2 pre-scaling addresses.
+	DisableLinearScaling bool
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's published settings: 1000 programs, 30
+// generations, MAE fitness with a small stop threshold.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize: 1000,
+		Generations:    30,
+		StopFitness:    0.01,
+		TournamentSize: 20,
+		MaxDepth:       8,
+		ParsimonyCoeff: 0.001,
+		CrossoverProb:  0.65,
+		SubtreeMutProb: 0.15,
+		PointMutProb:   0.1,
+		HoistMutProb:   0.05,
+		ConstMin:       -10,
+		ConstMax:       10,
+		Seed:           1,
+	}
+}
+
+// Result reports the outcome of a Run.
+type Result struct {
+	// Best is the fittest program found (simplified).
+	Best *Node
+	// Fitness is Best's raw mean absolute error on the dataset.
+	Fitness float64
+	// Generations is how many generations actually ran (early stop shows
+	// here).
+	Generations int
+	// Evaluations counts fitness evaluations performed.
+	Evaluations int
+}
+
+// MAE computes the mean absolute error of program n on the dataset.
+func MAE(n *Node, d *Dataset) float64 {
+	if len(d.Y) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for i, row := range d.X {
+		diff := n.Eval(row) - d.Y[i]
+		if math.IsNaN(diff) || math.IsInf(diff, 0) {
+			return math.Inf(1)
+		}
+		sum += math.Abs(diff)
+	}
+	return sum / float64(len(d.Y))
+}
+
+// MSE computes the mean squared error of program n on the dataset.
+func MSE(n *Node, d *Dataset) float64 {
+	if len(d.Y) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for i, row := range d.X {
+		diff := n.Eval(row) - d.Y[i]
+		if math.IsNaN(diff) || math.IsInf(diff, 0) {
+			return math.Inf(1)
+		}
+		sum += diff * diff
+	}
+	return sum / float64(len(d.Y))
+}
+
+type individual struct {
+	tree *Node
+	// raw is the MAE (after linear scaling); fit adds the parsimony
+	// penalty.
+	raw float64
+	fit float64
+	// a, b are the fitted linear-scaling coefficients (a=1, b=0 when
+	// scaling is disabled).
+	a, b float64
+}
+
+// linearScale fits y ≈ a*g + b by least squares, then refits after
+// trimming the 20% largest residuals so OCR-style outliers in y do not
+// drag the fit (the robustness §4.4 attributes to GP). Degenerate g
+// (constant) yields a=0, b=mean(y).
+func linearScale(g, y []float64) (a, b float64) {
+	fit := func(idx []int) (float64, float64, bool) {
+		n := float64(len(idx))
+		var sg, sy, sgg, sgy float64
+		for _, i := range idx {
+			sg += g[i]
+			sy += y[i]
+			sgg += g[i] * g[i]
+			sgy += g[i] * y[i]
+		}
+		det := n*sgg - sg*sg
+		if math.Abs(det) < 1e-12 {
+			return 0, sy / n, false
+		}
+		return (n*sgy - sg*sy) / det, (sy*sgg - sg*sgy) / det, true
+	}
+	all := make([]int, len(g))
+	for i := range all {
+		all[i] = i
+	}
+	a, b, ok := fit(all)
+	if !ok || len(g) < 10 {
+		return a, b
+	}
+	// Trim the worst 20% of residuals and refit.
+	type res struct {
+		i int
+		r float64
+	}
+	rs := make([]res, len(g))
+	for i := range g {
+		rs[i] = res{i, math.Abs(a*g[i] + b - y[i])}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].r < rs[j].r })
+	keep := make([]int, 0, len(g)*4/5)
+	for _, r := range rs[:len(rs)*4/5] {
+		keep = append(keep, r.i)
+	}
+	if a2, b2, ok := fit(keep); ok {
+		return a2, b2
+	}
+	return a, b
+}
+
+// trimmedMean averages residuals after dropping the worst 20% — the same
+// trimming linearScale applies, so structure selection cannot profit from
+// spiking through OCR-corrupted samples. Small samples (< 10) are averaged
+// untrimmed.
+func trimmedMean(resids []float64) float64 {
+	if len(resids) == 0 {
+		return math.Inf(1)
+	}
+	n := len(resids)
+	if n >= 10 {
+		sort.Float64s(resids)
+		n = n * 4 / 5
+	}
+	sum := 0.0
+	for _, r := range resids[:n] {
+		sum += r
+	}
+	return sum / float64(n)
+}
+
+// RobustMAE scores program t on d with the same trimmed-mean criterion the
+// evolution uses (exported for the experiment harness and ablations).
+func RobustMAE(t *Node, d *Dataset) float64 {
+	resids := make([]float64, 0, len(d.Y))
+	for i, row := range d.X {
+		v := t.Eval(row)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.Inf(1)
+		}
+		resids = append(resids, math.Abs(v-d.Y[i]))
+	}
+	return trimmedMean(resids)
+}
+
+// Run evolves a formula for the dataset.
+func Run(d *Dataset, cfg Config) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.PopulationSize < 2 {
+		return Result{}, fmt.Errorf("gp: population size %d too small", cfg.PopulationSize)
+	}
+	if cfg.Generations < 1 {
+		return Result{}, fmt.Errorf("gp: generations %d too small", cfg.Generations)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	funcs := cfg.Functions
+	if len(funcs) == 0 {
+		funcs = FunctionSet
+	}
+	gen := &generator{
+		rng: rng, numVars: d.NumVars(), funcs: funcs,
+		constMin: cfg.ConstMin, constMax: cfg.ConstMax,
+	}
+
+	evals := 0
+	gvals := make([]float64, len(d.Y))
+	score := func(t *Node) individual {
+		evals++
+		ind := individual{tree: t, a: 1, b: 0}
+		finite := true
+		for i, row := range d.X {
+			v := t.Eval(row)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+				break
+			}
+			gvals[i] = v
+		}
+		if !finite {
+			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
+			return ind
+		}
+		if !cfg.DisableLinearScaling {
+			ind.a, ind.b = linearScale(gvals, d.Y)
+			if math.IsNaN(ind.a) || math.IsInf(ind.a, 0) || math.IsNaN(ind.b) || math.IsInf(ind.b, 0) {
+				ind.a, ind.b = 1, 0
+			}
+		}
+		resids := make([]float64, len(gvals))
+		for i := range gvals {
+			resids[i] = math.Abs(ind.a*gvals[i] + ind.b - d.Y[i])
+		}
+		ind.raw = trimmedMean(resids)
+		ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(t.Size())
+		if math.IsNaN(ind.raw) {
+			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
+		}
+		return ind
+	}
+
+	pop := make([]individual, 0, cfg.PopulationSize)
+	for _, t := range gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)) {
+		pop = append(pop, score(t))
+	}
+	best := bestOf(pop)
+
+	gens := 0
+	for g := 0; g < cfg.Generations; g++ {
+		gens = g + 1
+		if best.raw <= cfg.StopFitness {
+			break
+		}
+		next := make([]individual, 0, cfg.PopulationSize)
+		// Elitism: carry the champion over unchanged.
+		next = append(next, individual{tree: best.tree.Clone(), raw: best.raw, fit: best.fit})
+		for len(next) < cfg.PopulationSize {
+			parent := tournament(pop, cfg.TournamentSize, rng)
+			child := vary(parent.tree, pop, cfg, gen, rng)
+			if child.Depth() > cfg.MaxDepth {
+				child = hoistToDepth(child, cfg.MaxDepth, rng)
+			}
+			next = append(next, score(child))
+		}
+		pop = next
+		if b := bestOf(pop); b.fit < best.fit {
+			best = b
+		}
+	}
+
+	// Materialise the fitted linear scaling into the returned program:
+	// best = a*g + b, with near-identity coefficients snapped so they
+	// simplify away.
+	final := best.tree
+	a, b := best.a, best.b
+	if math.Abs(a-1) < 1e-9 {
+		a = 1
+	}
+	if math.Abs(b) < 1e-9 {
+		b = 0
+	}
+	if a != 1 {
+		final = NewBinary(OpMul, NewConst(a), final)
+	}
+	if b != 0 {
+		final = NewBinary(OpAdd, final, NewConst(b))
+	}
+	simplified := Simplify(final)
+	// Simplification must never change semantics; keep the simplified form
+	// only if its error did not regress (guards protected-op edge cases).
+	if RobustMAE(simplified, d) <= best.raw+1e-9 {
+		final = simplified
+	}
+	return Result{Best: final, Fitness: best.raw, Generations: gens, Evaluations: evals}, nil
+}
+
+func bestOf(pop []individual) individual {
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.fit < best.fit {
+			best = ind
+		}
+	}
+	return best
+}
+
+func tournament(pop []individual, k int, rng *rand.Rand) individual {
+	if k < 1 {
+		k = 1
+	}
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fit < best.fit {
+			best = c
+		}
+	}
+	return best
+}
+
+// vary applies one variation operator to a cloned parent.
+func vary(parent *Node, pop []individual, cfg Config, gen *generator, rng *rand.Rand) *Node {
+	child := parent.Clone()
+	p := rng.Float64()
+	switch {
+	case p < cfg.CrossoverProb:
+		donor := tournament(pop, cfg.TournamentSize, rng).tree
+		return crossover(child, donor, rng)
+	case p < cfg.CrossoverProb+cfg.SubtreeMutProb:
+		return subtreeMutate(child, gen, rng)
+	case p < cfg.CrossoverProb+cfg.SubtreeMutProb+cfg.PointMutProb:
+		pointMutate(child, gen, rng)
+		return child
+	case p < cfg.CrossoverProb+cfg.SubtreeMutProb+cfg.PointMutProb+cfg.HoistMutProb:
+		return hoistMutate(child, rng)
+	default:
+		return child
+	}
+}
+
+// crossover replaces a random subtree of child with a random subtree of
+// donor.
+func crossover(child, donor *Node, rng *rand.Rand) *Node {
+	ci := rng.Intn(child.Size())
+	di := rng.Intn(donor.Size())
+	graft := nodeAt(donor, di).Clone()
+	return replaceNodeAt(child, ci, graft)
+}
+
+// subtreeMutate replaces a random subtree with a freshly grown one.
+func subtreeMutate(child *Node, gen *generator, rng *rand.Rand) *Node {
+	i := rng.Intn(child.Size())
+	return replaceNodeAt(child, i, gen.grow(3))
+}
+
+// pointMutate perturbs one node in place: constants jitter, variables
+// reselect, functions swap within the same arity.
+func pointMutate(child *Node, gen *generator, rng *rand.Rand) {
+	i := rng.Intn(child.Size())
+	n := nodeAt(child, i)
+	switch n.Op {
+	case OpConst:
+		n.Const += rng.NormFloat64() * math.Max(math.Abs(n.Const)*0.1, 0.1)
+	case OpVar:
+		if gen.numVars > 0 {
+			n.Var = rng.Intn(gen.numVars)
+		}
+	default:
+		want := n.Op.Arity()
+		for tries := 0; tries < 8; tries++ {
+			op := gen.randFunction()
+			if op.Arity() == want {
+				n.Op = op
+				break
+			}
+		}
+	}
+}
+
+// hoistMutate lifts a random subtree to the root — gplearn's anti-bloat
+// operator.
+func hoistMutate(child *Node, rng *rand.Rand) *Node {
+	i := rng.Intn(child.Size())
+	return nodeAt(child, i).Clone()
+}
+
+// hoistToDepth repeatedly hoists until the tree fits the depth budget.
+func hoistToDepth(t *Node, maxDepth int, rng *rand.Rand) *Node {
+	for t.Depth() > maxDepth {
+		t = hoistMutate(t, rng)
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

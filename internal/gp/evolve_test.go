@@ -1,0 +1,270 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// makeDataset samples f over a grid of (x0, x1) values.
+func makeDataset(f func(x0, x1 float64) float64, x0s, x1s []float64) *Dataset {
+	d := &Dataset{}
+	for _, a := range x0s {
+		for _, b := range x1s {
+			d.X = append(d.X, []float64{a, b})
+			d.Y = append(d.Y, f(a, b))
+		}
+	}
+	return d
+}
+
+func seq(from, to, step float64) []float64 {
+	var out []float64
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// smallConfig keeps unit tests fast; the benchmarks use DefaultConfig.
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 300
+	cfg.Generations = 25
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestDatasetValidate(t *testing.T) {
+	var empty Dataset
+	if err := empty.Validate(); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty: %v", err)
+	}
+	bad := Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1}}
+	if err := bad.Validate(); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("length: %v", err)
+	}
+	ragged := Dataset{X: [][]float64{{1}, {2, 3}}, Y: []float64{1, 2}}
+	if err := ragged.Validate(); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("ragged: %v", err)
+	}
+	ok := Dataset{X: [][]float64{{1, 2}}, Y: []float64{3}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	if ok.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", ok.NumVars())
+	}
+}
+
+func TestMAEAndMSE(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []float64{2, 4, 6}}
+	perfect := NewBinary(OpMul, NewVar(0), NewConst(2))
+	if got := MAE(perfect, d); got != 0 {
+		t.Fatalf("MAE of exact program = %v", got)
+	}
+	if got := MSE(perfect, d); got != 0 {
+		t.Fatalf("MSE of exact program = %v", got)
+	}
+	off := NewBinary(OpAdd, NewBinary(OpMul, NewVar(0), NewConst(2)), NewConst(1))
+	if got := MAE(off, d); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MAE of +1 program = %v", got)
+	}
+	if got := MSE(off, d); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MSE of +1 program = %v", got)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(&Dataset{}, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{1}}
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 1
+	if _, err := Run(d, cfg); err == nil {
+		t.Fatal("population 1 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Generations = 0
+	if _, err := Run(d, cfg); err == nil {
+		t.Fatal("0 generations accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d := makeDataset(func(a, b float64) float64 { return a + b }, seq(0, 5, 1), seq(0, 5, 1))
+	cfg := smallConfig(7)
+	cfg.Generations = 5
+	r1, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best.String() != r2.Best.String() || r1.Fitness != r2.Fitness {
+		t.Fatalf("same seed produced different results: %q vs %q", r1.Best, r2.Best)
+	}
+}
+
+func TestRunRecoversLinearOneVar(t *testing.T) {
+	// Y = 0.5*X — the Car L coolant-temperature shape from Table 7.
+	d := makeDataset(func(a, _ float64) float64 { return 0.5 * a }, seq(100, 200, 2), []float64{0})
+	res, err := Run(d, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness > 0.5 {
+		t.Fatalf("fitness = %v (best %q), want near-exact", res.Fitness, res.Best)
+	}
+}
+
+func TestRunRecoversProductFormula(t *testing.T) {
+	// Y = X0*X1/5 — the paper's KWP engine-speed formula, the shape linear
+	// regression cannot express (§4.4).
+	d := makeDataset(func(a, b float64) float64 { return a * b / 5 },
+		seq(180, 250, 10), seq(5, 50, 3))
+	res, err := Run(d, smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accept near-equivalence over the sampled domain.
+	truth := NewBinary(OpDiv, NewBinary(OpMul, NewVar(0), NewVar(1)), NewConst(5))
+	if !EquivalentRel(res.Best, truth, d.X, 1.0, 0.02) {
+		t.Fatalf("recovered %q with fitness %v, not equivalent to X0*X1/5", res.Best, res.Fitness)
+	}
+}
+
+func TestRunEarlyStopOnExactFit(t *testing.T) {
+	// Constant target: evolution should stop well before the budget.
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}, {4}}, Y: []float64{7, 7, 7, 7}}
+	cfg := smallConfig(5)
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations >= cfg.Generations {
+		t.Fatalf("no early stop: ran %d generations, fitness %v", res.Generations, res.Fitness)
+	}
+	if res.Fitness > cfg.StopFitness {
+		t.Fatalf("fitness = %v above stop threshold", res.Fitness)
+	}
+}
+
+func TestRunCollapsesConstantVariable(t *testing.T) {
+	// Paper §4.3 "Cause of inconsistency": when X0 never varies, the
+	// inferred formula uses only X1. Y = X0*X1 with X0 pinned at 100 is
+	// indistinguishable from Y = 100*X1 on the data.
+	d := makeDataset(func(a, b float64) float64 { return 0.01 * a * b },
+		[]float64{100}, seq(0, 120, 2))
+	res, err := Run(d, smallConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness > 1.0 {
+		t.Fatalf("fitness = %v (best %q)", res.Fitness, res.Best)
+	}
+	// The recovered program must match Y = X1 on the observed domain.
+	truth := NewVar(1)
+	if !EquivalentRel(res.Best, truth, d.X, 0.75, 0.02) {
+		t.Fatalf("recovered %q, want something equivalent to X1", res.Best)
+	}
+}
+
+func TestRunRobustToOutliers(t *testing.T) {
+	// The paper's Table 10 rationale: GP tolerates OCR-corrupted samples
+	// better than least squares. Plant 5% wild outliers and require the
+	// recovered program to still match the clean truth.
+	d := makeDataset(func(a, _ float64) float64 { return 2 * a }, seq(1, 100, 1), []float64{0})
+	rng := newTestRNG(17)
+	for i := 0; i < len(d.Y); i += 20 {
+		d.Y[i] = rng.Float64() * 1000 // decimal-point-loss style corruption
+	}
+	res, err := Run(d, smallConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := NewBinary(OpMul, NewConst(2), NewVar(0))
+	clean := makeDataset(func(a, _ float64) float64 { return 2 * a }, seq(1, 100, 7), []float64{0})
+	if !EquivalentRel(res.Best, truth, clean.X, 2.0, 0.08) {
+		t.Fatalf("outliers broke recovery: %q (fitness %v)", res.Best, res.Fitness)
+	}
+}
+
+func TestRunEvaluationAccounting(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 2}}
+	cfg := smallConfig(23)
+	cfg.Generations = 3
+	cfg.StopFitness = -1 // never stop early
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial population + (gens × (pop-1 offspring)) evaluations; the
+	// elite is carried without re-scoring.
+	want := cfg.PopulationSize + cfg.Generations*(cfg.PopulationSize-1)
+	if res.Evaluations != want {
+		t.Fatalf("Evaluations = %d, want %d", res.Evaluations, want)
+	}
+}
+
+func TestRunDepthBounded(t *testing.T) {
+	d := makeDataset(func(a, b float64) float64 { return a*b + math.Sqrt(a) }, seq(1, 20, 1), seq(1, 5, 1))
+	cfg := smallConfig(29)
+	cfg.MaxDepth = 5
+	cfg.Generations = 10
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The materialised linear scaling (a*g+b) may wrap the evolved tree in
+	// up to two extra levels.
+	if res.Best.Depth() > cfg.MaxDepth+2 {
+		t.Fatalf("best depth %d exceeds bound %d (+2 scaling wrap)", res.Best.Depth(), cfg.MaxDepth)
+	}
+}
+
+func TestTournamentPicksFitter(t *testing.T) {
+	pop := []individual{
+		{tree: NewConst(1), fit: 10},
+		{tree: NewConst(2), fit: 1},
+		{tree: NewConst(3), fit: 5},
+	}
+	rng := newTestRNG(1)
+	wins := 0
+	for i := 0; i < 200; i++ {
+		if tournament(pop, 3, rng).fit == 1 {
+			wins++
+		}
+	}
+	// With k=3 over 3 individuals the best is picked unless never sampled;
+	// expect a strong majority.
+	if wins < 120 {
+		t.Fatalf("fittest won only %d/200 tournaments", wins)
+	}
+}
+
+func TestRampedHalfAndHalfShapes(t *testing.T) {
+	gen := &generator{rng: newTestRNG(2), numVars: 2, funcs: FunctionSet, constMin: -1, constMax: 1}
+	pop := gen.rampedHalfAndHalf(100, 6)
+	if len(pop) != 100 {
+		t.Fatalf("population size = %d", len(pop))
+	}
+	maxDepth := 0
+	for _, tr := range pop {
+		if d := tr.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+		if tr.Depth() > 6 {
+			t.Fatalf("initial tree depth %d exceeds ramp bound", tr.Depth())
+		}
+	}
+	if maxDepth < 3 {
+		t.Fatalf("ramp produced only shallow trees (max %d)", maxDepth)
+	}
+}

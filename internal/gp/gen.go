@@ -1,0 +1,67 @@
+package gp
+
+import "math/rand"
+
+// generator builds random trees for initialisation and mutation.
+type generator struct {
+	rng      *rand.Rand
+	numVars  int
+	funcs    []Op
+	constMin float64
+	constMax float64
+}
+
+// randTerminal returns a variable or ephemeral constant leaf.
+func (g *generator) randTerminal() *Node {
+	// Bias toward variables: constants alone cannot explain varying data.
+	if g.numVars > 0 && g.rng.Float64() < 0.7 {
+		return NewVar(g.rng.Intn(g.numVars))
+	}
+	c := g.constMin + g.rng.Float64()*(g.constMax-g.constMin)
+	return NewConst(c)
+}
+
+func (g *generator) randFunction() Op {
+	return g.funcs[g.rng.Intn(len(g.funcs))]
+}
+
+// grow builds a tree where any node may become a terminal early, yielding
+// irregular shapes.
+func (g *generator) grow(depth int) *Node {
+	if depth <= 1 || g.rng.Float64() < 0.3 {
+		return g.randTerminal()
+	}
+	op := g.randFunction()
+	if op.Arity() == 1 {
+		return NewUnary(op, g.grow(depth-1))
+	}
+	return NewBinary(op, g.grow(depth-1), g.grow(depth-1))
+}
+
+// full builds a tree where every branch reaches the target depth.
+func (g *generator) full(depth int) *Node {
+	if depth <= 1 {
+		return g.randTerminal()
+	}
+	op := g.randFunction()
+	if op.Arity() == 1 {
+		return NewUnary(op, g.full(depth-1))
+	}
+	return NewBinary(op, g.full(depth-1), g.full(depth-1))
+}
+
+// rampedHalfAndHalf builds the initial population: tree depths ramp from 2
+// to maxDepth, half grown and half full — the standard Koza initialisation
+// gplearn uses.
+func (g *generator) rampedHalfAndHalf(n, maxDepth int) []*Node {
+	out := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		depth := 2 + i%(maxDepth-1)
+		if i%2 == 0 {
+			out = append(out, g.grow(depth))
+		} else {
+			out = append(out, g.full(depth))
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package gp
+
+import (
+	"math"
+	"testing"
+)
+
+// validTree checks structural invariants: arity matches children, no nil
+// children where required.
+func validTree(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	switch n.Op.Arity() {
+	case 0:
+		return n.L == nil && n.R == nil
+	case 1:
+		return n.L != nil && n.R == nil && validTree(n.L)
+	case 2:
+		return n.L != nil && n.R != nil && validTree(n.L) && validTree(n.R)
+	}
+	return false
+}
+
+func TestCrossoverProducesValidTrees(t *testing.T) {
+	rng := newTestRNG(41)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for i := 0; i < 200; i++ {
+		a, b := gen.grow(5), gen.grow(5)
+		child := crossover(a.Clone(), b, rng)
+		if !validTree(child) {
+			t.Fatalf("crossover produced invalid tree: %v", child)
+		}
+	}
+}
+
+func TestSubtreeMutateProducesValidTrees(t *testing.T) {
+	rng := newTestRNG(43)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for i := 0; i < 200; i++ {
+		child := subtreeMutate(gen.grow(5), gen, rng)
+		if !validTree(child) {
+			t.Fatal("subtree mutation produced invalid tree")
+		}
+	}
+}
+
+func TestPointMutatePreservesShape(t *testing.T) {
+	rng := newTestRNG(47)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for i := 0; i < 200; i++ {
+		tree := gen.grow(5)
+		size, depth := tree.Size(), tree.Depth()
+		pointMutate(tree, gen, rng)
+		if !validTree(tree) {
+			t.Fatal("point mutation produced invalid tree")
+		}
+		if tree.Size() != size || tree.Depth() != depth {
+			t.Fatalf("point mutation changed shape: %d/%d -> %d/%d",
+				size, depth, tree.Size(), tree.Depth())
+		}
+	}
+}
+
+func TestHoistMutateShrinksOrKeeps(t *testing.T) {
+	rng := newTestRNG(53)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for i := 0; i < 200; i++ {
+		tree := gen.full(5)
+		hoisted := hoistMutate(tree, rng)
+		if !validTree(hoisted) {
+			t.Fatal("hoist produced invalid tree")
+		}
+		if hoisted.Size() > tree.Size() {
+			t.Fatal("hoist grew the tree")
+		}
+	}
+}
+
+func TestHoistToDepthTerminates(t *testing.T) {
+	rng := newTestRNG(59)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for i := 0; i < 50; i++ {
+		tree := gen.full(9)
+		bounded := hoistToDepth(tree, 4, rng)
+		if bounded.Depth() > 4 {
+			t.Fatalf("depth %d after hoistToDepth(4)", bounded.Depth())
+		}
+	}
+}
+
+func TestGrowRespectsDepthBudget(t *testing.T) {
+	rng := newTestRNG(61)
+	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
+	for d := 1; d <= 7; d++ {
+		for i := 0; i < 50; i++ {
+			if got := gen.grow(d).Depth(); got > d {
+				t.Fatalf("grow(%d) produced depth %d", d, got)
+			}
+			if got := gen.full(d).Depth(); got != d && d >= 1 {
+				// full may terminate early only at depth 1 (terminal).
+				if d != 1 || got != 1 {
+					t.Fatalf("full(%d) produced depth %d", d, got)
+				}
+			}
+		}
+	}
+}
+
+// Recovery of the nonlinear codecs the fleet embeds, at a realistic budget.
+func TestRunRecoversQuadratic(t *testing.T) {
+	// Y = 0.0017*X² (the "Boost pressure" codec).
+	d := &Dataset{}
+	for x := 40.0; x <= 250; x += 5 {
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 0.0017*x*x)
+	}
+	cfg := smallConfig(71)
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := NewBinary(OpMul, NewConst(0.0017), NewBinary(OpMul, NewVar(0), NewVar(0)))
+	if !EquivalentRel(res.Best, truth, d.X, 0.5, 0.03) {
+		t.Fatalf("recovered %q (fitness %v)", res.Best, res.Fitness)
+	}
+}
+
+func TestRunRecoversSqrt(t *testing.T) {
+	// Y = 0.75*sqrt(X) (the "Air mass flow" codec).
+	d := &Dataset{}
+	for x := 0.0; x <= 60000; x += 1500 {
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 0.75*math.Sqrt(x))
+	}
+	cfg := smallConfig(73)
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := NewBinary(OpMul, NewConst(0.75), NewUnary(OpSqrt, NewVar(0)))
+	if !EquivalentRel(res.Best, truth, d.X, 1.0, 0.03) {
+		t.Fatalf("recovered %q (fitness %v)", res.Best, res.Fitness)
+	}
+}
+
+func TestLinearScaleFitsExactly(t *testing.T) {
+	g := []float64{1, 2, 3, 4, 5}
+	y := []float64{12, 14, 16, 18, 20} // y = 2g + 10
+	a, b := linearScale(g, y)
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-10) > 1e-9 {
+		t.Fatalf("fit = %v, %v", a, b)
+	}
+}
+
+func TestLinearScaleConstantG(t *testing.T) {
+	g := []float64{3, 3, 3, 3}
+	y := []float64{5, 7, 9, 11}
+	a, b := linearScale(g, y)
+	if a != 0 || math.Abs(b-8) > 1e-9 {
+		t.Fatalf("degenerate fit = %v, %v (want 0, mean)", a, b)
+	}
+}
+
+func TestLinearScaleTrimsOutliers(t *testing.T) {
+	var g, y []float64
+	for i := 0; i < 50; i++ {
+		g = append(g, float64(i))
+		y = append(y, 2*float64(i))
+	}
+	y[10] = 5000 // decimal-loss style outlier
+	y[30] = 4000
+	a, b := linearScale(g, y)
+	if math.Abs(a-2) > 0.05 || math.Abs(b) > 2 {
+		t.Fatalf("trimmed fit = %v, %v (outliers dragged it)", a, b)
+	}
+}
+
+func TestTrimmedMeanBehaviour(t *testing.T) {
+	if v := trimmedMean(nil); !math.IsInf(v, 1) {
+		t.Fatalf("empty = %v", v)
+	}
+	small := []float64{1, 2, 3}
+	if v := trimmedMean(append([]float64(nil), small...)); math.Abs(v-2) > 1e-9 {
+		t.Fatalf("small = %v", v)
+	}
+	// 10 values, two huge: trimming drops the worst 20%.
+	big := []float64{1, 1, 1, 1, 1, 1, 1, 1, 100, 100}
+	if v := trimmedMean(append([]float64(nil), big...)); v != 1 {
+		t.Fatalf("trimmed = %v, want 1", v)
+	}
+}

@@ -1,0 +1,325 @@
+// Package isotp implements ISO 15765-2, the transport/network layer that
+// carries diagnostic messages longer than one CAN frame (paper §2.2, Fig. 7).
+//
+// It provides three layers:
+//
+//   - a pure codec: Segment splits a payload into single/first/consecutive
+//     frame data fields, Classify recognises frame types (the paper's
+//     "Step 1: Screening Frames"), and Reassembler rebuilds payloads
+//     ("Step 2: Assembling Payload");
+//   - FlowControl encode/decode for the receiver-paced handshake;
+//   - Endpoint, a full-duplex binding of the codec to a CAN bus with the
+//     flow-control state machine, used by both the simulated diagnostic
+//     tools and the simulated ECUs.
+package isotp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Frame-type nibbles per ISO 15765-2 (high nibble of the first data byte).
+const (
+	pciSingle     = 0x0
+	pciFirst      = 0x1
+	pciConsec     = 0x2
+	pciFlowContrl = 0x3
+)
+
+// FrameType classifies an ISO 15765-2 frame.
+type FrameType int
+
+// Frame types. Invalid marks data that cannot be an ISO-TP frame (empty, or
+// a reserved PCI nibble).
+const (
+	Invalid FrameType = iota
+	SingleFrame
+	FirstFrame
+	ConsecutiveFrame
+	FlowControlFrame
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case SingleFrame:
+		return "SF"
+	case FirstFrame:
+		return "FF"
+	case ConsecutiveFrame:
+		return "CF"
+	case FlowControlFrame:
+		return "FC"
+	default:
+		return "invalid"
+	}
+}
+
+// FlowStatus is the first field of a flow-control frame.
+type FlowStatus int
+
+// Flow statuses per ISO 15765-2.
+const (
+	ContinueToSend FlowStatus = 0
+	Wait           FlowStatus = 1
+	Overflow       FlowStatus = 2
+)
+
+// Limits of the protocol.
+const (
+	// MaxSingleFrame is the largest payload a single frame carries.
+	MaxSingleFrame = 7
+	// MaxPayload is the 12-bit first-frame length limit.
+	MaxPayload = 0xFFF
+	// firstFrameData is the payload carried by a first frame.
+	firstFrameData = 6
+	// consecFrameData is the payload carried by each consecutive frame.
+	consecFrameData = 7
+)
+
+// Errors reported by the codec and reassembler.
+var (
+	ErrPayloadTooLong  = errors.New("isotp: payload exceeds 4095 bytes")
+	ErrEmptyPayload    = errors.New("isotp: empty payload")
+	ErrBadSequence     = errors.New("isotp: consecutive frame out of sequence")
+	ErrUnexpectedFrame = errors.New("isotp: frame unexpected in current state")
+	ErrTruncatedFrame  = errors.New("isotp: frame too short for its type")
+	ErrNotFlowControl  = errors.New("isotp: frame is not flow control")
+)
+
+// Classify inspects a frame's data field and reports its ISO-TP type.
+func Classify(data []byte) FrameType {
+	if len(data) == 0 {
+		return Invalid
+	}
+	switch data[0] >> 4 {
+	case pciSingle:
+		n := int(data[0] & 0x0F)
+		if n == 0 || n > MaxSingleFrame || len(data) < 1+n {
+			return Invalid
+		}
+		return SingleFrame
+	case pciFirst:
+		if len(data) < 2 {
+			return Invalid
+		}
+		return FirstFrame
+	case pciConsec:
+		return ConsecutiveFrame
+	case pciFlowContrl:
+		if len(data) < 3 {
+			return Invalid
+		}
+		return FlowControlFrame
+	default:
+		return Invalid
+	}
+}
+
+// Segment splits payload into ISO-TP frame data fields: either one single
+// frame, or a first frame followed by consecutive frames with cycling
+// sequence numbers. Frames are padded to 8 bytes with the pad byte
+// (real tools pad with 0x00, 0x55 or 0xAA; the value is visible on the wire
+// but carries no payload).
+func Segment(payload []byte, pad byte) ([][]byte, error) {
+	if len(payload) == 0 {
+		return nil, ErrEmptyPayload
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d", ErrPayloadTooLong, len(payload))
+	}
+	if len(payload) <= MaxSingleFrame {
+		frame := make([]byte, 8)
+		frame[0] = byte(pciSingle<<4) | byte(len(payload))
+		copy(frame[1:], payload)
+		for i := 1 + len(payload); i < 8; i++ {
+			frame[i] = pad
+		}
+		return [][]byte{frame}, nil
+	}
+
+	var frames [][]byte
+	ff := make([]byte, 8)
+	ff[0] = byte(pciFirst<<4) | byte(len(payload)>>8)
+	ff[1] = byte(len(payload))
+	copy(ff[2:], payload[:firstFrameData])
+	frames = append(frames, ff)
+
+	rest := payload[firstFrameData:]
+	seq := byte(1)
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > consecFrameData {
+			n = consecFrameData
+		}
+		cf := make([]byte, 8)
+		cf[0] = byte(pciConsec<<4) | seq
+		copy(cf[1:], rest[:n])
+		for i := 1 + n; i < 8; i++ {
+			cf[i] = pad
+		}
+		frames = append(frames, cf)
+		rest = rest[n:]
+		seq = (seq + 1) & 0x0F
+	}
+	return frames, nil
+}
+
+// EncodeFlowControl builds a flow-control frame data field.
+// blockSize 0 means "send everything without further FC"; stMin is the
+// minimum CF separation in the raw ISO encoding (0x00-0x7F = ms).
+func EncodeFlowControl(status FlowStatus, blockSize, stMin byte) []byte {
+	return []byte{byte(pciFlowContrl<<4) | byte(status), blockSize, stMin, 0, 0, 0, 0, 0}
+}
+
+// FlowControl is a decoded flow-control frame.
+type FlowControl struct {
+	Status    FlowStatus
+	BlockSize byte
+	// STmin is the decoded minimum separation time between consecutive
+	// frames.
+	STmin time.Duration
+}
+
+// DecodeFlowControl parses a flow-control frame data field.
+func DecodeFlowControl(data []byte) (FlowControl, error) {
+	if Classify(data) != FlowControlFrame {
+		return FlowControl{}, ErrNotFlowControl
+	}
+	fc := FlowControl{
+		Status:    FlowStatus(data[0] & 0x0F),
+		BlockSize: data[1],
+	}
+	raw := data[2]
+	switch {
+	case raw <= 0x7F:
+		fc.STmin = time.Duration(raw) * time.Millisecond
+	case raw >= 0xF1 && raw <= 0xF9:
+		fc.STmin = time.Duration(raw-0xF0) * 100 * time.Microsecond
+	default:
+		// Reserved values are treated as the maximum per the standard.
+		fc.STmin = 127 * time.Millisecond
+	}
+	return fc, nil
+}
+
+// Reassembler rebuilds one payload at a time from a stream of ISO-TP frame
+// data fields (one reassembler per CAN ID, as the paper groups frames by
+// identifier before assembling).
+type Reassembler struct {
+	// MinMultiFrameLen is the smallest legal first-frame length. Zero means
+	// the normal-addressing default (MaxSingleFrame+1); extended-addressing
+	// users (package bmwtp) lower it to 7 because their single frames carry
+	// only 6 bytes.
+	MinMultiFrameLen int
+
+	buf       []byte
+	expected  int
+	nextSeq   byte
+	inFlight  bool
+	completed int
+	errors    int
+}
+
+// Result is the outcome of feeding one frame to a Reassembler.
+type Result struct {
+	// Message is the completed payload, nil until a message completes.
+	Message []byte
+	// NeedFlowControl is true right after a first frame: the receiver
+	// should answer with an FC frame.
+	NeedFlowControl bool
+}
+
+// Feed consumes one frame's data field. Flow-control frames are ignored
+// (they belong to the opposite direction). A new first or single frame
+// aborts any partial reassembly in progress, which mirrors how tools
+// recover from lost frames.
+func (r *Reassembler) Feed(data []byte) (Result, error) {
+	switch Classify(data) {
+	case SingleFrame:
+		r.abort()
+		n := int(data[0] & 0x0F)
+		msg := make([]byte, n)
+		copy(msg, data[1:1+n])
+		r.completed++
+		return Result{Message: msg}, nil
+
+	case FirstFrame:
+		r.abort()
+		r.expected = int(data[0]&0x0F)<<8 | int(data[1])
+		minLen := r.MinMultiFrameLen
+		if minLen == 0 {
+			minLen = MaxSingleFrame + 1
+		}
+		if r.expected < minLen {
+			r.errors++
+			return Result{}, fmt.Errorf("%w: first frame with length %d", ErrUnexpectedFrame, r.expected)
+		}
+		n := len(data) - 2
+		if n > firstFrameData {
+			n = firstFrameData
+		}
+		r.buf = append(r.buf[:0], data[2:2+n]...)
+		r.nextSeq = 1
+		r.inFlight = true
+		return Result{NeedFlowControl: true}, nil
+
+	case ConsecutiveFrame:
+		if !r.inFlight {
+			r.errors++
+			return Result{}, fmt.Errorf("%w: consecutive frame without first frame", ErrUnexpectedFrame)
+		}
+		seq := data[0] & 0x0F
+		if seq != r.nextSeq {
+			r.abort()
+			r.errors++
+			return Result{}, fmt.Errorf("%w: got %d want %d", ErrBadSequence, seq, r.nextSeq)
+		}
+		r.nextSeq = (r.nextSeq + 1) & 0x0F
+		remaining := r.expected - len(r.buf)
+		n := len(data) - 1
+		if n > remaining {
+			n = remaining
+		}
+		r.buf = append(r.buf, data[1:1+n]...)
+		if len(r.buf) >= r.expected {
+			msg := make([]byte, r.expected)
+			copy(msg, r.buf)
+			r.abort()
+			r.completed++
+			return Result{Message: msg}, nil
+		}
+		return Result{}, nil
+
+	case FlowControlFrame:
+		return Result{}, nil
+
+	default:
+		r.errors++
+		return Result{}, fmt.Errorf("%w: %d bytes, pci %#x", ErrTruncatedFrame, len(data), firstByte(data))
+	}
+}
+
+func firstByte(data []byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[0]
+}
+
+// InFlight reports whether a multi-frame reassembly is in progress.
+func (r *Reassembler) InFlight() bool { return r.inFlight }
+
+// Completed reports how many messages this reassembler has produced.
+func (r *Reassembler) Completed() int { return r.completed }
+
+// Errors reports how many malformed or out-of-order frames were seen.
+func (r *Reassembler) Errors() int { return r.errors }
+
+func (r *Reassembler) abort() {
+	r.buf = r.buf[:0]
+	r.expected = 0
+	r.nextSeq = 0
+	r.inFlight = false
+}

@@ -1,0 +1,319 @@
+package isotp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want FrameType
+	}{
+		{"empty", nil, Invalid},
+		{"sf len 1", []byte{0x01, 0xAA}, SingleFrame},
+		{"sf len 7", []byte{0x07, 1, 2, 3, 4, 5, 6, 7}, SingleFrame},
+		{"sf len 0 invalid", []byte{0x00}, Invalid},
+		{"sf len 8 invalid", []byte{0x08, 1, 2, 3, 4, 5, 6, 7}, Invalid},
+		{"sf truncated", []byte{0x03, 1}, Invalid},
+		{"ff", []byte{0x10, 0x14, 1, 2, 3, 4, 5, 6}, FirstFrame},
+		{"ff truncated", []byte{0x10}, Invalid},
+		{"cf", []byte{0x21, 1, 2, 3, 4, 5, 6, 7}, ConsecutiveFrame},
+		{"fc cts", []byte{0x30, 0x00, 0x00}, FlowControlFrame},
+		{"fc truncated", []byte{0x30, 0x00}, Invalid},
+		{"reserved pci", []byte{0x40}, Invalid},
+		{"reserved pci f", []byte{0xF0}, Invalid},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.data); got != c.want {
+				t.Fatalf("Classify(% X) = %v, want %v", c.data, got, c.want)
+			}
+		})
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	pairs := map[FrameType]string{
+		SingleFrame: "SF", FirstFrame: "FF", ConsecutiveFrame: "CF",
+		FlowControlFrame: "FC", Invalid: "invalid",
+	}
+	for ft, want := range pairs {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func TestSegmentSingleFrame(t *testing.T) {
+	frames, err := Segment([]byte{0x22, 0xF4, 0x0D}, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	want := []byte{0x03, 0x22, 0xF4, 0x0D, 0xAA, 0xAA, 0xAA, 0xAA}
+	if !bytes.Equal(frames[0], want) {
+		t.Fatalf("frame = % X, want % X", frames[0], want)
+	}
+}
+
+func TestSegmentMultiFrame(t *testing.T) {
+	payload := make([]byte, 20)
+	for i := range payload {
+		payload[i] = byte(i + 1)
+	}
+	frames, err := Segment(payload, 0x00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 bytes: FF carries 6, then CFs carry 7+7 → 3 frames total.
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	if frames[0][0] != 0x10 || frames[0][1] != 20 {
+		t.Fatalf("FF header = % X", frames[0][:2])
+	}
+	if frames[1][0] != 0x21 || frames[2][0] != 0x22 {
+		t.Fatalf("CF sequence bytes = %#x, %#x", frames[1][0], frames[2][0])
+	}
+}
+
+func TestSegmentSequenceWraps(t *testing.T) {
+	// 6 + 7*16 = 118 bytes means the 16th CF wraps its sequence to 0x20.
+	payload := make([]byte, 6+7*16)
+	frames, err := Segment(payload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := frames[len(frames)-1]
+	if last[0] != 0x20 {
+		t.Fatalf("16th CF pci = %#x, want 0x20 (sequence wrap)", last[0])
+	}
+}
+
+func TestSegmentErrors(t *testing.T) {
+	if _, err := Segment(nil, 0); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("empty: err = %v", err)
+	}
+	if _, err := Segment(make([]byte, MaxPayload+1), 0); !errors.Is(err, ErrPayloadTooLong) {
+		t.Fatalf("too long: err = %v", err)
+	}
+}
+
+func TestFlowControlRoundTrip(t *testing.T) {
+	data := EncodeFlowControl(ContinueToSend, 4, 20)
+	fc, err := DecodeFlowControl(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Status != ContinueToSend || fc.BlockSize != 4 || fc.STmin != 20*time.Millisecond {
+		t.Fatalf("fc = %+v", fc)
+	}
+}
+
+func TestDecodeFlowControlSTminMicroseconds(t *testing.T) {
+	fc, err := DecodeFlowControl([]byte{0x30, 0, 0xF3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.STmin != 300*time.Microsecond {
+		t.Fatalf("STmin = %v, want 300µs", fc.STmin)
+	}
+}
+
+func TestDecodeFlowControlReservedSTmin(t *testing.T) {
+	fc, err := DecodeFlowControl([]byte{0x31, 0, 0x80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Status != Wait {
+		t.Fatalf("status = %v, want Wait", fc.Status)
+	}
+	if fc.STmin != 127*time.Millisecond {
+		t.Fatalf("reserved STmin = %v, want 127ms", fc.STmin)
+	}
+}
+
+func TestDecodeFlowControlRejectsOthers(t *testing.T) {
+	if _, err := DecodeFlowControl([]byte{0x02, 1, 2}); !errors.Is(err, ErrNotFlowControl) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReassembleSingleFrame(t *testing.T) {
+	var r Reassembler
+	res, err := r.Feed([]byte{0x02, 0x10, 0x03, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Message, []byte{0x10, 0x03}) {
+		t.Fatalf("message = % X", res.Message)
+	}
+	if r.Completed() != 1 {
+		t.Fatalf("Completed = %d", r.Completed())
+	}
+}
+
+func TestReassembleMultiFrame(t *testing.T) {
+	payload := make([]byte, 50)
+	for i := range payload {
+		payload[i] = byte(200 - i)
+	}
+	frames, _ := Segment(payload, 0xCC)
+	var r Reassembler
+	var got []byte
+	for i, f := range frames {
+		res, err := r.Feed(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if i == 0 && !res.NeedFlowControl {
+			t.Fatal("first frame did not request flow control")
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled % X, want % X", got, payload)
+	}
+}
+
+func TestReassembleBadSequence(t *testing.T) {
+	var r Reassembler
+	_, err := r.Feed([]byte{0x10, 0x14, 1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Feed([]byte{0x23, 7, 8, 9, 10, 11, 12, 13}) // seq 3, want 1
+	if !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("err = %v, want ErrBadSequence", err)
+	}
+	if r.InFlight() {
+		t.Fatal("reassembler still in flight after sequence error")
+	}
+	if r.Errors() != 1 {
+		t.Fatalf("Errors = %d, want 1", r.Errors())
+	}
+}
+
+func TestReassembleCFWithoutFF(t *testing.T) {
+	var r Reassembler
+	_, err := r.Feed([]byte{0x21, 1, 2, 3, 4, 5, 6, 7})
+	if !errors.Is(err, ErrUnexpectedFrame) {
+		t.Fatalf("err = %v, want ErrUnexpectedFrame", err)
+	}
+}
+
+func TestReassembleFFWithShortLengthRejected(t *testing.T) {
+	var r Reassembler
+	_, err := r.Feed([]byte{0x10, 0x05, 1, 2, 3, 4, 5, 6})
+	if !errors.Is(err, ErrUnexpectedFrame) {
+		t.Fatalf("err = %v, want ErrUnexpectedFrame (FF length must exceed SF capacity)", err)
+	}
+}
+
+func TestReassembleNewFFAbortsPartial(t *testing.T) {
+	var r Reassembler
+	if _, err := r.Feed([]byte{0x10, 0x14, 1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh FF replaces the stalled transfer.
+	payload := make([]byte, 10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames, _ := Segment(payload, 0)
+	var got []byte
+	for _, f := range frames {
+		res, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got % X, want % X", got, payload)
+	}
+}
+
+func TestReassembleIgnoresFlowControl(t *testing.T) {
+	var r Reassembler
+	res, err := r.Feed(EncodeFlowControl(ContinueToSend, 0, 0))
+	if err != nil || res.Message != nil || res.NeedFlowControl {
+		t.Fatalf("FC frame not ignored: res=%+v err=%v", res, err)
+	}
+}
+
+func TestReassembleInvalidFrame(t *testing.T) {
+	var r Reassembler
+	if _, err := r.Feed([]byte{0x90, 1, 2}); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+// Property: Segment → Reassemble is the identity for every payload size in
+// range.
+func TestSegmentReassembleRoundTripProperty(t *testing.T) {
+	f := func(raw []byte, pad byte) bool {
+		if len(raw) == 0 || len(raw) > MaxPayload {
+			return true // out of protocol range; skip
+		}
+		frames, err := Segment(raw, pad)
+		if err != nil {
+			return false
+		}
+		var r Reassembler
+		for _, fr := range frames {
+			res, err := r.Feed(fr)
+			if err != nil {
+				return false
+			}
+			if res.Message != nil {
+				return bytes.Equal(res.Message, raw)
+			}
+		}
+		return false // never completed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every boundary payload size round-trips (exhaustive over the
+// interesting sizes: SF/FF boundary, CF boundaries, max).
+func TestSegmentReassembleBoundarySizes(t *testing.T) {
+	sizes := []int{1, 6, 7, 8, 12, 13, 14, 20, 21, 62, 63, 4094, 4095}
+	for _, n := range sizes {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		frames, err := Segment(payload, 0x55)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		var r Reassembler
+		var got []byte
+		for _, fr := range frames {
+			res, err := r.Feed(fr)
+			if err != nil {
+				t.Fatalf("size %d: %v", n, err)
+			}
+			if res.Message != nil {
+				got = res.Message
+			}
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: round trip failed", n)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package kwp
+
+import "fmt"
+
+// Server is a KWP 2000 application-layer dispatcher, the KWP analogue of
+// uds.Server. The VAG vehicles in the fleet embed one per ECU behind a VW
+// TP 2.0 channel.
+type Server struct {
+	// ReadLocal resolves a local identifier to its current ESV list.
+	// Return ok=false for unsupported identifiers.
+	ReadLocal func(localID byte) (esvs []ESV, ok bool)
+	// IOControl executes an actuator-control request; return rc != 0 to
+	// reject.
+	IOControl func(req IOControlRequest) (status []byte, rc byte)
+	// Identification returns the ECU identification string for an option
+	// ("" = option unsupported).
+	Identification func(option byte) string
+
+	session byte
+}
+
+// NewServer returns a server in the default session.
+func NewServer() *Server { return &Server{session: 0x81} }
+
+// Session reports the active KWP session (0x81 default, 0x89 extended —
+// the manufacturer-specific convention the fleet uses).
+func (s *Server) Session() byte {
+	if s.session == 0 {
+		return 0x81
+	}
+	return s.session
+}
+
+// Handle processes one request payload and returns the response payload.
+func (s *Server) Handle(req []byte) []byte {
+	if len(req) == 0 {
+		return BuildNegativeResponse(0, RCIncorrectMessageLength)
+	}
+	sid := req[0]
+	switch sid {
+	case SIDStartDiagnosticSession:
+		if len(req) != 2 {
+			return BuildNegativeResponse(sid, RCIncorrectMessageLength)
+		}
+		s.session = req[1]
+		return []byte{PositiveResponseSID(sid), req[1]}
+	case SIDTesterPresent:
+		return []byte{PositiveResponseSID(sid)}
+	case SIDECUReset:
+		s.session = 0x81
+		return []byte{PositiveResponseSID(sid)}
+	case SIDReadECUIdentification:
+		if len(req) != 2 {
+			return BuildNegativeResponse(sid, RCIncorrectMessageLength)
+		}
+		if s.Identification == nil {
+			return BuildNegativeResponse(sid, RCServiceNotSupported)
+		}
+		ident := s.Identification(req[1])
+		if ident == "" {
+			return BuildNegativeResponse(sid, RCRequestOutOfRange)
+		}
+		return BuildIdentResponse(req[1], ident)
+	case SIDReadDataByLocalIdentifier:
+		return s.handleRead(req)
+	case SIDIOControlByLocalIdentifier, SIDIOControlByCommonIdentifier:
+		return s.handleIOControl(req)
+	default:
+		return BuildNegativeResponse(sid, RCServiceNotSupported)
+	}
+}
+
+func (s *Server) handleRead(req []byte) []byte {
+	localID, err := ParseReadRequest(req)
+	if err != nil {
+		return BuildNegativeResponse(SIDReadDataByLocalIdentifier, RCIncorrectMessageLength)
+	}
+	if s.ReadLocal == nil {
+		return BuildNegativeResponse(SIDReadDataByLocalIdentifier, RCConditionsNotCorrect)
+	}
+	esvs, ok := s.ReadLocal(localID)
+	if !ok {
+		return BuildNegativeResponse(SIDReadDataByLocalIdentifier, RCRequestOutOfRange)
+	}
+	return BuildReadResponse(localID, esvs)
+}
+
+func (s *Server) handleIOControl(req []byte) []byte {
+	parsed, err := ParseIOControlRequest(req)
+	if err != nil {
+		return BuildNegativeResponse(req[0], RCIncorrectMessageLength)
+	}
+	if s.IOControl == nil {
+		return BuildNegativeResponse(req[0], RCConditionsNotCorrect)
+	}
+	status, rc := s.IOControl(parsed)
+	if rc != 0 {
+		return BuildNegativeResponse(req[0], rc)
+	}
+	return BuildIOControlResponse(parsed, status)
+}
+
+// RequestName renders a KWP request mnemonically.
+func RequestName(req []byte) string {
+	if len(req) == 0 {
+		return "empty"
+	}
+	switch req[0] {
+	case SIDStartDiagnosticSession:
+		return "startDiagnosticSession"
+	case SIDReadECUIdentification:
+		return "readECUIdentification"
+	case SIDECUReset:
+		return "ecuReset"
+	case SIDReadDataByLocalIdentifier:
+		return "readDataByLocalIdentifier"
+	case SIDIOControlByCommonIdentifier:
+		return "inputOutputControlByCommonIdentifier"
+	case SIDIOControlByLocalIdentifier:
+		return "inputOutputControlByLocalIdentifier"
+	case SIDTesterPresent:
+		return "testerPresent"
+	default:
+		return fmt.Sprintf("service(%#02x)", req[0])
+	}
+}

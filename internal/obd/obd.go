@@ -1,0 +1,210 @@
+// Package obd implements the OBD-II (SAE J1979 / ISO 15031) mode-01 live
+// data service. The paper does not reverse engineer OBD-II — its formulas
+// are standardised — but uses it in two load-bearing ways this package
+// supports:
+//
+//   - as ground truth for validating the formula-inference pipeline
+//     (Table 5: seven PIDs whose J1979 formulas are known exactly), and
+//   - as the timestamp-alignment anchor between CAN captures and UI video
+//     (§9.4 method 2: decode OBD-II responses whose formulas are known,
+//     find the same value on screen, and measure the clock offset).
+package obd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mode 01 request/response service bytes.
+const (
+	ModeCurrentData byte = 0x01
+	// ResponseSID is the positive-response SID for mode 01.
+	ResponseSID byte = 0x41
+)
+
+// Functional and physical addressing IDs on 11-bit CAN.
+const (
+	// FunctionalRequestID is the broadcast request ID (0x7DF).
+	FunctionalRequestID uint32 = 0x7DF
+	// FirstResponseID is the first ECU response ID (0x7E8).
+	FirstResponseID uint32 = 0x7E8
+)
+
+// The seven Table 5 PIDs.
+const (
+	PIDEngineLoad        byte = 0x04
+	PIDCoolantTemp       byte = 0x05
+	PIDIntakeManifoldKPa byte = 0x0B
+	PIDEngineRPM         byte = 0x0C
+	PIDVehicleSpeed      byte = 0x0D
+	PIDThrottlePosition  byte = 0x11
+	PIDFuelTankLevel     byte = 0x2F
+)
+
+// Codec errors.
+var (
+	ErrTooShort   = errors.New("obd: message too short")
+	ErrNotMode01  = errors.New("obd: message is not a mode-01 exchange")
+	ErrUnknownPID = errors.New("obd: unsupported PID")
+	ErrBadWidth   = errors.New("obd: response data width mismatch")
+)
+
+// PIDSpec describes one mode-01 parameter: its wire width and the J1979
+// formula in both directions.
+type PIDSpec struct {
+	PID   byte
+	Name  string
+	Unit  string
+	Width int
+	// Formula is the human-readable decode formula over the data bytes
+	// A (X0) and B (X1), as printed in Table 5's ground-truth column.
+	Formula string
+	// Decode converts raw data bytes to the physical value.
+	Decode func(data []byte) float64
+	// Encode converts a physical value to raw data bytes (the vehicle
+	// simulator's direction).
+	Encode func(v float64) []byte
+	// Min and Max bound the physical value (used by the OCR range filter,
+	// which the paper seeds from public PID tables).
+	Min, Max float64
+}
+
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(math.Round(v))
+}
+
+// pidTable is the SAE J1979 registry for the PIDs the paper evaluates.
+var pidTable = map[byte]PIDSpec{
+	PIDEngineLoad: {
+		PID: PIDEngineLoad, Name: "Calculated Engine Load", Unit: "%", Width: 1,
+		Formula: "Y = X/2.55",
+		Decode:  func(d []byte) float64 { return float64(d[0]) / 2.55 },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v * 2.55)} },
+		Min:     0, Max: 100,
+	},
+	PIDCoolantTemp: {
+		PID: PIDCoolantTemp, Name: "Engine Coolant Temperature", Unit: "°C", Width: 1,
+		Formula: "Y = X-40",
+		Decode:  func(d []byte) float64 { return float64(d[0]) - 40 },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v + 40)} },
+		Min:     -40, Max: 215,
+	},
+	PIDIntakeManifoldKPa: {
+		PID: PIDIntakeManifoldKPa, Name: "Intake Manifold Absolute Pressure", Unit: "kPa", Width: 1,
+		Formula: "Y = X",
+		Decode:  func(d []byte) float64 { return float64(d[0]) },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v)} },
+		Min:     0, Max: 255,
+	},
+	PIDEngineRPM: {
+		PID: PIDEngineRPM, Name: "Engine Speed", Unit: "rpm", Width: 2,
+		Formula: "Y = (256*X0+X1)/4",
+		Decode:  func(d []byte) float64 { return (256*float64(d[0]) + float64(d[1])) / 4 },
+		Encode: func(v float64) []byte {
+			raw := int(math.Round(v * 4))
+			if raw < 0 {
+				raw = 0
+			}
+			if raw > 0xFFFF {
+				raw = 0xFFFF
+			}
+			return []byte{byte(raw >> 8), byte(raw)}
+		},
+		Min: 0, Max: 16383.75,
+	},
+	PIDVehicleSpeed: {
+		PID: PIDVehicleSpeed, Name: "Vehicle Speed", Unit: "km/h", Width: 1,
+		Formula: "Y = X",
+		Decode:  func(d []byte) float64 { return float64(d[0]) },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v)} },
+		Min:     0, Max: 255,
+	},
+	PIDThrottlePosition: {
+		PID: PIDThrottlePosition, Name: "Absolute Throttle Position", Unit: "%", Width: 1,
+		Formula: "Y = X/2.55",
+		Decode:  func(d []byte) float64 { return float64(d[0]) / 2.55 },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v * 2.55)} },
+		Min:     0, Max: 100,
+	},
+	PIDFuelTankLevel: {
+		PID: PIDFuelTankLevel, Name: "Fuel Tank Level Input", Unit: "%", Width: 1,
+		Formula: "Y = 0.392*X",
+		Decode:  func(d []byte) float64 { return 0.392 * float64(d[0]) },
+		Encode:  func(v float64) []byte { return []byte{clampByte(v / 0.392)} },
+		Min:     0, Max: 100,
+	},
+}
+
+// Lookup returns the spec for pid.
+func Lookup(pid byte) (PIDSpec, bool) {
+	s, ok := pidTable[pid]
+	return s, ok
+}
+
+// PIDs lists the supported PIDs in ascending order.
+func PIDs() []byte {
+	out := make([]byte, 0, len(pidTable))
+	for pid := range pidTable {
+		out = append(out, pid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// BuildRequest builds a mode-01 request: "01 {PID}".
+func BuildRequest(pid byte) []byte {
+	return []byte{ModeCurrentData, pid}
+}
+
+// ParseRequest decodes a mode-01 request.
+func ParseRequest(msg []byte) (pid byte, err error) {
+	if len(msg) < 2 {
+		return 0, ErrTooShort
+	}
+	if msg[0] != ModeCurrentData {
+		return 0, fmt.Errorf("%w: mode %#02x", ErrNotMode01, msg[0])
+	}
+	return msg[1], nil
+}
+
+// BuildResponse encodes a physical value as "41 {PID} {data}".
+func BuildResponse(pid byte, value float64) ([]byte, error) {
+	spec, ok := pidTable[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#02x", ErrUnknownPID, pid)
+	}
+	out := []byte{ResponseSID, pid}
+	return append(out, spec.Encode(value)...), nil
+}
+
+// ParseResponse decodes "41 {PID} {data}" to the physical value using the
+// standard formula.
+func ParseResponse(msg []byte) (pid byte, value float64, err error) {
+	if len(msg) < 3 {
+		return 0, 0, ErrTooShort
+	}
+	if msg[0] != ResponseSID {
+		return 0, 0, fmt.Errorf("%w: sid %#02x", ErrNotMode01, msg[0])
+	}
+	pid = msg[1]
+	spec, ok := pidTable[pid]
+	if !ok {
+		return pid, 0, fmt.Errorf("%w: %#02x", ErrUnknownPID, pid)
+	}
+	data := msg[2:]
+	if len(data) != spec.Width {
+		return pid, 0, fmt.Errorf("%w: pid %#02x got %d bytes want %d", ErrBadWidth, pid, len(data), spec.Width)
+	}
+	return pid, spec.Decode(data), nil
+}

@@ -1,0 +1,147 @@
+package obd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDsSortedAndComplete(t *testing.T) {
+	pids := PIDs()
+	want := []byte{0x04, 0x05, 0x0B, 0x0C, 0x0D, 0x11, 0x2F}
+	if len(pids) != len(want) {
+		t.Fatalf("PIDs() = % X, want % X", pids, want)
+	}
+	for i := range want {
+		if pids[i] != want[i] {
+			t.Fatalf("PIDs() = % X, want % X", pids, want)
+		}
+	}
+}
+
+func TestBuildParseRequest(t *testing.T) {
+	req := BuildRequest(PIDEngineRPM)
+	if !bytes.Equal(req, []byte{0x01, 0x0C}) {
+		t.Fatalf("request = % X", req)
+	}
+	pid, err := ParseRequest(req)
+	if err != nil || pid != PIDEngineRPM {
+		t.Fatalf("parsed = %#x, %v", pid, err)
+	}
+	if _, err := ParseRequest([]byte{0x01}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := ParseRequest([]byte{0x09, 0x02}); !errors.Is(err, ErrNotMode01) {
+		t.Fatalf("wrong mode: %v", err)
+	}
+}
+
+func TestTable5Formulas(t *testing.T) {
+	// Table 5 ground truth spot checks.
+	cases := []struct {
+		pid  byte
+		data []byte
+		want float64
+	}{
+		{PIDThrottlePosition, []byte{0xFF}, 100},
+		{PIDEngineLoad, []byte{0x80}, 128 / 2.55},
+		{PIDFuelTankLevel, []byte{100}, 39.2},
+		{PIDEngineRPM, []byte{0x1A, 0xF8}, (256*0x1A + 0xF8) / 4.0},
+		{PIDVehicleSpeed, []byte{33}, 33},
+		{PIDCoolantTemp, []byte{0xA0}, 120},
+		{PIDIntakeManifoldKPa, []byte{35}, 35},
+	}
+	for _, c := range cases {
+		msg := append([]byte{0x41, c.pid}, c.data...)
+		pid, v, err := ParseResponse(msg)
+		if err != nil {
+			t.Fatalf("pid %#02x: %v", c.pid, err)
+		}
+		if pid != c.pid || math.Abs(v-c.want) > 1e-9 {
+			t.Fatalf("pid %#02x: decode = %v, want %v", c.pid, v, c.want)
+		}
+	}
+}
+
+func TestBuildResponseAndErrors(t *testing.T) {
+	resp, err := BuildResponse(PIDVehicleSpeed, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte{0x41, 0x0D, 33}) {
+		t.Fatalf("response = % X", resp)
+	}
+	if _, err := BuildResponse(0xEE, 0); !errors.Is(err, ErrUnknownPID) {
+		t.Fatalf("unknown PID: %v", err)
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	if _, _, err := ParseResponse([]byte{0x41, 0x0D}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short: %v", err)
+	}
+	if _, _, err := ParseResponse([]byte{0x62, 0x0D, 33}); !errors.Is(err, ErrNotMode01) {
+		t.Fatalf("wrong sid: %v", err)
+	}
+	if _, _, err := ParseResponse([]byte{0x41, 0xEE, 33}); !errors.Is(err, ErrUnknownPID) {
+		t.Fatalf("unknown pid: %v", err)
+	}
+	if _, _, err := ParseResponse([]byte{0x41, 0x0C, 33}); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("rpm with 1 byte: %v", err)
+	}
+}
+
+// Property: Encode → Decode round-trips within each PID's quantisation.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	quant := map[byte]float64{
+		PIDEngineLoad:        1 / 2.55,
+		PIDCoolantTemp:       1,
+		PIDIntakeManifoldKPa: 1,
+		PIDEngineRPM:         0.25,
+		PIDVehicleSpeed:      1,
+		PIDThrottlePosition:  1 / 2.55,
+		PIDFuelTankLevel:     0.392,
+	}
+	f := func(raw uint16, pidIdx uint8) bool {
+		pids := PIDs()
+		pid := pids[int(pidIdx)%len(pids)]
+		spec, _ := Lookup(pid)
+		// Map raw onto the PID's physical range.
+		v := spec.Min + (spec.Max-spec.Min)*float64(raw)/65535.0
+		resp, err := BuildResponse(pid, v)
+		if err != nil {
+			return false
+		}
+		_, got, err := ParseResponse(resp)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-v) <= quant[pid]/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupSpecsConsistent(t *testing.T) {
+	for _, pid := range PIDs() {
+		spec, ok := Lookup(pid)
+		if !ok {
+			t.Fatalf("Lookup(%#02x) missing", pid)
+		}
+		if spec.PID != pid {
+			t.Fatalf("spec.PID = %#02x, want %#02x", spec.PID, pid)
+		}
+		if spec.Width < 1 || spec.Width > 2 {
+			t.Fatalf("pid %#02x width %d", pid, spec.Width)
+		}
+		if spec.Name == "" || spec.Formula == "" {
+			t.Fatalf("pid %#02x missing name/formula", pid)
+		}
+		if got := len(spec.Encode(spec.Min)); got != spec.Width {
+			t.Fatalf("pid %#02x encode width %d != %d", pid, got, spec.Width)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package ocr
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one timestamped recognised value of a single quantity.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// FilterRange implements stage one of §3.3's filtering: drop samples
+// outside the quantity's plausible physical range (the paper seeds these
+// ranges from public PID tables; here they come from the tool database's
+// min/max or, for fully unknown quantities, generous defaults).
+func FilterRange(samples []Sample, min, max float64) []Sample {
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if s.Value >= min && s.Value <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FilterOutliers implements stage two: windowed median/MAD rejection.
+// For each sample, the median of its temporal neighbourhood is computed;
+// values far beyond both the local and the series-wide dispersion are
+// rejected. This encodes the paper's observation that an ESV cannot change
+// greatly within a short time, while tolerating both genuine drift and
+// genuinely volatile quantities (whose series-wide MAD is large).
+func FilterOutliers(samples []Sample) []Sample {
+	if len(samples) < 5 {
+		return append([]Sample(nil), samples...)
+	}
+	// Series-wide dispersion: jumps comparable to how much the quantity
+	// moves anyway are not OCR errors.
+	all := make([]float64, len(samples))
+	for i, s := range samples {
+		all[i] = s.Value
+	}
+	globalMed := median(all)
+	globalMAD := medianAbsDev(all, globalMed)
+
+	const window = 3 // neighbours on each side
+	out := make([]Sample, 0, len(samples))
+	for i, s := range samples {
+		lo, hi := i-window, i+window+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		var neigh []float64
+		for j := lo; j < hi; j++ {
+			if j == i {
+				continue
+			}
+			neigh = append(neigh, samples[j].Value)
+		}
+		med := median(neigh)
+		mad := medianAbsDev(neigh, med)
+		tol := math.Max(5*mad, 0.15*math.Abs(med)+0.5)
+		tol = math.Max(tol, 4*globalMAD)
+		if math.Abs(s.Value-med) <= tol {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Filter chains both stages.
+func Filter(samples []Sample, min, max float64) []Sample {
+	return FilterOutliers(FilterRange(samples, min, max))
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func medianAbsDev(vals []float64, med float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	devs := make([]float64, len(vals))
+	for i, v := range vals {
+		devs[i] = math.Abs(v - med)
+	}
+	return median(devs)
+}

@@ -1,0 +1,274 @@
+package reverser
+
+import (
+	"fmt"
+	"time"
+
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/obd"
+	"dpreverser/internal/uds"
+)
+
+// requestSIDs are the application-layer request service IDs the standards
+// define; anything in 0x40..0x7F is a response. This classification needs
+// no knowledge of which CAN IDs belong to which side.
+var requestSIDs = map[byte]bool{
+	0x01:                              true, // OBD mode 01
+	uds.SIDDiagnosticSessionControl:   true,
+	uds.SIDECUReset:                   true,
+	uds.SIDClearDiagnosticInfo:        true,
+	uds.SIDReadDTCInformation:         true,
+	kwp.SIDReadECUIdentification:      true,
+	kwp.SIDReadDataByLocalIdentifier:  true,
+	uds.SIDReadDataByIdentifier:       true,
+	uds.SIDSecurityAccess:             true,
+	uds.SIDWriteDataByIdentifier:      true,
+	uds.SIDIOControlByIdentifier:      true, // also KWP IOCbCID
+	kwp.SIDIOControlByLocalIdentifier: true,
+	uds.SIDRoutineControl:             true,
+	uds.SIDTesterPresent:              true,
+}
+
+// IsRequest classifies an assembled payload.
+func IsRequest(payload []byte) bool {
+	return len(payload) > 0 && requestSIDs[payload[0]]
+}
+
+// ESVObservation is one extracted ECU-signal-value reading: the raw bytes
+// of one identifier's field in one response, with its timestamp.
+type ESVObservation struct {
+	At time.Duration
+	// Key identifies the stream (one reversible quantity).
+	Key StreamKey
+	// Bytes is the raw field value (UDS: the DID's data; KWP: FType, X0,
+	// X1).
+	Bytes []byte
+}
+
+// StreamKey identifies one readable quantity on the wire.
+type StreamKey struct {
+	// Proto is "UDS", "KWP" or "OBD".
+	Proto string
+	// RespID is the CAN ID the responses arrive on (plus BMW address).
+	RespID uint32
+	Addr   byte
+	// DID is set for UDS; PID for OBD.
+	DID uint16
+	// LocalID, Index and FType locate a KWP ESV within its block.
+	LocalID byte
+	Index   int
+	FType   byte
+}
+
+// String renders the key the way the result tables print identifiers.
+func (k StreamKey) String() string {
+	switch k.Proto {
+	case "UDS":
+		return fmt.Sprintf("UDS DID %04X @%03X", k.DID, k.RespID)
+	case "KWP":
+		return fmt.Sprintf("KWP local %02X[%d] ftype %02X @%03X", k.LocalID, k.Index, k.FType, k.RespID)
+	default:
+		return fmt.Sprintf("OBD PID %02X", k.DID)
+	}
+}
+
+// ECRObservation is one captured IO-control request (§4.5's raw material).
+type ECRObservation struct {
+	At time.Duration
+	// Service is 0x2F or 0x30.
+	Service byte
+	// ID is the 2-byte identifier for 0x2F, or the 1-byte local
+	// identifier (zero-extended) for 0x30.
+	ID uint16
+	// Param is the IO control parameter (first control byte).
+	Param byte
+	// State is the remaining control-state bytes.
+	State []byte
+	// Positive reports whether the ECU answered positively.
+	Positive bool
+	// ReqID is the CAN ID the request was sent on.
+	ReqID uint32
+}
+
+// Extraction is the output of field extraction over a whole capture.
+type Extraction struct {
+	ESVs []ESVObservation
+	ECRs []ECRObservation
+	// Requests counts request messages by service ID.
+	Requests map[byte]int
+	// NegativeResponses counts 0x7F responses by rejected service.
+	NegativeResponses map[byte]int
+}
+
+// ExtractFields implements §3.2 Step 3 over an assembled message stream:
+// it pairs responses with the most recent matching request and splits the
+// payloads into manufacturer-defined fields.
+func ExtractFields(messages []Message) *Extraction {
+	out := &Extraction{
+		Requests:          map[byte]int{},
+		NegativeResponses: map[byte]int{},
+	}
+	// pending tracks, per conversation stream, the latest request awaiting
+	// its response. Streams are keyed by transport identity so interleaved
+	// polls to different ECUs do not cross-pair.
+	type pendingReq struct {
+		msg Message
+	}
+	pending := map[string]pendingReq{}
+	// pendingECR holds IO-control requests awaiting the positive/negative
+	// verdict.
+	type pendingIO struct {
+		obs ECRObservation
+	}
+	pendingIOs := map[string]pendingIO{}
+
+	streamKeyOf := func(m Message) string {
+		// Requests and responses travel on different CAN IDs (and, for
+		// BMW, carry each other's addresses), but a capture's conversation
+		// is serialised per transport kind — tools wait for each response
+		// before the next request — which suffices for pairing.
+		return fmt.Sprintf("%d", m.Transport)
+	}
+
+	for _, m := range messages {
+		if len(m.Payload) == 0 {
+			continue
+		}
+		sid := m.Payload[0]
+		if IsRequest(m.Payload) {
+			out.Requests[sid]++
+			key := streamKeyOf(m)
+			pending[key] = pendingReq{msg: m}
+			switch sid {
+			case uds.SIDIOControlByIdentifier:
+				if len(m.Payload) >= 4 {
+					obs := ECRObservation{
+						At: m.At, Service: sid, ReqID: m.ID,
+						ID:    uint16(m.Payload[1])<<8 | uint16(m.Payload[2]),
+						Param: m.Payload[3],
+					}
+					if len(m.Payload) > 4 {
+						obs.State = append([]byte(nil), m.Payload[4:]...)
+					}
+					pendingIOs[key] = pendingIO{obs: obs}
+				}
+			case kwp.SIDIOControlByLocalIdentifier:
+				if len(m.Payload) >= 3 {
+					obs := ECRObservation{
+						At: m.At, Service: sid, ReqID: m.ID,
+						ID:    uint16(m.Payload[1]),
+						Param: m.Payload[2],
+					}
+					if len(m.Payload) > 3 {
+						obs.State = append([]byte(nil), m.Payload[3:]...)
+					}
+					pendingIOs[key] = pendingIO{obs: obs}
+				}
+			}
+			continue
+		}
+
+		// Response path.
+		key := streamKeyOf(m)
+		if sid == uds.NegativeResponseSID {
+			if len(m.Payload) >= 2 {
+				out.NegativeResponses[m.Payload[1]]++
+				if io, ok := pendingIOs[key]; ok &&
+					(m.Payload[1] == uds.SIDIOControlByIdentifier || m.Payload[1] == kwp.SIDIOControlByLocalIdentifier) {
+					io.obs.Positive = false
+					out.ECRs = append(out.ECRs, io.obs)
+					delete(pendingIOs, key)
+				}
+			}
+			continue
+		}
+		req, ok := pending[key]
+		if !ok || req.msg.Payload[0]+0x40 != sid {
+			continue // orphan response
+		}
+		delete(pending, key)
+
+		switch sid {
+		case obd.ResponseSID:
+			if pid, _, err := obd.ParseResponse(m.Payload); err == nil {
+				out.ESVs = append(out.ESVs, ESVObservation{
+					At:    m.At,
+					Key:   StreamKey{Proto: "OBD", RespID: m.ID, DID: uint16(pid)},
+					Bytes: append([]byte(nil), m.Payload[2:]...),
+				})
+			}
+
+		case uds.PositiveResponseSID(uds.SIDReadDataByIdentifier):
+			dids, err := uds.ParseRDBIRequest(req.msg.Payload)
+			if err != nil {
+				continue
+			}
+			records, err := uds.ParseRDBIResponse(m.Payload, dids)
+			if err != nil {
+				continue
+			}
+			for _, rec := range records {
+				out.ESVs = append(out.ESVs, ESVObservation{
+					At:    m.At,
+					Key:   StreamKey{Proto: "UDS", RespID: m.ID, Addr: m.Addr, DID: rec.DID},
+					Bytes: rec.Data,
+				})
+			}
+
+		case kwp.PositiveResponseSID(kwp.SIDReadDataByLocalIdentifier):
+			localID, esvs, err := kwp.ParseReadResponse(m.Payload)
+			if err != nil {
+				continue
+			}
+			for i, e := range esvs {
+				out.ESVs = append(out.ESVs, ESVObservation{
+					At: m.At,
+					Key: StreamKey{Proto: "KWP", RespID: m.ID, Addr: m.Addr,
+						LocalID: localID, Index: i, FType: e.FType},
+					Bytes: []byte{e.FType, e.X0, e.X1},
+				})
+			}
+
+		case uds.PositiveResponseSID(uds.SIDIOControlByIdentifier),
+			kwp.PositiveResponseSID(kwp.SIDIOControlByLocalIdentifier):
+			if io, ok := pendingIOs[key]; ok {
+				io.obs.Positive = true
+				out.ECRs = append(out.ECRs, io.obs)
+				delete(pendingIOs, key)
+			}
+		}
+	}
+	return out
+}
+
+// Variables converts an observation's raw bytes into the formula-inference
+// variable vector, following §3.5 Step 1: "each ESV X is an integer value
+// for UDS and each ESV contains two integer values for KWP 2000". UDS
+// fields collapse to one big-endian integer; KWP ESVs expose X0 and X1
+// (the formula-type byte is structural — it selects, not feeds, the
+// formula); OBD data keeps one variable per byte, matching Table 5's
+// two-variable ground-truth formulas.
+func (o ESVObservation) Variables() []float64 {
+	switch o.Key.Proto {
+	case "KWP":
+		if len(o.Bytes) != kwp.ESVSize {
+			return nil
+		}
+		return []float64{float64(o.Bytes[1]), float64(o.Bytes[2])}
+	case "UDS":
+		if len(o.Bytes) == 0 || len(o.Bytes) > 4 {
+			return nil
+		}
+		raw := 0.0
+		for _, b := range o.Bytes {
+			raw = raw*256 + float64(b)
+		}
+		return []float64{raw}
+	default:
+		vars := make([]float64, len(o.Bytes))
+		for i, b := range o.Bytes {
+			vars[i] = float64(b)
+		}
+		return vars
+	}
+}

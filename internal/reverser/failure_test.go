@@ -1,0 +1,220 @@
+package reverser
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/diagtool"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/vehicle"
+)
+
+// dropFrames removes a fraction of frames at deterministic positions —
+// a lossy sniffer, the classic capture-hardware failure.
+func dropFrames(frames []can.Frame, every int) []can.Frame {
+	var out []can.Frame
+	for i, f := range frames {
+		if every > 0 && i%every == 0 {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestReverseSurvivesFrameLoss(t *testing.T) {
+	cap, veh := collect(t, "Car M")
+	lossy := cap
+	lossy.Frames = dropFrames(cap.Frames, 23) // ~4.3% loss
+	res, err := Reverse(lossy, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assembly errors are expected (broken multi-frame transfers), but the
+	// pipeline must not collapse: most streams still recover.
+	udsStreams := 0
+	withInfo := 0
+	for _, e := range res.ESVs {
+		if e.Key.Proto != "UDS" {
+			continue
+		}
+		udsStreams++
+		if e.Enum || e.Formula != nil {
+			withInfo++
+		}
+	}
+	want := veh.Profile.NumFormulaESVs + veh.Profile.NumEnumESVs
+	if udsStreams < want*3/4 {
+		t.Fatalf("recovered %d/%d streams under 4%% frame loss", udsStreams, want)
+	}
+	if withInfo < udsStreams/2 {
+		t.Fatalf("only %d/%d streams carry information", withInfo, udsStreams)
+	}
+}
+
+func TestReverseSurvivesVideoLoss(t *testing.T) {
+	cap, _ := collect(t, "Car M")
+	lossy := cap
+	// Drop half the video frames (camera hiccups).
+	var kept = lossy.UIFrames[:0:0]
+	for i, f := range lossy.UIFrames {
+		if i%2 == 0 {
+			kept = append(kept, f)
+		}
+	}
+	lossy.UIFrames = kept
+	res, err := Reverse(lossy, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	formulas := 0
+	for _, e := range res.ESVs {
+		if e.Formula != nil {
+			formulas++
+		}
+	}
+	if formulas == 0 {
+		t.Fatal("no formulas recovered with half the video missing")
+	}
+}
+
+func TestReverseHandlesEmptyCapture(t *testing.T) {
+	res, err := Reverse(rig.Capture{Car: "empty"}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ESVs) != 0 || len(res.ECRs) != 0 || res.Messages != 0 {
+		t.Fatalf("empty capture produced %+v", res)
+	}
+}
+
+func TestReverseHandlesTrafficOnlyCapture(t *testing.T) {
+	// Traffic without video: fields extract, but no semantics and no
+	// formulas — the paper's limitation (1): both sides are required.
+	cap, _ := collect(t, "Car M")
+	cap.UIFrames = nil
+	res, err := Reverse(cap, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.ESVs {
+		if e.Formula != nil {
+			t.Fatalf("formula recovered without video: %v", e.Key)
+		}
+	}
+	if res.Messages == 0 {
+		t.Fatal("assembly should still work without video")
+	}
+}
+
+func TestReverseWithGarbageTrafficInjected(t *testing.T) {
+	cap, _ := collect(t, "Car M")
+	rng := rand.New(rand.NewSource(31))
+	// Interleave random noise frames (a chatty body-CAN segment leaking
+	// through the gateway).
+	var noisy []can.Frame
+	for _, f := range cap.Frames {
+		noisy = append(noisy, f)
+		if rng.Intn(3) == 0 {
+			data := make([]byte, 8)
+			rng.Read(data)
+			nf := can.MustFrame(uint32(0x100+rng.Intn(0x80)), data)
+			nf.Timestamp = f.Timestamp
+			noisy = append(noisy, nf)
+		}
+	}
+	cap.Frames = noisy
+	res, err := Reverse(cap, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	formulas := 0
+	for _, e := range res.ESVs {
+		if e.Formula != nil {
+			formulas++
+		}
+	}
+	if formulas < 8 {
+		t.Fatalf("noise frames broke recovery: %d formulas", formulas)
+	}
+}
+
+func TestReverseWithHeavyOCRNoise(t *testing.T) {
+	// Ten-fold the low-quality error rate: the pipeline must degrade, not
+	// produce confidently wrong output — streams either recover a correct
+	// formula or none.
+	p, _ := vehicle.ProfileByCar("Car M")
+	clock := sim.NewClock(0)
+	tool, veh, err := diagtool.ForProfile(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tool.Close()
+	defer veh.Close()
+	cfg := rig.DefaultConfig()
+	cfg.ReadDuration = 15 * time.Second
+	cfg.AlignDuration = 6 * time.Second
+	cfg.ValueErrProb = 0.15
+	r := rig.New(tool, veh, cfg)
+	defer r.Close()
+	cap, err := r.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reverse(cap, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels survive via majority vote; at least some formulas survive the
+	// filtering.
+	named := 0
+	for _, e := range res.ESVs {
+		if e.Label != "" {
+			named++
+		}
+	}
+	if named < len(res.ESVs)/2 {
+		t.Fatalf("labels lost under heavy noise: %d/%d", named, len(res.ESVs))
+	}
+}
+
+func TestReverseWithLargeCameraSkew(t *testing.T) {
+	p, _ := vehicle.ProfileByCar("Car M")
+	clock := sim.NewClock(0)
+	tool, veh, err := diagtool.ForProfile(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tool.Close()
+	defer veh.Close()
+	cfg := rig.DefaultConfig()
+	cfg.ReadDuration = 15 * time.Second
+	cfg.AlignDuration = 8 * time.Second
+	cfg.CameraOffset = 3 * time.Second // badly unsynchronised camera
+	r := rig.New(tool, veh, cfg)
+	defer r.Close()
+	cap, err := r.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reverse(cap, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OBD anchoring must absorb the skew.
+	if res.Offset < 3*time.Second || res.Offset > 4*time.Second {
+		t.Fatalf("estimated offset %v for a 3s skew", res.Offset)
+	}
+	formulas := 0
+	for _, e := range res.ESVs {
+		if e.Formula != nil {
+			formulas++
+		}
+	}
+	if formulas < 8 {
+		t.Fatalf("3s camera skew broke recovery: %d formulas", formulas)
+	}
+}

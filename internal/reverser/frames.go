@@ -1,0 +1,237 @@
+// Package reverser implements DP-Reverser's analysis pipeline (§3.2-§3.5):
+// diagnostic-frames analysis (screening, payload assembly, field
+// extraction), screenshot analysis, request-message semantics recovery, and
+// response-message formula inference. Its only inputs are the artifacts the
+// cyber-physical rig captures — CAN frames, OCR'd UI video, and the click
+// log. It never touches the simulated tools' or ECUs' proprietary tables;
+// those exist solely as ground truth for the experiment harness.
+package reverser
+
+import (
+	"sort"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/isotp"
+	"dpreverser/internal/vwtp"
+)
+
+// TransportKind classifies the transport carrying a CAN ID's traffic.
+type TransportKind int
+
+// Transport kinds discovered from traffic.
+const (
+	TransportISOTP TransportKind = iota
+	TransportVWTP
+	TransportBMW
+)
+
+// String implements fmt.Stringer.
+func (t TransportKind) String() string {
+	switch t {
+	case TransportVWTP:
+		return "VW TP 2.0"
+	case TransportBMW:
+		return "BMW extended"
+	default:
+		return "ISO 15765-2"
+	}
+}
+
+// Message is one assembled application-layer payload.
+type Message struct {
+	At time.Duration
+	// ID is the CAN identifier the message arrived on.
+	ID uint32
+	// Addr is the BMW extended address when Transport == TransportBMW.
+	Addr      byte
+	Transport TransportKind
+	Payload   []byte
+}
+
+// TrafficStats reproduces Table 9's frame-mix measurements.
+type TrafficStats struct {
+	// ISO-TP frame counts (single, first, consecutive, flow control).
+	ISOTPSingle, ISOTPFirst, ISOTPConsecutive, ISOTPFlowControl int
+	// VW TP 2.0 data-frame counts: frames that must wait for more frames
+	// vs. final frames of a message (the paper's 75.2% / 24.8% split), and
+	// the non-data frames the screening step removes.
+	VWTPWaiting, VWTPLast, VWTPControl int
+	// Total frames seen.
+	Total int
+	// AssemblyErrors counts malformed or out-of-order transport frames.
+	AssemblyErrors int
+}
+
+// ISOTPMulti reports first+consecutive frames (Table 9's "Multi Frames").
+func (s TrafficStats) ISOTPMulti() int { return s.ISOTPFirst + s.ISOTPConsecutive }
+
+// assembler reconstructs application messages from a raw capture.
+type assembler struct {
+	stats TrafficStats
+	// vwtpIDs marks CAN IDs negotiated through observed channel setup.
+	vwtpIDs map[uint32]bool
+	// reassembly state per (transport-specific) stream key.
+	isotp map[uint32]*isotp.Reassembler
+	vw    map[uint32]*vwtp.Reassembler
+	bmw   map[uint32]map[byte]*isotp.Reassembler
+
+	messages []Message
+}
+
+func newAssembler() *assembler {
+	return &assembler{
+		vwtpIDs: map[uint32]bool{},
+		isotp:   map[uint32]*isotp.Reassembler{},
+		vw:      map[uint32]*vwtp.Reassembler{},
+		bmw:     map[uint32]map[byte]*isotp.Reassembler{},
+	}
+}
+
+// isBMWID recognises the BMW extended-addressing convention: the tool
+// transmits on 0x6F1 and ECUs answer on 0x600+address.
+func isBMWID(id uint32) bool {
+	return id == 0x6F1 || (id >= 0x600 && id <= 0x6EF)
+}
+
+// Assemble processes a capture in order and returns the application
+// messages. Channel-setup frames teach it which IDs carry VW TP 2.0.
+func Assemble(frames []can.Frame) ([]Message, TrafficStats) {
+	a := newAssembler()
+	for _, f := range frames {
+		a.feed(f)
+	}
+	sort.SliceStable(a.messages, func(i, j int) bool { return a.messages[i].At < a.messages[j].At })
+	return a.messages, a.stats
+}
+
+func (a *assembler) feed(f can.Frame) {
+	a.stats.Total++
+	data := f.Payload()
+	if len(data) == 0 {
+		return
+	}
+	// VW TP 2.0 channel setup on the broadcast range teaches us the
+	// negotiated data IDs (§3.2: screening removes these control frames).
+	if f.ID >= vwtp.BroadcastID && f.ID < vwtp.BroadcastID+0x100 {
+		a.stats.VWTPControl++
+		if len(data) >= 7 && data[1] == 0xD0 {
+			ecuRx := uint32(data[2]) | uint32(data[3])<<8
+			ecuTx := uint32(data[4]) | uint32(data[5])<<8
+			a.vwtpIDs[ecuRx] = true
+			a.vwtpIDs[ecuTx] = true
+		}
+		return
+	}
+	switch {
+	case a.vwtpIDs[f.ID]:
+		a.feedVWTP(f, data)
+	case isBMWID(f.ID):
+		a.feedBMW(f, data)
+	default:
+		a.feedISOTP(f, data)
+	}
+}
+
+func (a *assembler) feedISOTP(f can.Frame, data []byte) {
+	switch isotp.Classify(data) {
+	case isotp.SingleFrame:
+		a.stats.ISOTPSingle++
+	case isotp.FirstFrame:
+		a.stats.ISOTPFirst++
+	case isotp.ConsecutiveFrame:
+		a.stats.ISOTPConsecutive++
+	case isotp.FlowControlFrame:
+		a.stats.ISOTPFlowControl++
+		return // screened out: carries no payload
+	default:
+		return
+	}
+	r := a.isotp[f.ID]
+	if r == nil {
+		r = &isotp.Reassembler{}
+		a.isotp[f.ID] = r
+	}
+	res, err := r.Feed(data)
+	if err != nil {
+		a.stats.AssemblyErrors++
+		return
+	}
+	if res.Message != nil {
+		a.messages = append(a.messages, Message{
+			At: f.Timestamp, ID: f.ID, Transport: TransportISOTP, Payload: res.Message,
+		})
+	}
+}
+
+func (a *assembler) feedVWTP(f can.Frame, data []byte) {
+	switch vwtp.Classify(data) {
+	case vwtp.KindData:
+		if vwtp.IsLastData(data) {
+			a.stats.VWTPLast++
+		} else {
+			a.stats.VWTPWaiting++
+		}
+	case vwtp.KindACK, vwtp.KindChannelParams, vwtp.KindDisconnect, vwtp.KindChannelSetup:
+		a.stats.VWTPControl++
+		return
+	default:
+		return
+	}
+	r := a.vw[f.ID]
+	if r == nil {
+		r = &vwtp.Reassembler{}
+		a.vw[f.ID] = r
+	}
+	res, err := r.Feed(data)
+	if err != nil {
+		a.stats.AssemblyErrors++
+		return
+	}
+	if res.Message != nil {
+		a.messages = append(a.messages, Message{
+			At: f.Timestamp, ID: f.ID, Transport: TransportVWTP, Payload: res.Message,
+		})
+	}
+}
+
+func (a *assembler) feedBMW(f can.Frame, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	addr := data[0]
+	switch isotp.Classify(data[1:]) {
+	case isotp.SingleFrame:
+		a.stats.ISOTPSingle++
+	case isotp.FirstFrame:
+		a.stats.ISOTPFirst++
+	case isotp.ConsecutiveFrame:
+		a.stats.ISOTPConsecutive++
+	case isotp.FlowControlFrame:
+		a.stats.ISOTPFlowControl++
+		return
+	default:
+		return
+	}
+	byAddr := a.bmw[f.ID]
+	if byAddr == nil {
+		byAddr = map[byte]*isotp.Reassembler{}
+		a.bmw[f.ID] = byAddr
+	}
+	r := byAddr[addr]
+	if r == nil {
+		// Extended addressing shrinks single frames to 6 bytes.
+		r = &isotp.Reassembler{MinMultiFrameLen: 7}
+		byAddr[addr] = r
+	}
+	res, err := r.Feed(data[1:])
+	if err != nil {
+		a.stats.AssemblyErrors++
+		return
+	}
+	if res.Message != nil {
+		a.messages = append(a.messages, Message{
+			At: f.Timestamp, ID: f.ID, Addr: addr, Transport: TransportBMW, Payload: res.Message,
+		})
+	}
+}

@@ -1,0 +1,373 @@
+package reverser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dpreverser/internal/align"
+	"dpreverser/internal/gp"
+	"dpreverser/internal/ocr"
+	"dpreverser/internal/rig"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// GP configures the symbolic-regression engine.
+	GP gp.Config
+	// PairMaxGap is the largest traffic-to-video timestamp distance that
+	// still pairs an X observation with a Y sample.
+	PairMaxGap time.Duration
+	// MinPairs is the smallest usable (X, Y) dataset; streams with fewer
+	// pairs are reported without a formula.
+	MinPairs int
+}
+
+// DefaultConfig mirrors the paper's settings (1000 programs, 30
+// generations) with pairing windows matched to the rig's poll cadence.
+func DefaultConfig() Config {
+	return Config{
+		GP:         gp.DefaultConfig(),
+		PairMaxGap: time.Second,
+		MinPairs:   8,
+	}
+}
+
+// ReversedESV is one recovered readable quantity.
+type ReversedESV struct {
+	Key StreamKey
+	// Label is the semantic information recovered from the UI (§3.4).
+	Label string
+	// Unit is the displayed unit text, when one was recognised.
+	Unit string
+	// Enum marks state quantities for which no formula exists.
+	Enum bool
+	// Formula is the recovered decode formula over the stream's byte
+	// variables (nil for enums and under-sampled streams).
+	Formula *gp.Node
+	// Fitness is the formula's trimmed MAE on the paired data.
+	Fitness float64
+	// Pairs is the (X, Y) dataset size the inference ran on.
+	Pairs int
+	// Generations the GP ran (0 when no inference happened).
+	Generations int
+}
+
+// FormulaString renders the recovered formula.
+func (r ReversedESV) FormulaString() string {
+	if r.Formula == nil {
+		return ""
+	}
+	return r.Formula.String()
+}
+
+// ReversedECR is one recovered actuator-control record (§4.5).
+type ReversedECR struct {
+	// Service is 0x2F or 0x30.
+	Service byte
+	// ID is the DID (0x2F) or local identifier (0x30).
+	ID uint16
+	// State is the proprietary control-state bytes of the short-term
+	// adjustment.
+	State []byte
+	// Label is the component name recovered from the active-test screen.
+	Label string
+	// SawFreeze / SawAdjust / SawReturn record which of the three-message
+	// pattern's steps were observed answered positively.
+	SawFreeze, SawAdjust, SawReturn bool
+}
+
+// PatternComplete reports whether the §4.5 control procedure was fully
+// observed: the adjustment plus return-control always, and the freeze
+// prologue for the UDS IO-control service.
+func (r ReversedECR) PatternComplete() bool {
+	if !r.SawAdjust || !r.SawReturn {
+		return false
+	}
+	if r.Service == 0x2F {
+		return r.SawFreeze
+	}
+	return true
+}
+
+// Result is the full output of reverse engineering one capture.
+type Result struct {
+	Car      string
+	Model    string
+	ToolName string
+
+	// Offset is the estimated camera-to-CAN clock offset.
+	Offset time.Duration
+	// Stats is the Table 9 frame mix.
+	Stats TrafficStats
+	// ESVs are the recovered readable quantities (sorted by key).
+	ESVs []ReversedESV
+	// ECRs are the recovered control records.
+	ECRs []ReversedECR
+	// Messages is the assembled application-message count.
+	Messages int
+}
+
+// Reverse runs the complete pipeline on a capture.
+func Reverse(cap rig.Capture, cfg Config) (*Result, error) {
+	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
+
+	// §3.2-§3.5 front half: assembly, extraction, alignment, semantics,
+	// pairing.
+	streams, stats, offset := ExtractStreams(cap, cfg)
+	res.Stats = stats
+	res.Offset = offset
+	messages, _ := Assemble(cap.Frames)
+	res.Messages = len(messages)
+
+	// §3.5 Steps 2-3: inference per stream.
+	for _, sd := range streams {
+		res.ESVs = append(res.ESVs, InferStream(sd, cfg))
+	}
+	sort.Slice(res.ESVs, func(i, j int) bool {
+		return res.ESVs[i].Key.String() < res.ESVs[j].Key.String()
+	})
+
+	// §4.5: control-record extraction with active-test screen semantics.
+	ext := ExtractFields(messages)
+	uiFrames := align.ApplyOffset(cap.UIFrames, offset)
+	res.ECRs = reverseECRs(ext.ECRs, uiFrames)
+	return res, nil
+}
+
+// session is one contiguous live-data recording (one ECU's data-stream
+// screen, or the OBD screen).
+type session struct {
+	screenName string
+	start, end time.Duration
+	frames     []ocr.Frame
+}
+
+// splitSessions groups UI frames into contiguous recordings: a new session
+// starts when the screen changes or the video gaps for more than two
+// seconds (menu navigation between recordings).
+func splitSessions(frames []ocr.Frame) []session {
+	const gap = 2 * time.Second
+	var out []session
+	var cur *session
+	for _, f := range frames {
+		if f.ScreenName != "live-data" && f.ScreenName != "obd-live" {
+			cur = nil
+			continue
+		}
+		if cur == nil || f.ScreenName != cur.screenName || f.At-cur.end > gap {
+			out = append(out, session{screenName: f.ScreenName, start: f.At, end: f.At})
+			cur = &out[len(out)-1]
+		}
+		cur.frames = append(cur.frames, f)
+		cur.end = f.At
+	}
+	return out
+}
+
+// aggregateByX collapses repeated observations of the same X vector to one
+// (X, median Y) point.
+func aggregateByX(xs [][]float64, ys []float64) *gp.Dataset {
+	groups := map[string][]float64{}
+	reprs := map[string][]float64{}
+	var order []string
+	for i, x := range xs {
+		key := fmt.Sprintf("%v", x)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+			reprs[key] = x
+		}
+		groups[key] = append(groups[key], ys[i])
+	}
+	d := &gp.Dataset{}
+	for _, key := range order {
+		vals := groups[key]
+		sort.Float64s(vals)
+		med := vals[len(vals)/2]
+		if len(vals)%2 == 0 {
+			med = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+		}
+		d.X = append(d.X, reprs[key])
+		d.Y = append(d.Y, med)
+	}
+	return d
+}
+
+// typicalSpacing estimates the video sampling period as the median gap
+// between successive samples.
+func typicalSpacing(samples []ocr.Sample) time.Duration {
+	if len(samples) < 3 {
+		return 0
+	}
+	gaps := make([]time.Duration, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		if g := samples[i].At - samples[i-1].At; g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2]
+}
+
+// nearestSample finds the Y value displayed closest to t.
+func nearestSample(samples []ocr.Sample, t time.Duration, maxGap time.Duration) (float64, bool) {
+	best := maxGap + 1
+	var y float64
+	found := false
+	for _, s := range samples {
+		gap := s.At - t
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= maxGap && gap < best {
+			best, y, found = gap, s.Value, true
+		}
+	}
+	return y, found
+}
+
+func majority(votes map[string]int) string {
+	best, n := "", 0
+	for s, c := range votes {
+		if c > n || (c == n && s < best) {
+			best, n = s, c
+		}
+	}
+	return best
+}
+
+// rangeForLabel supplies the stage-one plausibility range from public
+// knowledge about the recovered quantity name. Unknown quantities get a
+// generous default and rely on the outlier stage.
+func rangeForLabel(label string) (min, max float64) {
+	l := strings.ToLower(label)
+	type entry struct {
+		substr   string
+		min, max float64
+	}
+	table := []entry{
+		{"engine speed", 0, 12000},
+		{"engine load", 0, 110},
+		{"fuel tank", 0, 110},
+		{"vehicle speed", 0, 400},
+		{"coolant", -60, 250},
+		{"temperature", -60, 300},
+		{"voltage", 0, 50},
+		{"throttle", 0, 120},
+		{"fuel level", 0, 110},
+		{"pressure", 0, 10000},
+		{"accelerator", 0, 120},
+		{"duty", 0, 110},
+		{"lambda", -150, 150},
+		{"torque", -50, 50},
+		{"acceleration", -30, 30},
+		{"mass flow", 0, 1000},
+		{"injection", 0, 1000},
+		{"power", -500, 500},
+		{"angle", -800, 800},
+	}
+	for _, e := range table {
+		if strings.Contains(l, e.substr) {
+			return e.min, e.max
+		}
+	}
+	return -1e6, 1e6
+}
+
+// reverseECRs groups IO-control observations into per-actuator records and
+// recovers their semantics from the active-test screens.
+func reverseECRs(obs []ECRObservation, uiFrames []ocr.Frame) []ReversedECR {
+	type ecrKey struct {
+		service byte
+		id      uint16
+	}
+	recs := map[ecrKey]*ReversedECR{}
+	var order []ecrKey
+	adjustAt := map[ecrKey]time.Duration{}
+	for _, o := range obs {
+		if !o.Positive {
+			continue
+		}
+		k := ecrKey{service: o.Service, id: o.ID}
+		r, ok := recs[k]
+		if !ok {
+			r = &ReversedECR{Service: o.Service, ID: o.ID}
+			recs[k] = r
+			order = append(order, k)
+		}
+		switch o.Param {
+		case 0x02:
+			r.SawFreeze = true
+		case 0x03:
+			r.SawAdjust = true
+			r.State = append([]byte(nil), o.State...)
+			adjustAt[k] = o.At
+		case 0x00:
+			r.SawReturn = true
+		default:
+			// Direct one-shot controls count as adjustments.
+			r.SawAdjust = true
+			r.State = append([]byte{o.Param}, o.State...)
+			adjustAt[k] = o.At
+		}
+	}
+
+	// Semantic labels: the active-run screen shows "Testing <name>"; the
+	// record whose adjustment is nearest in time gets the name.
+	type testingFrame struct {
+		at   time.Duration
+		name string
+	}
+	var testing []testingFrame
+	for _, f := range uiFrames {
+		if f.ScreenName != "active-run" {
+			continue
+		}
+		for _, t := range f.Texts {
+			if strings.HasPrefix(t.Content, "Testing ") {
+				testing = append(testing, testingFrame{at: f.At, name: strings.TrimPrefix(t.Content, "Testing ")})
+			}
+		}
+	}
+	var out []ReversedECR
+	for _, k := range order {
+		r := recs[k]
+		if at, ok := adjustAt[k]; ok {
+			best := time.Duration(1 << 62)
+			for _, tf := range testing {
+				gap := tf.at - at
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap < best {
+					best = gap
+					r.Label = tf.name
+				}
+			}
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Summary renders a human-readable digest of the result.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s) via %s\n", r.Car, r.Model, r.ToolName)
+	fmt.Fprintf(&b, "  %d messages assembled, clock offset %v\n", r.Messages, r.Offset)
+	formulas, enums := 0, 0
+	for _, e := range r.ESVs {
+		if e.Enum {
+			enums++
+		} else if e.Formula != nil {
+			formulas++
+		}
+	}
+	fmt.Fprintf(&b, "  %d streams reversed (%d formulas, %d enums), %d control records\n",
+		len(r.ESVs), formulas, enums, len(r.ECRs))
+	return b.String()
+}

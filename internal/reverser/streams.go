@@ -1,0 +1,177 @@
+package reverser
+
+import (
+	"time"
+
+	"dpreverser/internal/align"
+	"dpreverser/internal/gp"
+	"dpreverser/internal/ocr"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/scaling"
+)
+
+// StreamData is the fully prepared per-stream material the inference step
+// consumes: the recovered semantics and the paired, filtered, aggregated
+// (X, Y) dataset. Exposing it lets the experiment harness run alternative
+// inference algorithms (linear regression, polynomial fitting) on exactly
+// the data GP sees — the §4.4 comparison.
+type StreamData struct {
+	Key   StreamKey
+	Label string
+	Unit  string
+	// Enum marks state streams (no dataset).
+	Enum bool
+	// RawPairs counts pairs before aggregation.
+	RawPairs int
+	// Dataset is the cleaned, aggregated inference input (nil for enums
+	// and under-sampled streams) — what DP-Reverser's GP consumes.
+	Dataset *gp.Dataset
+	// RawDataset holds the unfiltered, unaggregated pairs: X observations
+	// matched to raw OCR samples with no outlier rejection. The §4.4
+	// baseline comparison runs linear regression and polynomial fitting on
+	// this, since the two-stage filtering is part of DP-Reverser, not of
+	// the LibreCAN-style baselines.
+	RawDataset *gp.Dataset
+}
+
+// ExtractStreams runs the pipeline's front half — assembly, extraction,
+// alignment, session splitting, semantics, pairing, filtering, aggregation
+// — and returns one StreamData per observed stream plus the traffic stats
+// and the estimated clock offset.
+func ExtractStreams(cap rig.Capture, cfg Config) ([]StreamData, TrafficStats, time.Duration) {
+	messages, stats := Assemble(cap.Frames)
+	ext := ExtractFields(messages)
+
+	var offset time.Duration
+	uiFrames := cap.UIFrames
+	if off, err := align.EstimateOffsetOBD(cap.Frames, cap.UIFrames); err == nil {
+		offset = off
+		uiFrames = align.ApplyOffset(cap.UIFrames, off)
+	}
+	sessions := splitSessions(uiFrames)
+
+	var out []StreamData
+	for _, sess := range sessions {
+		keys, inSession := sessionStreams(ext.ESVs, sess)
+		for rowIdx, key := range keys {
+			out = append(out, buildStreamData(key, rowIdx, inSession[key], sess, cfg))
+		}
+	}
+	return out, stats, offset
+}
+
+// sessionStreams lists the streams active in a session in first-seen
+// (= display-row) order.
+func sessionStreams(obs []ESVObservation, sess session) ([]StreamKey, map[StreamKey][]ESVObservation) {
+	var keys []StreamKey
+	seen := map[StreamKey]bool{}
+	inSession := map[StreamKey][]ESVObservation{}
+	for _, o := range obs {
+		if o.At < sess.start-time.Second || o.At > sess.end+time.Second {
+			continue
+		}
+		if (o.Key.Proto == "OBD") != (sess.screenName == "obd-live") {
+			continue
+		}
+		if !seen[o.Key] {
+			seen[o.Key] = true
+			keys = append(keys, o.Key)
+		}
+		inSession[o.Key] = append(inSession[o.Key], o)
+	}
+	return keys, inSession
+}
+
+// buildStreamData performs §3.3/§3.4 and §3.5 Step 1 for one stream.
+func buildStreamData(key StreamKey, rowIdx int, obs []ESVObservation, sess session, cfg Config) StreamData {
+	sd := StreamData{Key: key}
+
+	labelVotes := map[string]int{}
+	unitVotes := map[string]int{}
+	var ySamples []ocr.Sample
+	numericRows, textRows := 0, 0
+	for _, f := range sess.frames {
+		for _, row := range f.Rows {
+			if row.Index != rowIdx {
+				continue
+			}
+			if row.Label != "" {
+				labelVotes[row.Label]++
+			}
+			if row.Unit != "" {
+				unitVotes[row.Unit]++
+			}
+			if row.ParseOK {
+				numericRows++
+				ySamples = append(ySamples, ocr.Sample{At: f.At, Value: row.Parsed})
+			} else if row.Value != "" {
+				textRows++
+			}
+		}
+	}
+	sd.Label = majority(labelVotes)
+	sd.Unit = majority(unitVotes)
+
+	if textRows > numericRows {
+		sd.Enum = true
+		return sd
+	}
+
+	rawSamples := ySamples
+	min, max := rangeForLabel(sd.Label)
+	ySamples = ocr.Filter(ySamples, min, max)
+
+	pair := func(samples []ocr.Sample) ([][]float64, []float64) {
+		maxGap := cfg.PairMaxGap
+		if spacing := typicalSpacing(samples); spacing > 0 && spacing*3/5 < maxGap {
+			maxGap = spacing * 3 / 5
+		}
+		var xs [][]float64
+		var ys []float64
+		for _, o := range obs {
+			vars := o.Variables()
+			if vars == nil {
+				continue
+			}
+			y, ok := nearestSample(samples, o.At, maxGap)
+			if !ok {
+				continue
+			}
+			xs = append(xs, vars)
+			ys = append(ys, y)
+		}
+		return xs, ys
+	}
+
+	pairsX, pairsY := pair(ySamples)
+	sd.RawPairs = len(pairsY)
+	if sd.RawPairs < cfg.MinPairs {
+		return sd
+	}
+	// Even a single distinct X is inferable: the constant formula is
+	// exactly right over the observed domain (the paper's collapsed-
+	// variable cases are the same phenomenon).
+	sd.Dataset = aggregateByX(pairsX, pairsY)
+
+	rawX, rawY := pair(rawSamples)
+	if len(rawY) > 0 {
+		sd.RawDataset = &gp.Dataset{X: rawX, Y: rawY}
+	}
+	return sd
+}
+
+// InferStream runs §3.5 Steps 2-3 (scaling + GP) on prepared stream data.
+func InferStream(sd StreamData, cfg Config) ReversedESV {
+	rev := ReversedESV{Key: sd.Key, Label: sd.Label, Unit: sd.Unit, Enum: sd.Enum, Pairs: sd.RawPairs}
+	if sd.Enum || sd.Dataset == nil {
+		return rev
+	}
+	res, err := scaling.Infer(sd.Dataset, cfg.GP)
+	if err != nil {
+		return rev
+	}
+	rev.Formula = res.Best
+	rev.Fitness = res.Fitness
+	rev.Generations = res.Generations
+	return rev
+}

@@ -1,0 +1,126 @@
+package rig
+
+import (
+	"sort"
+	"strings"
+
+	"dpreverser/internal/ocr"
+	"dpreverser/internal/ui"
+)
+
+// Target is a resolved click target.
+type Target struct {
+	X, Y int
+	Text string
+}
+
+// Analyzer is §3.1's UI analyzer: it works from the OCR view of camera a
+// (text detection + recognition) plus shape matching for text-less icon
+// widgets, and filters out areas that are not collection targets.
+type Analyzer struct {
+	// FilterKeywords lists text fragments whose regions must not be
+	// clicked (the paper's example: "clear trouble codes").
+	FilterKeywords []string
+}
+
+// NewAnalyzer returns an analyzer with the default filter list.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{FilterKeywords: []string{
+		"Clear Trouble", "Read Trouble", "Settings", "Data Playback",
+		"Software Update",
+	}}
+}
+
+func (a *Analyzer) filtered(text string) bool {
+	for _, k := range a.FilterKeywords {
+		if containsFold(text, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindText locates an OCR region matching the keyword: exact
+// (case-insensitive) matches win over substring matches, so short button
+// captions like "OK" are not hijacked by longer texts that merely contain
+// the letters.
+func (a *Analyzer) FindText(f ocr.Frame, keyword string) (Target, bool) {
+	for _, t := range f.Texts {
+		if strings.EqualFold(strings.TrimSpace(t.Content), keyword) {
+			x, y := t.Center()
+			return Target{X: x, Y: y, Text: t.Content}, true
+		}
+	}
+	for _, t := range f.Texts {
+		if containsFold(t.Content, keyword) {
+			x, y := t.Center()
+			return Target{X: x, Y: y, Text: t.Content}, true
+		}
+	}
+	return Target{}, false
+}
+
+// MenuTargets lists the clickable menu entries of a frame: every text
+// region except the title (the topmost region) and filtered keywords —
+// the selection logic the paper's UI analyzer applies to ECU lists.
+func (a *Analyzer) MenuTargets(f ocr.Frame) []Target {
+	if len(f.Texts) == 0 {
+		return nil
+	}
+	minY := f.Texts[0].Y
+	for _, t := range f.Texts {
+		if t.Y < minY {
+			minY = t.Y
+		}
+	}
+	var out []Target
+	for _, t := range f.Texts {
+		if t.Y == minY || a.filtered(t.Content) {
+			continue
+		}
+		x, y := t.Center()
+		out = append(out, Target{X: x, Y: y, Text: t.Content})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// StreamItems lists the selectable data-stream rows of a selection page
+// (texts carrying the "[ ]"/"[x]" checkbox marker).
+func (a *Analyzer) StreamItems(f ocr.Frame) (unselected, selected []Target) {
+	for _, t := range f.Texts {
+		x, y := t.Center()
+		tgt := Target{X: x, Y: y, Text: t.Content}
+		switch {
+		case strings.HasPrefix(t.Content, "[ ] "):
+			unselected = append(unselected, tgt)
+		case strings.HasPrefix(t.Content, "[x] "):
+			selected = append(selected, tgt)
+		}
+	}
+	return unselected, selected
+}
+
+// FindIcon locates a text-less icon button by template similarity — the
+// paper's Canny-edge + widget-similarity path for buttons OCR cannot see.
+// The simulation's "similarity" is an exact template-name match on the
+// rendered screen.
+func (a *Analyzer) FindIcon(s ui.Screen, template string) (Target, bool) {
+	for _, w := range s.Widgets {
+		if w.Kind == ui.IconButton && w.Icon == template {
+			x, y := w.Center()
+			return Target{X: x, Y: y, Text: "<" + template + ">"}, true
+		}
+	}
+	return Target{}, false
+}
+
+// containsFold is a case-insensitive substring test.
+func containsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}

@@ -1,0 +1,85 @@
+package rig
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRoundTripBuffer(t *testing.T) {
+	r, _ := newRig(t, "Car M", fastConfig())
+	if err := r.CollectAlignment(); err != nil {
+		t.Fatal(err)
+	}
+	cap := r.Capture()
+
+	var buf bytes.Buffer
+	if err := cap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Car != cap.Car || got.ToolName != cap.ToolName || got.Protocol != cap.Protocol {
+		t.Fatalf("meta = %+v", got)
+	}
+	if len(got.Frames) != len(cap.Frames) || len(got.UIFrames) != len(cap.UIFrames) || len(got.Clicks) != len(cap.Clicks) {
+		t.Fatalf("sizes: %d/%d frames, %d/%d ui, %d/%d clicks",
+			len(got.Frames), len(cap.Frames), len(got.UIFrames), len(cap.UIFrames),
+			len(got.Clicks), len(cap.Clicks))
+	}
+	for i := range cap.Frames {
+		if got.Frames[i] != cap.Frames[i] {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestCaptureRoundTripFile(t *testing.T) {
+	r, _ := newRig(t, "Car M", fastConfig())
+	cap, err := r.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.json")
+	if err := SaveCaptureFile(cap, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.UIFrames) != len(cap.UIFrames) {
+		t.Fatalf("ui frames: %d vs %d", len(loaded.UIFrames), len(cap.UIFrames))
+	}
+	for i, f := range cap.UIFrames {
+		got := loaded.UIFrames[i]
+		if got.At != f.At || got.ScreenName != f.ScreenName || len(got.Rows) != len(f.Rows) {
+			t.Fatalf("ui frame %d differs", i)
+		}
+	}
+	if len(loaded.Clicks) != len(cap.Clicks) {
+		t.Fatalf("clicks: %d vs %d", len(loaded.Clicks), len(cap.Clicks))
+	}
+}
+
+func TestReadCaptureRejectsWrongVersion(t *testing.T) {
+	_, err := ReadCapture(strings.NewReader(`{"version":99,"capture":{}}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadCaptureFileMissing(t *testing.T) {
+	if _, err := LoadCaptureFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

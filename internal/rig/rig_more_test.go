@@ -1,0 +1,118 @@
+package rig
+
+import (
+	"strings"
+	"testing"
+
+	"dpreverser/internal/ui"
+)
+
+func TestRigAccessors(t *testing.T) {
+	r, _ := newRig(t, "Car M", fastConfig())
+	if r.CameraB() == nil {
+		t.Fatal("CameraB nil")
+	}
+	if r.Clicker() == nil {
+		t.Fatal("Clicker nil")
+	}
+	if err := r.CollectAlignment(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Clicker().TravelTime() <= 0 {
+		t.Fatal("no travel time recorded")
+	}
+	frames, _ := r.CameraB().Stats()
+	if frames == 0 {
+		t.Fatal("camera b saw no frames")
+	}
+}
+
+func TestClickerDefaultSpeed(t *testing.T) {
+	c := NewClicker(nil, 0)
+	if c.SpeedPxPerSec != 400 {
+		t.Fatalf("default speed = %v", c.SpeedPxPerSec)
+	}
+}
+
+func TestRigRunFullFromNestedScreen(t *testing.T) {
+	// RunFull must navigate home from wherever the tool was left.
+	r, _ := newRig(t, "Car M", fastConfig())
+	// Walk the tool deep into the menus first.
+	if err := r.clickText("Diagnostics"); err != nil {
+		t.Fatal(err)
+	}
+	ecus := r.analyzer.MenuTargets(r.screenshotA())
+	if len(ecus) == 0 {
+		t.Fatal("no ECUs")
+	}
+	r.click(ecus[0])
+	if err := r.clickText("Read Data Stream"); err != nil {
+		t.Fatal(err)
+	}
+	cap, err := r.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.Frames) == 0 {
+		t.Fatal("empty capture")
+	}
+}
+
+func TestAnalyzerStreamItems(t *testing.T) {
+	a := NewAnalyzer()
+	f := frameWithTexts("Select Data Stream Items", "[ ] Engine speed", "[x] Vehicle speed", "OK")
+	unsel, sel := a.StreamItems(f)
+	if len(unsel) != 1 || !strings.Contains(unsel[0].Text, "Engine speed") {
+		t.Fatalf("unselected = %+v", unsel)
+	}
+	if len(sel) != 1 || !strings.Contains(sel[0].Text, "Vehicle speed") {
+		t.Fatalf("selected = %+v", sel)
+	}
+}
+
+func TestAnalyzerFindIconMissing(t *testing.T) {
+	a := NewAnalyzer()
+	s := ui.Screen{Widgets: []ui.Widget{{ID: "x", Kind: ui.Button, Text: "OK"}}}
+	if _, ok := a.FindIcon(s, "back-arrow"); ok {
+		t.Fatal("icon found on icon-less screen")
+	}
+}
+
+func TestAnalyzerMenuTargetsEmptyFrame(t *testing.T) {
+	a := NewAnalyzer()
+	if got := a.MenuTargets(frameWithTexts()); got != nil {
+		t.Fatalf("targets on empty frame = %+v", got)
+	}
+}
+
+func TestTourLengthSinglePoint(t *testing.T) {
+	// One point: out and back.
+	if got := TourLength(Point{0, 0}, []Point{{3, 4}}); got != 14 {
+		t.Fatalf("TourLength = %v, want 14 (7 out, 7 back)", got)
+	}
+}
+
+func TestPageSignatureDistinguishesSelection(t *testing.T) {
+	u := []Target{{Text: "A"}}
+	s := []Target{{Text: "A"}}
+	if pageSignature(u, nil) == pageSignature(nil, s) {
+		t.Fatal("signature ignores selection state")
+	}
+}
+
+func TestCaptureOfKWPCarIncludesChannelSetup(t *testing.T) {
+	r, _ := newRig(t, "Car B", fastConfig())
+	if err := r.CollectReadSessions(); err != nil {
+		t.Fatal(err)
+	}
+	cap := r.Capture()
+	setup := 0
+	for _, f := range cap.Frames {
+		if f.ID >= 0x200 && f.ID < 0x300 {
+			setup++
+		}
+	}
+	if setup == 0 {
+		t.Fatal("no VW TP channel-setup frames captured")
+	}
+}

@@ -1,0 +1,59 @@
+package rig
+
+import "time"
+
+// StepKind discriminates script steps.
+type StepKind int
+
+// Script step kinds.
+const (
+	StepClick StepKind = iota
+	StepWait
+)
+
+// Step is one statement of a generated control script (§3.1's script
+// generator maps each target to a clicking statement and inserts waiting
+// statements between them).
+type Step struct {
+	Kind StepKind
+	// X, Y, Text describe a click step.
+	X, Y int
+	Text string
+	// Wait is the pause duration of a wait step.
+	Wait time.Duration
+}
+
+// Script is an executable clicking program.
+type Script []Step
+
+// GenerateClickScript produces a script that clicks each target in order
+// with a fixed settle pause after each click.
+func GenerateClickScript(targets []Target, settle time.Duration) Script {
+	var s Script
+	for _, t := range targets {
+		s = append(s, Step{Kind: StepClick, X: t.X, Y: t.Y, Text: t.Text})
+		if settle > 0 {
+			s = append(s, Step{Kind: StepWait, Wait: settle})
+		}
+	}
+	return s
+}
+
+// Execute runs the script through the clicker. tap delivers clicks to the
+// tool; onWait is invoked for wait statements so the caller can keep
+// polling/recording while the script pauses (nil onWait just advances the
+// clock).
+func (s Script) Execute(c *Clicker, tap func(x, y int) bool, onWait func(d time.Duration)) {
+	for _, step := range s {
+		switch step.Kind {
+		case StepClick:
+			c.Click(step.X, step.Y, step.Text, tap)
+		case StepWait:
+			if onWait != nil {
+				onWait(step.Wait)
+			} else {
+				c.clock.Advance(step.Wait)
+			}
+		}
+	}
+}

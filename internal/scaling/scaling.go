@@ -1,0 +1,201 @@
+// Package scaling implements the paper's Table 2 magnitude normalisation
+// (§3.5 Step 3): before inference, X and Y samples are rescaled so most
+// values land in the window where GP is best behaved, and after inference
+// the scale factors are substituted back into the recovered formula
+// (the table's "Replace(Y', Y/10³)" post-processing).
+//
+// The paper's rule: if more than half of the |Y| values are larger than 10
+// they are reduced by the band's power of ten; if more than half are
+// smaller than 1 they are enlarged. X values are integers ≥ 0 and are only
+// ever reduced.
+package scaling
+
+import (
+	"math"
+
+	"dpreverser/internal/gp"
+)
+
+// Plan records the factors chosen for one dataset: each variable and the
+// target are multiplied by their factor before inference.
+type Plan struct {
+	// XFactors has one multiplier per input variable.
+	XFactors []float64
+	// YFactor multiplies the target.
+	YFactor float64
+}
+
+// reductionFactor implements the Table 2 bands for values that are too
+// large: the result is the multiplier (≤ 1) to apply.
+func reductionFactor(mag float64) float64 {
+	switch {
+	case mag > 1e4:
+		return 1e-4
+	case mag > 1e3:
+		return 1e-3
+	case mag > 1e2:
+		return 1e-2
+	case mag > 10:
+		return 1e-1
+	default:
+		return 1
+	}
+}
+
+// enlargementFactor implements the Table 2 bands for values that are too
+// small: the result is the multiplier (≥ 1) to apply.
+func enlargementFactor(mag float64) float64 {
+	switch {
+	case mag < 1e-3:
+		return 1e4
+	case mag < 1e-2:
+		return 1e3
+	case mag < 1e-1:
+		return 1e2
+	case mag < 1.0:
+		return 10
+	default:
+		return 1
+	}
+}
+
+// factorFor picks the multiplier for a value population following the
+// paper's majority rule, keyed on the median magnitude.
+func factorFor(values []float64, allowEnlarge bool) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	over10, under1 := 0, 0
+	for _, v := range values {
+		a := math.Abs(v)
+		if a > 10 {
+			over10++
+		}
+		if a < 1 {
+			under1++
+		}
+	}
+	med := medianAbs(values)
+	if over10*2 > len(values) {
+		return reductionFactor(med)
+	}
+	if allowEnlarge && under1*2 > len(values) {
+		if med == 0 {
+			return 1 // all-zero target: no finite enlargement helps
+		}
+		return enlargementFactor(med)
+	}
+	return 1
+}
+
+func medianAbs(values []float64) float64 {
+	abs := make([]float64, len(values))
+	for i, v := range values {
+		abs[i] = math.Abs(v)
+	}
+	// Insertion sort: populations are small (hundreds).
+	for i := 1; i < len(abs); i++ {
+		for j := i; j > 0 && abs[j-1] > abs[j]; j-- {
+			abs[j-1], abs[j] = abs[j], abs[j-1]
+		}
+	}
+	return abs[len(abs)/2]
+}
+
+// PlanFor inspects a dataset and picks the Table 2 factors: Y may be
+// reduced or enlarged; X variables (integer byte values) are only reduced.
+func PlanFor(d *gp.Dataset) Plan {
+	p := Plan{YFactor: factorFor(d.Y, true)}
+	n := d.NumVars()
+	p.XFactors = make([]float64, n)
+	for v := 0; v < n; v++ {
+		col := make([]float64, len(d.X))
+		for i, row := range d.X {
+			col[i] = row[v]
+		}
+		p.XFactors[v] = factorFor(col, false)
+	}
+	return p
+}
+
+// Apply returns a new dataset with the plan's factors multiplied in. The
+// input dataset is not modified.
+func (p Plan) Apply(d *gp.Dataset) *gp.Dataset {
+	out := &gp.Dataset{X: make([][]float64, len(d.X)), Y: make([]float64, len(d.Y))}
+	for i, row := range d.X {
+		r := make([]float64, len(row))
+		for v := range row {
+			f := 1.0
+			if v < len(p.XFactors) {
+				f = p.XFactors[v]
+			}
+			r[v] = row[v] * f
+		}
+		out.X[i] = r
+	}
+	for i, y := range d.Y {
+		out.Y[i] = y * p.YFactor
+	}
+	return out
+}
+
+// Identity reports whether the plan changes nothing.
+func (p Plan) Identity() bool {
+	if p.YFactor != 1 {
+		return false
+	}
+	for _, f := range p.XFactors {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Restore rewrites a formula inferred on the scaled dataset into one over
+// the original variables predicting the original target — Table 2's
+// post-processing. If g satisfies Y*yf = g(X0*f0, X1*f1, ...), then
+// Y = g(f0*X0, f1*X1, ...) / yf.
+func (p Plan) Restore(tree *gp.Node) *gp.Node {
+	out := substituteVars(tree, p.XFactors)
+	if p.YFactor != 1 {
+		out = gp.NewBinary(gp.OpDiv, out, gp.NewConst(p.YFactor))
+	}
+	return gp.Simplify(out)
+}
+
+func substituteVars(n *gp.Node, factors []float64) *gp.Node {
+	if n == nil {
+		return nil
+	}
+	if n.Op == gp.OpVar {
+		f := 1.0
+		if n.Var < len(factors) {
+			f = factors[n.Var]
+		}
+		if f == 1 {
+			return gp.NewVar(n.Var)
+		}
+		return gp.NewBinary(gp.OpMul, gp.NewConst(f), gp.NewVar(n.Var))
+	}
+	out := &gp.Node{Op: n.Op, Const: n.Const, Var: n.Var}
+	out.L = substituteVars(n.L, factors)
+	out.R = substituteVars(n.R, factors)
+	return out
+}
+
+// Infer is the pipeline entry point: plan, scale, run GP on the scaled
+// data, and restore the formula to original units.
+func Infer(d *gp.Dataset, cfg gp.Config) (gp.Result, error) {
+	plan := PlanFor(d)
+	scaled := plan.Apply(d)
+	res, err := gp.Run(scaled, cfg)
+	if err != nil {
+		return gp.Result{}, err
+	}
+	res.Best = plan.Restore(res.Best)
+	// Report fitness in original units so callers can compare against
+	// unscaled baselines.
+	res.Fitness = gp.RobustMAE(res.Best, d)
+	return res, nil
+}

@@ -1,0 +1,177 @@
+// Package signal models the time-varying physical quantities a vehicle's
+// sensors measure: engine speed, coolant temperature, road speed, throttle
+// position, and so on.
+//
+// Every ECU signal value (ESV) that DP-Reverser reverse engineers is fed by
+// one of these generators: the ECU encodes the generator's instantaneous
+// value through a proprietary formula into response-message bytes, and the
+// diagnostic tool decodes and displays it. The generators deliberately vary
+// over time — the paper's inference step needs (X, Y) pairs that span a
+// value range, and a constant signal collapses a two-variable formula into a
+// one-variable one (paper §4.3 "Cause of inconsistency"), which this package
+// lets tests reproduce.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Signal reports the value of a physical quantity at a virtual instant.
+// Implementations must be deterministic functions of the instant (stateless
+// between calls) so that re-reading a timestamp re-yields the same value.
+type Signal interface {
+	// Value reports the signal's value at instant t.
+	Value(t time.Duration) float64
+}
+
+// Constant is a signal frozen at a single value, such as a sensor on a
+// parked vehicle. Constant inputs are exactly the degenerate case the paper
+// observes when GP drops a variable whose bytes never change.
+type Constant float64
+
+// Value implements Signal.
+func (c Constant) Value(time.Duration) float64 { return float64(c) }
+
+// Ramp rises linearly from Start at rate PerSecond, clamped to [Min, Max]
+// when Max > Min.
+type Ramp struct {
+	Start     float64
+	PerSecond float64
+	Min, Max  float64
+}
+
+// Value implements Signal.
+func (r Ramp) Value(t time.Duration) float64 {
+	v := r.Start + r.PerSecond*t.Seconds()
+	if r.Max > r.Min {
+		v = math.Min(math.Max(v, r.Min), r.Max)
+	}
+	return v
+}
+
+// Sine oscillates around Center with the given Amplitude and Period. A
+// Period of zero yields the Center value (degenerate but safe).
+type Sine struct {
+	Center    float64
+	Amplitude float64
+	Period    time.Duration
+	Phase     float64 // radians
+}
+
+// Value implements Signal.
+func (s Sine) Value(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.Center
+	}
+	omega := 2 * math.Pi / s.Period.Seconds()
+	return s.Center + s.Amplitude*math.Sin(omega*t.Seconds()+s.Phase)
+}
+
+// RandomWalk is a bounded random walk sampled on a fixed step grid. It is
+// deterministic: the value at instant t is derived by replaying the walk
+// from the seed, with a cache of the last position so sequential reads are
+// O(steps advanced) rather than O(t).
+type RandomWalk struct {
+	Seed  int64
+	Start float64
+	// StepEvery is the grid spacing; values between grid points hold the
+	// value of the preceding point (sample-and-hold, like a sensor poll).
+	StepEvery time.Duration
+	// MaxStep is the largest per-step change (uniform in ±MaxStep).
+	MaxStep  float64
+	Min, Max float64
+
+	cacheIdx int64
+	cacheVal float64
+	cacheRNG *rand.Rand
+}
+
+// NewRandomWalk returns a bounded random walk signal.
+func NewRandomWalk(seed int64, start, maxStep, min, max float64, stepEvery time.Duration) *RandomWalk {
+	if stepEvery <= 0 {
+		panic("signal: RandomWalk stepEvery must be positive")
+	}
+	if min >= max {
+		panic(fmt.Sprintf("signal: RandomWalk bounds [%v, %v] invalid", min, max))
+	}
+	return &RandomWalk{Seed: seed, Start: start, StepEvery: stepEvery, MaxStep: maxStep, Min: min, Max: max}
+}
+
+// Value implements Signal.
+func (w *RandomWalk) Value(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	idx := int64(t / w.StepEvery)
+	if w.cacheRNG == nil || idx < w.cacheIdx {
+		w.cacheRNG = rand.New(rand.NewSource(w.Seed))
+		w.cacheIdx = 0
+		w.cacheVal = clamp(w.Start, w.Min, w.Max)
+	}
+	for w.cacheIdx < idx {
+		delta := (w.cacheRNG.Float64()*2 - 1) * w.MaxStep
+		w.cacheVal = clamp(w.cacheVal+delta, w.Min, w.Max)
+		w.cacheIdx++
+	}
+	return w.cacheVal
+}
+
+func clamp(v, min, max float64) float64 {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// Quantized wraps a signal and rounds its value to the nearest multiple of
+// Step, mimicking sensors with coarse ADC resolution.
+type Quantized struct {
+	S    Signal
+	Step float64
+}
+
+// Value implements Signal.
+func (q Quantized) Value(t time.Duration) float64 {
+	if q.Step <= 0 {
+		return q.S.Value(t)
+	}
+	return math.Round(q.S.Value(t)/q.Step) * q.Step
+}
+
+// Sum adds component signals, e.g. a sine ripple on top of a ramp.
+type Sum []Signal
+
+// Value implements Signal.
+func (s Sum) Value(t time.Duration) float64 {
+	total := 0.0
+	for _, c := range s {
+		total += c.Value(t)
+	}
+	return total
+}
+
+// Switched alternates between discrete states on a fixed cadence — door
+// open/closed, gear position, lamp on/off. These are the paper's
+// "enum" ESVs that have no formula (Table 6's #ESV (Enum) column).
+type Switched struct {
+	States []float64
+	Dwell  time.Duration
+}
+
+// Value implements Signal.
+func (s Switched) Value(t time.Duration) float64 {
+	if len(s.States) == 0 {
+		return 0
+	}
+	if s.Dwell <= 0 {
+		return s.States[0]
+	}
+	idx := int(t/s.Dwell) % len(s.States)
+	return s.States[idx]
+}

@@ -1,0 +1,139 @@
+// Package sim provides the deterministic simulation substrate shared by
+// every simulated component in this repository: a virtual clock and seeded
+// random-number plumbing.
+//
+// DP-Reverser's physical testbed (vehicles, cameras, a robotic clicker) is
+// replaced here by simulators that all advance on the same virtual timeline,
+// so experiments are exactly reproducible and tests run in microseconds of
+// wall time regardless of how many simulated seconds they cover.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. All simulated components (the CAN bus, ECUs,
+// diagnostic tools, cameras, the robotic clicker) read the current instant
+// from a shared Clock instead of time.Now, and the experiment driver
+// advances it explicitly.
+//
+// The zero value is a clock at the zero instant, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+
+	// timers ordered by deadline; a simple slice is sufficient because the
+	// simulations schedule at most a few dozen timers at a time.
+	timers []*timer
+}
+
+type timer struct {
+	deadline time.Duration
+	fn       func(now time.Duration)
+	fired    bool
+}
+
+// NewClock returns a clock positioned at start.
+func NewClock(start time.Duration) *Clock {
+	return &Clock{now: start}
+}
+
+// Now reports the current virtual instant as an offset from the simulation
+// epoch.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d, firing any timers whose deadlines
+// fall inside the window in deadline order. Advancing by a negative duration
+// panics: the simulation timeline is monotonic by construction.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.mu.Lock()
+	target := c.now + d
+	c.mu.Unlock()
+	c.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock forward to the absolute instant t. It is a
+// no-op if t is not after the current instant.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		c.mu.Lock()
+		if t <= c.now {
+			c.mu.Unlock()
+			return
+		}
+		// Find the earliest unfired timer within (now, t].
+		var next *timer
+		for _, tm := range c.timers {
+			if tm.fired || tm.deadline > t {
+				continue
+			}
+			if next == nil || tm.deadline < next.deadline {
+				next = tm
+			}
+		}
+		if next == nil {
+			c.now = t
+			c.mu.Unlock()
+			return
+		}
+		next.fired = true
+		c.now = next.deadline
+		fn, now := next.fn, c.now
+		c.compactLocked()
+		c.mu.Unlock()
+		fn(now)
+	}
+}
+
+// After schedules fn to run when the clock reaches now+d. The callback runs
+// synchronously inside the Advance call that crosses the deadline, with the
+// clock positioned exactly at the deadline.
+func (c *Clock) After(d time.Duration, fn func(now time.Duration)) {
+	if fn == nil {
+		panic("sim: After with nil callback")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := c.now + d
+	if d < 0 {
+		deadline = c.now
+	}
+	c.timers = append(c.timers, &timer{deadline: deadline, fn: fn})
+}
+
+// PendingTimers reports how many scheduled callbacks have not fired yet.
+func (c *Clock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, tm := range c.timers {
+		if !tm.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// compactLocked drops fired timers so the slice does not grow without bound.
+// Callers must hold c.mu.
+func (c *Clock) compactLocked() {
+	if len(c.timers) < 64 {
+		return
+	}
+	live := c.timers[:0]
+	for _, tm := range c.timers {
+		if !tm.fired {
+			live = append(live, tm)
+		}
+	}
+	c.timers = live
+}

@@ -1,0 +1,19 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic random source for the given seed. Every
+// stochastic component in the simulation (signal noise, OCR errors, GP
+// evolution) takes an explicit *rand.Rand so experiment runs are exactly
+// reproducible; this constructor centralises the convention.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitRand derives an independent deterministic stream from a parent
+// stream. Components that fork work (for example one RNG per simulated
+// vehicle) use SplitRand so adding a consumer does not perturb the draws
+// seen by its siblings.
+func SplitRand(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}

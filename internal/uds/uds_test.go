@@ -1,0 +1,213 @@
+package uds
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRDBIRequest(t *testing.T) {
+	req, err := BuildRDBIRequest(0xF40D, 0x1017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x22, 0xF4, 0x0D, 0x10, 0x17}
+	if !bytes.Equal(req, want) {
+		t.Fatalf("request = % X, want % X", req, want)
+	}
+	dids, err := ParseRDBIRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dids) != 2 || dids[0] != 0xF40D || dids[1] != 0x1017 {
+		t.Fatalf("dids = %#v", dids)
+	}
+}
+
+func TestBuildRDBIRequestEmpty(t *testing.T) {
+	if _, err := BuildRDBIRequest(); !errors.Is(err, ErrNoDIDs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRDBIRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  []byte
+		want error
+	}{
+		{"too short", []byte{0x22}, ErrTooShort},
+		{"wrong sid", []byte{0x2F, 0x12, 0x34}, ErrNotService},
+		{"odd bytes", []byte{0x22, 0x12, 0x34, 0x56}, ErrOddDIDBytes},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseRDBIRequest(c.msg); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRDBIResponseRoundTripSingle(t *testing.T) {
+	// Paper §2.3.2 example: "22 F4 0D" → "62 F4 0D 21".
+	resp := BuildRDBIResponse([]DataRecord{{DID: 0xF40D, Data: []byte{0x21}}})
+	if !bytes.Equal(resp, []byte{0x62, 0xF4, 0x0D, 0x21}) {
+		t.Fatalf("response = % X", resp)
+	}
+	records, err := ParseRDBIResponse(resp, []uint16{0xF40D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].DID != 0xF40D || !bytes.Equal(records[0].Data, []byte{0x21}) {
+		t.Fatalf("records = %#v", records)
+	}
+}
+
+func TestRDBIResponseMultiDIDVariableWidth(t *testing.T) {
+	// Variable-width records: the parser must use the request DID order to
+	// find boundaries (paper §3.2 Step 3).
+	records := []DataRecord{
+		{DID: 0xF40D, Data: []byte{0x21}},
+		{DID: 0xF41A, Data: []byte{0x01, 0x02, 0x03}},
+		{DID: 0x1017, Data: []byte{0xAA, 0xBB}},
+	}
+	resp := BuildRDBIResponse(records)
+	got, err := ParseRDBIResponse(resp, []uint16{0xF40D, 0xF41A, 0x1017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if got[i].DID != records[i].DID || !bytes.Equal(got[i].Data, records[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestParseRDBIResponseMismatch(t *testing.T) {
+	resp := BuildRDBIResponse([]DataRecord{{DID: 0x1234, Data: []byte{1}}})
+	if _, err := ParseRDBIResponse(resp, []uint16{0x9999}); !errors.Is(err, ErrDataMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseRDBIResponse(resp, []uint16{0x1234, 0x5678}); !errors.Is(err, ErrDataMismatch) {
+		t.Fatalf("missing second DID err = %v", err)
+	}
+}
+
+func TestIOControlRoundTrip(t *testing.T) {
+	// Paper example: "2F 09 50 03 05 01 00 00" — left fog light 5 seconds.
+	req := IOControlRequest{DID: 0x0950, Param: IOShortTermAdjustment, State: []byte{0x05, 0x01, 0x00, 0x00}}
+	raw := BuildIOControlRequest(req)
+	if !bytes.Equal(raw, []byte{0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00}) {
+		t.Fatalf("request = % X", raw)
+	}
+	got, err := ParseIOControlRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DID != 0x0950 || got.Param != IOShortTermAdjustment || !bytes.Equal(got.State, req.State) {
+		t.Fatalf("parsed = %+v", got)
+	}
+}
+
+func TestIOControlNoState(t *testing.T) {
+	// "2F 09 50 02" — freeze current state, no control-state bytes.
+	got, err := ParseIOControlRequest([]byte{0x2F, 0x09, 0x50, 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Param != IOFreezeCurrentState || got.State != nil {
+		t.Fatalf("parsed = %+v", got)
+	}
+}
+
+func TestNegativeResponse(t *testing.T) {
+	raw := BuildNegativeResponse(SIDReadDataByIdentifier, NRCRequestOutOfRange)
+	sid, nrc, ok := ParseNegativeResponse(raw)
+	if !ok || sid != SIDReadDataByIdentifier || nrc != NRCRequestOutOfRange {
+		t.Fatalf("parsed = %#x %#x %v", sid, nrc, ok)
+	}
+	if _, _, ok := ParseNegativeResponse([]byte{0x62, 0x01, 0x02}); ok {
+		t.Fatal("positive response parsed as negative")
+	}
+}
+
+func TestIsPositiveResponse(t *testing.T) {
+	if !IsPositiveResponse([]byte{0x62, 0xF4, 0x0D, 0x21}, SIDReadDataByIdentifier) {
+		t.Fatal("0x62 not recognised as positive RDBI response")
+	}
+	if IsPositiveResponse([]byte{0x7F, 0x22, 0x31}, SIDReadDataByIdentifier) {
+		t.Fatal("negative response recognised as positive")
+	}
+}
+
+func TestNRCAndIONames(t *testing.T) {
+	if NRCName(NRCSecurityAccessDenied) != "securityAccessDenied" {
+		t.Fatal("NRCName mismatch")
+	}
+	if NRCName(0xEE) != "nrc(0xee)" {
+		t.Fatalf("unknown NRC = %q", NRCName(0xEE))
+	}
+	if IOParamName(IOShortTermAdjustment) != "shortTermAdjustment" {
+		t.Fatal("IOParamName mismatch")
+	}
+	if IOParamName(0x77) != "ioParam(0x77)" {
+		t.Fatalf("unknown IO param = %q", IOParamName(0x77))
+	}
+}
+
+// Property: RDBI build/parse round-trips for arbitrary DID lists with
+// distinct widths 1-4 derived from the DID (so boundaries are non-trivial).
+func TestRDBIRoundTripProperty(t *testing.T) {
+	f := func(seedDIDs []uint16) bool {
+		if len(seedDIDs) == 0 {
+			return true
+		}
+		if len(seedDIDs) > 6 {
+			seedDIDs = seedDIDs[:6]
+		}
+		// Deduplicate: repeated DIDs make boundary scanning ambiguous by
+		// construction (the heuristic is defined for distinct DIDs).
+		seen := map[uint16]bool{}
+		var dids []uint16
+		for _, d := range seedDIDs {
+			// Skip 0x0101: record data below is 0x01-filled, and a DID
+			// equal to the fill pattern defeats the boundary heuristic by
+			// construction.
+			if !seen[d] && d != 0x0101 {
+				seen[d] = true
+				dids = append(dids, d)
+			}
+		}
+		if len(dids) == 0 {
+			return true
+		}
+		records := make([]DataRecord, len(dids))
+		for i, d := range dids {
+			width := int(d%4) + 1
+			data := make([]byte, width)
+			for j := range data {
+				// Avoid embedding other DIDs' bytes: fill with a constant
+				// that is not a DID high byte in this set.
+				data[j] = 0x01
+			}
+			records[i] = DataRecord{DID: d, Data: data}
+		}
+		resp := BuildRDBIResponse(records)
+		got, err := ParseRDBIResponse(resp, dids)
+		if err != nil {
+			return false
+		}
+		for i := range records {
+			if got[i].DID != records[i].DID || !bytes.Equal(got[i].Data, records[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package ui models the screen surface of a diagnostic tool: widgets with
+// text and bounding boxes. It is the shared vocabulary between the tool
+// simulator (which renders screens), the camera/OCR models (which observe
+// them), and the robotic rig (which clicks them) — the pixel boundary the
+// paper's cyber-physical system works across.
+package ui
+
+import "fmt"
+
+// Kind classifies widgets.
+type Kind int
+
+// Widget kinds.
+const (
+	// Label is static text (headings, row names).
+	Label Kind = iota
+	// Button reacts to clicks.
+	Button
+	// Value is a live-updating numeric/text cell.
+	Value
+	// IconButton is a clickable widget with no text (recognised by shape
+	// similarity, §3.1's Canny-edge path).
+	IconButton
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Label:
+		return "label"
+	case Button:
+		return "button"
+	case Value:
+		return "value"
+	case IconButton:
+		return "icon"
+	default:
+		return "unknown"
+	}
+}
+
+// Widget is one rectangle of screen real estate.
+type Widget struct {
+	// ID is stable across redraws of the same logical widget.
+	ID string
+	// Kind classifies behaviour.
+	Kind Kind
+	// Text is the rendered text (empty for IconButton).
+	Text string
+	// Icon names the glyph of an IconButton ("back-arrow", "gear"); the
+	// rig recognises icons by template similarity.
+	Icon string
+	// X, Y, W, H is the bounding box in screen pixels.
+	X, Y, W, H int
+}
+
+// Center reports the click point of the widget.
+func (w Widget) Center() (x, y int) { return w.X + w.W/2, w.Y + w.H/2 }
+
+// Contains reports whether the point lies inside the widget.
+func (w Widget) Contains(x, y int) bool {
+	return x >= w.X && x < w.X+w.W && y >= w.Y && y < w.Y+w.H
+}
+
+// Screen is one rendered UI state.
+type Screen struct {
+	// Name identifies the logical screen ("ecu-list", "live-data").
+	Name string
+	// Title is the heading text.
+	Title string
+	// Widgets in z-order (no overlaps in this simulation).
+	Widgets []Widget
+	// Width, Height are the physical screen dimensions in pixels; smaller
+	// screens render smaller glyphs, which degrades OCR (Table 4's AUTEL
+	// vs LAUNCH split).
+	Width, Height int
+}
+
+// WidgetAt hit-tests a click point.
+func (s *Screen) WidgetAt(x, y int) (Widget, bool) {
+	for _, w := range s.Widgets {
+		if w.Contains(x, y) {
+			return w, true
+		}
+	}
+	return Widget{}, false
+}
+
+// FindByText returns the first widget whose text equals t.
+func (s *Screen) FindByText(t string) (Widget, bool) {
+	for _, w := range s.Widgets {
+		if w.Text == t {
+			return w, true
+		}
+	}
+	return Widget{}, false
+}
+
+// FindByID returns the widget with the given ID.
+func (s *Screen) FindByID(id string) (Widget, bool) {
+	for _, w := range s.Widgets {
+		if w.ID == id {
+			return w, true
+		}
+	}
+	return Widget{}, false
+}
+
+// String renders a debug summary.
+func (s *Screen) String() string {
+	return fmt.Sprintf("screen %q (%d widgets)", s.Name, len(s.Widgets))
+}

@@ -1,0 +1,93 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Screen {
+	return Screen{
+		Name: "func-menu", Title: "Engine — Functions", Width: 1024, Height: 768,
+		Widgets: []Widget{
+			{ID: "title", Kind: Label, Text: "Engine — Functions", X: 40, Y: 16, W: 360, H: 40},
+			{ID: "func.stream", Kind: Button, Text: "Read Data Stream", X: 40, Y: 60, W: 360, H: 40},
+			{ID: "row.val.0", Kind: Value, Text: "771.20", X: 420, Y: 60, W: 160, H: 40},
+			{ID: "nav.back", Kind: IconButton, Icon: "back-arrow", X: 954, Y: 718, W: 60, H: 40},
+		},
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Label: "label", Button: "button", Value: "value", IconButton: "icon",
+		Kind(42): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestWidgetCenterAndContains(t *testing.T) {
+	w := Widget{X: 10, Y: 20, W: 100, H: 40}
+	cx, cy := w.Center()
+	if cx != 60 || cy != 40 {
+		t.Fatalf("Center = (%d, %d)", cx, cy)
+	}
+	if !w.Contains(10, 20) || !w.Contains(109, 59) {
+		t.Fatal("corner points not contained")
+	}
+	if w.Contains(110, 20) || w.Contains(10, 60) || w.Contains(9, 20) {
+		t.Fatal("outside points contained")
+	}
+}
+
+func TestScreenWidgetAt(t *testing.T) {
+	s := sample()
+	w, ok := s.WidgetAt(220, 80)
+	if !ok || w.ID != "func.stream" {
+		t.Fatalf("WidgetAt = %+v, %v", w, ok)
+	}
+	if _, ok := s.WidgetAt(5, 5); ok {
+		t.Fatal("empty space hit")
+	}
+}
+
+func TestScreenFindByTextAndID(t *testing.T) {
+	s := sample()
+	if w, ok := s.FindByText("Read Data Stream"); !ok || w.ID != "func.stream" {
+		t.Fatalf("FindByText = %+v, %v", w, ok)
+	}
+	if _, ok := s.FindByText("absent"); ok {
+		t.Fatal("absent text found")
+	}
+	if w, ok := s.FindByID("nav.back"); !ok || w.Kind != IconButton {
+		t.Fatalf("FindByID = %+v, %v", w, ok)
+	}
+	if _, ok := s.FindByID("nope"); ok {
+		t.Fatal("absent id found")
+	}
+}
+
+func TestScreenString(t *testing.T) {
+	s := sample()
+	if got := s.String(); !strings.Contains(got, "func-menu") || !strings.Contains(got, "4 widgets") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: a widget always contains its own center (for positive sizes).
+func TestCenterContainedProperty(t *testing.T) {
+	f := func(x, y int16, w, h uint8) bool {
+		if w == 0 || h == 0 {
+			return true
+		}
+		wd := Widget{X: int(x), Y: int(y), W: int(w), H: int(h)}
+		cx, cy := wd.Center()
+		return wd.Contains(cx, cy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package vehicle assembles complete simulated vehicles: per-car ECU maps
+// with manufacturer-proprietary DID / local-identifier tables, formula
+// encodings, enum ESVs, and controllable actuators, wired to a CAN bus
+// through the transport each manufacturer uses (ISO 15765-2, VW TP 2.0, or
+// the BMW extended-addressing variant).
+//
+// The 18-car fleet mirrors the paper's Table 3; per-car ESV and ECR
+// inventories are sized to Tables 6 and 11. Individual DID assignments and
+// formula parameters are generated deterministically per car — the
+// manufacturers' real tables are proprietary (that is the paper's point),
+// so each simulated manufacturer gets its own arbitrary-but-fixed
+// assignment, which is exactly the property the reverse-engineering
+// pipeline must cope with.
+package vehicle
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dpreverser/internal/ecu"
+	"dpreverser/internal/signal"
+)
+
+// udsArchetype describes one kind of readable quantity a generated UDS DID
+// can expose.
+type udsArchetype struct {
+	name string
+	unit string
+	// mkSignal builds the live signal for a seed.
+	mkSignal func(seed int64) signal.Signal
+	// mkCodec builds the proprietary encoding; rng lets each car perturb
+	// its formula constants (different manufacturers, different scales).
+	mkCodec  func(rng *rand.Rand) ecu.Codec
+	min, max float64
+}
+
+// udsFormulaArchetypes is the pool of formula-bearing UDS quantities.
+// Mostly affine (as on real cars), with two nonlinear entries that separate
+// GP from the linear baseline (§4.4).
+var udsFormulaArchetypes = []udsArchetype{
+	{
+		name: "Engine speed", unit: "rpm",
+		mkSignal: signal.EngineRPM,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(2, 0.25, 0)
+		},
+		min: 0, max: 8000,
+	},
+	{
+		name: "Vehicle speed", unit: "km/h",
+		mkSignal: signal.VehicleSpeed,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 1, 0)
+		},
+		min: 0, max: 255,
+	},
+	{
+		name: "Coolant temperature", unit: "°C",
+		mkSignal: signal.CoolantTemp,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			// Manufacturers vary scale/offset: 1X-40, 0.5X, 0.1X-40 ...
+			scales := []struct{ s, o float64 }{{1, -40}, {0.5, 0}, {0.1, -40}, {0.75, -48}}
+			p := scales[rng.Intn(len(scales))]
+			return ecu.AffineCodec(1, p.s, p.o)
+		},
+		min: -48, max: 215,
+	},
+	{
+		name: "Throttle position", unit: "%",
+		mkSignal: signal.ThrottlePosition,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 100.0/255, 0)
+		},
+		min: 0, max: 100,
+	},
+	{
+		name: "Battery voltage", unit: "V",
+		mkSignal: signal.BatteryVoltage,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 0.1, 0)
+		},
+		min: 0, max: 25.5,
+	},
+	{
+		name: "Fuel level", unit: "%",
+		mkSignal: signal.FuelLevel,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 0.392, 0)
+		},
+		min: 0, max: 100,
+	},
+	{
+		name: "Manifold pressure", unit: "kPa",
+		mkSignal: signal.ManifoldPressure,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 1, 0)
+		},
+		min: 0, max: 255,
+	},
+	{
+		name: "Oil temperature", unit: "°C",
+		mkSignal: signal.OilTemperature,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 1, -40)
+		},
+		min: -40, max: 215,
+	},
+	{
+		name: "Brake pressure", unit: "bar",
+		mkSignal: signal.BrakePressure,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(2, 0.01, 0)
+		},
+		min: 0, max: 655,
+	},
+	{
+		name: "Accelerator position", unit: "%",
+		mkSignal: signal.AcceleratorPosition,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(1, 0.4, 0)
+		},
+		min: 0, max: 102,
+	},
+	{
+		name: "Fuel injection quantity", unit: "mm³/st",
+		mkSignal: signal.FuelInjectionQuantity,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.AffineCodec(2, 0.01, 0)
+		},
+		min: 0, max: 655,
+	},
+	{
+		name: "Boost pressure", unit: "kPa",
+		mkSignal: signal.ManifoldPressure,
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			// Nonlinear manufacturer-specific sensor linearisation.
+			return ecu.QuadraticCodec(1, 0.0017)
+		},
+		min: 0, max: 110,
+	},
+	{
+		name: "Air mass flow", unit: "g/s",
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 20, 3, 2, 180, 200*time.Millisecond)
+		},
+		mkCodec: func(rng *rand.Rand) ecu.Codec {
+			return ecu.SqrtCodec(2, 0.75)
+		},
+		min: 0, max: 192,
+	},
+}
+
+// udsEnumArchetypes is the pool of no-formula (state) quantities.
+var udsEnumArchetypes = []udsArchetype{
+	{name: "Door state", unit: "", mkSignal: func(int64) signal.Signal { return signal.DoorState() },
+		mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 1},
+	{name: "Gear position", unit: "", mkSignal: func(int64) signal.Signal { return signal.GearPosition() },
+		mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 3},
+	{name: "Lamp state", unit: "", mkSignal: func(int64) signal.Signal { return signal.LampState() },
+		mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 1},
+	{name: "Central lock status", unit: "", mkSignal: func(int64) signal.Signal {
+		return signal.Switched{States: []float64{0, 1, 1, 0}, Dwell: 6 * time.Second}
+	}, mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 1},
+	{name: "Wiper state", unit: "", mkSignal: func(int64) signal.Signal {
+		return signal.Switched{States: []float64{0, 1, 2, 0}, Dwell: 5 * time.Second}
+	}, mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 2},
+	{name: "Window position", unit: "", mkSignal: func(int64) signal.Signal {
+		return signal.Switched{States: []float64{0, 2, 5, 3}, Dwell: 7 * time.Second}
+	}, mkCodec: func(*rand.Rand) ecu.Codec { return ecu.EnumCodec(1) }, min: 0, max: 5},
+}
+
+// kwpArchetype describes a formula-bearing KWP ESV.
+type kwpArchetype struct {
+	name     string
+	unit     string
+	fType    byte
+	scale    byte
+	mkSignal func(seed int64) signal.Signal
+	min, max float64
+}
+
+// kwpFormulaArchetypes maps physical quantities to KWP formula types, with
+// scale constants chosen so the encodable range covers the signal.
+var kwpFormulaArchetypes = []kwpArchetype{
+	{name: "Engine speed", unit: "rpm", fType: 0x01, scale: 0xF1,
+		mkSignal: signal.EngineRPM, min: 0, max: 12000},
+	{name: "Vehicle speed", unit: "km/h", fType: 0x07, scale: 0x64,
+		mkSignal: signal.VehicleSpeed, min: 0, max: 255},
+	{name: "Coolant temperature", unit: "°C", fType: 0x05, scale: 10,
+		mkSignal: signal.CoolantTemp, min: -100, max: 155},
+	{name: "Battery voltage", unit: "V", fType: 0x06, scale: 60,
+		mkSignal: signal.BatteryVoltage, min: 0, max: 15.3},
+	{name: "Throttle angle", unit: "%", fType: 0x02, scale: 200,
+		mkSignal: signal.ThrottlePosition, min: 0, max: 102},
+	{name: "Injection duration", unit: "ms", fType: 0x0F, scale: 25,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 8, 1.5, 1, 25, 200*time.Millisecond)
+		}, min: 0, max: 63},
+	{name: "Manifold pressure", unit: "mbar", fType: 0x12, scale: 100,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 350, 40, 150, 1020, 200*time.Millisecond)
+		}, min: 0, max: 1020},
+	{name: "Lambda factor", unit: "%", fType: 0x14, scale: 100,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.Sum{
+				signal.Sine{Amplitude: 18, Period: 8 * time.Second},
+				signal.NewRandomWalk(seed, 0, 2, -8, 8, 300*time.Millisecond),
+			}
+		}, min: -100, max: 99},
+	{name: "Duty cycle", unit: "%", fType: 0x17, scale: 100,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 40, 4, 5, 95, 250*time.Millisecond)
+		}, min: 0, max: 99.7},
+	{name: "Torque assistance", unit: "N·m", fType: 0x24, scale: 0,
+		mkSignal: signal.TorqueAssistance, min: -0.255, max: 0.255},
+	{name: "Lateral acceleration", unit: "m/s²", fType: 0x25, scale: 0,
+		mkSignal: signal.LateralAcceleration, min: -1.28, max: 1.28},
+	{name: "Air mass flow", unit: "g/s", fType: 0x31, scale: 40,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 20, 3, 2, 180, 200*time.Millisecond)
+		}, min: 0, max: 255 * 40.0 / 40},
+	{name: "Power output", unit: "kW", fType: 0x22, scale: 80,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.Sum{
+				signal.Sine{Amplitude: 55, Period: 10 * time.Second},
+				signal.NewRandomWalk(seed, 0, 5, -30, 30, 300*time.Millisecond),
+			}
+		}, min: -102.4, max: 101.6},
+	{name: "Rail pressure", unit: "bar", fType: 0x35, scale: 200,
+		mkSignal: func(seed int64) signal.Signal {
+			return signal.NewRandomWalk(seed, 0.02, 0.003, 0.001, 0.05, 300*time.Millisecond)
+		}, min: 0, max: 0.051},
+}
+
+// kwpEnumArchetypes are KWP state/bitfield ESVs (formula types 0x10/0x11).
+var kwpEnumArchetypes = []kwpArchetype{
+	{name: "Door state", unit: "", fType: 0x10, scale: 0,
+		mkSignal: func(int64) signal.Signal { return signal.DoorState() }, min: 0, max: 1},
+	{name: "Gear position", unit: "", fType: 0x11, scale: 0,
+		mkSignal: func(int64) signal.Signal { return signal.GearPosition() }, min: 0, max: 3},
+	{name: "Lamp state", unit: "", fType: 0x10, scale: 0,
+		mkSignal: func(int64) signal.Signal { return signal.LampState() }, min: 0, max: 1},
+}
+
+// actuatorNames is the pool of controllable components (paper Tables 11 and
+// 13). Cars needing more than the pool size get indexed variants.
+var actuatorNames = []string{
+	"Fog light left", "Fog light right", "Turn light", "High beam",
+	"Low beam", "Wiper", "Door lock", "Trunk lock", "Horn",
+	"Fuel pump", "Radiator fan", "Dashboard lamps", "Displayed speed",
+	"Displayed engine speed", "Window lift", "Seat heater",
+}
+
+// archName derives an indexed display name when a pool wraps around:
+// "Engine speed", "Engine speed #2", ...
+func archName(base string, round int) string {
+	if round == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s #%d", base, round+1)
+}

@@ -1,0 +1,408 @@
+package vehicle
+
+import (
+	"testing"
+	"time"
+
+	"dpreverser/internal/isotp"
+	"dpreverser/internal/kwp"
+	"dpreverser/internal/obd"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/uds"
+	"dpreverser/internal/vwtp"
+)
+
+func TestFleetMatchesPaperTables(t *testing.T) {
+	fleet := Fleet()
+	if len(fleet) != 18 {
+		t.Fatalf("fleet size = %d, want 18 (Table 3)", len(fleet))
+	}
+	totalFormula, totalEnum, totalECR := 0, 0, 0
+	kwpCars := 0
+	for _, p := range fleet {
+		totalFormula += p.NumFormulaESVs
+		totalEnum += p.NumEnumESVs
+		totalECR += p.NumECRs
+		if p.Protocol == KWP2000 {
+			kwpCars++
+			if p.Transport != VWTP {
+				t.Errorf("%s: KWP car not on VW TP 2.0", p.Car)
+			}
+		}
+		if p.NumECRs > 0 && p.ECRService != 0x2F && p.ECRService != 0x30 {
+			t.Errorf("%s: ECR service %#x", p.Car, p.ECRService)
+		}
+	}
+	if totalFormula != 290 {
+		t.Errorf("total formula ESVs = %d, want 290 (Table 6)", totalFormula)
+	}
+	if totalEnum != 156 {
+		t.Errorf("total enum ESVs = %d, want 156 (Table 6)", totalEnum)
+	}
+	if totalECR != 124 {
+		t.Errorf("total ECRs = %d, want 124 (Table 11)", totalECR)
+	}
+	if kwpCars != 3 {
+		t.Errorf("KWP cars = %d, want 3 (B, C, K)", kwpCars)
+	}
+	ecrCars := 0
+	for _, p := range fleet {
+		if p.NumECRs > 0 {
+			ecrCars++
+		}
+	}
+	if ecrCars != 10 {
+		t.Errorf("cars with ECRs = %d, want 10 (Table 11)", ecrCars)
+	}
+}
+
+func TestProfileByCar(t *testing.T) {
+	p, ok := ProfileByCar("Car K")
+	if !ok || p.Model != "Volkswagen Passat" {
+		t.Fatalf("Car K = %+v, %v", p, ok)
+	}
+	if _, ok := ProfileByCar("Car Z"); ok {
+		t.Fatal("unknown car found")
+	}
+}
+
+func TestBuildInventoryCounts(t *testing.T) {
+	for _, p := range Fleet() {
+		p := p
+		t.Run(p.Car, func(t *testing.T) {
+			v := Build(p, nil)
+			defer v.Close()
+			formula, enum, acts := 0, 0, 0
+			for _, e := range v.ECUs() {
+				for _, did := range e.DIDs() {
+					spec, _ := e.DIDSpecFor(did)
+					if spec.Enum {
+						enum++
+					} else {
+						formula++
+					}
+				}
+				for _, id := range e.Locals() {
+					ls, _ := e.LocalSpecFor(id)
+					for _, es := range ls.ESVs {
+						if es.Enum {
+							enum++
+						} else {
+							formula++
+						}
+					}
+				}
+				acts += len(e.Actuators())
+			}
+			if formula != p.NumFormulaESVs {
+				t.Errorf("formula ESVs = %d, want %d", formula, p.NumFormulaESVs)
+			}
+			if enum != p.NumEnumESVs {
+				t.Errorf("enum ESVs = %d, want %d", enum, p.NumEnumESVs)
+			}
+			if acts != p.NumECRs {
+				t.Errorf("actuators = %d, want %d", acts, p.NumECRs)
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, _ := ProfileByCar("Car A")
+	v1 := Build(p, nil)
+	defer v1.Close()
+	v2 := Build(p, nil)
+	defer v2.Close()
+	e1, e2 := v1.ECUs()[0], v2.ECUs()[0]
+	d1, d2 := e1.DIDs(), e2.DIDs()
+	if len(d1) != len(d2) {
+		t.Fatalf("DID counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("DID %d differs: %#x vs %#x", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestUniqueDIDsPerECU(t *testing.T) {
+	for _, p := range Fleet() {
+		if p.Protocol != UDS {
+			continue
+		}
+		v := Build(p, nil)
+		for _, e := range v.ECUs() {
+			seen := map[uint16]bool{}
+			for _, did := range e.DIDs() {
+				if seen[did] {
+					t.Fatalf("%s %s: duplicate DID %#04x", p.Car, e.Name, did)
+				}
+				seen[did] = true
+			}
+		}
+		v.Close()
+	}
+}
+
+func TestISOTPVehicleEndToEnd(t *testing.T) {
+	p, _ := ProfileByCar("Car A") // Skoda, UDS over ISO-TP
+	clock := sim.NewClock(0)
+	v := Build(p, clock)
+	defer v.Close()
+
+	b := v.Bindings()[0]
+	tool := isotp.NewEndpoint(v.Bus, isotp.EndpointConfig{
+		TxID: b.ReqID, RxID: b.RespID, Pad: 0xCC,
+	})
+	defer tool.Close()
+	var resp []byte
+	tool.OnMessage = func(p []byte) { resp = append([]byte(nil), p...) }
+
+	dids := b.ECU.DIDs()
+	req, err := uds.BuildRDBIRequest(dids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	if !uds.IsPositiveResponse(resp, uds.SIDReadDataByIdentifier) {
+		t.Fatalf("response = % X", resp)
+	}
+	records, err := uds.ParseRDBIResponse(resp, dids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := b.ECU.DIDSpecFor(dids[0])
+	if len(records[0].Data) != spec.Codec.Width {
+		t.Fatalf("data width = %d, want %d", len(records[0].Data), spec.Codec.Width)
+	}
+}
+
+func TestMultiDIDRequestProducesMultiFrame(t *testing.T) {
+	p, _ := ProfileByCar("Car A")
+	v := Build(p, nil)
+	defer v.Close()
+
+	b := v.Bindings()[0]
+	tool := isotp.NewEndpoint(v.Bus, isotp.EndpointConfig{TxID: b.ReqID, RxID: b.RespID})
+	defer tool.Close()
+	var resp []byte
+	tool.OnMessage = func(p []byte) { resp = append([]byte(nil), p...) }
+
+	dids := b.ECU.DIDs()
+	if len(dids) < 4 {
+		t.Skip("ECU has too few DIDs")
+	}
+	req, err := uds.BuildRDBIRequest(dids[:4]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	records, err := uds.ParseRDBIResponse(resp, dids[:4])
+	if err != nil {
+		t.Fatalf("parse: %v (resp % X)", err, resp)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %d", len(records))
+	}
+}
+
+func TestVWTPVehicleEndToEnd(t *testing.T) {
+	p, _ := ProfileByCar("Car B") // Magotan, KWP over VW TP 2.0
+	v := Build(p, nil)
+	defer v.Close()
+
+	b := v.Bindings()[0]
+	ch, err := vwtp.Dial(v.Bus, b.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	var resp []byte
+	ch.OnMessage = func(p []byte) { resp = append([]byte(nil), p...) }
+
+	locals := b.ECU.Locals()
+	if len(locals) == 0 {
+		t.Fatal("KWP ECU has no measuring blocks")
+	}
+	if err := ch.Send(kwp.BuildReadRequest(locals[0])); err != nil {
+		t.Fatal(err)
+	}
+	id, esvs, err := kwp.ParseReadResponse(resp)
+	if err != nil {
+		t.Fatalf("parse: %v (resp % X)", err, resp)
+	}
+	if id != locals[0] || len(esvs) == 0 {
+		t.Fatalf("id=%#x esvs=%d", id, len(esvs))
+	}
+}
+
+func TestBMWVehicleEndToEnd(t *testing.T) {
+	p, _ := ProfileByCar("Car G") // BMW i3, extended addressing
+	v := Build(p, nil)
+	defer v.Close()
+
+	b := v.Bindings()[0]
+	client, err := Connect(v, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dids := b.ECU.DIDs()
+	req, _ := uds.BuildRDBIRequest(dids[0])
+	resp, err := client.Request(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uds.IsPositiveResponse(resp, uds.SIDReadDataByIdentifier) {
+		t.Fatalf("response = % X", resp)
+	}
+}
+
+func TestConnectAllTransports(t *testing.T) {
+	// Every car's first ECU must answer a read through the generic Client.
+	for _, p := range Fleet() {
+		p := p
+		t.Run(p.Car, func(t *testing.T) {
+			v := Build(p, nil)
+			defer v.Close()
+			b := v.Bindings()[0]
+			client, err := Connect(v, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			var req []byte
+			if p.Protocol == KWP2000 {
+				req = kwp.BuildReadRequest(b.ECU.Locals()[0])
+			} else {
+				req, _ = uds.BuildRDBIRequest(b.ECU.DIDs()[0])
+			}
+			resp, err := client.Request(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp) == 0 || resp[0] != req[0]+0x40 {
+				t.Fatalf("response = % X", resp)
+			}
+		})
+	}
+}
+
+func TestConnectOBDClient(t *testing.T) {
+	p, _ := ProfileByCar("Car A")
+	v := Build(p, nil)
+	defer v.Close()
+	client := ConnectOBD(v)
+	defer client.Close()
+	resp, err := client.Request(obd.BuildRequest(obd.PIDEngineRPM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obd.ParseResponse(resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDSCarWithService30ECRs(t *testing.T) {
+	p, _ := ProfileByCar("Car D") // Lexus: UDS reads, 0x30 IO control
+	v := Build(p, nil)
+	defer v.Close()
+
+	var target ECUBinding
+	found := false
+	for _, b := range v.Bindings() {
+		if len(b.ECU.Actuators()) > 0 {
+			target, found = b, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no ECU with actuators")
+	}
+	act := target.ECU.Actuators()[0]
+
+	tool := isotp.NewEndpoint(v.Bus, isotp.EndpointConfig{TxID: target.ReqID, RxID: target.RespID})
+	defer tool.Close()
+	var resp []byte
+	tool.OnMessage = func(p []byte) { resp = append([]byte(nil), p...) }
+
+	// Service 0x30 goes to the KWP-style handler even on this UDS car.
+	req := append([]byte{0x30, act.LocalID, 0x03}, act.State...)
+	if err := tool.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	if !kwp.IsPositiveResponse(resp, kwp.SIDIOControlByLocalIdentifier) {
+		t.Fatalf("0x30 control response = % X", resp)
+	}
+	if !target.ECU.ActuatorActive(act.Name) {
+		t.Fatal("actuator not active")
+	}
+}
+
+func TestOBDResponder(t *testing.T) {
+	p, _ := ProfileByCar("Car L")
+	clock := sim.NewClock(0)
+	v := Build(p, clock)
+	defer v.Close()
+
+	tool := isotp.NewEndpoint(v.Bus, isotp.EndpointConfig{
+		TxID: obd.FunctionalRequestID, RxID: obd.FirstResponseID,
+	})
+	defer tool.Close()
+	var resp []byte
+	tool.OnMessage = func(p []byte) { resp = append([]byte(nil), p...) }
+
+	if err := tool.Send(obd.BuildRequest(obd.PIDVehicleSpeed)); err != nil {
+		t.Fatal(err)
+	}
+	pid, val, err := obd.ParseResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid != obd.PIDVehicleSpeed {
+		t.Fatalf("pid = %#x", pid)
+	}
+	sig, _ := v.OBDSignal(obd.PIDVehicleSpeed)
+	if want := sig.Value(clock.Now()); val < want-1.5 || val > want+1.5 {
+		t.Fatalf("obd speed = %v, signal = %v", val, want)
+	}
+	// Unknown PID gets a negative response.
+	if err := tool.Send(obd.BuildRequest(0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := uds.ParseNegativeResponse(resp); !ok {
+		t.Fatalf("unknown PID response = % X", resp)
+	}
+}
+
+func TestDashboardTracksClock(t *testing.T) {
+	p, _ := ProfileByCar("Car F")
+	clock := sim.NewClock(0)
+	v := Build(p, clock)
+	defer v.Close()
+	d1 := v.Dashboard()
+	clock.Advance(30 * time.Second)
+	d2 := v.Dashboard()
+	if d1["Coolant temperature"] >= d2["Coolant temperature"] {
+		t.Fatalf("coolant did not warm up: %v -> %v", d1["Coolant temperature"], d2["Coolant temperature"])
+	}
+	for _, key := range []string{"Vehicle speed", "Engine speed", "Fuel level"} {
+		if _, ok := d1[key]; !ok {
+			t.Fatalf("dashboard missing %q", key)
+		}
+	}
+}
+
+func TestProtocolAndTransportStrings(t *testing.T) {
+	if UDS.String() != "UDS" || KWP2000.String() != "KWP 2000" {
+		t.Fatal("protocol strings")
+	}
+	if ISOTP.String() != "ISO 15765-2" || VWTP.String() != "VW TP 2.0" ||
+		BMWExt.String() != "BMW extended addressing" {
+		t.Fatal("transport strings")
+	}
+}

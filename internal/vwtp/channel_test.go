@@ -1,0 +1,213 @@
+package vwtp
+
+import (
+	"bytes"
+	"testing"
+
+	"dpreverser/internal/can"
+)
+
+func TestDialWithoutListenerFails(t *testing.T) {
+	bus := can.NewBus(nil)
+	if _, err := Dial(bus, 0x01); err == nil {
+		t.Fatal("Dial with no listener succeeded")
+	}
+}
+
+func TestDialListenerHandshake(t *testing.T) {
+	bus := can.NewBus(nil)
+	var serverCh *Channel
+	l := NewListener(bus, 0x01, func(ch *Channel) { serverCh = ch })
+	defer l.Close()
+
+	toolCh, err := Dial(bus, 0x01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolCh.Close()
+	if serverCh == nil {
+		t.Fatal("listener did not accept a channel")
+	}
+	if l.Active() != serverCh {
+		t.Fatal("Active() does not return the accepted channel")
+	}
+}
+
+func TestChannelRequestResponse(t *testing.T) {
+	bus := can.NewBus(nil)
+	l := NewListener(bus, 0x01, func(ch *Channel) {
+		ch.OnMessage = func(p []byte) {
+			// KWP echo ECU: positive response mirrors request.
+			resp := append([]byte{p[0] + 0x40}, p[1:]...)
+			if err := ch.Send(resp); err != nil {
+				t.Errorf("server send: %v", err)
+			}
+		}
+	})
+	defer l.Close()
+
+	toolCh, err := Dial(bus, 0x01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolCh.Close()
+
+	var got []byte
+	toolCh.OnMessage = func(p []byte) { got = append([]byte(nil), p...) }
+	if err := toolCh.Send([]byte{0x21, 0x07}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0x61, 0x07}) {
+		t.Fatalf("tool got % X, want 61 07", got)
+	}
+}
+
+func TestChannelLongMessagesWithACKPacing(t *testing.T) {
+	bus := can.NewBus(nil)
+	long := make([]byte, 120)
+	for i := range long {
+		long[i] = byte(i * 5)
+	}
+	l := NewListener(bus, 0x02, func(ch *Channel) {
+		ch.OnMessage = func(p []byte) {
+			if err := ch.Send(append([]byte{0x61}, p...)); err != nil {
+				t.Errorf("server send: %v", err)
+			}
+		}
+	})
+	defer l.Close()
+	toolCh, err := Dial(bus, 0x02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolCh.Close()
+
+	snif := can.NewSniffer(bus, nil)
+	var got []byte
+	toolCh.OnMessage = func(p []byte) { got = append([]byte(nil), p...) }
+	if err := toolCh.Send(long); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append([]byte{0x61}, long...)) {
+		t.Fatalf("round trip failed: got %d bytes", len(got))
+	}
+	// ACK frames must appear on the wire (pacing actually happened).
+	acks := 0
+	for _, f := range snif.Frames() {
+		if Classify(f.Payload()) == KindACK {
+			acks++
+		}
+	}
+	if acks < 4 {
+		t.Fatalf("saw %d ACK frames, want >= 4", acks)
+	}
+}
+
+func TestChannelSequenceContinuityAcrossMessages(t *testing.T) {
+	bus := can.NewBus(nil)
+	var serverGot [][]byte
+	l := NewListener(bus, 0x03, func(ch *Channel) {
+		ch.OnMessage = func(p []byte) { serverGot = append(serverGot, append([]byte(nil), p...)) }
+	})
+	defer l.Close()
+	toolCh, err := Dial(bus, 0x03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toolCh.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := toolCh.Send([]byte{0x21, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(serverGot) != 20 {
+		t.Fatalf("server received %d messages, want 20", len(serverGot))
+	}
+	for i, m := range serverGot {
+		if !bytes.Equal(m, []byte{0x21, byte(i)}) {
+			t.Fatalf("message %d = % X", i, m)
+		}
+	}
+}
+
+func TestChannelCloseSendsDisconnect(t *testing.T) {
+	bus := can.NewBus(nil)
+	ch := NewChannel(bus, ChannelConfig{TxID: 0x740, RxID: 0x300})
+	snif := can.NewSniffer(bus, nil)
+	ch.Close()
+	frames := snif.Frames()
+	if len(frames) != 1 || Classify(frames[0].Payload()) != KindDisconnect {
+		t.Fatalf("Close emitted %v", frames)
+	}
+	ch.Close() // idempotent
+	if snif.Len() != 1 {
+		t.Fatal("second Close emitted another frame")
+	}
+}
+
+func TestListenerIgnoresForeignAddress(t *testing.T) {
+	bus := can.NewBus(nil)
+	accepted := false
+	l := NewListener(bus, 0x05, func(*Channel) { accepted = true })
+	defer l.Close()
+	if _, err := Dial(bus, 0x06); err == nil {
+		t.Fatal("Dial to absent address succeeded")
+	}
+	if accepted {
+		t.Fatal("listener accepted a setup for a foreign address")
+	}
+}
+
+func TestRedialReplacesChannel(t *testing.T) {
+	bus := can.NewBus(nil)
+	accepts := 0
+	l := NewListener(bus, 0x07, func(ch *Channel) {
+		accepts++
+		ch.OnMessage = func(p []byte) {
+			if err := ch.Send([]byte{0x7F}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	defer l.Close()
+
+	first, err := Dial(bus, 0x07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Dial(bus, 0x07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	_ = first
+	if accepts != 2 {
+		t.Fatalf("accepts = %d, want 2", accepts)
+	}
+	var got []byte
+	second.OnMessage = func(p []byte) { got = append([]byte(nil), p...) }
+	if err := second.Send([]byte{0x3E}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0x7F}) {
+		t.Fatalf("second channel exchange failed: got % X", got)
+	}
+}
+
+func TestChannelAnswersChannelTest(t *testing.T) {
+	bus := can.NewBus(nil)
+	ch := NewChannel(bus, ChannelConfig{TxID: 0x740, RxID: 0x300})
+	defer ch.Close()
+	snif := can.NewSniffer(bus, nil)
+	bus.Send(can.MustFrame(0x300, []byte{0xA3}))
+	found := false
+	for _, f := range snif.Frames() {
+		if f.ID == 0x740 && f.Len > 0 && f.Payload()[0] == 0xA1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("channel test not answered with params response")
+	}
+}

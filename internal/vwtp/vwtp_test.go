@@ -1,0 +1,256 @@
+package vwtp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want Kind
+	}{
+		{"empty", nil, KindInvalid},
+		{"data more no-ack", []byte{0x21, 1, 2}, KindData},
+		{"data more ack", []byte{0x05, 1}, KindData},
+		{"data last ack", []byte{0x1F, 1}, KindData},
+		{"data last no-ack", []byte{0x3A, 1}, KindData},
+		{"ack ready", []byte{0x92}, KindACK},
+		{"ack not ready", []byte{0xB2}, KindACK},
+		{"params req", []byte{0xA0, 3, 0x8F, 0xFF, 0x32, 0xFF}, KindChannelParams},
+		{"params resp", []byte{0xA1, 3, 0x8F, 0xFF, 0x32, 0xFF}, KindChannelParams},
+		{"channel test", []byte{0xA3}, KindChannelParams},
+		{"break", []byte{0xA4}, KindChannelParams},
+		{"disconnect", []byte{0xA8}, KindDisconnect},
+		{"setup req", []byte{0xC0}, KindChannelSetup},
+		{"setup resp", []byte{0xD0}, KindChannelSetup},
+		{"setup neg resp", []byte{0xD8}, KindChannelSetup},
+		{"garbage", []byte{0xE5}, KindInvalid},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.data); got != c.want {
+				t.Fatalf("Classify(% X) = %v, want %v", c.data, got, c.want)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindData: "data", KindACK: "ack", KindChannelSetup: "channel-setup",
+		KindChannelParams: "channel-params", KindDisconnect: "disconnect",
+		KindInvalid: "invalid",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsLastDataAndExpectsACK(t *testing.T) {
+	cases := []struct {
+		data    []byte
+		last    bool
+		wantACK bool
+	}{
+		{[]byte{0x01, 0xFF}, false, true},
+		{[]byte{0x11, 0xFF}, true, true},
+		{[]byte{0x21, 0xFF}, false, false},
+		{[]byte{0x31, 0xFF}, true, false},
+		{[]byte{0x91}, false, false}, // ACK frame is not data
+	}
+	for _, c := range cases {
+		if got := IsLastData(c.data); got != c.last {
+			t.Errorf("IsLastData(% X) = %v, want %v", c.data, got, c.last)
+		}
+		if got := ExpectsACK(c.data); got != c.wantACK {
+			t.Errorf("ExpectsACK(% X) = %v, want %v", c.data, got, c.wantACK)
+		}
+	}
+}
+
+func TestSegmentShortMessage(t *testing.T) {
+	// 3-byte payload + 2-byte length prefix = 5 bytes -> one frame.
+	frames, err := Segment([]byte{0x21, 0x07, 0x99}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	want := []byte{0x10, 0x00, 0x03, 0x21, 0x07, 0x99}
+	if !bytes.Equal(frames[0], want) {
+		t.Fatalf("frame = % X, want % X", frames[0], want)
+	}
+}
+
+func TestSegmentMultiFrameOpcodesAndBlockSize(t *testing.T) {
+	payload := make([]byte, 30) // +2 prefix = 32 bytes -> 5 frames of ≤7
+	frames, err := Segment(payload, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames, want 5", len(frames))
+	}
+	// blockSize 2: frames 2 and 4 (1-indexed) expect ACK; last always does.
+	wantOps := []byte{0x2, 0x0, 0x2, 0x0, 0x1}
+	for i, f := range frames {
+		if f[0]>>4 != wantOps[i] {
+			t.Fatalf("frame %d opcode = %#x, want %#x", i, f[0]>>4, wantOps[i])
+		}
+		if f[0]&0x0F != byte(i) {
+			t.Fatalf("frame %d seq = %d, want %d", i, f[0]&0x0F, i)
+		}
+	}
+}
+
+func TestSegmentSequenceStartAndWrap(t *testing.T) {
+	payload := make([]byte, 40)
+	frames, err := Segment(payload, 100, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Seq(frames[0]) != 14 || Seq(frames[1]) != 15 || Seq(frames[2]) != 0 {
+		t.Fatalf("sequence numbers = %d,%d,%d; want 14,15,0",
+			Seq(frames[0]), Seq(frames[1]), Seq(frames[2]))
+	}
+}
+
+func TestSegmentErrors(t *testing.T) {
+	if _, err := Segment(nil, 3, 0); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Segment(make([]byte, 0x10000), 3, 0); !errors.Is(err, ErrPayloadTooLong) {
+		t.Fatalf("too long: %v", err)
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	payload := []byte{0x61, 0x07, 0x01, 0xF1, 0x10, 0x05, 0x64, 0x32}
+	frames, _ := Segment(payload, 3, 5)
+	var r Reassembler
+	var got []byte
+	for _, f := range frames {
+		res, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got % X, want % X", got, payload)
+	}
+	if r.Completed() != 1 {
+		t.Fatalf("Completed = %d", r.Completed())
+	}
+}
+
+func TestReassembleNeedACK(t *testing.T) {
+	payload := make([]byte, 20)
+	frames, _ := Segment(payload, 2, 0)
+	var r Reassembler
+	ackCount := 0
+	for _, f := range frames {
+		res, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NeedACK {
+			ackCount++
+			if res.NextSeq != (Seq(f)+1)&0x0F {
+				t.Fatalf("NextSeq = %d after frame seq %d", res.NextSeq, Seq(f))
+			}
+		}
+	}
+	if ackCount < 2 {
+		t.Fatalf("NeedACK raised %d times, want >= 2", ackCount)
+	}
+}
+
+func TestReassembleBadSequence(t *testing.T) {
+	var r Reassembler
+	if _, err := r.Feed([]byte{0x20, 0x00, 0x14, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Feed([]byte{0x25, 6, 7, 8}) // seq 5, want 1
+	if !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("err = %v, want ErrBadSequence", err)
+	}
+	if r.Errors() != 1 {
+		t.Fatalf("Errors = %d", r.Errors())
+	}
+}
+
+func TestReassembleLengthMismatch(t *testing.T) {
+	var r Reassembler
+	// Last frame but prefix says 10 bytes while only 3 present.
+	_, err := r.Feed([]byte{0x10, 0x00, 0x0A, 1, 2, 3})
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestReassembleSequenceContinuityAcrossMessages(t *testing.T) {
+	var r Reassembler
+	first, _ := Segment([]byte{1, 2, 3}, 3, 0)
+	if _, err := r.Feed(first[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Next message continues the sequence (seq 1), as a real channel does.
+	second, _ := Segment([]byte{4, 5, 6}, 3, 1)
+	res, err := r.Feed(second[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Message, []byte{4, 5, 6}) {
+		t.Fatalf("second message = % X", res.Message)
+	}
+}
+
+func TestReassembleIgnoresNonData(t *testing.T) {
+	var r Reassembler
+	for _, frame := range [][]byte{{0x91}, {0xA0, 1, 2, 3, 4, 5}, {0xA8}, {0xC0}} {
+		res, err := r.Feed(frame)
+		if err != nil || res.Message != nil || res.NeedACK {
+			t.Fatalf("non-data frame % X not ignored: %+v, %v", frame, res, err)
+		}
+	}
+}
+
+// Property: Segment → Reassemble is the identity for all payloads and block
+// sizes.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte, blockSize uint8, seq uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 2000 {
+			raw = raw[:2000]
+		}
+		frames, err := Segment(raw, int(blockSize%10), seq)
+		if err != nil {
+			return false
+		}
+		var r Reassembler
+		for _, fr := range frames {
+			res, err := r.Feed(fr)
+			if err != nil {
+				return false
+			}
+			if res.Message != nil {
+				return bytes.Equal(res.Message, raw)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
