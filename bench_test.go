@@ -1,6 +1,8 @@
 package dpreverser_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -209,12 +211,82 @@ func BenchmarkPipelineOneCar(b *testing.B) {
 		rcfg := reverser.DefaultConfig()
 		rcfg.GP.PopulationSize = 300
 		rcfg.GP.Generations = 20
-		if _, err := reverser.Reverse(cap, rcfg); err != nil {
+		rv := reverser.New(reverser.WithConfig(rcfg), reverser.WithParallelism(1))
+		if _, err := rv.Reverse(context.Background(), cap); err != nil {
 			b.Fatal(err)
 		}
 		r.Close()
 		tool.Close()
 		veh.Close()
+	}
+}
+
+// --- Parallel inference engine ---
+
+// benchCapture collects one car once so the reversal benchmarks measure
+// analysis alone, not the rig session.
+func benchCapture(b *testing.B, car string) rig.Capture {
+	b.Helper()
+	p, _ := vehicle.ProfileByCar(car)
+	clock := sim.NewClock(0)
+	tool, veh, err := diagtool.ForProfile(p, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rig.DefaultConfig()
+	cfg.ReadDuration = 10 * time.Second
+	cfg.AlignDuration = 5 * time.Second
+	r := rig.New(tool, veh, cfg)
+	cap, err := r.RunFull()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Close()
+	tool.Close()
+	veh.Close()
+	return cap
+}
+
+// BenchmarkReverseOneCar measures the reversal of one pre-collected
+// capture at several worker-pool sizes. Per-stream seeding makes every
+// variant produce identical formulas; only the wall clock moves.
+func BenchmarkReverseOneCar(b *testing.B) {
+	cap := benchCapture(b, "Car M")
+	rcfg := reverser.DefaultConfig()
+	rcfg.GP.PopulationSize = 300
+	rcfg.GP.Generations = 20
+	rcfg.GP.StopFitness = -1 // fixed budget so worker counts are comparable
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rv := reverser.New(reverser.WithConfig(rcfg), reverser.WithParallelism(workers))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rv.Reverse(context.Background(), cap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPParallelEvaluation measures the GP engine's chunked
+// population evaluation on one dataset at several Parallelism settings.
+func BenchmarkGPParallelEvaluation(b *testing.B) {
+	d := kwpDataset()
+	cfg := gp.DefaultConfig()
+	cfg.StopFitness = -1
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := cfg
+			cfg.Parallelism = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := gp.Run(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -236,7 +308,7 @@ func BenchmarkECRExtraction(b *testing.B) {
 		if err := r.CollectActiveTests(); err != nil {
 			b.Fatal(err)
 		}
-		res, err := reverser.Reverse(r.Capture(), reverser.DefaultConfig())
+		res, err := reverser.New().Reverse(context.Background(), r.Capture())
 		if err != nil {
 			b.Fatal(err)
 		}

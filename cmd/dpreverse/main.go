@@ -9,12 +9,20 @@
 //	dpreverse -car "Car A"          # reverse engineer the Skoda Octavia
 //	dpreverse -list                 # list the fleet
 //	dpreverse -car "Car K" -quick   # shorter recording, smaller GP budget
+//	dpreverse -car "Car A" -json    # machine-readable result on stdout
+//	dpreverse -car "Car A" -parallel 4
+//
+// Inference fans out across -parallel workers (default: all CPUs) and can
+// be interrupted with Ctrl-C; results are identical at every worker count.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"time"
@@ -38,6 +46,9 @@ func run() error {
 	list := flag.Bool("list", false, "list the simulated fleet and exit")
 	quick := flag.Bool("quick", false, "short recordings and reduced GP budget")
 	seed := flag.Int64("seed", 1, "seed for OCR noise and GP")
+	parallel := flag.Int("parallel", 0, "inference workers (0 = all CPUs)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
+	progress := flag.Bool("progress", false, "report per-stream inference progress on stderr")
 	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
 	saveCapture := flag.String("save-capture", "", "write the collected capture (JSON) to this file")
 	loadCapture := flag.String("load-capture", "", "skip collection and analyse this capture file instead")
@@ -54,6 +65,15 @@ func run() error {
 		return w.Flush()
 	}
 
+	// Ctrl-C cancels the pipeline between GP generations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// status goes to stderr so -json keeps stdout machine-readable.
+	status := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
 	var cap rig.Capture
 	if *loadCapture != "" {
 		var err error
@@ -61,7 +81,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Loaded capture of %s (%s): %d CAN frames, %d video frames, %d clicks.\n",
+		status("Loaded capture of %s (%s): %d CAN frames, %d video frames, %d clicks.",
 			cap.Car, cap.Model, len(cap.Frames), len(cap.UIFrames), len(cap.Clicks))
 	} else {
 		p, ok := vehicle.ProfileByCar(*car)
@@ -69,7 +89,7 @@ func run() error {
 			return fmt.Errorf("unknown car %q (try -list)", *car)
 		}
 
-		fmt.Printf("Collecting %s (%s) with %s over %s ...\n", p.Car, p.Model, p.Tool, p.Transport)
+		status("Collecting %s (%s) with %s over %s ...", p.Car, p.Model, p.Tool, p.Transport)
 		clock := sim.NewClock(0)
 		tool, veh, err := diagtool.ForProfile(p, clock)
 		if err != nil {
@@ -89,13 +109,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Captured %d CAN frames, %d video frames, %d clicks over %v simulated time.\n",
+		status("Captured %d CAN frames, %d video frames, %d clicks over %v simulated time.",
 			len(cap.Frames), len(cap.UIFrames), len(cap.Clicks), clock.Now())
 		if *saveCapture != "" {
 			if err := rig.SaveCaptureFile(cap, *saveCapture); err != nil {
 				return err
 			}
-			fmt.Printf("Capture written to %s.\n", *saveCapture)
+			status("Capture written to %s.", *saveCapture)
 		}
 	}
 
@@ -105,10 +125,24 @@ func run() error {
 		cfg.GP.PopulationSize = 300
 		cfg.GP.Generations = 20
 	}
-	res, err := reverser.Reverse(cap, cfg)
+	opts := []reverser.Option{
+		reverser.WithConfig(cfg),
+		reverser.WithParallelism(*parallel),
+	}
+	if *progress {
+		opts = append(opts, reverser.WithProgress(renderProgress(status)))
+	}
+	res, err := reverser.New(opts...).Reverse(ctx, cap)
 	if err != nil {
 		return err
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
 	fmt.Println()
 	fmt.Print(res.Summary())
 
@@ -123,16 +157,11 @@ func run() error {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "IDENTIFIER\tSEMANTICS\tUNIT\tKIND\tFORMULA\tPAIRS")
 	for _, e := range res.ESVs {
-		kind := "formula"
 		formula := e.FormulaString()
-		if e.Enum {
-			kind = "enum"
-			formula = "-"
-		} else if formula == "" {
-			kind = "under-sampled"
+		if formula == "" {
 			formula = "-"
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n", e.Key, e.Label, e.Unit, kind, formula, e.Pairs)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n", e.Key, e.Label, e.Unit, e.Kind(), formula, e.Pairs)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -157,6 +186,27 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// renderProgress turns pipeline progress events into stderr status lines:
+// one line per stage with its wall time, one line per inferred stream with
+// its generation count.
+func renderProgress(status func(format string, args ...any)) reverser.ProgressFunc {
+	return func(ev reverser.ProgressEvent) {
+		switch ev.Kind {
+		case reverser.ProgressStageDone:
+			if ev.Stage != "infer" { // stream lines already cover inference
+				status("  [%s] %v", ev.Stage, ev.Elapsed.Round(time.Microsecond))
+			}
+		case reverser.ProgressStreamDone:
+			label := ev.Label
+			if label == "" {
+				label = ev.Stream.String()
+			}
+			status("  [infer %d/%d] %s (%d gens, %v)",
+				ev.Done, ev.Total, label, ev.Generations, ev.Elapsed.Round(time.Millisecond))
+		}
+	}
 }
 
 func quickRigConfig(seed int64) rig.Config {

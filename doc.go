@@ -17,6 +17,11 @@
 //   - cmd/appscan — the §4.6 telematics-app formula analysis
 //   - examples/ — runnable walkthroughs of the public API
 //
+// The library entry point is reverser.New(opts...) and
+// (*Reverser).Reverse(ctx, capture): a context-aware pipeline that fans
+// formula inference across a worker pool while staying byte-identical at
+// any parallelism (see the "Public API" section of README.md).
+//
 // The benchmarks in bench_test.go regenerate the performance-flavoured
 // artifacts (Tables 8 and 9, the OCR and planner measurements) plus
 // ablations of the design choices DESIGN.md calls out.

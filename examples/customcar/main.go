@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -66,7 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	result, err := reverser.Reverse(capture, reverser.DefaultConfig())
+	result, err := reverser.New().Reverse(context.Background(), capture)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,32 +1,52 @@
 // Fleet survey: run the DP-Reverser pipeline over all 18 simulated
-// vehicles (paper Table 3) and print the per-car recovery statistics that
-// Tables 6, 9 and 11 are built from, plus a comparison of the three
-// formula-inference algorithms.
+// vehicles (paper Table 3) in parallel and print the per-car recovery
+// statistics that Tables 6, 9 and 11 are built from, plus a comparison of
+// the three formula-inference algorithms.
+//
+// The survey fans out twice: RunFleet schedules whole car pipelines
+// across the worker pool, and each pipeline fans its per-stream GP runs
+// out again. Per-stream seeding makes the output identical to a
+// sequential run — rerun with -parallel 1 to check.
 //
 // Run with:
 //
-//	go run ./examples/fleet            # full fleet, reduced GP budget
+//	go run ./examples/fleet              # full fleet, all CPUs
+//	go run ./examples/fleet -parallel 1  # sequential baseline
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"dpreverser/internal/experiments"
 	"dpreverser/internal/vehicle"
 )
 
 func main() {
-	opt := experiments.Options{Quick: true, Seed: 11}
+	parallel := flag.Int("parallel", 0, "fleet/inference workers (0 = all CPUs)")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Quick:       true,
+		Seed:        11,
+		Parallelism: *parallel,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		},
+	}
 
 	fmt.Println("Collecting and reverse engineering the 18-car fleet ...")
+	start := time.Now()
 	runs, err := experiments.RunFleet(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer experiments.CloseRuns(runs)
+	fmt.Printf("Fleet surveyed in %v.\n\n", time.Since(start).Round(time.Millisecond))
 
 	rows := experiments.Precision(runs)
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)

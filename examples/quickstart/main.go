@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,10 @@ func main() {
 
 	// 3. Reverse engineer the capture. The pipeline only sees frames,
 	//    OCR'd text and click timestamps — never the proprietary tables.
-	result, err := reverser.Reverse(capture, reverser.DefaultConfig())
+	//    Inference fans out across all CPUs; the result is identical at
+	//    any worker count.
+	rv := reverser.New() // options: WithGPConfig, WithParallelism, WithProgress, ...
+	result, err := rv.Reverse(context.Background(), capture)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpreverser/internal/diagtool"
@@ -29,6 +33,24 @@ type Options struct {
 	Quick bool
 	// Seed perturbs the OCR error streams and GP seeds.
 	Seed int64
+	// Parallelism caps concurrent car pipelines in RunFleet and the
+	// per-stream inference workers inside each pipeline. Values < 1 mean
+	// runtime.GOMAXPROCS(0). Results are identical at every setting: each
+	// car runs on its own virtual clock and every stream derives its own
+	// GP seed.
+	Parallelism int
+	// Progress, when non-nil, receives fleet-level status lines (car
+	// started/finished with wall times). It may be called from several
+	// goroutines; RunFleet serialises the calls.
+	Progress func(format string, args ...any)
+}
+
+// workers resolves the effective parallelism.
+func (o Options) workers() int {
+	if o.Parallelism < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // rigConfig builds the collection parameters for an options set.
@@ -70,6 +92,12 @@ type CarRun struct {
 
 // RunCar collects and reverse engineers one car.
 func RunCar(p vehicle.Profile, opt Options) (*CarRun, error) {
+	return RunCarContext(context.Background(), p, opt)
+}
+
+// RunCarContext is RunCar with cancellation: ctx aborts the car's
+// inference between GP generations.
+func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun, error) {
 	clock := sim.NewClock(0)
 	tool, veh, err := diagtool.ForProfile(p, clock)
 	if err != nil {
@@ -82,36 +110,105 @@ func RunCar(p vehicle.Profile, opt Options) (*CarRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("run %s: %w", p.Car, err)
 	}
-	cfg := opt.reverserConfig()
-	streams, _, _ := reverser.ExtractStreams(cap, cfg)
-	res, err := reverser.Reverse(cap, cfg)
+	rv := reverser.New(
+		reverser.WithConfig(opt.reverserConfig()),
+		reverser.WithParallelism(opt.workers()),
+	)
+	res, err := rv.Reverse(ctx, cap)
 	if err != nil {
 		return nil, fmt.Errorf("reverse %s: %w", p.Car, err)
 	}
 	frames, corrupted := r.CameraB().Stats()
 	return &CarRun{
-		Profile: p, Capture: cap, Streams: streams, Result: res, Vehicle: veh,
+		Profile: p, Capture: cap, Streams: res.Streams, Result: res, Vehicle: veh,
 		CameraFrames: frames, CameraCorrupted: corrupted,
 	}, nil
 }
 
-// RunFleet runs every car of the fleet.
+// RunFleet runs every car of the fleet, fanning the per-car pipelines out
+// across Options.Parallelism workers. The returned slice is in fleet
+// order regardless of completion order, and — because every car owns its
+// virtual clock, tool and seeds — identical to a sequential run.
 func RunFleet(opt Options) ([]*CarRun, error) {
-	var runs []*CarRun
-	for _, p := range vehicle.Fleet() {
-		run, err := RunCar(p, opt)
-		if err != nil {
-			return nil, err
+	return RunFleetContext(context.Background(), opt)
+}
+
+// RunFleetContext is RunFleet with cancellation. On error or cancellation
+// the already-completed cars are closed before returning.
+func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
+	fleet := vehicle.Fleet()
+	runs := make([]*CarRun, len(fleet))
+	workers := opt.workers()
+	if workers > len(fleet) {
+		workers = len(fleet)
+	}
+	var (
+		cursor   int64 = -1
+		finished int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	progress := func(format string, args ...any) {
+		if opt.Progress == nil {
+			return
 		}
-		runs = append(runs, run)
+		mu.Lock()
+		opt.Progress(format, args...)
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= len(fleet) || ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				broken := firstErr != nil
+				mu.Unlock()
+				if broken {
+					return
+				}
+				p := fleet[i]
+				start := time.Now()
+				run, err := RunCarContext(ctx, p, opt)
+				if err != nil {
+					fail(err)
+					return
+				}
+				runs[i] = run
+				progress("%s done in %v (%d/%d)", p.Car,
+					time.Since(start).Round(time.Millisecond),
+					atomic.AddInt64(&finished, 1), len(fleet))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		CloseRuns(runs)
+		return nil, firstErr
 	}
 	return runs, nil
 }
 
-// Close releases the vehicles held by a fleet run.
+// CloseRuns releases the vehicles held by a fleet run. Nil entries (cars
+// a cancelled or failed RunFleetContext never reached) are skipped.
 func CloseRuns(runs []*CarRun) {
 	for _, r := range runs {
-		if r.Vehicle != nil {
+		if r != nil && r.Vehicle != nil {
 			r.Vehicle.Close()
 		}
 	}

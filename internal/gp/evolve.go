@@ -1,11 +1,14 @@
 package gp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Dataset is the (X, Y) sample set the paper's Step 1 constructs: each row
@@ -77,6 +80,12 @@ type Config struct {
 	ConstMin, ConstMax float64
 	// Functions overrides the function set (nil = the full 14-entry set).
 	Functions []Op
+	// Parallelism caps the worker goroutines used for population fitness
+	// evaluation. Variation (selection, crossover, mutation) always draws
+	// from the RNG sequentially and evaluation is a pure function of the
+	// tree, so results are byte-identical at every setting. 0 and 1 both
+	// evaluate serially; negative values mean runtime.GOMAXPROCS(0).
+	Parallelism int
 	// DisableLinearScaling turns off the Keijzer-style linear scaling of
 	// candidate programs. By default every candidate g is evaluated as
 	// a*g(x)+b with (a, b) fitted by trimmed least squares, so evolution
@@ -246,8 +255,86 @@ func RobustMAE(t *Node, d *Dataset) float64 {
 	return trimmedMean(resids)
 }
 
+// evaluator scores program trees on one dataset. Scoring is a pure
+// function of the tree, so a population can be split into chunks and
+// scored by concurrent workers without changing any result.
+type evaluator struct {
+	d       *Dataset
+	cfg     Config
+	workers int
+	// evals counts fitness evaluations (mutated only between batches).
+	evals int
+}
+
+// scoreOne evaluates one tree, reusing buf (len(d.Y)) as scratch space.
+func (e *evaluator) scoreOne(t *Node, buf []float64) individual {
+	d, cfg := e.d, e.cfg
+	ind := individual{tree: t, a: 1, b: 0}
+	for i, row := range d.X {
+		v := t.Eval(row)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
+			return ind
+		}
+		buf[i] = v
+	}
+	if !cfg.DisableLinearScaling {
+		ind.a, ind.b = linearScale(buf, d.Y)
+		if math.IsNaN(ind.a) || math.IsInf(ind.a, 0) || math.IsNaN(ind.b) || math.IsInf(ind.b, 0) {
+			ind.a, ind.b = 1, 0
+		}
+	}
+	resids := make([]float64, len(buf))
+	for i := range buf {
+		resids[i] = math.Abs(ind.a*buf[i] + ind.b - d.Y[i])
+	}
+	ind.raw = trimmedMean(resids)
+	ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(t.Size())
+	if math.IsNaN(ind.raw) {
+		ind.raw, ind.fit = math.Inf(1), math.Inf(1)
+	}
+	return ind
+}
+
+// scoreAll evaluates a batch of trees into out[off:], chunked across the
+// evaluator's workers. out is written by index, so the resulting
+// population order is independent of scheduling.
+func (e *evaluator) scoreAll(trees []*Node, out []individual, off int) {
+	e.evals += len(trees)
+	if e.workers <= 1 || len(trees) < 2*e.workers {
+		buf := make([]float64, len(e.d.Y))
+		for i, t := range trees {
+			out[off+i] = e.scoreOne(t, buf)
+		}
+		return
+	}
+	chunk := (len(trees) + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(trees); lo += chunk {
+		hi := lo + chunk
+		if hi > len(trees) {
+			hi = len(trees)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, len(e.d.Y))
+			for i := lo; i < hi; i++ {
+				out[off+i] = e.scoreOne(trees[i], buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Run evolves a formula for the dataset.
 func Run(d *Dataset, cfg Config) (Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext evolves a formula for the dataset, checking ctx between
+// generations: cancellation aborts the evolution and returns ctx.Err().
+func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	if err := d.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -256,6 +343,9 @@ func Run(d *Dataset, cfg Config) (Result, error) {
 	}
 	if cfg.Generations < 1 {
 		return Result{}, fmt.Errorf("gp: generations %d too small", cfg.Generations)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	funcs := cfg.Functions
@@ -266,71 +356,47 @@ func Run(d *Dataset, cfg Config) (Result, error) {
 		rng: rng, numVars: d.NumVars(), funcs: funcs,
 		constMin: cfg.ConstMin, constMax: cfg.ConstMax,
 	}
-
-	evals := 0
-	gvals := make([]float64, len(d.Y))
-	score := func(t *Node) individual {
-		evals++
-		ind := individual{tree: t, a: 1, b: 0}
-		finite := true
-		for i, row := range d.X {
-			v := t.Eval(row)
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				finite = false
-				break
-			}
-			gvals[i] = v
-		}
-		if !finite {
-			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
-			return ind
-		}
-		if !cfg.DisableLinearScaling {
-			ind.a, ind.b = linearScale(gvals, d.Y)
-			if math.IsNaN(ind.a) || math.IsInf(ind.a, 0) || math.IsNaN(ind.b) || math.IsInf(ind.b, 0) {
-				ind.a, ind.b = 1, 0
-			}
-		}
-		resids := make([]float64, len(gvals))
-		for i := range gvals {
-			resids[i] = math.Abs(ind.a*gvals[i] + ind.b - d.Y[i])
-		}
-		ind.raw = trimmedMean(resids)
-		ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(t.Size())
-		if math.IsNaN(ind.raw) {
-			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
-		}
-		return ind
+	workers := cfg.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	ev := &evaluator{d: d, cfg: cfg, workers: workers}
 
-	pop := make([]individual, 0, cfg.PopulationSize)
-	for _, t := range gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)) {
-		pop = append(pop, score(t))
-	}
+	pop := make([]individual, cfg.PopulationSize)
+	ev.scoreAll(gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)), pop, 0)
 	best := bestOf(pop)
 
 	gens := 0
+	children := make([]*Node, cfg.PopulationSize-1)
 	for g := 0; g < cfg.Generations; g++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		gens = g + 1
 		if best.raw <= cfg.StopFitness {
 			break
 		}
-		next := make([]individual, 0, cfg.PopulationSize)
-		// Elitism: carry the champion over unchanged.
-		next = append(next, individual{tree: best.tree.Clone(), raw: best.raw, fit: best.fit})
-		for len(next) < cfg.PopulationSize {
+		// Breed the whole next generation first — every RNG draw happens
+		// here, in one goroutine, in a fixed order — then score the
+		// children in parallel chunks.
+		for i := range children {
 			parent := tournament(pop, cfg.TournamentSize, rng)
 			child := vary(parent.tree, pop, cfg, gen, rng)
 			if child.Depth() > cfg.MaxDepth {
 				child = hoistToDepth(child, cfg.MaxDepth, rng)
 			}
-			next = append(next, score(child))
+			children[i] = child
 		}
+		next := make([]individual, cfg.PopulationSize)
+		// Elitism: carry the champion over unchanged.
+		next[0] = individual{tree: best.tree.Clone(), raw: best.raw, fit: best.fit}
+		ev.scoreAll(children, next, 1)
 		pop = next
 		if b := bestOf(pop); b.fit < best.fit {
 			best = b
 		}
 	}
+	evals := ev.evals
 
 	// Materialise the fitted linear scaling into the returned program:
 	// best = a*g + b, with near-identity coefficients snapped so they

@@ -1,0 +1,82 @@
+package gp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func parallelTestDataset() *Dataset {
+	d := &Dataset{}
+	for x0 := 0.0; x0 <= 255; x0 += 8 {
+		for x1 := 0.0; x1 <= 64; x1 += 16 {
+			d.X = append(d.X, []float64{x0, x1})
+			d.Y = append(d.Y, 0.75*x0+4*x1-48)
+		}
+	}
+	return d
+}
+
+// The Parallelism knob must not change a single bit of the outcome: the
+// RNG is consumed only by the sequential breeding step, and evaluation is
+// a pure function of each tree.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	d := parallelTestDataset()
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 200
+	cfg.Generations = 8
+	cfg.StopFitness = -1 // run every generation so all paths are exercised
+	cfg.Seed = 42
+
+	type outcome struct {
+		formula string
+		fitness float64
+		gens    int
+		evals   int
+	}
+	var want outcome
+	for i, workers := range []int{1, 4, -1, 3} {
+		cfg.Parallelism = workers
+		res, err := Run(d, cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		got := outcome{res.Best.String(), res.Fitness, res.Generations, res.Evaluations}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("parallelism %d diverged: got %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, parallelTestDataset(), DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancellation mid-evolution must abort between generations and surface
+// ctx.Err() rather than a partial result.
+func TestRunContextCancelledMidEvolution(t *testing.T) {
+	d := parallelTestDataset()
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 100
+	cfg.Generations = 1000
+	cfg.StopFitness = -1
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after a few generations' worth of work: use a dataset-sized
+	// budget by cancelling from another goroutine as soon as Run starts.
+	done := make(chan struct{})
+	go func() { cancel(); close(done) }()
+	<-done
+	_, err := RunContext(ctx, d, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

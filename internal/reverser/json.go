@@ -1,0 +1,133 @@
+package reverser
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Kind classifies a reversed stream the way the result tables do.
+func (r ReversedESV) Kind() string {
+	switch {
+	case r.Enum:
+		return "enum"
+	case r.Formula != nil:
+		return "formula"
+	default:
+		return "under-sampled"
+	}
+}
+
+// MarshalJSON renders the recovered quantity for downstream tooling: the
+// key both structured and pre-rendered, the formula as its FormulaString,
+// and the fitness only when a formula exists (MAE is meaningless - and
+// possibly infinite - without one).
+func (r ReversedESV) MarshalJSON() ([]byte, error) {
+	out := struct {
+		ID          string         `json:"id"`
+		Key         ReversedESVKey `json:"key"`
+		Label       string         `json:"label,omitempty"`
+		Unit        string         `json:"unit,omitempty"`
+		Kind        string         `json:"kind"`
+		Formula     string         `json:"formula,omitempty"`
+		Fitness     *float64       `json:"fitness,omitempty"`
+		Pairs       int            `json:"pairs"`
+		Generations int            `json:"generations,omitempty"`
+	}{
+		ID:          r.Key.String(),
+		Key:         ReversedESVKey(r.Key),
+		Label:       r.Label,
+		Unit:        r.Unit,
+		Kind:        r.Kind(),
+		Formula:     r.FormulaString(),
+		Pairs:       r.Pairs,
+		Generations: r.Generations,
+	}
+	if r.Formula != nil && !math.IsNaN(r.Fitness) && !math.IsInf(r.Fitness, 0) {
+		f := r.Fitness
+		out.Fitness = &f
+	}
+	return json.Marshal(out)
+}
+
+// ReversedESVKey is StreamKey's JSON shape: hex identifiers rendered as
+// strings, zero-valued locator fields omitted.
+type ReversedESVKey StreamKey
+
+// MarshalJSON implements json.Marshaler.
+func (k ReversedESVKey) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Proto   string `json:"proto"`
+		RespID  string `json:"resp_id,omitempty"`
+		Addr    string `json:"addr,omitempty"`
+		DID     string `json:"did,omitempty"`
+		LocalID string `json:"local_id,omitempty"`
+		Index   int    `json:"index,omitempty"`
+		FType   string `json:"ftype,omitempty"`
+	}{Proto: k.Proto, Index: k.Index}
+	if k.RespID != 0 {
+		out.RespID = fmt.Sprintf("%03X", k.RespID)
+	}
+	if k.Addr != 0 {
+		out.Addr = fmt.Sprintf("%02X", k.Addr)
+	}
+	switch k.Proto {
+	case "KWP":
+		out.LocalID = fmt.Sprintf("%02X", k.LocalID)
+		out.FType = fmt.Sprintf("%02X", k.FType)
+	case "UDS":
+		out.DID = fmt.Sprintf("%04X", k.DID)
+	default:
+		out.DID = fmt.Sprintf("%02X", k.DID)
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the control record with hex identifiers and the
+// observed three-message pattern steps.
+func (r ReversedECR) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Service         string `json:"service"`
+		ID              string `json:"id"`
+		Label           string `json:"label,omitempty"`
+		State           string `json:"state,omitempty"`
+		SawFreeze       bool   `json:"saw_freeze"`
+		SawAdjust       bool   `json:"saw_adjust"`
+		SawReturn       bool   `json:"saw_return"`
+		PatternComplete bool   `json:"pattern_complete"`
+	}{
+		Service:         fmt.Sprintf("%02X", r.Service),
+		ID:              fmt.Sprintf("%04X", r.ID),
+		Label:           r.Label,
+		State:           fmt.Sprintf("% X", r.State),
+		SawFreeze:       r.SawFreeze,
+		SawAdjust:       r.SawAdjust,
+		SawReturn:       r.SawReturn,
+		PatternComplete: r.PatternComplete(),
+	})
+}
+
+// MarshalJSON renders the full result. Streams (the raw inference inputs)
+// are deliberately omitted: they are working state for the experiment
+// harness, not part of the reversed protocol description.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Car      string        `json:"car"`
+		Model    string        `json:"model,omitempty"`
+		Tool     string        `json:"tool,omitempty"`
+		OffsetMS float64       `json:"offset_ms"`
+		Messages int           `json:"messages"`
+		Stats    TrafficStats  `json:"stats"`
+		ESVs     []ReversedESV `json:"esvs"`
+		ECRs     []ReversedECR `json:"ecrs,omitempty"`
+	}{
+		Car:      r.Car,
+		Model:    r.Model,
+		Tool:     r.ToolName,
+		OffsetMS: float64(r.Offset.Microseconds()) / 1e3,
+		Messages: r.Messages,
+		Stats:    r.Stats,
+		ESVs:     r.ESVs,
+		ECRs:     r.ECRs,
+	})
+}

@@ -1,12 +1,12 @@
 package reverser
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
-	"dpreverser/internal/align"
 	"dpreverser/internal/gp"
 	"dpreverser/internal/ocr"
 	"dpreverser/internal/rig"
@@ -107,33 +107,22 @@ type Result struct {
 	ECRs []ReversedECR
 	// Messages is the assembled application-message count.
 	Messages int
+	// Streams holds the prepared per-stream inference inputs the ESVs were
+	// recovered from, in extraction order. The experiment harness scores
+	// alternative algorithms on exactly these datasets (§4.4) without
+	// re-walking the capture.
+	Streams []StreamData
 }
 
 // Reverse runs the complete pipeline on a capture.
+//
+// Deprecated: use New and (*Reverser).Reverse, which add cancellation,
+// parallel inference and progress reporting:
+//
+//	rv := reverser.New(reverser.WithConfig(cfg))
+//	res, err := rv.Reverse(ctx, cap)
 func Reverse(cap rig.Capture, cfg Config) (*Result, error) {
-	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
-
-	// §3.2-§3.5 front half: assembly, extraction, alignment, semantics,
-	// pairing.
-	streams, stats, offset := ExtractStreams(cap, cfg)
-	res.Stats = stats
-	res.Offset = offset
-	messages, _ := Assemble(cap.Frames)
-	res.Messages = len(messages)
-
-	// §3.5 Steps 2-3: inference per stream.
-	for _, sd := range streams {
-		res.ESVs = append(res.ESVs, InferStream(sd, cfg))
-	}
-	sort.Slice(res.ESVs, func(i, j int) bool {
-		return res.ESVs[i].Key.String() < res.ESVs[j].Key.String()
-	})
-
-	// §4.5: control-record extraction with active-test screen semantics.
-	ext := ExtractFields(messages)
-	uiFrames := align.ApplyOffset(cap.UIFrames, offset)
-	res.ECRs = reverseECRs(ext.ECRs, uiFrames)
-	return res, nil
+	return New(WithConfig(cfg)).Reverse(context.Background(), cap)
 }
 
 // session is one contiguous live-data recording (one ECU's data-stream

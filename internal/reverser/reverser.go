@@ -1,0 +1,262 @@
+package reverser
+
+import (
+	"context"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpreverser/internal/gp"
+	"dpreverser/internal/rig"
+)
+
+// ProgressKind labels a progress event.
+type ProgressKind int
+
+// Progress event kinds, in the order a run emits them.
+const (
+	// ProgressStageStart / ProgressStageDone bracket one pipeline stage
+	// ("assemble", "extract", "align", "streams", "infer", "controls").
+	ProgressStageStart ProgressKind = iota
+	ProgressStageDone
+	// ProgressStreamStart / ProgressStreamDone bracket one stream's
+	// formula inference inside the "infer" stage.
+	ProgressStreamStart
+	ProgressStreamDone
+)
+
+// ProgressEvent is one observation of the pipeline's advance. Stage events
+// carry Stage and (on done) Elapsed; stream events additionally carry the
+// stream identity, the Done/Total counters and (on done) the generation
+// count the GP actually ran.
+type ProgressEvent struct {
+	Kind  ProgressKind
+	Stage string
+	// Stream and Label identify the stream for stream events.
+	Stream StreamKey
+	Label  string
+	// Generations is the GP generation count (ProgressStreamDone only).
+	Generations int
+	// Elapsed is the stage or stream wall time (done events only).
+	Elapsed time.Duration
+	// Done and Total count finished vs. scheduled streams (stream events).
+	Done, Total int
+}
+
+// ProgressFunc receives progress events. The Reverser serialises calls, so
+// implementations need no locking of their own, but they run on the
+// pipeline's goroutines and should return quickly.
+type ProgressFunc func(ProgressEvent)
+
+// Reverser runs the DP-Reverser analysis pipeline. Construct one with New
+// and run captures through (*Reverser).Reverse; a Reverser is immutable
+// after construction and safe for concurrent use.
+type Reverser struct {
+	cfg         Config
+	parallelism int
+	progress    ProgressFunc
+
+	// mu serialises progress callbacks from the inference workers.
+	mu sync.Mutex
+}
+
+// Option configures a Reverser.
+type Option func(*Reverser)
+
+// WithConfig replaces the whole pipeline configuration at once. It
+// composes with the finer-grained options below: later options win.
+func WithConfig(cfg Config) Option {
+	return func(rv *Reverser) { rv.cfg = cfg }
+}
+
+// WithGPConfig sets the symbolic-regression engine configuration. The
+// configured Seed acts as the capture seed: every stream derives its own
+// RNG from it and the stream key, so results are byte-identical at any
+// parallelism.
+func WithGPConfig(cfg gp.Config) Option {
+	return func(rv *Reverser) { rv.cfg.GP = cfg }
+}
+
+// WithParallelism caps the concurrent per-stream inference workers.
+// Values < 1 mean runtime.GOMAXPROCS(0), the default.
+func WithParallelism(n int) Option {
+	return func(rv *Reverser) { rv.parallelism = n }
+}
+
+// WithProgress installs a progress callback.
+func WithProgress(fn ProgressFunc) Option {
+	return func(rv *Reverser) { rv.progress = fn }
+}
+
+// WithPairMaxGap sets the largest traffic-to-video timestamp distance that
+// still pairs an X observation with a Y sample.
+func WithPairMaxGap(d time.Duration) Option {
+	return func(rv *Reverser) { rv.cfg.PairMaxGap = d }
+}
+
+// WithMinPairs sets the smallest usable (X, Y) dataset; streams with fewer
+// pairs are reported without a formula.
+func WithMinPairs(n int) Option {
+	return func(rv *Reverser) { rv.cfg.MinPairs = n }
+}
+
+// New builds a Reverser from DefaultConfig plus the given options.
+func New(opts ...Option) *Reverser {
+	rv := &Reverser{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(rv)
+	}
+	return rv
+}
+
+// Parallelism reports the effective inference worker count.
+func (rv *Reverser) Parallelism() int {
+	if rv.parallelism < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return rv.parallelism
+}
+
+// Config returns a copy of the pipeline configuration in effect.
+func (rv *Reverser) Config() Config { return rv.cfg }
+
+func (rv *Reverser) emit(ev ProgressEvent) {
+	if rv.progress == nil {
+		return
+	}
+	rv.mu.Lock()
+	rv.progress(ev)
+	rv.mu.Unlock()
+}
+
+// stage runs one pipeline stage, bracketing it with progress events.
+func (rv *Reverser) stage(name string, fn func()) {
+	rv.emit(ProgressEvent{Kind: ProgressStageStart, Stage: name})
+	start := time.Now()
+	fn()
+	rv.emit(ProgressEvent{Kind: ProgressStageDone, Stage: name, Elapsed: time.Since(start)})
+}
+
+// Reverse runs the complete pipeline on a capture. Cancelling ctx aborts
+// promptly — the GP engine checks it between generations and the worker
+// pool stops claiming streams — and returns ctx.Err().
+func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
+
+	// §3.2 Steps 1-2: screening and payload assembly — one pass over the
+	// raw frames, shared by field extraction and the message count.
+	var messages []Message
+	rv.stage("assemble", func() {
+		messages, res.Stats = Assemble(cap.Frames)
+		res.Messages = len(messages)
+	})
+
+	// §3.2 Step 3: request/response pairing and field extraction.
+	var ext *Extraction
+	rv.stage("extract", func() { ext = ExtractFields(messages) })
+
+	// §3.3: camera-to-CAN clock alignment.
+	var uiFrames = cap.UIFrames
+	rv.stage("align", func() { res.Offset, uiFrames = alignUI(cap) })
+
+	// §3.3-§3.5 Step 1: session splitting, semantics, pairing, filtering,
+	// aggregation.
+	rv.stage("streams", func() {
+		res.Streams = streamsFromExtraction(ext, uiFrames, rv.cfg)
+	})
+
+	// §3.5 Steps 2-3: per-stream formula inference, fanned out across the
+	// worker pool.
+	var esvs []ReversedESV
+	var err error
+	rv.stage("infer", func() { esvs, err = rv.inferStreams(ctx, res.Streams) })
+	if err != nil {
+		return nil, err
+	}
+	res.ESVs = esvs
+	sort.Slice(res.ESVs, func(i, j int) bool {
+		return res.ESVs[i].Key.String() < res.ESVs[j].Key.String()
+	})
+
+	// §4.5: control-record extraction with active-test screen semantics.
+	rv.stage("controls", func() {
+		res.ECRs = reverseECRs(ext.ECRs, uiFrames)
+	})
+	return res, nil
+}
+
+// inferStreams fans InferStream out across the worker pool. Workers claim
+// streams from a shared atomic cursor and write results by index, so the
+// output order — and, thanks to per-stream seeds, every formula — is
+// independent of scheduling.
+func (rv *Reverser) inferStreams(ctx context.Context, streams []StreamData) ([]ReversedESV, error) {
+	out := make([]ReversedESV, len(streams))
+	workers := rv.Parallelism()
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		cursor int64 = -1
+		done   int64
+		wg     sync.WaitGroup
+	)
+	total := len(streams)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				sd := streams[i]
+				cfg := rv.cfg
+				cfg.GP.Seed = streamSeed(rv.cfg.GP.Seed, sd.Key)
+				rv.emit(ProgressEvent{
+					Kind: ProgressStreamStart, Stage: "infer",
+					Stream: sd.Key, Label: sd.Label,
+					Done: int(atomic.LoadInt64(&done)), Total: total,
+				})
+				start := time.Now()
+				esv, err := InferStream(ctx, sd, cfg)
+				if err != nil {
+					return // ctx cancelled; the post-wait check reports it
+				}
+				out[i] = esv
+				rv.emit(ProgressEvent{
+					Kind: ProgressStreamDone, Stage: "infer",
+					Stream: sd.Key, Label: sd.Label,
+					Generations: esv.Generations, Elapsed: time.Since(start),
+					Done: int(atomic.AddInt64(&done, 1)), Total: total,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// streamSeed derives the per-stream GP seed from the capture seed and the
+// stream identity (§3.5 determinism): every stream owns an RNG that does
+// not depend on which worker runs it or in what order, so a capture
+// reverses byte-identically at any parallelism — and two streams never
+// share one random sequence, as they did when the engine was sequential.
+func streamSeed(base int64, key StreamKey) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, key.String())
+	return base ^ int64(h.Sum64()&0x7FFFFFFFFFFFFFFF)
+}

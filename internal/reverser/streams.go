@@ -1,6 +1,7 @@
 package reverser
 
 import (
+	"context"
 	"time"
 
 	"dpreverser/internal/align"
@@ -38,26 +39,40 @@ type StreamData struct {
 // alignment, session splitting, semantics, pairing, filtering, aggregation
 // — and returns one StreamData per observed stream plus the traffic stats
 // and the estimated clock offset.
+//
+// (*Reverser).Reverse performs the same work but shares one assembly pass
+// with the rest of the pipeline and publishes the streams on
+// Result.Streams; this entry point remains for callers that only need the
+// front half.
 func ExtractStreams(cap rig.Capture, cfg Config) ([]StreamData, TrafficStats, time.Duration) {
 	messages, stats := Assemble(cap.Frames)
 	ext := ExtractFields(messages)
+	offset, uiFrames := alignUI(cap)
+	return streamsFromExtraction(ext, uiFrames, cfg), stats, offset
+}
 
-	var offset time.Duration
-	uiFrames := cap.UIFrames
+// alignUI estimates the camera-to-CAN clock offset (§3.3) and returns the
+// UI frames shifted onto the traffic clock. Captures with no usable OBD
+// anchors keep their raw timestamps and a zero offset.
+func alignUI(cap rig.Capture) (time.Duration, []ocr.Frame) {
 	if off, err := align.EstimateOffsetOBD(cap.Frames, cap.UIFrames); err == nil {
-		offset = off
-		uiFrames = align.ApplyOffset(cap.UIFrames, off)
+		return off, align.ApplyOffset(cap.UIFrames, off)
 	}
-	sessions := splitSessions(uiFrames)
+	return 0, cap.UIFrames
+}
 
+// streamsFromExtraction builds the per-stream datasets from an already
+// extracted capture — the back half of ExtractStreams, reused by the
+// pipeline so the capture is assembled exactly once.
+func streamsFromExtraction(ext *Extraction, uiFrames []ocr.Frame, cfg Config) []StreamData {
 	var out []StreamData
-	for _, sess := range sessions {
+	for _, sess := range splitSessions(uiFrames) {
 		keys, inSession := sessionStreams(ext.ESVs, sess)
 		for rowIdx, key := range keys {
 			out = append(out, buildStreamData(key, rowIdx, inSession[key], sess, cfg))
 		}
 	}
-	return out, stats, offset
+	return out
 }
 
 // sessionStreams lists the streams active in a session in first-seen
@@ -161,17 +176,20 @@ func buildStreamData(key StreamKey, rowIdx int, obs []ESVObservation, sess sessi
 }
 
 // InferStream runs §3.5 Steps 2-3 (scaling + GP) on prepared stream data.
-func InferStream(sd StreamData, cfg Config) ReversedESV {
+// The returned error is non-nil only when ctx was cancelled; inference
+// failures on a single stream yield a formula-less ReversedESV instead, so
+// one degenerate dataset cannot abort a whole capture.
+func InferStream(ctx context.Context, sd StreamData, cfg Config) (ReversedESV, error) {
 	rev := ReversedESV{Key: sd.Key, Label: sd.Label, Unit: sd.Unit, Enum: sd.Enum, Pairs: sd.RawPairs}
 	if sd.Enum || sd.Dataset == nil {
-		return rev
+		return rev, ctx.Err()
 	}
-	res, err := scaling.Infer(sd.Dataset, cfg.GP)
+	res, err := scaling.InferContext(ctx, sd.Dataset, cfg.GP)
 	if err != nil {
-		return rev
+		return rev, ctx.Err()
 	}
 	rev.Formula = res.Best
 	rev.Fitness = res.Fitness
 	rev.Generations = res.Generations
-	return rev
+	return rev, nil
 }
