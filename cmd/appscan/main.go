@@ -1,14 +1,19 @@
 // Command appscan runs the telematics-app formula analysis (paper §4.6,
-// Algorithm 1) over the synthetic 160-app corpus, printing Table 12 or the
-// individual formulas of one app.
+// Algorithm 1) over the synthetic 160-app corpus, printing Table 12, the
+// individual formulas of one app, per-app findings as JSON, or the
+// precision/recall evaluation against the labeled corpus.
 //
 // Usage:
 //
 //	appscan                         # Table 12: formula counts per app
 //	appscan -app "Carly for VAG"    # every extracted formula of one app
+//	appscan -json                   # per-app formula findings as JSON
+//	appscan -json -app "Easy OBD"   # one app's findings as JSON
+//	appscan -eval                   # precision/recall on the labeled corpus
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +29,29 @@ func main() {
 	}
 }
 
+// finding is the JSON shape of one extracted formula.
+type finding struct {
+	Method    string `json:"method"`
+	Condition string `json:"condition,omitempty"`
+	Kind      string `json:"kind"`
+	Expr      string `json:"expr"`
+}
+
+// appReport is the JSON shape of one scanned app.
+type appReport struct {
+	App      string    `json:"app"`
+	Formulas []finding `json:"formulas"`
+}
+
 func run() error {
-	appName := flag.String("app", "", "print every formula of this app")
+	appName := flag.String("app", "", "restrict the scan to this app")
+	asJSON := flag.Bool("json", false, "emit per-app formula findings as JSON")
+	doEval := flag.Bool("eval", false, "score the analysis against the labeled corpus")
 	flag.Parse()
+
+	if *doEval {
+		return runEval()
+	}
 
 	apps := appanalysis.Corpus()
 	if *appName != "" {
@@ -35,6 +60,9 @@ func run() error {
 				continue
 			}
 			formulas := appanalysis.Analyze(app)
+			if *asJSON {
+				return emitJSON([]appReport{report(app.Name, formulas)})
+			}
 			fmt.Printf("%s: %d formulas\n", app.Name, len(formulas))
 			for _, f := range formulas {
 				fmt.Printf("  if prefix %q: Y = %s  [%s]\n", f.Condition, f.Expr, f.Kind)
@@ -42,6 +70,14 @@ func run() error {
 			return nil
 		}
 		return fmt.Errorf("app %q not in the corpus", *appName)
+	}
+
+	if *asJSON {
+		var reports []appReport
+		for _, app := range apps {
+			reports = append(reports, report(app.Name, appanalysis.Analyze(app)))
+		}
+		return emitJSON(reports)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -66,5 +102,40 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\n%d of %d apps embed decodable formulas.\n", withFormulas, len(apps))
+	return nil
+}
+
+func report(name string, formulas []appanalysis.Formula) appReport {
+	r := appReport{App: name, Formulas: []finding{}}
+	for _, f := range formulas {
+		r.Formulas = append(r.Formulas, finding{
+			Method: f.Method, Condition: f.Condition,
+			Kind: string(f.Kind), Expr: f.Expr,
+		})
+	}
+	return r
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// runEval scores Analyze against the ground-truth labels of the
+// evaluation corpus and prints the per-style breakdown.
+func runEval() error {
+	eval := appanalysis.Evaluate(appanalysis.EvalCorpus())
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CORPUS STYLE\tAPPS\tTP\tFP\tFN")
+	for _, s := range eval.PerStyle {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", s.Style, s.Apps, s.TP, s.FP, s.FN)
+	}
+	fmt.Fprintf(w, "total\t%d\t%d\t%d\t%d\n", eval.Apps, eval.TP, eval.FP, eval.FN)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nprecision %.3f  recall %.3f  F1 %.3f  (%d labeled formulas)\n",
+		eval.Precision(), eval.Recall(), eval.F1(), eval.TP+eval.FN)
 	return nil
 }

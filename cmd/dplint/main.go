@@ -1,0 +1,121 @@
+// Command dplint runs the repo's custom analyzers (internal/lint) over
+// the module source tree. Today that is the determinism analyzer: the
+// experiments must be byte-identical across runs, so time.Now/time.Since
+// and the global math/rand source are forbidden outside internal/sim.
+//
+// Usage:
+//
+//	dplint          # lint the module rooted at the working directory
+//	dplint ./...    # same (the pattern is accepted for familiarity)
+//	dplint -tests   # also lint _test.go files
+//
+// Exit status is 1 when any diagnostic is reported. Suppress a deliberate
+// finding with a `//dplint:allow <reason>` comment on the same line or
+// the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpreverser/internal/lint"
+)
+
+// exemptDirs are subtrees the determinism analyzer does not apply to:
+// internal/sim is the one place wall clocks and entropy are wrapped.
+var exemptDirs = []string{
+	filepath.Join("internal", "sim"),
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tests := flag.Bool("tests", false, "also lint _test.go files")
+	flag.Parse()
+
+	root := "."
+	if args := flag.Args(); len(args) == 1 && args[0] != "./..." {
+		root = strings.TrimSuffix(args[0], "/...")
+	}
+
+	files, err := collect(root, *tests)
+	if err != nil {
+		return err
+	}
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		parsed = append(parsed, f)
+	}
+
+	bad := 0
+	for _, a := range []*lint.Analyzer{lint.Determinism} {
+		diags, err := lint.Run(a, fset, parsed)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [dplint/%s]\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d diagnostic(s)", bad)
+	}
+	return nil
+}
+
+// collect walks the module tree for lintable .go files, skipping the
+// exempt subtrees, hidden and vendored directories, and (by default)
+// test files.
+func collect(root string, tests bool) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			for _, ex := range exemptDirs {
+				if rel == ex {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if !tests && strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		out = append(out, path)
+		return nil
+	})
+	return out, err
+}

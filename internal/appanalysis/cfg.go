@@ -1,0 +1,330 @@
+package appanalysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is one basic block of a method's control-flow graph: a maximal run
+// of statements entered only at the first and left only after the last.
+type Block struct {
+	ID int
+	// Stmts are statement IDs, in program order.
+	Stmts []int
+	// Succs and Preds are block IDs. The virtual exit block appears as a
+	// successor of every block that leaves the method.
+	Succs, Preds []int
+}
+
+// CFG is a method's control-flow graph plus the dominance structures the
+// analyses derive from it. The exit block is virtual (no statements) so
+// post-dominance is well defined even for methods with several returns.
+type CFG struct {
+	Method *Method
+	// Blocks holds the real blocks; ExitID == len(Blocks) names the
+	// virtual exit.
+	Blocks []*Block
+	ExitID int
+
+	stmtBlock []int
+	// idom and ipdom are immediate (post-)dominators per block, indexed by
+	// block ID with the exit included; -1 marks the root or unreachable.
+	idom, ipdom []int
+	// ctrlDeps[b] lists the branch blocks b is control dependent on,
+	// innermost (largest block ID) first.
+	ctrlDeps [][]int
+}
+
+// Normalize rewrites a legacy structured method — branches carrying no
+// Else target, nesting encoded by CtrlDep annotations — into the explicit
+// jump form the CFG builder consumes. Methods that are already explicit
+// are returned unchanged; normalised copies never alias the input.
+func Normalize(m *Method) *Method {
+	legacy := false
+	for i := range m.Stmts {
+		if m.Stmts[i].Kind == StmtIf && m.Stmts[i].Else == 0 {
+			legacy = true
+			break
+		}
+	}
+	if !legacy {
+		return m
+	}
+	out := &Method{Name: m.Name, Params: append([]string(nil), m.Params...)}
+	out.Stmts = append(out.Stmts, m.Stmts...)
+	for i := range out.Stmts {
+		s := &out.Stmts[i]
+		if s.Kind != StmtIf || s.Else != 0 {
+			continue
+		}
+		// The guarded region is the contiguous run of statements after the
+		// branch whose CtrlDep chain passes through it; the false edge
+		// jumps just past it.
+		end := i + 1
+		for end < len(out.Stmts) && dependsOn(out.Stmts, end, i) {
+			end++
+		}
+		s.Else = end
+	}
+	return out
+}
+
+// dependsOn reports whether statement id's CtrlDep chain includes branch.
+func dependsOn(stmts []Stmt, id, branch int) bool {
+	for hops := 0; id >= 0 && id < len(stmts) && hops <= len(stmts); hops++ {
+		if id == branch {
+			return true
+		}
+		id = stmts[id].CtrlDep
+	}
+	return false
+}
+
+// BuildCFG normalises a method and constructs its control-flow graph,
+// dominator and post-dominator trees, and control-dependence relation.
+func BuildCFG(m *Method) *CFG {
+	m = Normalize(m)
+	n := len(m.Stmts)
+
+	// Block leaders: the entry, every jump target, and every statement
+	// following a branch, goto or return.
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[0] = true
+	}
+	mark := func(id int) {
+		if id >= 0 && id < n {
+			leader[id] = true
+		}
+	}
+	for i := range m.Stmts {
+		switch m.Stmts[i].Kind {
+		case StmtIf:
+			mark(m.Stmts[i].Else)
+			mark(i + 1)
+		case StmtGoto:
+			mark(m.Stmts[i].Target)
+			mark(i + 1)
+		case StmtReturn:
+			mark(i + 1)
+		}
+	}
+
+	cfg := &CFG{Method: m, stmtBlock: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			cfg.Blocks = append(cfg.Blocks, &Block{ID: len(cfg.Blocks)})
+		}
+		b := cfg.Blocks[len(cfg.Blocks)-1]
+		b.Stmts = append(b.Stmts, i)
+		cfg.stmtBlock[i] = b.ID
+	}
+	cfg.ExitID = len(cfg.Blocks)
+
+	blockAt := func(stmtID int) int {
+		if stmtID < 0 || stmtID >= n {
+			return cfg.ExitID
+		}
+		return cfg.stmtBlock[stmtID]
+	}
+	addEdge := func(from, to int) {
+		b := cfg.Blocks[from]
+		for _, s := range b.Succs {
+			if s == to {
+				return
+			}
+		}
+		b.Succs = append(b.Succs, to)
+		if to < cfg.ExitID {
+			cfg.Blocks[to].Preds = append(cfg.Blocks[to].Preds, from)
+		}
+	}
+	exitPreds := []int{}
+	for _, b := range cfg.Blocks {
+		last := &m.Stmts[b.Stmts[len(b.Stmts)-1]]
+		switch last.Kind {
+		case StmtIf:
+			addEdge(b.ID, blockAt(last.ID+1))
+			addEdge(b.ID, blockAt(last.Else))
+		case StmtGoto:
+			addEdge(b.ID, blockAt(last.Target))
+		case StmtReturn:
+			addEdge(b.ID, cfg.ExitID)
+		default:
+			addEdge(b.ID, blockAt(last.ID+1))
+		}
+		for _, s := range b.Succs {
+			if s == cfg.ExitID {
+				exitPreds = append(exitPreds, b.ID)
+			}
+		}
+	}
+
+	total := cfg.ExitID + 1
+	preds := make([][]int, total)
+	succs := make([][]int, total)
+	for _, b := range cfg.Blocks {
+		preds[b.ID] = b.Preds
+		succs[b.ID] = b.Succs
+	}
+	preds[cfg.ExitID] = exitPreds
+
+	if n > 0 {
+		cfg.idom = immediateDominators(total, 0, preds)
+		cfg.ipdom = immediateDominators(total, cfg.ExitID, succs)
+	}
+	cfg.buildControlDeps()
+	return cfg
+}
+
+// immediateDominators computes the immediate-dominator array of a graph by
+// iterating full dominator sets to a fixed point — quadratic, but the
+// method CFGs here are a handful of blocks. preds gives each node's edges
+// towards the root (CFG predecessors for dominators, successors for
+// post-dominators). Unreachable nodes get -1.
+func immediateDominators(n, root int, preds [][]int) []int {
+	dom := make([][]bool, n)
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	for i := range dom {
+		if i == root {
+			dom[i] = make([]bool, n)
+			dom[i][i] = true
+		} else {
+			dom[i] = append([]bool(nil), full...)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if b == root {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range preds[b] {
+				if first {
+					copy(next, dom[p])
+					first = false
+					continue
+				}
+				for i := range next {
+					next[i] = next[i] && dom[p][i]
+				}
+			}
+			if first {
+				// No edges towards the root: unreachable.
+				continue
+			}
+			next[b] = true
+			if !equalBools(next, dom[b]) {
+				dom[b] = next
+				changed = true
+			}
+		}
+	}
+	idom := make([]int, n)
+	for b := 0; b < n; b++ {
+		idom[b] = -1
+		if b == root {
+			continue
+		}
+		size := 0
+		for _, in := range dom[b] {
+			if in {
+				size++
+			}
+		}
+		if size == n {
+			continue // unreachable: kept at the initial full set
+		}
+		// The immediate dominator is the strict dominator dominated by
+		// every other strict dominator, i.e. the one with the largest set.
+		best, bestSize := -1, -1
+		for d := 0; d < n; d++ {
+			if d == b || !dom[b][d] {
+				continue
+			}
+			ds := 0
+			for _, in := range dom[d] {
+				if in {
+					ds++
+				}
+			}
+			if ds > bestSize {
+				best, bestSize = d, ds
+			}
+		}
+		idom[b] = best
+	}
+	return idom
+}
+
+func equalBools(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildControlDeps derives control dependence from the post-dominator tree
+// (Ferrante-Ottenstein-Warren): for each branch edge A→B where B does not
+// post-dominate A, every block on the post-dominator-tree path from B up
+// to (but excluding) ipdom(A) is control dependent on A.
+func (c *CFG) buildControlDeps() {
+	c.ctrlDeps = make([][]int, c.ExitID+1)
+	for _, a := range c.Blocks {
+		if len(a.Succs) < 2 {
+			continue
+		}
+		lca := c.ipdom[a.ID]
+		for _, b := range a.Succs {
+			for t := b; t != lca && t >= 0 && t != c.ExitID; t = c.ipdom[t] {
+				c.ctrlDeps[t] = appendUnique(c.ctrlDeps[t], a.ID)
+				if t == a.ID {
+					break // loop header depends on itself; stop the walk
+				}
+			}
+		}
+	}
+	for i := range c.ctrlDeps {
+		sort.Sort(sort.Reverse(sort.IntSlice(c.ctrlDeps[i])))
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// BlockOf reports the block containing a statement.
+func (c *CFG) BlockOf(stmtID int) int { return c.stmtBlock[stmtID] }
+
+// ControlDeps lists the branch blocks a block is control dependent on,
+// innermost first.
+func (c *CFG) ControlDeps(blockID int) []int { return c.ctrlDeps[blockID] }
+
+// ImmediateDominator reports a block's immediate dominator (-1 for the
+// entry block or unreachable blocks).
+func (c *CFG) ImmediateDominator(blockID int) int { return c.idom[blockID] }
+
+// ImmediatePostDominator reports a block's immediate post-dominator (-1
+// for the exit).
+func (c *CFG) ImmediatePostDominator(blockID int) int { return c.ipdom[blockID] }
+
+// String renders the CFG for debugging.
+func (c *CFG) String() string {
+	out := fmt.Sprintf("cfg %s:", c.Method.Name)
+	for _, b := range c.Blocks {
+		out += fmt.Sprintf(" B%d%v->%v", b.ID, b.Stmts, b.Succs)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package appanalysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// build constructs an explicit-form method, assigning sequential IDs.
+func build(name string, params []string, stmts ...Stmt) Method {
+	return explicit(name, params, stmts...)
+}
+
+func TestNormalizeDerivesElseTargetsFromCtrlDep(t *testing.T) {
+	// Legacy nested guards: outer if at 2 covers 3..7, inner if at 4
+	// covers 5..7.
+	m := Method{Name: "legacy"}
+	add := func(s Stmt) int {
+		s.ID = len(m.Stmts)
+		m.Stmts = append(m.Stmts, s)
+		return s.ID
+	}
+	add(Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read", CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "41 0C", CtrlDep: -1})
+	outer := add(Stmt{Kind: StmtIf, Uses: []string{"c"}, CtrlDep: -1})
+	add(Stmt{Kind: StmtAssign, Def: "g", Uses: []string{"flag"}, CtrlDep: outer})
+	inner := add(Stmt{Kind: StmtIf, Uses: []string{"g"}, CtrlDep: outer})
+	add(Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"r"}, CtrlDep: inner})
+	add(Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true, CtrlDep: inner})
+	add(Stmt{Kind: StmtDisplay, Uses: []string{"y"}, CtrlDep: inner})
+
+	n := Normalize(&m)
+	if n == &m {
+		t.Fatal("legacy method was not copied")
+	}
+	if got := n.Stmts[outer].Else; got != 8 {
+		t.Errorf("outer Else = %d, want 8", got)
+	}
+	if got := n.Stmts[inner].Else; got != 8 {
+		t.Errorf("inner Else = %d, want 8", got)
+	}
+	// An already-explicit method passes through unchanged.
+	if again := Normalize(n); again != n {
+		t.Error("explicit method was re-normalised")
+	}
+}
+
+func TestCFGIfElseDiamond(t *testing.T) {
+	// if c { y = p*2 } else { y = p*4 }; display y
+	m := build("diamond", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "41 0C"},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtGoto, Target: 7},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 4, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	cfg := BuildCFG(&m)
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d (%v), want 4", len(cfg.Blocks), cfg)
+	}
+	// B0=[0..3] branches to B1=[4,5] and B2=[6]; both join at B3=[7].
+	if got := cfg.Blocks[0].Succs; !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("B0 succs = %v", got)
+	}
+	if got := cfg.Blocks[1].Succs; !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("B1 succs = %v", got)
+	}
+	if got := cfg.Blocks[2].Succs; !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("B2 succs = %v", got)
+	}
+	// Dominance: the join is dominated by the branch block but
+	// post-dominates it; the arms are control dependent on the branch.
+	if got := cfg.ImmediateDominator(3); got != 0 {
+		t.Errorf("idom(join) = %d, want 0", got)
+	}
+	if got := cfg.ImmediatePostDominator(0); got != 3 {
+		t.Errorf("ipdom(branch) = %d, want 3", got)
+	}
+	if got := cfg.ControlDeps(1); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("ctrl deps of then-arm = %v", got)
+	}
+	if got := cfg.ControlDeps(2); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("ctrl deps of else-arm = %v", got)
+	}
+	if got := cfg.ControlDeps(3); len(got) != 0 {
+		t.Errorf("join unexpectedly control dependent: %v", got)
+	}
+}
+
+func TestCFGLoopControlDependence(t *testing.T) {
+	// A bounded counter loop with a guarded formula inside:
+	// while (i < n) { if startsWith { y = p*0.25; display } ; i++ }
+	m := boundedLoopMethod("41 0C")
+	cfg := BuildCFG(&m)
+	// The loop header must have a back edge into it.
+	header := cfg.BlockOf(2)
+	hasBack := false
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == header && b.ID > header {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("no back edge to loop header: %v", cfg)
+	}
+	// The loop header is control dependent on itself (it decides whether
+	// the loop re-enters), and the formula block on the inner branch.
+	deps := cfg.ControlDeps(header)
+	selfDep := false
+	for _, d := range deps {
+		if d == header {
+			selfDep = true
+		}
+	}
+	if !selfDep {
+		t.Errorf("loop header ctrl deps = %v, want self-dependence", deps)
+	}
+	formulaBlock := cfg.BlockOf(10) // y = p * 0.25
+	innerBranch := cfg.BlockOf(6)
+	deps = cfg.ControlDeps(formulaBlock)
+	if len(deps) == 0 || deps[0] != innerBranch {
+		t.Errorf("formula block ctrl deps = %v, want innermost %d", deps, innerBranch)
+	}
+}
+
+// boundedLoopMethod builds the counter-loop style shared by CFG, dataflow
+// and corpus tests: for (i = 0; i < 3; i++) { r = read; if
+// startsWith(r, prefix) { p = parse(index(split(r))); display p*0.25 } }.
+func boundedLoopMethod(prefix string) Method {
+	return build("loop", nil,
+		Stmt{Kind: StmtConst, Def: "n", ConstVal: 3},                                                         // 0
+		Stmt{Kind: StmtConst, Def: "i", ConstVal: 0},                                                         // 1
+		Stmt{Kind: StmtBinOp, Def: "t", Uses: []string{"i", "n"}, Op: "<"},                                   // 2
+		Stmt{Kind: StmtIf, Uses: []string{"t"}, Else: 14},                                                    // 3
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},                                         // 4
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix}, // 5
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 12},                                                    // 6
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},                        // 7
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},                         // 8
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},                    // 9
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},        // 10
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},                                                         // 11
+		Stmt{Kind: StmtBinOp, Def: "i", Uses: []string{"i"}, Op: "+", ConstVal: 1, HasConst: true},           // 12
+		Stmt{Kind: StmtGoto, Target: 2},                                                                      // 13
+	)
+}

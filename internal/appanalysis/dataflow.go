@@ -1,0 +1,232 @@
+package appanalysis
+
+// Forward worklist dataflow over a method CFG. Two fact families are
+// computed in one fixed-point pass:
+//
+//   - taint, as a label mask per variable: bit 0 marks data derived from a
+//     response-reading API, bit i+1 marks data derived from the method's
+//     i-th parameter. Tracking parameter labels separately is what makes
+//     per-method summaries parametric — a caller maps its argument masks
+//     through the callee's return mask instead of re-analysing the callee.
+//   - reaching definitions, as a set of defining statement IDs per
+//     variable. Joins merge by set union; a use reached by more than one
+//     definition is reconstructed only if every definition agrees.
+//
+// Both transfer functions are monotone over finite lattices (kills depend
+// on the statement, not the incoming facts), so the worklist terminates on
+// any CFG, including looping ones.
+
+const respLabel uint64 = 1
+
+// paramLabel is the taint-label bit for parameter i.
+func paramLabel(i int) uint64 { return 1 << uint(i+1) }
+
+// paramDef is the pseudo definition-site ID for parameter i (real
+// statement IDs are non-negative).
+func paramDef(i int) int { return -(i + 1) }
+
+// defset is a set of definition-site statement IDs.
+type defset map[int]struct{}
+
+// flowFacts is the dataflow state at one program point.
+type flowFacts struct {
+	taint map[string]uint64
+	reach map[string]defset
+}
+
+func newFacts() flowFacts {
+	return flowFacts{taint: map[string]uint64{}, reach: map[string]defset{}}
+}
+
+func (f flowFacts) clone() flowFacts {
+	out := newFacts()
+	for v, m := range f.taint {
+		out.taint[v] = m
+	}
+	for v, ds := range f.reach {
+		c := make(defset, len(ds))
+		for d := range ds {
+			c[d] = struct{}{}
+		}
+		out.reach[v] = c
+	}
+	return out
+}
+
+// merge unions other into f, reporting whether f changed.
+func (f flowFacts) merge(other flowFacts) bool {
+	changed := false
+	for v, m := range other.taint {
+		if f.taint[v]|m != f.taint[v] {
+			f.taint[v] |= m
+			changed = true
+		}
+	}
+	for v, ds := range other.reach {
+		dst, ok := f.reach[v]
+		if !ok {
+			dst = defset{}
+			f.reach[v] = dst
+		}
+		for d := range ds {
+			if _, ok := dst[d]; !ok {
+				dst[d] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// callMaskFunc maps a call to an app-level method through the callee's
+// summary: given the label masks of the actual arguments, the mask of the
+// returned value. ok is false when the callee is unknown or unanalysable
+// (recursion), which kills taint conservatively.
+type callMaskFunc func(callee string, argMasks []uint64) (mask uint64, ok bool)
+
+// dataflowResult carries the per-statement input facts of one method.
+type dataflowResult struct {
+	cfg *CFG
+	// stmtIn[i] is the dataflow state immediately before statement i.
+	stmtIn []flowFacts
+	// callMask is retained so expression reconstruction can re-apply the
+	// same interprocedural transfer.
+	callMask callMaskFunc
+}
+
+// transfer applies one statement to facts in place.
+func transfer(s *Stmt, f flowFacts, callMask callMaskFunc) {
+	useMask := uint64(0)
+	for _, u := range s.Uses {
+		useMask |= f.taint[u]
+	}
+	if s.Def == "" {
+		return
+	}
+	var mask uint64
+	switch s.Kind {
+	case StmtInvoke:
+		switch {
+		case ResponseAPIs[s.Callee]:
+			mask = respLabel
+		case propagatingAPIs[s.Callee]:
+			mask = useMask
+		default:
+			if callMask != nil {
+				argMasks := make([]uint64, len(s.Uses))
+				for i, u := range s.Uses {
+					argMasks[i] = f.taint[u]
+				}
+				if m, ok := callMask(s.Callee, argMasks); ok {
+					mask = m
+				}
+			}
+			// Unknown APIs (the paper's unmodelled native helpers) break
+			// propagation: mask stays 0.
+		}
+	case StmtBinOp, StmtAssign:
+		mask = useMask
+	case StmtConst:
+		mask = 0 // a constant overwrite sanitises the variable
+	}
+	// Strong update: the definition replaces whatever reached here.
+	if mask == 0 {
+		delete(f.taint, s.Def)
+	} else {
+		f.taint[s.Def] = mask
+	}
+	f.reach[s.Def] = defset{s.ID: {}}
+}
+
+// runDataflow runs the forward worklist analysis to a fixed point and
+// materialises per-statement input facts.
+func runDataflow(cfg *CFG, callMask callMaskFunc) *dataflowResult {
+	m := cfg.Method
+	entry := newFacts()
+	for i, p := range m.Params {
+		entry.taint[p] = paramLabel(i)
+		entry.reach[p] = defset{paramDef(i): {}}
+	}
+
+	n := len(cfg.Blocks)
+	in := make([]flowFacts, n)
+	out := make([]flowFacts, n)
+	for i := 0; i < n; i++ {
+		in[i] = newFacts()
+		out[i] = newFacts()
+	}
+	if n > 0 {
+		in[0].merge(entry)
+	}
+
+	dirty := make([]bool, n)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	for anyDirty(dirty) {
+		for b := 0; b < n; b++ {
+			if !dirty[b] {
+				continue
+			}
+			dirty[b] = false
+			cur := in[b].clone()
+			for _, id := range cfg.Blocks[b].Stmts {
+				transfer(&m.Stmts[id], cur, callMask)
+			}
+			if !out[b].merge(cur) {
+				continue
+			}
+			for _, s := range cfg.Blocks[b].Succs {
+				if s == cfg.ExitID {
+					continue
+				}
+				if in[s].merge(out[b]) {
+					dirty[s] = true
+				}
+			}
+		}
+	}
+
+	res := &dataflowResult{cfg: cfg, stmtIn: make([]flowFacts, len(m.Stmts)), callMask: callMask}
+	for b := 0; b < n; b++ {
+		cur := in[b].clone()
+		for _, id := range cfg.Blocks[b].Stmts {
+			res.stmtIn[id] = cur.clone()
+			transfer(&m.Stmts[id], cur, callMask)
+		}
+	}
+	return res
+}
+
+func anyDirty(d []bool) bool {
+	for _, v := range d {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// maskOf evaluates the taint mask a statement's definition receives — the
+// transfer function's output for Def, given the statement's input facts.
+func (r *dataflowResult) maskOf(s *Stmt) uint64 {
+	f := r.stmtIn[s.ID].clone()
+	transfer(s, f, r.callMask)
+	return f.taint[s.Def]
+}
+
+// defsOf lists the definition sites of v reaching statement id, sorted.
+func (r *dataflowResult) defsOf(v string, id int) []int {
+	ds := r.stmtIn[id].reach[v]
+	out := make([]int, 0, len(ds))
+	for d := range ds {
+		out = append(out, d)
+	}
+	// Insertion sort keeps this allocation-light; the sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package appanalysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorklistReachesFixedPointOnLoopingCFG(t *testing.T) {
+	// The termination guarantee of the acceptance criteria: a CFG with a
+	// back edge must reach a fixed point, and the guarded formula inside
+	// the loop must come out with its condition intact.
+	m := boundedLoopMethod("41 0C")
+	app := &App{Name: "loop-app", Methods: []Method{m}}
+
+	done := make(chan []Formula, 1)
+	go func() { done <- Analyze(app) }()
+	select {
+	case formulas := <-done:
+		if len(formulas) != 1 {
+			t.Fatalf("formulas = %v, want 1", formulas)
+		}
+		f := formulas[0]
+		if f.Condition != "41 0C" || f.Kind != KindOBD {
+			t.Errorf("condition = %q kind = %v", f.Condition, f.Kind)
+		}
+		if !strings.Contains(f.Expr, "* 0.25") {
+			t.Errorf("expr = %q", f.Expr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worklist analysis did not terminate on a looping CFG")
+	}
+}
+
+func TestReachingDefsUnionAtJoin(t *testing.T) {
+	// y is defined in both arms of a diamond; at the join its use must see
+	// both definitions, and — because they disagree — reconstruction must
+	// conservatively refuse the formula anchored on the consumer.
+	m := build("join", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "41 0C"},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtGoto, Target: 7},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 4, HasConst: true},
+		Stmt{Kind: StmtBinOp, Def: "z", Uses: []string{"y"}, Op: "+", ConstVal: 1, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"z"}},
+	)
+	cfg := BuildCFG(&m)
+	flow := runDataflow(cfg, nil)
+	defs := flow.defsOf("y", 7)
+	if len(defs) != 2 || defs[0] != 4 || defs[1] != 6 {
+		t.Fatalf("reaching defs of y at join = %v, want [4 6]", defs)
+	}
+
+	app := &App{Name: "join-app", Methods: []Method{m}}
+	if got := Analyze(app); len(got) != 0 {
+		t.Fatalf("ambiguous join reconstructed anyway: %v", got)
+	}
+}
+
+func TestIdenticalDefsAtJoinStillReconstruct(t *testing.T) {
+	// Both arms compute the same expression: the union-merge sees two
+	// definitions that agree, so the formula survives.
+	m := build("agree", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "41 0C"},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtGoto, Target: 7},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtBinOp, Def: "z", Uses: []string{"y"}, Op: "+", ConstVal: 1, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"z"}},
+	)
+	app := &App{Name: "agree-app", Methods: []Method{m}}
+	got := Analyze(app)
+	if len(got) != 1 {
+		t.Fatalf("formulas = %v, want 1", got)
+	}
+	if want := "((v(p) * 2) + 1)"; got[0].Expr != want {
+		t.Errorf("expr = %q, want %q", got[0].Expr, want)
+	}
+}
+
+func TestTaintThroughSplitAndIndex(t *testing.T) {
+	// Taint must survive String.split → Array.index element access.
+	m := build("split", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "/", ConstVal: 2.55, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	cfg := BuildCFG(&m)
+	flow := runDataflow(cfg, nil)
+	for _, v := range []string{"s", "f", "p"} {
+		if flow.stmtIn[5].taint[v]&respLabel == 0 {
+			t.Errorf("%s lost response taint through split/index", v)
+		}
+	}
+	app := &App{Name: "split-app", Methods: []Method{m}}
+	if got := Analyze(app); len(got) != 1 {
+		t.Fatalf("formulas = %v, want 1", got)
+	}
+}
+
+func TestSanitisingConstOverwriteKillsTaint(t *testing.T) {
+	// The negative case of the satellite checklist: overwriting the
+	// extracted value with a constant before the arithmetic must kill the
+	// taint and suppress the formula.
+	m := build("sanitise", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtConst, Def: "p", ConstVal: 0}, // sanitising overwrite
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	cfg := BuildCFG(&m)
+	flow := runDataflow(cfg, nil)
+	if flow.stmtIn[5].taint["p"] != 0 {
+		t.Error("constant overwrite did not kill p's taint")
+	}
+	app := &App{Name: "sanitise-app", Methods: []Method{m}}
+	if got := Analyze(app); len(got) != 0 {
+		t.Fatalf("sanitised value extracted anyway: %v", got)
+	}
+}
+
+func TestRedefinitionAfterUseDoesNotCorruptSlice(t *testing.T) {
+	// Regression for the last-def-wins defsite map of the linear
+	// analyzer: p is redefined from an untainted field *after* the formula
+	// uses it. The old map resolved p to the later definition and the
+	// backward slice failed; reaching definitions resolve the use to the
+	// definition that actually flows into it.
+	m := Method{Name: "redef"}
+	add := func(s Stmt) int {
+		s.ID = len(m.Stmts)
+		m.Stmts = append(m.Stmts, s)
+		return s.ID
+	}
+	add(Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read", CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "41 0D", CtrlDep: -1})
+	ifID := add(Stmt{Kind: StmtIf, Uses: []string{"c"}, CtrlDep: -1})
+	add(Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}, CtrlDep: ifID})
+	add(Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 2, HasConst: true, CtrlDep: ifID})
+	add(Stmt{Kind: StmtDisplay, Uses: []string{"y"}, CtrlDep: ifID})
+	// After the guarded region: reuse the temp for unrelated plumbing.
+	add(Stmt{Kind: StmtAssign, Def: "p", Uses: []string{"screenWidth"}, CtrlDep: -1})
+
+	app := &App{Name: "redef-app", Methods: []Method{m}}
+	got := Analyze(app)
+	if len(got) != 1 {
+		t.Fatalf("formulas = %v, want 1 (reassigned temp corrupted the slice)", got)
+	}
+	if got[0].Condition != "41 0D" || got[0].Expr != "(v(p) * 2)" {
+		t.Errorf("formula = %+v", got[0])
+	}
+}
+
+func TestConditionUnderNestedExplicitBranches(t *testing.T) {
+	// Satellite coverage: condition extraction under nested ifs in the
+	// explicit-CFG form, where the inner branch has no startsWith and the
+	// walk must climb the control-dependence chain to the outer one.
+	m := build("nested-explicit", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: "62 F4 0D"},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 9},
+		Stmt{Kind: StmtAssign, Def: "g", Uses: []string{"someFlag"}},
+		Stmt{Kind: StmtIf, Uses: []string{"g"}, Else: 9},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "String.substring", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "-", ConstVal: 40, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	app := &App{Name: "nested-x", Methods: []Method{m}}
+	got := Analyze(app)
+	if len(got) != 1 {
+		t.Fatalf("formulas = %v, want 1", got)
+	}
+	if got[0].Condition != "62 F4 0D" || got[0].Kind != KindUDS {
+		t.Errorf("formula = %+v", got[0])
+	}
+}

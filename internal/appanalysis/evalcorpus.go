@@ -1,0 +1,347 @@
+package appanalysis
+
+import "fmt"
+
+// TruthFormula is one ground-truth label for an evaluation app: the
+// formula a human reading the (synthetic) source would write down. An
+// empty Condition or Expr, or KindUnknown, acts as a wildcard when the
+// evaluator matches extracted formulas against the label.
+type TruthFormula struct {
+	Condition string
+	Kind      FormulaKind
+	Expr      string
+}
+
+// LabeledApp pairs an app with its ground truth and the corpus style it
+// was generated from, so precision/recall can be broken down per style.
+type LabeledApp struct {
+	App   *App
+	Style string
+	Truth []TruthFormula
+}
+
+// EvalCorpus generates the deterministic labeled corpus used to score the
+// analysis. Unlike Corpus (which mirrors Table 12's counts), every app
+// here carries ground truth, and the styles deliberately include shapes
+// the engine is known to miss — field-mediated splits, unmodelled native
+// helpers, recursion, unit-ambiguous joins — so recall is honest rather
+// than 1.0 by construction.
+func EvalCorpus() []*LabeledApp {
+	var corpus []*LabeledApp
+	add := func(l *LabeledApp) { corpus = append(corpus, l) }
+
+	add(straightLineApp("41 0C"))
+	add(straightLineApp("62 F4 0D"))
+	add(straightLineApp("61 8A"))
+	add(branchingApp("41 0C", "41 05"))
+	add(branchingApp("62 F4 0D", "62 F4 10"))
+	add(loopApp("41 0C"))
+	add(loopApp("61 92"))
+	add(helperSplitEvalApp("62 0D 12"))
+	add(helperSplitEvalApp("41 0D"))
+	add(helperChainApp("41 05"))
+	add(helperChainApp("62 F1 90"))
+	add(condInHelperApp("61 8A"))
+	add(condInHelperApp("41 10"))
+	add(sanitisedApp("41 0C"))
+	add(sanitisedApp("62 F4 0D"))
+	add(untaintedApp(0))
+	add(untaintedApp(1))
+	add(fieldSplitApp("41 0C"))
+	add(nativeHelperApp("41 11"))
+	add(recursiveAccumApp("41 0F"))
+	add(joinAmbiguousApp("41 0C"))
+	return corpus
+}
+
+// explicit constructs a method in the explicit-CFG form (If carries its
+// Else target; no legacy CtrlDep annotations), assigning sequential IDs.
+func explicit(name string, params []string, stmts ...Stmt) Method {
+	m := Method{Name: name, Params: params}
+	for _, s := range stmts {
+		s.ID = len(m.Stmts)
+		s.CtrlDep = -1
+		m.Stmts = append(m.Stmts, s)
+	}
+	return m
+}
+
+// straightLineApp is the Fig. 9 baseline: guarded read → split → parse →
+// one arithmetic step → display, all in one method.
+func straightLineApp(prefix string) *LabeledApp {
+	m := explicit("onResponse", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 8},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "straight-" + prefix, Methods: []Method{m}},
+		Style: "straight-line",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), "(v(p) * 0.25)"}},
+	}
+}
+
+// branchingApp dispatches on two response prefixes, each arm with its own
+// formula — the if/else shape the control-dependence recovery must split.
+func branchingApp(p1, p2 string) *LabeledApp {
+	m := explicit("onResponse", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c1", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: p1},
+		Stmt{Kind: StmtIf, Uses: []string{"c1"}, Else: 9},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "pa", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"pa"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+		Stmt{Kind: StmtGoto, Target: 16},
+		Stmt{Kind: StmtInvoke, Def: "c2", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: p2},
+		Stmt{Kind: StmtIf, Uses: []string{"c2"}, Else: 16},
+		Stmt{Kind: StmtInvoke, Def: "s2", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f2", Callee: "Array.index", Uses: []string{"s2"}},
+		Stmt{Kind: StmtInvoke, Def: "pb", Callee: "Integer.parseInt", Uses: []string{"f2"}},
+		Stmt{Kind: StmtBinOp, Def: "z", Uses: []string{"pb"}, Op: "/", ConstVal: 2.55, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"z"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "branch-" + p1, Methods: []Method{m}},
+		Style: "if-else dispatch",
+		Truth: []TruthFormula{
+			{p1, KindForPrefix(p1), "(v(pa) * 0.25)"},
+			{p2, KindForPrefix(p2), "(v(pb) / 2.55)"},
+		},
+	}
+}
+
+// loopApp polls inside a bounded counter loop; the worklist must reach a
+// fixed point across the back edge and keep the guard condition.
+func loopApp(prefix string) *LabeledApp {
+	m := explicit("pollLoop", nil,
+		Stmt{Kind: StmtConst, Def: "n", ConstVal: 3},
+		Stmt{Kind: StmtConst, Def: "i", ConstVal: 0},
+		Stmt{Kind: StmtBinOp, Def: "t", Uses: []string{"i", "n"}, Op: "<"},
+		Stmt{Kind: StmtIf, Uses: []string{"t"}, Else: 14},
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 12},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+		Stmt{Kind: StmtBinOp, Def: "i", Uses: []string{"i"}, Op: "+", ConstVal: 1, HasConst: true},
+		Stmt{Kind: StmtGoto, Target: 2},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "loop-" + prefix, Methods: []Method{m}},
+		Style: "bounded loop",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), "(v(p) * 0.25)"}},
+	}
+}
+
+// helperSplitEvalApp reads in the caller and computes in a helper — the
+// split the interprocedural summaries exist to reconstruct.
+func helperSplitEvalApp(prefix string) *LabeledApp {
+	main := explicit("onResponse", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "String.substring", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "y", Callee: "parseAndScale", Uses: []string{"f"}},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	helper := explicit("parseAndScale", []string{"frag"},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"frag"}},
+		Stmt{Kind: StmtBinOp, Def: "t", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtBinOp, Def: "out", Uses: []string{"t"}, Op: "-", ConstVal: 40, HasConst: true},
+		Stmt{Kind: StmtReturn, Uses: []string{"out"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "helper-split-" + prefix, Methods: []Method{main, helper}},
+		Style: "helper split",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), "((v(p) * 0.25) - 40)"}},
+	}
+}
+
+// helperChainApp routes the value through two helper levels; argument
+// expressions must substitute through both summaries.
+func helperChainApp(prefix string) *LabeledApp {
+	main := explicit("show", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 7},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "String.substring", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtInvoke, Def: "y", Callee: "toPhysical", Uses: []string{"p"}},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	outer := explicit("toPhysical", []string{"x"},
+		Stmt{Kind: StmtInvoke, Def: "h", Callee: "applyOffset", Uses: []string{"x"}},
+		Stmt{Kind: StmtReturn, Uses: []string{"h"}},
+	)
+	inner := explicit("applyOffset", []string{"v"},
+		Stmt{Kind: StmtBinOp, Def: "o", Uses: []string{"v"}, Op: "-", ConstVal: 40, HasConst: true},
+		Stmt{Kind: StmtReturn, Uses: []string{"o"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "helper-chain-" + prefix, Methods: []Method{main, outer, inner}},
+		Style: "helper chain",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), "(v(p) - 40)"}},
+	}
+}
+
+// condInHelperApp checks the response prefix inside the helper; the
+// caller inherits the condition from the callee's summary.
+func condInHelperApp(prefix string) *LabeledApp {
+	main := explicit("update", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "y", Callee: "decode", Uses: []string{"r"}},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	helper := explicit("decode", []string{"resp"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"resp"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 7},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"resp"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "/", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtReturn, Uses: []string{"y"}},
+		Stmt{Kind: StmtConst, Def: "z", ConstVal: 0},
+		Stmt{Kind: StmtReturn, Uses: []string{"z"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "cond-helper-" + prefix, Methods: []Method{main, helper}},
+		Style: "condition in helper",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), "(v(p) / 2)"}},
+	}
+}
+
+// sanitisedApp overwrites the parsed value with a constant before the
+// arithmetic: a true negative the strong-update kill must respect.
+func sanitisedApp(prefix string) *LabeledApp {
+	m := explicit("sanitise", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 9},
+		Stmt{Kind: StmtInvoke, Def: "s", Callee: "String.split", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "Array.index", Uses: []string{"s"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtConst, Def: "p", ConstVal: 0},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "sanitised-" + prefix, Methods: []Method{m}},
+		Style: "sanitised negative",
+	}
+}
+
+// untaintedApp is layout arithmetic with no response data: a true
+// negative for source tracking.
+func untaintedApp(i int) *LabeledApp {
+	m := explicit("layout", nil,
+		Stmt{Kind: StmtAssign, Def: "w", Uses: []string{"screenWidth"}},
+		Stmt{Kind: StmtBinOp, Def: "half", Uses: []string{"w"}, Op: "/", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"half"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: fmt.Sprintf("untainted-%d", i), Methods: []Method{m}},
+		Style: "untainted negative",
+	}
+}
+
+// fieldSplitApp passes the response through an object field between a
+// subclass reader and a parent parser — heap flow the engine does not
+// model (§4.6's first unextractable style). Labeled positive, so it
+// counts as a known miss.
+func fieldSplitApp(prefix string) *LabeledApp {
+	reader := explicit("SubClass.read", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 4},
+		Stmt{Kind: StmtAssign, Def: "fieldStore", Uses: []string{"r"}},
+	)
+	parser := explicit("Parent.parse", nil,
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"field"}},
+		Stmt{Kind: StmtBinOp, Def: "out", Uses: []string{"p"}, Op: "*", ConstVal: 0.25, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"out"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "field-split-" + prefix, Methods: []Method{reader, parser}},
+		Style: "field split (known miss)",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), ""}},
+	}
+}
+
+// nativeHelperApp decodes through an unmodelled native call, which kills
+// the taint (§4.6's second unextractable style). Labeled positive.
+func nativeHelperApp(prefix string) *LabeledApp {
+	m := explicit("parseViaHelper", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtInvoke, Def: "d", Callee: "NativeCodec.decode", Uses: []string{"r"}},
+		Stmt{Kind: StmtBinOp, Def: "out", Uses: []string{"d"}, Op: "*", ConstVal: 0.5, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"out"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "native-helper-" + prefix, Methods: []Method{m}},
+		Style: "native helper (known miss)",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), ""}},
+	}
+}
+
+// recursiveAccumApp folds the value through a self-recursive retry helper
+// whose arithmetic sits on the recursive result; the conservative
+// recursion handling loses it. Labeled positive.
+func recursiveAccumApp(prefix string) *LabeledApp {
+	main := explicit("poll", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 7},
+		Stmt{Kind: StmtInvoke, Def: "f", Callee: "String.substring", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "p", Callee: "Integer.parseInt", Uses: []string{"f"}},
+		Stmt{Kind: StmtInvoke, Def: "y", Callee: "retry", Uses: []string{"p"}},
+		Stmt{Kind: StmtDisplay, Uses: []string{"y"}},
+	)
+	rec := explicit("retry", []string{"x"},
+		Stmt{Kind: StmtAssign, Def: "g", Uses: []string{"shouldRetry"}},
+		Stmt{Kind: StmtIf, Uses: []string{"g"}, Else: 5},
+		Stmt{Kind: StmtInvoke, Def: "t", Callee: "retry", Uses: []string{"x"}},
+		Stmt{Kind: StmtBinOp, Def: "z", Uses: []string{"t"}, Op: "+", ConstVal: 1, HasConst: true},
+		Stmt{Kind: StmtReturn, Uses: []string{"z"}},
+		Stmt{Kind: StmtReturn, Uses: []string{"x"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "recursive-" + prefix, Methods: []Method{main, rec}},
+		Style: "recursive helper (known miss)",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), ""}},
+	}
+}
+
+// joinAmbiguousApp computes different scalings in the two arms of a
+// branch the engine cannot resolve; reconstruction conservatively
+// refuses. Labeled positive (a human would report a unit-dependent
+// formula).
+func joinAmbiguousApp(prefix string) *LabeledApp {
+	m := explicit("ambiguous", nil,
+		Stmt{Kind: StmtInvoke, Def: "r", Callee: "InputStream.read"},
+		Stmt{Kind: StmtInvoke, Def: "pa", Callee: "Integer.parseInt", Uses: []string{"r"}},
+		Stmt{Kind: StmtInvoke, Def: "c", Callee: "String.startsWith", Uses: []string{"r"}, StrConst: prefix},
+		Stmt{Kind: StmtIf, Uses: []string{"c"}, Else: 6},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"pa"}, Op: "*", ConstVal: 2, HasConst: true},
+		Stmt{Kind: StmtGoto, Target: 7},
+		Stmt{Kind: StmtBinOp, Def: "y", Uses: []string{"pa"}, Op: "*", ConstVal: 4, HasConst: true},
+		Stmt{Kind: StmtBinOp, Def: "z", Uses: []string{"y"}, Op: "+", ConstVal: 1, HasConst: true},
+		Stmt{Kind: StmtDisplay, Uses: []string{"z"}},
+	)
+	return &LabeledApp{
+		App:   &App{Name: "ambiguous-" + prefix, Methods: []Method{m}},
+		Style: "ambiguous join (known miss)",
+		Truth: []TruthFormula{{prefix, KindForPrefix(prefix), ""}},
+	}
+}

@@ -1,0 +1,112 @@
+package appanalysis
+
+// StyleScore is the per-style breakdown of an evaluation: how many apps
+// of that corpus style were analysed and how the extracted formulas
+// scored against the ground truth.
+type StyleScore struct {
+	Style string
+	Apps  int
+	TP    int
+	FP    int
+	FN    int
+}
+
+// Evaluation scores Analyze against the labeled corpus's ground truth.
+type Evaluation struct {
+	Apps     int
+	TP       int
+	FP       int
+	FN       int
+	PerStyle []StyleScore
+}
+
+// Precision is TP / (TP + FP); 1.0 when nothing was extracted.
+func (e *Evaluation) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 1
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall is TP / (TP + FN); 1.0 when nothing was labeled.
+func (e *Evaluation) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 1
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (e *Evaluation) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate runs Analyze over every labeled app and matches the extracted
+// formulas against the ground truth. A truth label matches an extracted
+// formula when condition, protocol kind and expression agree; empty
+// Condition/Expr and KindUnknown act as wildcards in the label. Each
+// extracted formula can satisfy at most one label: matched pairs are
+// true positives, unmatched labels false negatives, unmatched extractions
+// false positives.
+func Evaluate(corpus []*LabeledApp) *Evaluation {
+	eval := &Evaluation{}
+	styleIdx := map[string]int{}
+	for _, la := range corpus {
+		idx, ok := styleIdx[la.Style]
+		if !ok {
+			idx = len(eval.PerStyle)
+			styleIdx[la.Style] = idx
+			eval.PerStyle = append(eval.PerStyle, StyleScore{Style: la.Style})
+		}
+		score := &eval.PerStyle[idx]
+		score.Apps++
+		eval.Apps++
+
+		found := Analyze(la.App)
+		used := make([]bool, len(found))
+		for _, truth := range la.Truth {
+			matched := false
+			for fi := range found {
+				if used[fi] || !truth.matches(&found[fi]) {
+					continue
+				}
+				used[fi] = true
+				matched = true
+				break
+			}
+			if matched {
+				score.TP++
+			} else {
+				score.FN++
+			}
+		}
+		for fi := range found {
+			if !used[fi] {
+				score.FP++
+			}
+		}
+	}
+	for i := range eval.PerStyle {
+		eval.TP += eval.PerStyle[i].TP
+		eval.FP += eval.PerStyle[i].FP
+		eval.FN += eval.PerStyle[i].FN
+	}
+	return eval
+}
+
+func (t *TruthFormula) matches(f *Formula) bool {
+	if t.Condition != "" && t.Condition != f.Condition {
+		return false
+	}
+	if t.Kind != KindUnknown && t.Kind != f.Kind {
+		return false
+	}
+	if t.Expr != "" && t.Expr != f.Expr {
+		return false
+	}
+	return true
+}

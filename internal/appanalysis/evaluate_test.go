@@ -1,0 +1,62 @@
+package appanalysis
+
+import "testing"
+
+func TestEvaluateLabeledCorpus(t *testing.T) {
+	eval := Evaluate(EvalCorpus())
+	if eval.Apps != 21 {
+		t.Errorf("apps = %d, want 21", eval.Apps)
+	}
+	// Every extraction the engine makes is correct: no false positives,
+	// from the sanitised/untainted negatives or anywhere else.
+	if eval.FP != 0 {
+		t.Errorf("false positives = %d, want 0 (precision %.3f)", eval.FP, eval.Precision())
+	}
+	// The four "known miss" styles (field split, native helper, recursion,
+	// ambiguous join) are labeled positive and stay unmatched.
+	if eval.FN != 4 {
+		t.Errorf("false negatives = %d, want 4", eval.FN)
+	}
+	if eval.TP != 15 {
+		t.Errorf("true positives = %d, want 15", eval.TP)
+	}
+	if p := eval.Precision(); p != 1.0 {
+		t.Errorf("precision = %.3f, want 1.0", p)
+	}
+	if r := eval.Recall(); r <= 0.75 || r >= 0.85 {
+		t.Errorf("recall = %.3f, want ~0.79", r)
+	}
+	// The per-style breakdown localises every miss to a known-miss style.
+	for _, s := range eval.PerStyle {
+		miss := s.Style == "field split (known miss)" ||
+			s.Style == "native helper (known miss)" ||
+			s.Style == "recursive helper (known miss)" ||
+			s.Style == "ambiguous join (known miss)"
+		if miss && s.FN == 0 {
+			t.Errorf("style %q unexpectedly recovered", s.Style)
+		}
+		if !miss && s.FN != 0 {
+			t.Errorf("style %q has %d false negatives", s.Style, s.FN)
+		}
+	}
+}
+
+func TestTruthWildcards(t *testing.T) {
+	f := Formula{Condition: "41 0C", Kind: KindOBD, Expr: "(v(p) * 0.25)"}
+	cases := []struct {
+		truth TruthFormula
+		want  bool
+	}{
+		{TruthFormula{"41 0C", KindOBD, "(v(p) * 0.25)"}, true},
+		{TruthFormula{"", KindUnknown, ""}, true},
+		{TruthFormula{"41 0C", KindUnknown, ""}, true},
+		{TruthFormula{"41 0D", KindOBD, ""}, false},
+		{TruthFormula{"41 0C", KindUDS, ""}, false},
+		{TruthFormula{"41 0C", KindOBD, "(v(p) * 2)"}, false},
+	}
+	for i, c := range cases {
+		if got := c.truth.matches(&f); got != c.want {
+			t.Errorf("case %d: matches = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -2,16 +2,20 @@
 // (§4.6, §9.2, Algorithm 1): a static analysis that finds the formulas an
 // app uses to turn diagnostic response messages into displayed values. The
 // analysis is defined over a small three-address statement IR (the role
-// Jimple plays for the paper's Soot-based tool): forward taint analysis
-// from response-reading APIs, a data-dependency backward slice over the
-// arithmetic that processes tainted values, and control-dependency
-// analysis to recover the condition (response prefix) under which each
-// formula applies.
+// Jimple plays for the paper's Soot-based tool).
+//
+// The engine is a real dataflow framework rather than a linear walk: each
+// method is normalised into an explicit control-flow graph (branches carry
+// else-targets, loops are gotos), a worklist-based forward analysis
+// computes taint and reaching definitions with set-union merge at join
+// points, control dependence is derived from the post-dominator tree, and
+// an interprocedural layer (call graph + per-method summaries) stitches
+// formulas back together when an app factors them across helper methods.
 //
 // A synthetic 160-app corpus mirroring Table 12's composition ships with
-// the package: three apps with UDS/KWP 2000 formulas, the OBD-II-formula
-// apps, apps written in the styles the paper's tool cannot analyse, and
-// DTC-only apps with no formulas at all.
+// the package, plus a smaller ground-truth-labelled corpus (EvalCorpus)
+// whose apps exercise branching, looping, helper-split and sanitising
+// styles so the analysis can be scored for precision and recall.
 package appanalysis
 
 import "fmt"
@@ -28,10 +32,21 @@ const (
 	StmtBinOp
 	// StmtAssign copies Def = A.
 	StmtAssign
-	// StmtIf branches on a condition variable.
+	// StmtIf branches on a condition variable: execution falls through to
+	// the next statement when the condition holds and jumps to Else when it
+	// does not. Else == 0 marks the legacy structured form, where the
+	// guarded region is encoded by CtrlDep annotations instead (Normalize
+	// rewrites it into the explicit form).
 	StmtIf
 	// StmtDisplay sinks a value into the UI.
 	StmtDisplay
+	// StmtConst loads the literal ConstVal into Def. Overwriting a
+	// variable with a constant kills its taint (a sanitising write).
+	StmtConst
+	// StmtGoto jumps unconditionally to Target (backwards for loops).
+	StmtGoto
+	// StmtReturn leaves the method, returning Uses[0] when present.
+	StmtReturn
 )
 
 // Stmt is one IR statement. Variables are plain strings; each statement
@@ -47,6 +62,10 @@ type Stmt struct {
 
 	// Callee names the invoked API for StmtInvoke/StmtIf conditions
 	// (e.g. "InputStream.read", "String.startsWith", "Integer.parseInt").
+	// When it instead matches the name of another method of the same App,
+	// the statement is an application-level call: Uses are the actual
+	// arguments bound to the callee's Params and Def receives its return
+	// value (the interprocedural layer resolves these edges).
 	Callee string
 	// StrConst carries a string literal argument (the startsWith prefix).
 	StrConst string
@@ -59,15 +78,29 @@ type Stmt struct {
 	HasConst  bool
 	ConstLeft bool
 
-	// CtrlDep is the ID of the StmtIf this statement is control-dependent
-	// on (-1 when unconditioned).
+	// Else is a StmtIf's jump target when the condition is false — the ID
+	// of the first statement after the guarded region (len(Stmts) jumps to
+	// the method exit). 0 means "legacy structured form": the region is
+	// given by CtrlDep annotations and Normalize derives the target.
+	Else int
+	// Target is a StmtGoto's jump destination.
+	Target int
+
+	// CtrlDep is the legacy structured-control annotation: the ID of the
+	// StmtIf this statement is nested under (-1 when unconditioned). It is
+	// an *input* convenience for straight-line builders only; the analysis
+	// ignores it and recomputes control dependence from the CFG's
+	// post-dominator tree.
 	CtrlDep int
 }
 
 // Method is one app method.
 type Method struct {
-	Name  string
-	Stmts []Stmt
+	Name string
+	// Params are the method's formal parameters, bound to call-site
+	// arguments by the interprocedural layer.
+	Params []string
+	Stmts  []Stmt
 }
 
 // App is one analysed application.

@@ -1,0 +1,118 @@
+package appanalysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is a method's interprocedural digest: how taint flows from its
+// parameters and response reads to its return value, the reconstructed
+// return expression (with placeholders where parameters feed it), and the
+// response-prefix conditions guarding the tainted returns. Callers consume
+// summaries instead of re-analysing callees, which is what lets a formula
+// split across helper methods be reconstructed end to end.
+type Summary struct {
+	Name string
+	// ReturnMask is the taint-label mask of the returned value: bit 0 for
+	// data read from the response inside the callee, bit i+1 for data
+	// flowing in through parameter i.
+	ReturnMask uint64
+	// Expr is the return expression with ⟨pN⟩ placeholders for parameter
+	// N; valid only when HasExpr. Arith reports whether it contains
+	// arithmetic, which is what makes a call site a formula anchor.
+	Expr    string
+	HasExpr bool
+	Arith   bool
+	// Conditions are the startsWith prefixes guarding tainted returns
+	// inside the callee, first-seen order, deduplicated.
+	Conditions []string
+}
+
+// ReadsResponse reports whether the method's return value carries data it
+// read from the diagnostic response itself.
+func (s *Summary) ReadsResponse() bool { return s.ReturnMask&respLabel != 0 }
+
+// placeholder renders the summary-expression stand-in for parameter i.
+func placeholder(i int) string { return fmt.Sprintf("⟨p%d⟩", i) }
+
+// buildSummary digests one analysed method. Returns carrying no taint at
+// all (constant error/sentinel returns) contribute neither expression nor
+// condition; among tainted returns the expression is kept only if they all
+// agree.
+func (a *analyzer) buildSummary(name string, cfg *CFG, flow *dataflowResult) *Summary {
+	m := cfg.Method
+	sum := &Summary{Name: name}
+	exprSeen := map[string]bool{}
+	condSeen := map[string]bool{}
+	failed := false
+	for i := range m.Stmts {
+		s := &m.Stmts[i]
+		if s.Kind != StmtReturn || len(s.Uses) != 1 {
+			continue
+		}
+		mask := flow.stmtIn[s.ID].taint[s.Uses[0]]
+		sum.ReturnMask |= mask
+		if mask == 0 {
+			continue
+		}
+		expr, arith, ok := a.reconstructVar(name, s.Uses[0], s.ID, true, map[int]bool{}, 0)
+		if !ok {
+			failed = true
+			continue
+		}
+		if !exprSeen[expr] {
+			exprSeen[expr] = true
+			sum.Expr, sum.Arith, sum.HasExpr = expr, arith, true
+		}
+		if cond := a.condition(name, s); cond != "" && !condSeen[cond] {
+			condSeen[cond] = true
+			sum.Conditions = append(sum.Conditions, cond)
+		}
+	}
+	if failed || len(exprSeen) > 1 {
+		// Some tainted return either failed reconstruction or disagreed
+		// with the others: no single return expression exists.
+		sum.Expr, sum.Arith, sum.HasExpr = "", false, false
+	}
+	return sum
+}
+
+// inlineCall reconstructs a call to an app-level method by substituting
+// the actual-argument expressions into the callee's summary expression.
+func (a *analyzer) inlineCall(name string, s *Stmt, sum *Summary, summaryMode bool, visiting map[int]bool, depth int) (string, bool, bool) {
+	// Two passes: mark the callee's placeholders first, then splice in the
+	// actual-argument expressions. An argument expression may itself be a
+	// placeholder (the caller's own parameter, in summary mode), so the
+	// arity check — no callee placeholder beyond the call's arguments —
+	// must happen between the passes, not after substitution.
+	expr := sum.Expr
+	arith := sum.Arith
+	marked := make([]bool, len(s.Uses))
+	for i := range s.Uses {
+		ph := placeholder(i)
+		if strings.Contains(expr, ph) {
+			marked[i] = true
+			expr = strings.ReplaceAll(expr, ph, marker(i))
+		}
+	}
+	if strings.Contains(expr, "⟨p") {
+		// A callee parameter beyond the call's arguments: malformed call.
+		return "", false, false
+	}
+	for i, arg := range s.Uses {
+		if !marked[i] {
+			continue
+		}
+		argExpr, argArith, ok := a.reconstructVar(name, arg, s.ID, summaryMode, visiting, depth+1)
+		if !ok {
+			return "", false, false
+		}
+		expr = strings.ReplaceAll(expr, marker(i), argExpr)
+		arith = arith || argArith
+	}
+	return expr, arith, true
+}
+
+// marker is the collision-free intermediate token for argument i during
+// inlineCall's two-pass substitution.
+func marker(i int) string { return fmt.Sprintf("\x00a%d\x00", i) }

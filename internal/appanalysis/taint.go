@@ -29,160 +29,262 @@ var propagatingAPIs = map[string]bool{
 	"String.startsWith":  true, // boolean over tainted data: condition taint
 }
 
-// Analyze runs Algorithm 1 over one app: forward taint analysis from the
-// response-reading APIs, arithmetic detection, data-dependency formula
-// reconstruction, and control-dependency condition extraction.
+// extractionAPIs are Algorithm 1's terminals: the calls that turn response
+// fragments into numeric values, where the backward slice stops.
+var extractionAPIs = map[string]bool{
+	"Integer.parseInt":   true,
+	"Long.parseLong":     true,
+	"Double.parseDouble": true,
+}
+
+// Analyze runs Algorithm 1 over one app. Each method is normalised into a
+// CFG, taint and reaching definitions are computed by a worklist analysis
+// with set-union merge at joins, control dependence comes from the
+// post-dominator tree, and per-method summaries (computed callees-first
+// over the call graph) let formulas factored into helper methods be
+// reconstructed end to end.
 func Analyze(app *App) []Formula {
+	a := newAnalyzer(app)
+	a.run()
 	var out []Formula
+	seen := map[string]bool{}
 	for mi := range app.Methods {
-		out = append(out, analyzeMethod(app.Name, &app.Methods[mi])...)
+		name := app.Methods[mi].Name
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, a.formulasFor(name)...)
 	}
 	return out
 }
 
-func analyzeMethod(appName string, m *Method) []Formula {
-	// defsite[v] is the statement defining v (SSA-style: last def wins,
-	// which matches the generated corpus).
-	defsite := map[string]*Stmt{}
-	tainted := map[string]bool{}
+// Summaries exposes the interprocedural digests computed for an app,
+// keyed by method name. Exposed for tests and tooling.
+func Summaries(app *App) map[string]*Summary {
+	a := newAnalyzer(app)
+	a.run()
+	return a.summaries
+}
 
+// formulasFor scans one analysed method for formula anchors and emits the
+// reconstructed (condition, expression) pairs.
+//
+// An anchor is a statement defining a response-tainted value by arithmetic
+// — a StmtBinOp, or a call into an app method whose summary expression
+// contains arithmetic — whose result is not consumed by further arithmetic
+// in this method, not returned (then it is the caller's formula, counted
+// there), and not passed into a callee that folds it into its own return
+// value.
+func (a *analyzer) formulasFor(name string) []Formula {
+	cfg := a.cfgs[name]
+	flow := a.flows[name]
+	m := cfg.Method
+
+	consumed := map[string]bool{}
 	for i := range m.Stmts {
 		s := &m.Stmts[i]
-		if s.Def != "" {
-			defsite[s.Def] = s
-		}
 		switch s.Kind {
+		case StmtBinOp, StmtReturn:
+			for _, u := range s.Uses {
+				consumed[u] = true
+			}
 		case StmtInvoke:
-			if ResponseAPIs[s.Callee] {
-				tainted[s.Def] = true
-				continue
-			}
-			if propagatingAPIs[s.Callee] && anyTainted(tainted, s.Uses) {
-				tainted[s.Def] = true
-			}
-		case StmtBinOp, StmtAssign:
-			if anyTainted(tainted, s.Uses) && s.Def != "" {
-				tainted[s.Def] = true
+			if sum, ok := a.summaries[s.Callee]; ok && sum != nil {
+				for ai, u := range s.Uses {
+					if sum.ReturnMask&paramLabel(ai) != 0 {
+						consumed[u] = true
+					}
+				}
 			}
 		}
 	}
 
-	// Find the final arithmetic statements: tainted BinOps whose result is
-	// not consumed by further arithmetic (Algorithm 1 focuses on the
-	// statement computing the final result).
-	consumedByMath := map[string]bool{}
-	for i := range m.Stmts {
-		s := &m.Stmts[i]
-		if s.Kind == StmtBinOp {
-			for _, u := range s.Uses {
-				consumedByMath[u] = true
-			}
-		}
-	}
 	var out []Formula
 	for i := range m.Stmts {
 		s := &m.Stmts[i]
-		if s.Kind != StmtBinOp || !tainted[s.Def] || consumedByMath[s.Def] {
+		if s.Def == "" || consumed[s.Def] {
 			continue
 		}
-		expr, ok := reconstruct(s, defsite, map[string]bool{}, 0)
-		if !ok {
+		var callSummary *Summary
+		switch s.Kind {
+		case StmtBinOp:
+			// arithmetic anchor
+		case StmtInvoke:
+			sum, ok := a.summaries[s.Callee]
+			if !ok || sum == nil || !sum.HasExpr || !sum.Arith {
+				continue
+			}
+			callSummary = sum
+		default:
 			continue
 		}
-		cond := condition(s, m, defsite)
+		if flow.maskOf(s)&respLabel == 0 {
+			continue
+		}
+		expr, _, ok := a.reconstructStmt(name, s, false, map[int]bool{}, 0)
+		if !ok || strings.Contains(expr, "⟨p") {
+			continue
+		}
+		cond := a.condition(name, s)
+		if cond == "" && callSummary != nil && len(callSummary.Conditions) == 1 {
+			// The helper checks the prefix itself: inherit its condition.
+			cond = callSummary.Conditions[0]
+		}
 		out = append(out, Formula{
-			App: appName, Method: m.Name,
+			App: a.app.Name, Method: m.Name,
 			Condition: cond, Kind: KindForPrefix(cond), Expr: expr,
 		})
 	}
 	return out
 }
 
-func anyTainted(tainted map[string]bool, uses []string) bool {
-	for _, u := range uses {
-		if tainted[u] {
-			return true
-		}
-	}
-	return false
-}
-
-// reconstruct follows data dependencies backwards from a statement and
-// renders the arithmetic expression. Extraction points (parseInt of a
-// response fragment) terminate the walk as numbered terminals v0, v1, ...
-// in first-visit order (Algorithm 1 lines 9-10: "the data dependency
-// relation analysis stops at [the statements that] extract int values from
-// the response message").
-func reconstruct(s *Stmt, defsite map[string]*Stmt, visiting map[string]bool, depth int) (string, bool) {
+// reconstructStmt renders the expression a statement computes, following
+// data dependencies backwards through reaching definitions. Extraction
+// points terminate the walk as named terminals (Algorithm 1 lines 9-10);
+// in summary mode, parameters terminate it as ⟨pN⟩ placeholders. The
+// second result reports whether the expression contains arithmetic.
+func (a *analyzer) reconstructStmt(name string, s *Stmt, summaryMode bool, visiting map[int]bool, depth int) (string, bool, bool) {
 	if depth > 64 {
-		return "", false // runaway chain: the paper's "complex apps" limitation
+		return "", false, false // runaway chain: the paper's "complex apps" limitation
 	}
 	switch s.Kind {
 	case StmtInvoke:
-		if s.Callee == "Integer.parseInt" || s.Callee == "Long.parseLong" || s.Callee == "Double.parseDouble" {
-			return "", true // terminal; caller assigns the v-number
+		if extractionAPIs[s.Callee] {
+			return normaliseTerminal(s.Def), false, true
 		}
-		return "", false
+		if sum, ok := a.summaries[s.Callee]; ok && sum != nil && sum.HasExpr {
+			return a.inlineCall(name, s, sum, summaryMode, visiting, depth)
+		}
+		return "", false, false
+	case StmtConst:
+		return formatNum(s.ConstVal), false, true
 	case StmtAssign:
 		if len(s.Uses) != 1 {
-			return "", false
+			return "", false, false
 		}
-		return reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+		return a.reconstructVar(name, s.Uses[0], s.ID, summaryMode, visiting, depth+1)
 	case StmtBinOp:
 		var left, right string
 		switch {
 		case s.HasConst && s.ConstLeft:
 			left = formatNum(s.ConstVal)
-			r, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			r, _, ok := a.reconstructVar(name, s.Uses[0], s.ID, summaryMode, visiting, depth+1)
 			if !ok {
-				return "", false
+				return "", false, false
 			}
 			right = r
 		case s.HasConst:
-			l, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			l, _, ok := a.reconstructVar(name, s.Uses[0], s.ID, summaryMode, visiting, depth+1)
 			if !ok {
-				return "", false
+				return "", false, false
 			}
 			left = l
 			right = formatNum(s.ConstVal)
 		default:
 			if len(s.Uses) != 2 {
-				return "", false
+				return "", false, false
 			}
-			l, ok := reconstructVar(s.Uses[0], defsite, visiting, depth+1)
+			l, _, ok := a.reconstructVar(name, s.Uses[0], s.ID, summaryMode, visiting, depth+1)
 			if !ok {
-				return "", false
+				return "", false, false
 			}
-			r, ok := reconstructVar(s.Uses[1], defsite, visiting, depth+1)
+			r, _, ok := a.reconstructVar(name, s.Uses[1], s.ID, summaryMode, visiting, depth+1)
 			if !ok {
-				return "", false
+				return "", false, false
 			}
 			left, right = l, r
 		}
-		return "(" + left + " " + s.Op + " " + right + ")", true
+		return "(" + left + " " + s.Op + " " + right + ")", true, true
 	default:
-		return "", false
+		return "", false, false
 	}
 }
 
-// reconstructVar resolves a variable to its defining expression.
-func reconstructVar(v string, defsite map[string]*Stmt, visiting map[string]bool, depth int) (string, bool) {
-	if visiting[v] {
-		return "", false // cyclic dependency: not a pure formula
+// reconstructVar resolves a variable at a use site to its defining
+// expression via the reaching definitions at that point. A use reached by
+// several definitions (a join) reconstructs only if every definition
+// renders the same expression — the conservative reading of a merge.
+func (a *analyzer) reconstructVar(name, v string, atStmt int, summaryMode bool, visiting map[int]bool, depth int) (string, bool, bool) {
+	if depth > 64 {
+		return "", false, false
 	}
-	def, ok := defsite[v]
-	if !ok {
-		return "", false // parameter or field: outside the slice
+	flow := a.flows[name]
+	m := a.cfgs[name].Method
+	defs := flow.defsOf(v, atStmt)
+	if len(defs) == 0 {
+		return "", false, false // field or undefined: outside the slice
 	}
-	if def.Kind == StmtInvoke &&
-		(def.Callee == "Integer.parseInt" || def.Callee == "Long.parseLong" || def.Callee == "Double.parseDouble") {
-		// Terminal: name the extracted value by its variable, normalised
-		// to vN by the corpus's naming convention (variables are "vN").
-		return normaliseTerminal(v), true
+	var expr string
+	var arith, first bool = false, true
+	for _, d := range defs {
+		var e string
+		var ar, ok bool
+		if d < 0 {
+			// Parameter pseudo-definition.
+			if !summaryMode {
+				return "", false, false
+			}
+			e, ar, ok = placeholder(-d-1), false, true
+		} else {
+			if visiting[d] {
+				return "", false, false // cyclic dependency: not a pure formula
+			}
+			def := &m.Stmts[d]
+			if def.Kind == StmtInvoke && extractionAPIs[def.Callee] {
+				// Terminal: name the extracted value by its variable.
+				e, ar, ok = normaliseTerminal(v), false, true
+			} else {
+				visiting[d] = true
+				e, ar, ok = a.reconstructStmt(name, def, summaryMode, visiting, depth)
+				delete(visiting, d)
+			}
+		}
+		if !ok {
+			return "", false, false
+		}
+		if first {
+			expr, arith, first = e, ar, false
+		} else if e != expr {
+			return "", false, false // diverging definitions at a join
+		}
 	}
-	visiting[v] = true
-	defer delete(visiting, v)
-	return reconstruct(def, defsite, visiting, depth)
+	return expr, arith, true
+}
+
+// condition recovers the response-prefix condition guarding a statement:
+// walk the control-dependence relation outwards from the statement's
+// block (innermost branch first) and return the prefix of the first
+// branch whose condition variable is defined by String.startsWith.
+func (a *analyzer) condition(name string, s *Stmt) string {
+	cfg := a.cfgs[name]
+	flow := a.flows[name]
+	m := cfg.Method
+	seen := map[int]bool{}
+	var walk func(block int) string
+	walk = func(block int) string {
+		for _, br := range cfg.ControlDeps(block) {
+			if seen[br] {
+				continue
+			}
+			seen[br] = true
+			bb := cfg.Blocks[br]
+			branch := &m.Stmts[bb.Stmts[len(bb.Stmts)-1]]
+			if branch.Kind == StmtIf && len(branch.Uses) == 1 {
+				if defs := flow.defsOf(branch.Uses[0], branch.ID); len(defs) == 1 && defs[0] >= 0 {
+					def := &m.Stmts[defs[0]]
+					if def.Kind == StmtInvoke && def.Callee == "String.startsWith" {
+						return def.StrConst
+					}
+				}
+			}
+			if p := walk(br); p != "" {
+				return p
+			}
+		}
+		return ""
+	}
+	return walk(cfg.BlockOf(s.ID))
 }
 
 // normaliseTerminal renders extraction-point variables uniformly.
@@ -191,27 +293,6 @@ func normaliseTerminal(v string) string {
 		return v
 	}
 	return "v(" + v + ")"
-}
-
-// condition recovers the branch condition guarding a statement via control
-// dependencies (Algorithm 1 lines 12-13): the dependent StmtIf whose
-// condition variable is defined by String.startsWith("prefix").
-func condition(s *Stmt, m *Method, defsite map[string]*Stmt) string {
-	id := s.CtrlDep
-	for id >= 0 && id < len(m.Stmts) {
-		branch := &m.Stmts[id]
-		if branch.Kind != StmtIf {
-			break
-		}
-		if len(branch.Uses) == 1 {
-			if def, ok := defsite[branch.Uses[0]]; ok &&
-				def.Kind == StmtInvoke && def.Callee == "String.startsWith" {
-				return def.StrConst
-			}
-		}
-		id = branch.CtrlDep
-	}
-	return ""
 }
 
 func formatNum(v float64) string {

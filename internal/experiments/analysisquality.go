@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpreverser/internal/appanalysis"
+)
+
+// AnalysisQuality scores the app-analysis engine against the labeled
+// evaluation corpus. Unlike Table 12 (which reproduces the paper's
+// per-app formula counts), this measures the engine itself: precision
+// and recall of extracted formulas against ground truth, including the
+// corpus styles the analysis is known to miss (field-mediated flows,
+// unmodelled native helpers, recursion, unit-ambiguous joins).
+func AnalysisQuality() *appanalysis.Evaluation {
+	return appanalysis.Evaluate(appanalysis.EvalCorpus())
+}
+
+// AnalysisQualityMarkdown renders the evaluation as a per-style table
+// followed by the aggregate precision/recall/F1 line.
+func AnalysisQualityMarkdown(eval *appanalysis.Evaluation) string {
+	var out [][]string
+	for _, s := range eval.PerStyle {
+		out = append(out, []string{
+			s.Style,
+			fmt.Sprint(s.Apps),
+			fmt.Sprint(s.TP),
+			fmt.Sprint(s.FP),
+			fmt.Sprint(s.FN),
+		})
+	}
+	out = append(out, []string{"**total**",
+		fmt.Sprint(eval.Apps),
+		fmt.Sprint(eval.TP),
+		fmt.Sprint(eval.FP),
+		fmt.Sprint(eval.FN),
+	})
+	table := markdownTable([]string{"Corpus Style", "Apps", "TP", "FP", "FN"}, out)
+	return table + fmt.Sprintf("\nPrecision %.3f, Recall %.3f, F1 %.3f (%d labeled formulas)\n",
+		eval.Precision(), eval.Recall(), eval.F1(), eval.TP+eval.FN)
+}

@@ -180,7 +180,7 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 					return
 				}
 				p := fleet[i]
-				start := time.Now()
+				start := time.Now() //dplint:allow progress reporting only
 				run, err := RunCarContext(ctx, p, opt)
 				if err != nil {
 					fail(err)
@@ -188,7 +188,7 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 				}
 				runs[i] = run
 				progress("%s done in %v (%d/%d)", p.Car,
-					time.Since(start).Round(time.Millisecond),
+					time.Since(start).Round(time.Millisecond), //dplint:allow progress reporting
 					atomic.AddInt64(&finished, 1), len(fleet))
 			}
 		}()

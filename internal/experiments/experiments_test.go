@@ -346,3 +346,22 @@ func TestToolVsAppComparison(t *testing.T) {
 		t.Fatal("markdown missing app")
 	}
 }
+
+func TestAnalysisQuality(t *testing.T) {
+	eval := AnalysisQuality()
+	if eval.FP != 0 {
+		t.Errorf("false positives = %d, want 0", eval.FP)
+	}
+	if p := eval.Precision(); p != 1.0 {
+		t.Errorf("precision = %.3f, want 1.0", p)
+	}
+	if r := eval.Recall(); r <= 0.5 || r >= 1.0 {
+		t.Errorf("recall = %.3f, want honest (0.5, 1.0) — known-miss styles must stay missed", r)
+	}
+	md := AnalysisQualityMarkdown(eval)
+	for _, want := range []string{"helper split", "known miss", "Precision 1.000"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

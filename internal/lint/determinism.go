@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Determinism rejects ambient nondeterminism outside the simulation
+// substrate: the repo's experiments must be byte-identical across runs
+// and worker counts, so wall-clock reads and the global math/rand source
+// are confined to internal/sim (which wraps them behind injectable
+// clocks and seeded generators).
+//
+// Flagged:
+//   - time.Now, time.Since
+//   - any math/rand package-level function drawing from the global
+//     source (rand.Intn, rand.Float64, rand.Perm, rand.Seed, ...)
+//
+// Allowed:
+//   - explicitly seeded generators: rand.New, rand.NewSource, rand.NewZipf
+//   - type references (rand.Rand, rand.Source, rand.Source64)
+//   - anything carrying a //dplint:allow comment on the same or the
+//     preceding line (deliberate wall-clock use, e.g. progress reporting
+//     or the Table 8 timing measurement itself)
+//
+// The check is syntactic: it matches selector expressions whose base is
+// the file's import name for "time" or "math/rand". A local identifier
+// shadowing an import name is recognised via the parser's object
+// resolution and skipped.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since and global-source math/rand " +
+		"outside internal/sim (use the sim clock and seeded *rand.Rand)",
+	Run: runDeterminism,
+}
+
+// randDeterministic are the math/rand selectors that do not touch the
+// global source: seeded constructors and type names.
+var randDeterministic = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+}
+
+// timeForbidden are the wall-clock reads the simulation clock replaces.
+var timeForbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		timeNames, randNames := clockImportNames(f)
+		if len(timeNames) == 0 && len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Obj != nil { // resolved object: a local, not a package
+				return true
+			}
+			switch {
+			case timeNames[id.Name] && timeForbidden[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s reads the wall clock; use the internal/sim clock (or annotate //dplint:allow)",
+					id.Name, sel.Sel.Name)
+			case randNames[id.Name] && !randDeterministic[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the global math/rand source; use a seeded rand.New(rand.NewSource(...))",
+					id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// clockImportNames returns the identifiers under which a file imports
+// "time" and "math/rand" (respecting renames; dot and blank imports are
+// ignored — a dot import of these packages would itself be flagged by
+// review long before this linter matters).
+func clockImportNames(f *ast.File) (timeNames, randNames map[string]bool) {
+	timeNames, randNames = map[string]bool{}, map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randNames[name] = true
+		}
+	}
+	return timeNames, randNames
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// check parses src and runs the Determinism analyzer over it.
+func check(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := Run(Determinism, fset, []*ast.File{f})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestDeterminismFlagsWallClock(t *testing.T) {
+	diags := check(t, `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}`)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2", diags)
+	}
+	if diags[0].Pos.Line != 4 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Errorf("first diagnostic = %+v", diags[0])
+	}
+	if diags[1].Pos.Line != 5 || !strings.Contains(diags[1].Message, "time.Since") {
+		t.Errorf("second diagnostic = %+v", diags[1])
+	}
+}
+
+func TestDeterminismAllowsDeadlinesAndDurations(t *testing.T) {
+	diags := check(t, `package p
+import "time"
+func f() {
+	t := time.NewTimer(3 * time.Second)
+	defer t.Stop()
+	time.Sleep(time.Millisecond)
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (only Now/Since are clock reads)", diags)
+	}
+}
+
+func TestDeterminismFlagsGlobalRandSource(t *testing.T) {
+	diags := check(t, `package p
+import "math/rand"
+func f() int {
+	rand.Seed(42)
+	return rand.Intn(10)
+}`)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2", diags)
+	}
+}
+
+func TestDeterminismAllowsSeededRand(t *testing.T) {
+	diags := check(t, `package p
+import "math/rand"
+func f(seed int64) *rand.Rand {
+	rng := rand.New(rand.NewSource(seed))
+	return rng
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (seeded idiom)", diags)
+	}
+}
+
+func TestDeterminismRespectsImportRename(t *testing.T) {
+	diags := check(t, `package p
+import mrand "math/rand"
+func f() int { return mrand.Intn(10) }`)
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want 1", diags)
+	}
+}
+
+func TestDeterminismSkipsShadowedIdent(t *testing.T) {
+	diags := check(t, `package p
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	var time clock
+	return time.Now()
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (local shadows the package)", diags)
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	diags := check(t, `package p
+import "time"
+func f() (a, b time.Time) {
+	a = time.Now() //dplint:allow progress reporting
+	//dplint:allow measured quantity
+	b = time.Now()
+	return
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want all suppressed", diags)
+	}
+}
+
+func TestAllowDirectiveIsLineScoped(t *testing.T) {
+	diags := check(t, `package p
+import "time"
+func f() time.Time {
+	//dplint:allow only this one
+	a := time.Now()
+	_ = a
+	return time.Now()
+}`)
+	if len(diags) != 1 || diags[0].Pos.Line != 7 {
+		t.Fatalf("diagnostics = %v, want only line 7", diags)
+	}
+}

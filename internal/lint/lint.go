@@ -1,0 +1,97 @@
+// Package lint is a minimal, dependency-free analysis framework in the
+// shape of golang.org/x/tools/go/analysis, plus this repo's analyzers.
+//
+// The real go/analysis framework would be the natural base, but the repo
+// builds with the standard library only, so the subset needed here — an
+// Analyzer with a Run function over parsed files, positional diagnostics,
+// and a suppression directive — is reimplemented on go/ast directly. The
+// analyzers are purely syntactic: they inspect the AST without type
+// information, which is enough for the determinism rules and keeps the
+// driver fast and install-free.
+//
+// A diagnostic is suppressed by a `//dplint:allow` comment on the same
+// line or the line directly above, mirroring //nolint and //lint:ignore.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer describes one check, in the style of analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("dplint/<name>").
+	Name string
+	// Doc is the one-paragraph description shown by the driver's -help.
+	Doc string
+	// Run inspects the pass's files and reports findings via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one batch of parsed files through an analyzer, in the
+// style of analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// AllowDirective is the suppression comment recognised by every analyzer.
+const AllowDirective = "dplint:allow"
+
+// Run applies one analyzer to a set of parsed files (which must have been
+// parsed with comments) and returns the diagnostics that are not
+// suppressed by an AllowDirective on the same or the preceding line.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+
+	// Collect the lines carrying an allow directive, per file.
+	allowed := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, AllowDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if allowed[pos.Filename] == nil {
+					allowed[pos.Filename] = map[int]bool{}
+				}
+				allowed[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		lines := allowed[d.Pos.Filename]
+		if lines[d.Pos.Line] || lines[d.Pos.Line-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
