@@ -203,8 +203,15 @@ func renderProgress(status func(format string, args ...any)) reverser.ProgressFu
 			if label == "" {
 				label = ev.Stream.String()
 			}
-			status("  [infer %d/%d] %s (%d gens, %v)",
-				ev.Done, ev.Total, label, ev.Generations, ev.Elapsed.Round(time.Millisecond))
+			if ev.Evaluations > 0 {
+				status("  [infer %d/%d] %s (%d gens, %d evals, %.0f%% cached, %v)",
+					ev.Done, ev.Total, label, ev.Generations, ev.Evaluations,
+					100*float64(ev.CacheHits)/float64(ev.Evaluations),
+					ev.Elapsed.Round(time.Millisecond))
+			} else {
+				status("  [infer %d/%d] %s (%d gens, %v)",
+					ev.Done, ev.Total, label, ev.Generations, ev.Elapsed.Round(time.Millisecond))
+			}
 		}
 	}
 }

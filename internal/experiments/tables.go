@@ -315,12 +315,19 @@ func Table7Markdown(rows []Table7Row) string {
 
 // --- Table 8: inference time ---
 
-// Table8Row mirrors one row of Table 8 (seconds per formula).
+// Table8Row mirrors one row of Table 8 (seconds per formula), extended
+// with the compiled GP engine's scoring counters so the report shows
+// where the evaluation budget actually went.
 type Table8Row struct {
 	Protocol  string
 	GPSeconds float64
 	LRSeconds float64
 	PFSeconds float64
+	// GPEvaluations counts fitness evaluations the run requested;
+	// GPCacheHitRate is the fraction served by the engine's
+	// cross-generation fitness cache rather than the compiled VM.
+	GPEvaluations  int
+	GPCacheHitRate float64
 }
 
 // Table8 measures the wall-clock cost of inferring one formula with each
@@ -353,11 +360,16 @@ func Table8(opt Options) []Table8Row {
 		gpCfg := cfg
 		gpCfg.StopFitness = -1
 		start := time.Now() //dplint:allow Table 8 *measures* wall time
-		if _, err := gp.Run(d, gpCfg); err != nil {
+		gpRes, err := gp.Run(d, gpCfg)
+		if err != nil {
 			panic(fmt.Sprintf("table 8 gp run: %v", err))
 		}
 		row.GPSeconds = time.Since(start).Seconds() //dplint:allow measured quantity
-		start = time.Now()                          //dplint:allow Table 8 measures wall time
+		row.GPEvaluations = gpRes.Evaluations
+		if gpRes.Evaluations > 0 {
+			row.GPCacheHitRate = float64(gpRes.CacheHits) / float64(gpRes.Evaluations)
+		}
+		start = time.Now() //dplint:allow Table 8 measures wall time
 		if _, err := regress.LinearFit(d); err != nil {
 			panic(fmt.Sprintf("table 8 linear fit: %v", err))
 		}
@@ -385,9 +397,14 @@ func Table8Markdown(rows []Table8Row) string {
 			fmt.Sprintf("%.4f", r.GPSeconds),
 			fmt.Sprintf("%.6f", r.LRSeconds),
 			fmt.Sprintf("%.6f", r.PFSeconds),
+			fmt.Sprintf("%d", r.GPEvaluations),
+			fmt.Sprintf("%.1f%%", 100*r.GPCacheHitRate),
 		})
 	}
-	return markdownTable([]string{"Protocol", "Genetic Programming (s)", "Linear Regression (s)", "Polynomial Curve Fitting (s)"}, out)
+	return markdownTable([]string{
+		"Protocol", "Genetic Programming (s)", "Linear Regression (s)",
+		"Polynomial Curve Fitting (s)", "GP evaluations", "GP cache hits",
+	}, out)
 }
 
 // --- Table 9: frame-type mix ---

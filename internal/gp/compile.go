@@ -1,0 +1,365 @@
+package gp
+
+import "math"
+
+// This file implements the compiled evaluation engine that replaces the
+// tree-walk interpreter on the fitness hot path. A tree is flattened once
+// into postfix bytecode (Compile), then a small stack VM executes each
+// instruction over the *whole dataset* at a time: structure-of-arrays
+// batch loops over the dataset's columns instead of one recursive
+// interpretation per (tree, sample) pair. The VM's scratch (stack slots
+// and one flat float slab) lives in a Machine that workers reuse across
+// evaluations, so steady-state scoring performs zero allocations.
+//
+// Determinism: the compiler's constant folder and the VM's batch loops
+// call exactly the scalar kernels Node.Eval uses (ops.go), and every
+// sample is computed independently in ascending index order, so the VM's
+// output is bit-identical to the interpreter's — including NaN/Inf
+// propagation through the protected operators.
+
+// instr is one postfix bytecode instruction. OpConst pushes c, OpVar
+// pushes the variable's column (missing variables read as 0), and
+// function ops pop their arity and push one result.
+type instr struct {
+	op Op
+	c  float64
+	v  int
+}
+
+// Program is a compiled expression tree: postfix bytecode plus the
+// compile-time facts the VM and the fitness cache need. Programs are
+// immutable and safe for concurrent use.
+type Program struct {
+	code  []instr
+	depth int // maximum stack depth at any point of the execution
+	key   string
+	hash  uint64
+}
+
+// Compile flattens the tree to postfix bytecode with compile-time
+// constant folding: any subtree whose leaves are all constants collapses
+// to a single OpConst instruction, computed with the same protected
+// kernels the interpreter uses so the folded value is bit-identical to
+// what Eval would have produced. Variables with negative indices (which
+// Eval defines to read 0) fold to the constant 0.
+func Compile(root *Node) *Program {
+	p := &Program{}
+	var emit func(n *Node) bool
+	emit = func(n *Node) bool {
+		switch n.Op {
+		case OpConst:
+			p.code = append(p.code, instr{op: OpConst, c: n.Const})
+			return true
+		case OpVar:
+			if n.Var < 0 {
+				p.code = append(p.code, instr{op: OpConst, c: 0})
+				return true
+			}
+			p.code = append(p.code, instr{op: OpVar, v: n.Var})
+			return false
+		case OpAdd, OpSub, OpMul, OpDiv, OpMax, OpMin:
+			cl := emit(n.L)
+			cr := emit(n.R)
+			if cl && cr {
+				c := apply2(n.Op, p.code[len(p.code)-2].c, p.code[len(p.code)-1].c)
+				p.code = p.code[:len(p.code)-1]
+				p.code[len(p.code)-1] = instr{op: OpConst, c: c}
+				return true
+			}
+			p.code = append(p.code, instr{op: n.Op})
+			return false
+		case OpSqrt, OpLog, OpAbs, OpNeg, OpInv, OpSin, OpCos, OpTan:
+			if emit(n.L) {
+				p.code[len(p.code)-1] = instr{op: OpConst, c: apply1(n.Op, p.code[len(p.code)-1].c)}
+				return true
+			}
+			p.code = append(p.code, instr{op: n.Op})
+			return false
+		default:
+			// Unknown ops evaluate to 0 without touching their children,
+			// exactly as Eval's default case does.
+			p.code = append(p.code, instr{op: OpConst, c: 0})
+			return true
+		}
+	}
+	emit(root)
+	p.finish()
+	return p
+}
+
+// finish derives the stack depth and the canonical key/hash from the
+// emitted code.
+func (p *Program) finish() {
+	cur, depth := 0, 0
+	buf := make([]byte, 0, 9*len(p.code))
+	for _, ins := range p.code {
+		switch ins.op {
+		case OpConst:
+			cur++
+			bits := math.Float64bits(ins.c)
+			buf = append(buf, byte(ins.op),
+				byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+				byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+		case OpVar:
+			cur++
+			buf = append(buf, byte(ins.op),
+				byte(ins.v), byte(ins.v>>8), byte(ins.v>>16), byte(ins.v>>24))
+		default:
+			if ins.op.Arity() == 2 {
+				cur--
+			}
+			buf = append(buf, byte(ins.op))
+		}
+		if cur > depth {
+			depth = cur
+		}
+	}
+	p.depth = depth
+	p.key = string(buf)
+	h := uint64(14695981039346656037) // FNV-1a 64
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	p.hash = h
+}
+
+// Key is the canonical structural encoding of the compiled program. Two
+// trees share a key exactly when they fold to identical bytecode, which
+// makes it a collision-free fitness-cache key: crossover and elitism
+// re-create structurally identical offspring constantly, and every copy
+// maps to the same key.
+func (p *Program) Key() string { return p.key }
+
+// Hash is the 64-bit FNV-1a digest of Key, for callers that want a fixed
+// size summary of the structure.
+func (p *Program) Hash() uint64 { return p.hash }
+
+// Len reports the instruction count (≤ the source tree's node count,
+// thanks to folding).
+func (p *Program) Len() int { return len(p.code) }
+
+// StackDepth reports the VM stack slots the program needs.
+func (p *Program) StackDepth() int { return p.depth }
+
+// Batch is the structure-of-arrays view of a Dataset: one contiguous
+// column per variable, so the VM streams each instruction over memory
+// linearly. Rows narrower than the widest row read 0 for their missing
+// variables, matching Eval's out-of-range rule. A Batch is immutable
+// after construction and shared by all workers.
+type Batch struct {
+	n    int
+	cols [][]float64
+	y    []float64
+}
+
+// NewBatch builds the column view of d. The Y slice is referenced, not
+// copied.
+func NewBatch(d *Dataset) *Batch {
+	n := len(d.X)
+	width := 0
+	for _, row := range d.X {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	cols := make([][]float64, width)
+	flat := make([]float64, n*width)
+	for v := range cols {
+		col := flat[v*n : (v+1)*n]
+		for i, row := range d.X {
+			if v < len(row) {
+				col[i] = row[v]
+			}
+		}
+		cols[v] = col
+	}
+	return &Batch{n: n, cols: cols, y: d.Y}
+}
+
+// N reports the sample count.
+func (b *Batch) N() int { return b.n }
+
+// slot is one VM stack entry: either a scalar (constants, and results of
+// const-only subexpressions the folder could not see, e.g. out-of-width
+// variables) or a vector of one value per sample.
+type slot struct {
+	vec      []float64
+	scalar   float64
+	isScalar bool
+}
+
+// Machine holds the VM's reusable scratch: the stack slots, one flat
+// float64 slab backing every owned stack vector, and the residual buffer
+// the scoring helpers use. A Machine grows to the largest (program,
+// batch) it has run and then stops allocating; it is not safe for
+// concurrent use — pool one per worker.
+type Machine struct {
+	slab  []float64
+	slots []slot
+	rbuf  []float64
+}
+
+// NewMachine returns an empty machine; buffers grow on first use.
+func NewMachine() *Machine { return &Machine{} }
+
+// resids returns the machine-owned residual buffer resized to n.
+func (m *Machine) resids(n int) []float64 {
+	if cap(m.rbuf) < n {
+		m.rbuf = make([]float64, n)
+	}
+	return m.rbuf[:n]
+}
+
+// Eval executes the program over every sample of the batch and returns
+// one prediction per sample, bit-identical to calling Eval on the source
+// tree row by row. The returned slice is owned by the machine (or
+// aliases a batch column) and is valid, read-only, until the machine's
+// next Eval.
+func (p *Program) Eval(b *Batch, m *Machine) []float64 {
+	n := b.n
+	if need := p.depth * n; cap(m.slab) < need {
+		m.slab = make([]float64, need)
+	}
+	if cap(m.slots) < p.depth {
+		m.slots = make([]slot, p.depth)
+	}
+	slots := m.slots[:cap(m.slots)]
+	region := func(i int) []float64 { return m.slab[i*n : (i+1)*n] }
+	sp := 0
+	for _, ins := range p.code {
+		switch {
+		case ins.op == OpConst:
+			slots[sp] = slot{scalar: ins.c, isScalar: true}
+			sp++
+		case ins.op == OpVar:
+			if ins.v < len(b.cols) {
+				slots[sp] = slot{vec: b.cols[ins.v]}
+			} else {
+				slots[sp] = slot{isScalar: true} // missing variable reads 0
+			}
+			sp++
+		case ins.op.Arity() == 1:
+			s := &slots[sp-1]
+			if s.isScalar {
+				s.scalar = apply1(ins.op, s.scalar)
+			} else {
+				dst := region(sp - 1)
+				runUnary(ins.op, dst, s.vec)
+				s.vec = dst
+			}
+		default: // binary
+			bs := slots[sp-1]
+			sp--
+			as := &slots[sp-1]
+			if as.isScalar && bs.isScalar {
+				as.scalar = apply2(ins.op, as.scalar, bs.scalar)
+				continue
+			}
+			// Broadcast a scalar operand into its own slot's region; the
+			// two regions are disjoint, and dst == av aliasing is safe
+			// because every loop reads index i before writing it.
+			av := as.vec
+			if as.isScalar {
+				av = region(sp - 1)
+				fill(av, as.scalar)
+			}
+			bv := bs.vec
+			if bs.isScalar {
+				bv = region(sp)
+				fill(bv, bs.scalar)
+			}
+			dst := region(sp - 1)
+			runBinary(ins.op, dst, av, bv)
+			*as = slot{vec: dst}
+		}
+	}
+	res := slots[0]
+	if res.isScalar {
+		dst := region(0)
+		fill(dst, res.scalar)
+		return dst
+	}
+	return res.vec
+}
+
+func fill(v []float64, s float64) {
+	for i := range v {
+		v[i] = s
+	}
+}
+
+// runUnary applies a unary kernel over a whole column.
+func runUnary(op Op, dst, src []float64) {
+	src = src[:len(dst)]
+	switch op {
+	case OpSqrt:
+		for i, x := range src {
+			dst[i] = pSqrt(x)
+		}
+	case OpLog:
+		for i, x := range src {
+			dst[i] = pLog(x)
+		}
+	case OpAbs:
+		for i, x := range src {
+			dst[i] = pAbs(x)
+		}
+	case OpNeg:
+		for i, x := range src {
+			dst[i] = pNeg(x)
+		}
+	case OpInv:
+		for i, x := range src {
+			dst[i] = pInv(x)
+		}
+	case OpSin:
+		for i, x := range src {
+			dst[i] = pSin(x)
+		}
+	case OpCos:
+		for i, x := range src {
+			dst[i] = pCos(x)
+		}
+	case OpTan:
+		for i, x := range src {
+			dst[i] = pTan(x)
+		}
+	default:
+		fill(dst, 0)
+	}
+}
+
+// runBinary applies a binary kernel over two whole columns.
+func runBinary(op Op, dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	switch op {
+	case OpAdd:
+		for i := range dst {
+			dst[i] = pAdd(a[i], b[i])
+		}
+	case OpSub:
+		for i := range dst {
+			dst[i] = pSub(a[i], b[i])
+		}
+	case OpMul:
+		for i := range dst {
+			dst[i] = pMul(a[i], b[i])
+		}
+	case OpDiv:
+		for i := range dst {
+			dst[i] = pDiv(a[i], b[i])
+		}
+	case OpMax:
+		for i := range dst {
+			dst[i] = pMax(a[i], b[i])
+		}
+	case OpMin:
+		for i := range dst {
+			dst[i] = pMin(a[i], b[i])
+		}
+	default:
+		fill(dst, 0)
+	}
+}

@@ -126,40 +126,15 @@ type Result struct {
 	// Generations is how many generations actually ran (early stop shows
 	// here).
 	Generations int
-	// Evaluations counts fitness evaluations performed.
+	// Evaluations counts fitness evaluations requested; it always equals
+	// CacheHits + CacheMisses.
 	Evaluations int
-}
-
-// MAE computes the mean absolute error of program n on the dataset.
-func MAE(n *Node, d *Dataset) float64 {
-	if len(d.Y) == 0 {
-		return math.Inf(1)
-	}
-	sum := 0.0
-	for i, row := range d.X {
-		diff := n.Eval(row) - d.Y[i]
-		if math.IsNaN(diff) || math.IsInf(diff, 0) {
-			return math.Inf(1)
-		}
-		sum += math.Abs(diff)
-	}
-	return sum / float64(len(d.Y))
-}
-
-// MSE computes the mean squared error of program n on the dataset.
-func MSE(n *Node, d *Dataset) float64 {
-	if len(d.Y) == 0 {
-		return math.Inf(1)
-	}
-	sum := 0.0
-	for i, row := range d.X {
-		diff := n.Eval(row) - d.Y[i]
-		if math.IsNaN(diff) || math.IsInf(diff, 0) {
-			return math.Inf(1)
-		}
-		sum += diff * diff
-	}
-	return sum / float64(len(d.Y))
+	// CacheHits counts evaluations served by the cross-generation fitness
+	// cache: structurally identical trees (which crossover and elitism
+	// re-create constantly) share one compiled program and one score.
+	CacheHits int
+	// CacheMisses counts evaluations that actually ran the compiled VM.
+	CacheMisses int
 }
 
 type individual struct {
@@ -241,52 +216,83 @@ func trimmedMean(resids []float64) float64 {
 	return sum / float64(n)
 }
 
-// RobustMAE scores program t on d with the same trimmed-mean criterion the
-// evolution uses (exported for the experiment harness and ablations).
-func RobustMAE(t *Node, d *Dataset) float64 {
-	resids := make([]float64, 0, len(d.Y))
-	for i, row := range d.X {
-		v := t.Eval(row)
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return math.Inf(1)
-		}
-		resids = append(resids, math.Abs(v-d.Y[i]))
-	}
-	return trimmedMean(resids)
-}
-
-// evaluator scores program trees on one dataset. Scoring is a pure
-// function of the tree, so a population can be split into chunks and
-// scored by concurrent workers without changing any result.
+// evaluator scores program trees on one dataset through the compiled
+// engine. Each tree is compiled to postfix bytecode; the fitness cache —
+// keyed on the program's canonical structural encoding — serves repeat
+// structures across generations, and only cache misses run the VM.
+// Scoring a program is a pure function of (program, dataset), so misses
+// can be split into chunks and scored by concurrent workers without
+// changing any result: compilation, cache lookups and cache insertion
+// all happen sequentially, and workers touch disjoint output indices
+// with worker-owned scratch machines.
 type evaluator struct {
-	d       *Dataset
-	cfg     Config
-	workers int
-	// evals counts fitness evaluations (mutated only between batches).
-	evals int
+	d     *Dataset
+	batch *Batch
+	cfg   Config
+	// workers caps the miss-scoring goroutines; machines holds one VM
+	// scratch per worker, reused across generations.
+	workers  int
+	machines []*Machine
+	// cache maps Program.Key to scored fitness across generations. The
+	// cached raw/a/b are pure functions of the program, so entries never
+	// invalidate; fit is recomputed per tree because the parsimony
+	// penalty depends on the (unfolded) tree size.
+	cache map[string]cacheEntry
+	// evals/hits/misses count scoring requests (mutated only between
+	// parallel phases; evals == hits+misses).
+	evals, hits, misses int
 }
 
-// scoreOne evaluates one tree, reusing buf (len(d.Y)) as scratch space.
-func (e *evaluator) scoreOne(t *Node, buf []float64) individual {
+// cacheEntry is one cached score: the raw (post-scaling, trimmed) MAE
+// and the fitted linear-scaling coefficients.
+type cacheEntry struct {
+	raw, a, b float64
+}
+
+func newEvaluator(d *Dataset, cfg Config, workers int) *evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &evaluator{
+		d: d, batch: NewBatch(d), cfg: cfg,
+		workers:  workers,
+		machines: make([]*Machine, workers),
+		cache:    make(map[string]cacheEntry),
+	}
+	for i := range e.machines {
+		e.machines[i] = NewMachine()
+	}
+	return e
+}
+
+// fromCache rebuilds an individual for tree t from a cached score. Only
+// the parsimony term depends on the tree itself.
+func (e *evaluator) fromCache(t *Node, ent cacheEntry) individual {
+	ind := individual{tree: t, raw: ent.raw, a: ent.a, b: ent.b}
+	ind.fit = ent.raw + e.cfg.ParsimonyCoeff*float64(t.Size())
+	return ind
+}
+
+// scoreOne evaluates one compiled program on the worker's machine.
+func (e *evaluator) scoreOne(p *Program, t *Node, m *Machine) individual {
 	d, cfg := e.d, e.cfg
 	ind := individual{tree: t, a: 1, b: 0}
-	for i, row := range d.X {
-		v := t.Eval(row)
+	preds := p.Eval(e.batch, m)
+	for _, v := range preds {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			ind.raw, ind.fit = math.Inf(1), math.Inf(1)
 			return ind
 		}
-		buf[i] = v
 	}
 	if !cfg.DisableLinearScaling {
-		ind.a, ind.b = linearScale(buf, d.Y)
+		ind.a, ind.b = linearScale(preds, d.Y)
 		if math.IsNaN(ind.a) || math.IsInf(ind.a, 0) || math.IsNaN(ind.b) || math.IsInf(ind.b, 0) {
 			ind.a, ind.b = 1, 0
 		}
 	}
-	resids := make([]float64, len(buf))
-	for i := range buf {
-		resids[i] = math.Abs(ind.a*buf[i] + ind.b - d.Y[i])
+	resids := m.resids(len(preds))
+	for i, v := range preds {
+		resids[i] = math.Abs(ind.a*v + ind.b - d.Y[i])
 	}
 	ind.raw = trimmedMean(resids)
 	ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(t.Size())
@@ -296,35 +302,76 @@ func (e *evaluator) scoreOne(t *Node, buf []float64) individual {
 	return ind
 }
 
-// scoreAll evaluates a batch of trees into out[off:], chunked across the
-// evaluator's workers. out is written by index, so the resulting
+// scoreAll evaluates a batch of trees into out[off:]. Trees whose
+// structure was scored before — in this batch or any earlier generation —
+// are served from the cache; the rest are compiled once and chunked
+// across the workers. out is written by index, so the resulting
 // population order is independent of scheduling.
 func (e *evaluator) scoreAll(trees []*Node, out []individual, off int) {
 	e.evals += len(trees)
-	if e.workers <= 1 || len(trees) < 2*e.workers {
-		buf := make([]float64, len(e.d.Y))
-		for i, t := range trees {
-			out[off+i] = e.scoreOne(t, buf)
-		}
-		return
+	// Sequential phase: compile, consult the cache, and dedupe repeat
+	// structures within the batch (dups wait for the first occurrence).
+	type missRef struct {
+		i int // index into trees
+		p *Program
 	}
-	chunk := (len(trees) + e.workers - 1) / e.workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(trees); lo += chunk {
-		hi := lo + chunk
-		if hi > len(trees) {
-			hi = len(trees)
+	type dupRef struct {
+		i   int
+		key string
+	}
+	var misses []missRef
+	var dups []dupRef
+	pending := make(map[string]bool)
+	for i, t := range trees {
+		p := Compile(t)
+		if ent, ok := e.cache[p.key]; ok {
+			e.hits++
+			out[off+i] = e.fromCache(t, ent)
+			continue
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			buf := make([]float64, len(e.d.Y))
-			for i := lo; i < hi; i++ {
-				out[off+i] = e.scoreOne(trees[i], buf)
+		if pending[p.key] {
+			e.hits++
+			dups = append(dups, dupRef{i: i, key: p.key})
+			continue
+		}
+		pending[p.key] = true
+		misses = append(misses, missRef{i: i, p: p})
+	}
+	e.misses += len(misses)
+
+	// Parallel phase: score the misses on worker-owned machines.
+	if e.workers <= 1 || len(misses) < 2*e.workers {
+		m := e.machines[0]
+		for _, ms := range misses {
+			out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m)
+		}
+	} else {
+		chunk := (len(misses) + e.workers - 1) / e.workers
+		var wg sync.WaitGroup
+		for w := 0; w*chunk < len(misses); w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(misses) {
+				hi = len(misses)
 			}
-		}(lo, hi)
+			wg.Add(1)
+			go func(lo, hi int, m *Machine) {
+				defer wg.Done()
+				for _, ms := range misses[lo:hi] {
+					out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m)
+				}
+			}(lo, hi, e.machines[w])
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+
+	// Sequential phase: publish the new scores and resolve the dups.
+	for _, ms := range misses {
+		ind := out[off+ms.i]
+		e.cache[ms.p.key] = cacheEntry{raw: ind.raw, a: ind.a, b: ind.b}
+	}
+	for _, d := range dups {
+		out[off+d.i] = e.fromCache(trees[d.i], e.cache[d.key])
+	}
 }
 
 // Run evolves a formula for the dataset.
@@ -360,7 +407,7 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ev := &evaluator{d: d, cfg: cfg, workers: workers}
+	ev := newEvaluator(d, cfg, workers)
 
 	pop := make([]individual, cfg.PopulationSize)
 	ev.scoreAll(gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)), pop, 0)
@@ -418,10 +465,15 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	simplified := Simplify(final)
 	// Simplification must never change semantics; keep the simplified form
 	// only if its error did not regress (guards protected-op edge cases).
-	if RobustMAE(simplified, d) <= best.raw+1e-9 {
+	// Only the threshold matters here, so the bounded scorer may abort
+	// the accumulation early without changing the decision.
+	if _, exceeded := RobustMAEBounded(simplified, d, best.raw+1e-9); !exceeded {
 		final = simplified
 	}
-	return Result{Best: final, Fitness: best.raw, Generations: gens, Evaluations: evals}, nil
+	return Result{
+		Best: final, Fitness: best.raw, Generations: gens, Evaluations: evals,
+		CacheHits: ev.hits, CacheMisses: ev.misses,
+	}, nil
 }
 
 func bestOf(pop []individual) individual {

@@ -141,6 +141,10 @@ const protectedEps = 1e-6
 // Eval computes the node's value on the given variable assignment. Missing
 // variables read as 0. All functions are protected: they return finite
 // values for every finite input, so evolution never propagates NaN/Inf.
+//
+// Eval is the reference interpreter; the fitness hot path runs the
+// compiled form instead (see Compile and Program), which shares the same
+// scalar kernels and is therefore bit-identical.
 func (n *Node) Eval(vars []float64) float64 {
 	switch n.Op {
 	case OpConst:
@@ -150,51 +154,10 @@ func (n *Node) Eval(vars []float64) float64 {
 			return 0
 		}
 		return vars[n.Var]
-	case OpAdd:
-		return n.L.Eval(vars) + n.R.Eval(vars)
-	case OpSub:
-		return n.L.Eval(vars) - n.R.Eval(vars)
-	case OpMul:
-		return n.L.Eval(vars) * n.R.Eval(vars)
-	case OpDiv:
-		a, b := n.L.Eval(vars), n.R.Eval(vars)
-		if math.Abs(b) < protectedEps {
-			return 1
-		}
-		return a / b
-	case OpSqrt:
-		return math.Sqrt(math.Abs(n.L.Eval(vars)))
-	case OpLog:
-		v := math.Abs(n.L.Eval(vars))
-		if v < protectedEps {
-			return 0
-		}
-		return math.Log(v)
-	case OpAbs:
-		return math.Abs(n.L.Eval(vars))
-	case OpNeg:
-		return -n.L.Eval(vars)
-	case OpMax:
-		return math.Max(n.L.Eval(vars), n.R.Eval(vars))
-	case OpMin:
-		return math.Min(n.L.Eval(vars), n.R.Eval(vars))
-	case OpInv:
-		v := n.L.Eval(vars)
-		if math.Abs(v) < protectedEps {
-			return 1
-		}
-		return 1 / v
-	case OpSin:
-		return math.Sin(n.L.Eval(vars))
-	case OpCos:
-		return math.Cos(n.L.Eval(vars))
-	case OpTan:
-		v := math.Tan(n.L.Eval(vars))
-		// Protect the pole: clamp to a large finite magnitude.
-		if math.IsNaN(v) {
-			return 0
-		}
-		return math.Max(-1e6, math.Min(1e6, v))
+	case OpAdd, OpSub, OpMul, OpDiv, OpMax, OpMin:
+		return apply2(n.Op, n.L.Eval(vars), n.R.Eval(vars))
+	case OpSqrt, OpLog, OpAbs, OpNeg, OpInv, OpSin, OpCos, OpTan:
+		return apply1(n.Op, n.L.Eval(vars))
 	default:
 		return 0
 	}

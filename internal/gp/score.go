@@ -1,0 +1,121 @@
+package gp
+
+import (
+	"math"
+	"sync"
+)
+
+// machinePool serves VM scratch to the one-shot scoring entry points
+// (MAE, MSE, RobustMAE and friends). The evolution engine does not use
+// it: each evaluator worker owns a machine outright.
+var machinePool = sync.Pool{New: func() any { return NewMachine() }}
+
+// MAE computes the mean absolute error of program n on the dataset.
+func MAE(n *Node, d *Dataset) float64 {
+	if len(d.Y) == 0 {
+		return math.Inf(1)
+	}
+	return scoreCompiled(n, d, func(preds []float64) float64 {
+		return meanDiff(preds, d.Y, false)
+	})
+}
+
+// MSE computes the mean squared error of program n on the dataset.
+func MSE(n *Node, d *Dataset) float64 {
+	if len(d.Y) == 0 {
+		return math.Inf(1)
+	}
+	return scoreCompiled(n, d, func(preds []float64) float64 {
+		return meanDiff(preds, d.Y, true)
+	})
+}
+
+// RobustMAE scores program t on d with the same trimmed-mean criterion the
+// evolution uses (exported for the experiment harness and ablations).
+func RobustMAE(t *Node, d *Dataset) float64 {
+	mae, _ := RobustMAEBounded(t, d, math.Inf(1))
+	return mae
+}
+
+// RobustMAEBounded is RobustMAE with early abort: accumulation stops as
+// soon as the residuals seen so far prove the final trimmed mean exceeds
+// bound. The guarantee is exact in both directions — exceeded is true if
+// and only if RobustMAE(t, d) > bound — so threshold call sites (the
+// post-run simplification guard, accept/reject sweeps) can use it without
+// changing any decision. When it aborts early the returned value is a
+// lower bound on the true trimmed MAE, not the exact score.
+//
+// Soundness of the abort: with n residuals of which drop are trimmed, at
+// least k-drop of the first k residuals survive trimming, and their sum
+// is at least sum(first k) - drop·max(first k). Residuals are
+// non-negative, so once that quantity exceeds bound·keep the final
+// trimmed mean provably exceeds bound.
+func RobustMAEBounded(t *Node, d *Dataset, bound float64) (mae float64, exceeded bool) {
+	p := Compile(t)
+	m := machinePool.Get().(*Machine)
+	defer machinePool.Put(m)
+	return p.robustMAEBounded(NewBatch(d), m, bound)
+}
+
+// scoreCompiled runs n's compiled form over the dataset and hands the
+// predictions to the metric — the one scoring helper behind every public
+// metric entry point.
+func scoreCompiled(n *Node, d *Dataset, metric func(preds []float64) float64) float64 {
+	p := Compile(n)
+	m := machinePool.Get().(*Machine)
+	defer machinePool.Put(m)
+	return metric(p.Eval(NewBatch(d), m))
+}
+
+// meanDiff is the shared MAE/MSE accumulation: mean |pred-y| or mean
+// (pred-y)², infinite as soon as any difference is non-finite.
+func meanDiff(preds, y []float64, squared bool) float64 {
+	sum := 0.0
+	for i, v := range preds {
+		diff := v - y[i]
+		if math.IsNaN(diff) || math.IsInf(diff, 0) {
+			return math.Inf(1)
+		}
+		if squared {
+			sum += diff * diff
+		} else {
+			sum += math.Abs(diff)
+		}
+	}
+	return sum / float64(len(y))
+}
+
+// robustMAEBounded is the allocation-free core of RobustMAE and
+// RobustMAEBounded: machine-owned scratch, batch evaluation, streaming
+// abort checks every 64 samples.
+func (p *Program) robustMAEBounded(b *Batch, m *Machine, bound float64) (float64, bool) {
+	preds := p.Eval(b, m)
+	n := len(preds)
+	keep, drop := n, 0
+	if n >= 10 {
+		keep = n * 4 / 5
+		drop = n - keep
+	}
+	resids := m.resids(n)
+	budget := bound * float64(keep)
+	sum, maxr := 0.0, 0.0
+	for i, v := range preds {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			inf := math.Inf(1)
+			return inf, inf > bound
+		}
+		r := math.Abs(v - b.y[i])
+		resids[i] = r
+		sum += r
+		if r > maxr {
+			maxr = r
+		}
+		if i&63 == 63 {
+			if lb := sum - float64(drop)*maxr; lb > budget {
+				return lb / float64(keep), true
+			}
+		}
+	}
+	exact := trimmedMean(resids)
+	return exact, exact > bound
+}

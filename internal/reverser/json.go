@@ -33,6 +33,8 @@ func (r ReversedESV) MarshalJSON() ([]byte, error) {
 		Fitness     *float64       `json:"fitness,omitempty"`
 		Pairs       int            `json:"pairs"`
 		Generations int            `json:"generations,omitempty"`
+		Evaluations int            `json:"evaluations,omitempty"`
+		CacheHits   int            `json:"cache_hits,omitempty"`
 	}{
 		ID:          r.Key.String(),
 		Key:         ReversedESVKey(r.Key),
@@ -42,6 +44,8 @@ func (r ReversedESV) MarshalJSON() ([]byte, error) {
 		Formula:     r.FormulaString(),
 		Pairs:       r.Pairs,
 		Generations: r.Generations,
+		Evaluations: r.Evaluations,
+		CacheHits:   r.CacheHits,
 	}
 	if r.Formula != nil && !math.IsNaN(r.Fitness) && !math.IsInf(r.Fitness, 0) {
 		f := r.Fitness

@@ -52,6 +52,13 @@ type ReversedESV struct {
 	Pairs int
 	// Generations the GP ran (0 when no inference happened).
 	Generations int
+	// Evaluations counts the GP fitness evaluations requested for this
+	// stream; CacheHits of them were served by the engine's
+	// cross-generation fitness cache and CacheMisses ran the compiled VM
+	// (Evaluations = CacheHits + CacheMisses).
+	Evaluations int
+	CacheHits   int
+	CacheMisses int
 }
 
 // FormulaString renders the recovered formula.

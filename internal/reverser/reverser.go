@@ -41,6 +41,12 @@ type ProgressEvent struct {
 	Label  string
 	// Generations is the GP generation count (ProgressStreamDone only).
 	Generations int
+	// Evaluations and CacheHits report the GP engine's scoring counters
+	// for the stream (ProgressStreamDone only): of Evaluations requested
+	// scores, CacheHits came from the cross-generation fitness cache
+	// instead of the compiled VM.
+	Evaluations int
+	CacheHits   int
 	// Elapsed is the stage or stream wall time (done events only).
 	Elapsed time.Duration
 	// Done and Total count finished vs. scheduled streams (stream events).
@@ -238,6 +244,7 @@ func (rv *Reverser) inferStreams(ctx context.Context, streams []StreamData) ([]R
 					Kind: ProgressStreamDone, Stage: "infer",
 					Stream: sd.Key, Label: sd.Label,
 					Generations: esv.Generations, Elapsed: time.Since(start), //dplint:allow progress events
+					Evaluations: esv.Evaluations, CacheHits: esv.CacheHits,
 					Done: int(atomic.AddInt64(&done, 1)), Total: total,
 				})
 			}

@@ -191,5 +191,8 @@ func InferStream(ctx context.Context, sd StreamData, cfg Config) (ReversedESV, e
 	rev.Formula = res.Best
 	rev.Fitness = res.Fitness
 	rev.Generations = res.Generations
+	rev.Evaluations = res.Evaluations
+	rev.CacheHits = res.CacheHits
+	rev.CacheMisses = res.CacheMisses
 	return rev, nil
 }
