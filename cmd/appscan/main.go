@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"dpreverser/internal/appanalysis"
+	"dpreverser/internal/telemetry"
 )
 
 func main() {
@@ -47,7 +48,21 @@ func run() error {
 	appName := flag.String("app", "", "restrict the scan to this app")
 	asJSON := flag.Bool("json", false, "emit per-app formula findings as JSON")
 	doEval := flag.Bool("eval", false, "score the analysis against the labeled corpus")
+	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	tel, telFlush, err := telFlags.Activate(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := telFlush(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+		}
+	}()
+	analyze := instrumentedAnalyze(tel)
 
 	if *doEval {
 		return runEval()
@@ -59,7 +74,7 @@ func run() error {
 			if app.Name != *appName {
 				continue
 			}
-			formulas := appanalysis.Analyze(app)
+			formulas := analyze(app)
 			if *asJSON {
 				return emitJSON([]appReport{report(app.Name, formulas)})
 			}
@@ -75,7 +90,7 @@ func run() error {
 	if *asJSON {
 		var reports []appReport
 		for _, app := range apps {
-			reports = append(reports, report(app.Name, appanalysis.Analyze(app)))
+			reports = append(reports, report(app.Name, analyze(app)))
 		}
 		return emitJSON(reports)
 	}
@@ -84,7 +99,7 @@ func run() error {
 	fmt.Fprintln(w, "APP NAME\tFORMULA TYPE\t# FORMULA")
 	withFormulas := 0
 	for _, app := range apps {
-		counts := appanalysis.CountByKind(appanalysis.Analyze(app))
+		counts := appanalysis.CountByKind(analyze(app))
 		printed := false
 		for _, kind := range []appanalysis.FormulaKind{
 			appanalysis.KindUDS, appanalysis.KindKWP, appanalysis.KindOBD,
@@ -103,6 +118,28 @@ func run() error {
 	}
 	fmt.Printf("\n%d of %d apps embed decodable formulas.\n", withFormulas, len(apps))
 	return nil
+}
+
+// instrumentedAnalyze wraps appanalysis.Analyze with telemetry: a span per
+// scanned app and counters for apps scanned and formulas found by kind.
+// With a nil provider every hook is a no-op.
+func instrumentedAnalyze(tel *telemetry.Provider) func(*appanalysis.App) []appanalysis.Formula {
+	reg := tel.RegistryOrNil()
+	scanned := reg.Counter("dpreverser_apps_scanned_total",
+		"Telematics apps run through the dataflow analysis.")
+	found := reg.CounterVec("dpreverser_app_formulas_total",
+		"Formulas extracted from telematics apps, by protocol kind.", "kind")
+	return func(app *appanalysis.App) []appanalysis.Formula {
+		sp := tel.TracerOrNil().Start("app-scan", telemetry.String("app", app.Name))
+		formulas := appanalysis.Analyze(app)
+		sp.SetAttr(telemetry.Int("formulas", len(formulas)))
+		sp.End()
+		scanned.Inc()
+		for _, f := range formulas {
+			found.With(string(f.Kind)).Inc()
+		}
+		return formulas
+	}
 }
 
 func report(name string, formulas []appanalysis.Formula) appReport {

@@ -1,7 +1,14 @@
 // Command benchjson runs the GP engine's benchmark workloads through the
-// testing.Benchmark harness and writes the results as machine-readable
+// testing.Benchmark harness and records the results as machine-readable
 // JSON — the committed BENCH_gp.json baseline that lets a later change
 // prove (or disprove) a speedup without re-reading benchmark logs.
+//
+// The output file is a history document {"entries": [...]}: each run
+// appends one dated entry instead of clobbering what is there, so the
+// baseline's past stays diffable. Re-running on the same date with the
+// same -quick setting replaces that day's entry (idempotent re-runs); a
+// legacy single-report file is converted to a one-entry history on first
+// merge.
 //
 // The workloads mirror the repo's benchmarks: the per-sample tree
 // interpreter vs the compiled batch VM (BenchmarkGPTreeEval /
@@ -12,23 +19,26 @@
 //
 // Usage:
 //
-//	benchjson                 # writes BENCH_gp.json in the working directory
-//	benchjson -o out.json     # writes elsewhere
+//	benchjson                 # merges into BENCH_gp.json in the working directory
+//	benchjson -o out.json     # merges elsewhere
 //	benchjson -quick          # reduced GP budget (CI smoke)
+//	benchjson -date 2026-08-05  # override the entry date
 //
-// All timing flows through testing.Benchmark; this command never reads
-// the wall clock itself, so it stays inside the repo's determinism lint
-// (the *numbers* vary run to run — that is the point of a benchmark —
-// but the code path is clock-free).
+// All timing flows through testing.Benchmark; apart from the annotated
+// entry-date stamp this command never reads the wall clock, so it stays
+// inside the repo's determinism lint (the *numbers* vary run to run —
+// that is the point of a benchmark — but the code path is clock-free).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"dpreverser/internal/gp"
 )
@@ -51,8 +61,9 @@ type cacheStats struct {
 	HitRate     float64 `json:"hit_rate"`
 }
 
-// report is the whole BENCH_gp.json document.
+// report is one dated run of the benchmark suite.
 type report struct {
+	Date       string     `json:"date"`
 	Quick      bool       `json:"quick,omitempty"`
 	Benchmarks []result   `json:"benchmarks"`
 	Cache      cacheStats `json:"cache"`
@@ -60,6 +71,50 @@ type report struct {
 	// faster the batch VM evaluates the reference workload than the
 	// recursive interpreter.
 	SpeedupEvalVsTree float64 `json:"speedup_eval_vs_tree"`
+}
+
+// history is the whole BENCH_gp.json document: every recorded run, oldest
+// first.
+type history struct {
+	Entries []report `json:"entries"`
+}
+
+// loadHistory reads an existing output file, converting the legacy
+// single-report format (pre-history baselines) into a one-entry history.
+// A missing file is an empty history.
+func loadHistory(path string) (history, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return history{}, nil
+	}
+	if err != nil {
+		return history{}, err
+	}
+	var h history
+	if err := json.Unmarshal(data, &h); err == nil && h.Entries != nil {
+		return h, nil
+	}
+	var legacy report
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+		if legacy.Date == "" {
+			legacy.Date = "unknown"
+		}
+		return history{Entries: []report{legacy}}, nil
+	}
+	return history{}, fmt.Errorf("%s: not a benchmark history or legacy report", path)
+}
+
+// merge inserts the new entry, replacing a same-date same-mode entry (so
+// repeated runs in one day stay idempotent) and appending otherwise.
+func merge(h history, e report) history {
+	for i, old := range h.Entries {
+		if old.Date == e.Date && old.Quick == e.Quick {
+			h.Entries[i] = e
+			return h
+		}
+	}
+	h.Entries = append(h.Entries, e)
+	return h
 }
 
 func main() {
@@ -70,11 +125,15 @@ func main() {
 }
 
 func run() error {
-	out := flag.String("o", "BENCH_gp.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_gp.json", "benchmark history file to merge into")
 	quick := flag.Bool("quick", false, "reduced GP budget (CI smoke run)")
+	date := flag.String("date", "", "entry date, YYYY-MM-DD (default: today)")
 	flag.Parse()
 
-	rep := report{Quick: *quick}
+	if *date == "" {
+		*date = time.Now().Format("2006-01-02") //dplint:allow entry dates come from the wall clock
+	}
+	rep := report{Date: *date, Quick: *quick}
 
 	tree := benchTree()
 	d := benchDataset(256)
@@ -179,7 +238,12 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "%-28s %d evals, %.1f%% cache hits\n",
 		"GPFitnessCache", rep.Cache.Evaluations, 100*rep.Cache.HitRate)
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
+	hist, err := loadHistory(*out)
+	if err != nil {
+		return err
+	}
+	hist = merge(hist, rep)
+	data, err := json.MarshalIndent(&hist, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -187,7 +251,7 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", *out, len(hist.Entries))
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"dpreverser/internal/reverser"
 	"dpreverser/internal/rig"
 	"dpreverser/internal/sim"
+	"dpreverser/internal/telemetry"
 	"dpreverser/internal/vehicle"
 )
 
@@ -52,6 +53,7 @@ func run() error {
 	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
 	saveCapture := flag.String("save-capture", "", "write the collected capture (JSON) to this file")
 	loadCapture := flag.String("load-capture", "", "skip collection and analyse this capture file instead")
+	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -73,6 +75,16 @@ func run() error {
 	status := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+
+	tel, telFlush, err := telFlags.Activate(status)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := telFlush(); err != nil {
+			status("telemetry: %v", err)
+		}
+	}()
 
 	var cap rig.Capture
 	if *loadCapture != "" {
@@ -128,6 +140,7 @@ func run() error {
 	opts := []reverser.Option{
 		reverser.WithConfig(cfg),
 		reverser.WithParallelism(*parallel),
+		reverser.WithTelemetry(tel),
 	}
 	if *progress {
 		opts = append(opts, reverser.WithProgress(renderProgress(status)))

@@ -140,3 +140,14 @@ func (r *Reassembler) Errors() int { return r.inner.Errors() }
 
 // InFlight reports whether a reassembly is in progress.
 func (r *Reassembler) InFlight() bool { return r.inner.InFlight() }
+
+// Reason maps a reassembly error to a short stable label for metrics.
+// BMW extended addressing reuses the ISO-TP state machine under a
+// one-byte address prefix, so most reasons delegate to isotp.Reason; the
+// address-prefix failure is the one BMW-specific case.
+func Reason(err error) string {
+	if errors.Is(err, ErrShortFrame) {
+		return "short-frame"
+	}
+	return isotp.Reason(err)
+}

@@ -22,6 +22,7 @@ import (
 	"dpreverser/internal/reverser"
 	"dpreverser/internal/rig"
 	"dpreverser/internal/sim"
+	"dpreverser/internal/telemetry"
 	"dpreverser/internal/vehicle"
 )
 
@@ -43,6 +44,10 @@ type Options struct {
 	// started/finished with wall times). It may be called from several
 	// goroutines; RunFleet serialises the calls.
 	Progress func(format string, args ...any)
+	// Telemetry, when non-nil, instruments every pipeline run: per-car
+	// spans from RunFleet, plus the reverser's stage/stream spans and
+	// pipeline metrics. Counters aggregate across the whole fleet.
+	Telemetry *telemetry.Provider
 }
 
 // workers resolves the effective parallelism.
@@ -113,6 +118,7 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 	rv := reverser.New(
 		reverser.WithConfig(opt.reverserConfig()),
 		reverser.WithParallelism(opt.workers()),
+		reverser.WithTelemetry(opt.Telemetry),
 	)
 	res, err := rv.Reverse(ctx, cap)
 	if err != nil {
@@ -181,7 +187,10 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 				}
 				p := fleet[i]
 				start := time.Now() //dplint:allow progress reporting only
+				sp := opt.Telemetry.TracerOrNil().Start("car",
+					telemetry.String("car", p.Car), telemetry.String("model", p.Model))
 				run, err := RunCarContext(ctx, p, opt)
+				sp.End()
 				if err != nil {
 					fail(err)
 					return

@@ -93,8 +93,35 @@ type Config struct {
 	// solved analytically — which is also what makes the engine robust to
 	// the magnitude issues the paper's Table 2 pre-scaling addresses.
 	DisableLinearScaling bool
+	// Observer, when non-nil, receives one GenerationStats per scored
+	// generation (including the initial population as generation 0). It is
+	// called from the engine's sequential loop between parallel scoring
+	// phases, never concurrently, and it cannot influence evolution: the
+	// call sites touch no RNG and results are byte-identical with or
+	// without an observer, at any Parallelism.
+	Observer Observer
 	// Seed drives the deterministic RNG.
 	Seed int64
+}
+
+// Observer receives per-generation progress from a running evolution —
+// the telemetry layer's window into the engine.
+type Observer interface {
+	Generation(GenerationStats)
+}
+
+// GenerationStats is one generation's snapshot. The counters are
+// cumulative for the run, so the final snapshot matches the Result
+// counters exactly.
+type GenerationStats struct {
+	// Generation is the scored generation index; 0 is the initial random
+	// population.
+	Generation int
+	// BestFitness is the best raw (trimmed, post-scaling) MAE so far.
+	BestFitness float64
+	// Evaluations/CacheHits/CacheMisses are the run's cumulative scoring
+	// counters after this generation (Evaluations = CacheHits + CacheMisses).
+	Evaluations, CacheHits, CacheMisses int
 }
 
 // DefaultConfig returns the paper's published settings: 1000 programs, 30
@@ -412,6 +439,7 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	pop := make([]individual, cfg.PopulationSize)
 	ev.scoreAll(gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)), pop, 0)
 	best := bestOf(pop)
+	observe(cfg.Observer, 0, best, ev)
 
 	gens := 0
 	children := make([]*Node, cfg.PopulationSize-1)
@@ -442,6 +470,7 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 		if b := bestOf(pop); b.fit < best.fit {
 			best = b
 		}
+		observe(cfg.Observer, gens, best, ev)
 	}
 	evals := ev.evals
 
@@ -474,6 +503,17 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 		Best: final, Fitness: best.raw, Generations: gens, Evaluations: evals,
 		CacheHits: ev.hits, CacheMisses: ev.misses,
 	}, nil
+}
+
+// observe reports one scored generation to a configured observer.
+func observe(o Observer, gen int, best individual, ev *evaluator) {
+	if o == nil {
+		return
+	}
+	o.Generation(GenerationStats{
+		Generation: gen, BestFitness: best.raw,
+		Evaluations: ev.evals, CacheHits: ev.hits, CacheMisses: ev.misses,
+	})
 }
 
 func bestOf(pop []individual) individual {

@@ -268,3 +268,80 @@ func TestRampedHalfAndHalfShapes(t *testing.T) {
 		t.Fatalf("ramp produced only shallow trees (max %d)", maxDepth)
 	}
 }
+
+// statsObserver records every generation callback.
+type statsObserver struct {
+	stats []GenerationStats
+}
+
+func (o *statsObserver) Generation(gs GenerationStats) { o.stats = append(o.stats, gs) }
+
+// The Observer contract: one callback per scored generation (the initial
+// population counts as generation 0), cumulative monotone counters, a
+// non-increasing best fitness, and a final snapshot that matches the
+// Result counters exactly.
+func TestRunObserverStats(t *testing.T) {
+	d := makeDataset(func(x0, _ float64) float64 { return 3*x0 + 7 }, seq(0, 255, 8), []float64{0})
+	cfg := smallConfig(9)
+	cfg.Generations = 5
+	cfg.StopFitness = -1 // never stop early: exactly Generations+1 callbacks
+	obs := &statsObserver{}
+	cfg.Observer = obs
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.stats) != cfg.Generations+1 {
+		t.Fatalf("%d callbacks, want %d", len(obs.stats), cfg.Generations+1)
+	}
+	for i, gs := range obs.stats {
+		if gs.Generation != i {
+			t.Fatalf("callback %d reports generation %d", i, gs.Generation)
+		}
+		if gs.Evaluations != gs.CacheHits+gs.CacheMisses {
+			t.Fatalf("gen %d: %d evals != %d hits + %d misses",
+				i, gs.Evaluations, gs.CacheHits, gs.CacheMisses)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := obs.stats[i-1]
+		if gs.Evaluations < prev.Evaluations || gs.CacheHits < prev.CacheHits ||
+			gs.CacheMisses < prev.CacheMisses {
+			t.Fatalf("gen %d: counters went backwards (%+v after %+v)", i, gs, prev)
+		}
+		if gs.BestFitness > prev.BestFitness {
+			t.Fatalf("gen %d: best fitness worsened: %v after %v",
+				i, gs.BestFitness, prev.BestFitness)
+		}
+	}
+	final := obs.stats[len(obs.stats)-1]
+	if final.Evaluations != res.Evaluations || final.CacheHits != res.CacheHits ||
+		final.CacheMisses != res.CacheMisses {
+		t.Fatalf("final snapshot %+v does not match result counters %d/%d/%d",
+			final, res.Evaluations, res.CacheHits, res.CacheMisses)
+	}
+}
+
+// An observer must not perturb evolution: with and without one, the same
+// seed yields the same formula and counters.
+func TestRunObserverDoesNotAffectEvolution(t *testing.T) {
+	d := makeDataset(func(x0, x1 float64) float64 { return x0/4 + x1 }, seq(0, 255, 16), seq(0, 64, 8))
+	cfg := smallConfig(31)
+	plain, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = &statsObserver{}
+	observed, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best.String() != observed.Best.String() ||
+		plain.Fitness != observed.Fitness ||
+		plain.Evaluations != observed.Evaluations ||
+		plain.CacheHits != observed.CacheHits {
+		t.Fatalf("observer changed the run: %v/%v vs %v/%v",
+			plain.Best, plain.Evaluations, observed.Best, observed.Evaluations)
+	}
+}

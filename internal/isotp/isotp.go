@@ -323,3 +323,27 @@ func (r *Reassembler) abort() {
 	r.nextSeq = 0
 	r.inFlight = false
 }
+
+// Reason maps a reassembly error to a short stable label for metrics
+// (the telemetry transport-error counter's "reason" dimension). Unknown
+// errors report "other"; nil reports "".
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadSequence):
+		return "bad-sequence"
+	case errors.Is(err, ErrUnexpectedFrame):
+		return "unexpected-frame"
+	case errors.Is(err, ErrTruncatedFrame):
+		return "truncated-frame"
+	case errors.Is(err, ErrPayloadTooLong):
+		return "payload-too-long"
+	case errors.Is(err, ErrEmptyPayload):
+		return "empty-payload"
+	case errors.Is(err, ErrNotFlowControl):
+		return "not-flow-control"
+	default:
+		return "other"
+	}
+}

@@ -16,6 +16,14 @@ import (
 //   - any math/rand package-level function drawing from the global
 //     source (rand.Intn, rand.Float64, rand.Perm, rand.Seed, ...)
 //
+// Files that import dpreverser/internal/telemetry are held to a stricter
+// standard: the injected telemetry.Clock is the only sanctioned time
+// source there, so on top of Now/Since the analyzer also flags the
+// scheduling helpers (time.Sleep, time.After, time.Tick, time.NewTimer,
+// time.NewTicker, time.AfterFunc) and tailors the diagnostic to point at
+// the Clock. telemetry.NewWallClock is the one annotated real-clock
+// constructor; everything downstream must thread the provider's clock.
+//
 // Allowed:
 //   - explicitly seeded generators: rand.New, rand.NewSource, rand.NewZipf
 //   - type references (rand.Rand, rand.Source, rand.Source64)
@@ -51,11 +59,35 @@ var timeForbidden = map[string]bool{
 	"Since": true,
 }
 
+// timeForbiddenTelemetry extends timeForbidden for telemetry users: once a
+// file consumes the injected Clock, ambient scheduling helpers are just as
+// nondeterministic as direct reads.
+var timeForbiddenTelemetry = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// telemetryImportPath marks the files held to the stricter clock rule.
+const telemetryImportPath = "dpreverser/internal/telemetry"
+
 func runDeterminism(pass *Pass) error {
 	for _, f := range pass.Files {
 		timeNames, randNames := clockImportNames(f)
 		if len(timeNames) == 0 && len(randNames) == 0 {
 			continue
+		}
+		forbidden := timeForbidden
+		msg := "%s.%s reads the wall clock; use the internal/sim clock (or annotate //dplint:allow)"
+		if importsPath(f, telemetryImportPath) {
+			forbidden = timeForbiddenTelemetry
+			msg = "%s.%s bypasses the injected telemetry.Clock, the only sanctioned " +
+				"time source for telemetry users (or annotate //dplint:allow)"
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -67,10 +99,8 @@ func runDeterminism(pass *Pass) error {
 				return true
 			}
 			switch {
-			case timeNames[id.Name] && timeForbidden[sel.Sel.Name]:
-				pass.Reportf(sel.Pos(),
-					"%s.%s reads the wall clock; use the internal/sim clock (or annotate //dplint:allow)",
-					id.Name, sel.Sel.Name)
+			case timeNames[id.Name] && forbidden[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(), msg, id.Name, sel.Sel.Name)
 			case randNames[id.Name] && !randDeterministic[sel.Sel.Name]:
 				pass.Reportf(sel.Pos(),
 					"%s.%s draws from the global math/rand source; use a seeded rand.New(rand.NewSource(...))",
@@ -80,6 +110,16 @@ func runDeterminism(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// importsPath reports whether the file imports the given package path.
+func importsPath(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
 }
 
 // clockImportNames returns the identifiers under which a file imports

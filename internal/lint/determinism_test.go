@@ -127,3 +127,62 @@ func f() time.Time {
 		t.Fatalf("diagnostics = %v, want only line 7", diags)
 	}
 }
+
+// Files importing the telemetry package are held to the stricter rule:
+// the injected Clock is the only sanctioned time source, so scheduling
+// helpers are flagged too and the message points at telemetry.Clock.
+func TestDeterminismStricterForTelemetryUsers(t *testing.T) {
+	diags := check(t, `package p
+import (
+	"time"
+
+	"dpreverser/internal/telemetry"
+)
+var _ = telemetry.New
+func f() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Second)
+	_ = time.NewTicker(time.Second)
+}`)
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics = %v, want 4", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "telemetry.Clock") {
+			t.Errorf("diagnostic %+v does not mention telemetry.Clock", d)
+		}
+	}
+}
+
+// The allow directive keeps suppressing findings under the stricter rule —
+// the one real-clock constructor in internal/telemetry relies on it.
+func TestDeterminismTelemetryUserAllowDirective(t *testing.T) {
+	diags := check(t, `package p
+import (
+	"time"
+
+	"dpreverser/internal/telemetry"
+)
+var _ = telemetry.New
+func f() time.Time {
+	return time.Now() //dplint:allow the one sanctioned real-clock read
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}
+
+// Non-telemetry files keep the original, laxer rule: scheduling helpers
+// stay legal, only Now/Since are clock reads.
+func TestDeterminismLaxWithoutTelemetryImport(t *testing.T) {
+	diags := check(t, `package p
+import "time"
+func f() {
+	time.Sleep(time.Millisecond)
+	_ = time.NewTicker(time.Second)
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}

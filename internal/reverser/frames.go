@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"dpreverser/internal/bmwtp"
 	"dpreverser/internal/can"
 	"dpreverser/internal/isotp"
 	"dpreverser/internal/vwtp"
@@ -59,16 +60,28 @@ type TrafficStats struct {
 	VWTPWaiting, VWTPLast, VWTPControl int
 	// Total frames seen.
 	Total int
-	// AssemblyErrors counts malformed or out-of-order transport frames.
+	// AssemblyErrors counts malformed or out-of-order transport frames
+	// across all transports; the three fields below break it down
+	// (AssemblyErrors = ISOTPErrors + VWTPErrors + BMWErrors).
 	AssemblyErrors int
+	ISOTPErrors    int
+	VWTPErrors     int
+	BMWErrors      int
 }
 
 // ISOTPMulti reports first+consecutive frames (Table 9's "Multi Frames").
 func (s TrafficStats) ISOTPMulti() int { return s.ISOTPFirst + s.ISOTPConsecutive }
 
+// AssemblyObserver receives one call per reassembly failure with the
+// transport name ("isotp", "vwtp", "bmwtp") and the stable reason label
+// from that transport's Reason classifier. The telemetry wiring feeds
+// these into the dpreverser_transport_errors_total counter.
+type AssemblyObserver func(transport, reason string)
+
 // assembler reconstructs application messages from a raw capture.
 type assembler struct {
-	stats TrafficStats
+	stats   TrafficStats
+	onError AssemblyObserver
 	// vwtpIDs marks CAN IDs negotiated through observed channel setup.
 	vwtpIDs map[uint32]bool
 	// reassembly state per (transport-specific) stream key.
@@ -97,7 +110,14 @@ func isBMWID(id uint32) bool {
 // Assemble processes a capture in order and returns the application
 // messages. Channel-setup frames teach it which IDs carry VW TP 2.0.
 func Assemble(frames []can.Frame) ([]Message, TrafficStats) {
+	return AssembleObserved(frames, nil)
+}
+
+// AssembleObserved is Assemble with a per-error observer (nil is allowed
+// and equivalent to Assemble).
+func AssembleObserved(frames []can.Frame, obs AssemblyObserver) ([]Message, TrafficStats) {
 	a := newAssembler()
+	a.onError = obs
 	for _, f := range frames {
 		a.feed(f)
 	}
@@ -155,6 +175,8 @@ func (a *assembler) feedISOTP(f can.Frame, data []byte) {
 	res, err := r.Feed(data)
 	if err != nil {
 		a.stats.AssemblyErrors++
+		a.stats.ISOTPErrors++
+		a.reportError("isotp", isotp.Reason(err))
 		return
 	}
 	if res.Message != nil {
@@ -186,6 +208,8 @@ func (a *assembler) feedVWTP(f can.Frame, data []byte) {
 	res, err := r.Feed(data)
 	if err != nil {
 		a.stats.AssemblyErrors++
+		a.stats.VWTPErrors++
+		a.reportError("vwtp", vwtp.Reason(err))
 		return
 	}
 	if res.Message != nil {
@@ -227,11 +251,20 @@ func (a *assembler) feedBMW(f can.Frame, data []byte) {
 	res, err := r.Feed(data[1:])
 	if err != nil {
 		a.stats.AssemblyErrors++
+		a.stats.BMWErrors++
+		a.reportError("bmwtp", bmwtp.Reason(err))
 		return
 	}
 	if res.Message != nil {
 		a.messages = append(a.messages, Message{
 			At: f.Timestamp, ID: f.ID, Addr: addr, Transport: TransportBMW, Payload: res.Message,
 		})
+	}
+}
+
+// reportError forwards one reassembly failure to the observer, if any.
+func (a *assembler) reportError(transport, reason string) {
+	if a.onError != nil {
+		a.onError(transport, reason)
 	}
 }

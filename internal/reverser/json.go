@@ -116,22 +116,28 @@ func (r ReversedECR) MarshalJSON() ([]byte, error) {
 // harness, not part of the reversed protocol description.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Car      string        `json:"car"`
-		Model    string        `json:"model,omitempty"`
-		Tool     string        `json:"tool,omitempty"`
-		OffsetMS float64       `json:"offset_ms"`
-		Messages int           `json:"messages"`
-		Stats    TrafficStats  `json:"stats"`
-		ESVs     []ReversedESV `json:"esvs"`
-		ECRs     []ReversedECR `json:"ecrs,omitempty"`
+		Car         string        `json:"car"`
+		Model       string        `json:"model,omitempty"`
+		Tool        string        `json:"tool,omitempty"`
+		OffsetMS    float64       `json:"offset_ms"`
+		Messages    int           `json:"messages"`
+		Evaluations int           `json:"evaluations"`
+		CacheHits   int           `json:"cache_hits"`
+		CacheMisses int           `json:"cache_misses"`
+		Stats       TrafficStats  `json:"stats"`
+		ESVs        []ReversedESV `json:"esvs"`
+		ECRs        []ReversedECR `json:"ecrs,omitempty"`
 	}{
-		Car:      r.Car,
-		Model:    r.Model,
-		Tool:     r.ToolName,
-		OffsetMS: float64(r.Offset.Microseconds()) / 1e3,
-		Messages: r.Messages,
-		Stats:    r.Stats,
-		ESVs:     r.ESVs,
-		ECRs:     r.ECRs,
+		Car:         r.Car,
+		Model:       r.Model,
+		Tool:        r.ToolName,
+		OffsetMS:    float64(r.Offset.Microseconds()) / 1e3,
+		Messages:    r.Messages,
+		Evaluations: r.Evaluations,
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+		Stats:       r.Stats,
+		ESVs:        r.ESVs,
+		ECRs:        r.ECRs,
 	})
 }

@@ -114,6 +114,13 @@ type Result struct {
 	ECRs []ReversedECR
 	// Messages is the assembled application-message count.
 	Messages int
+	// Evaluations, CacheHits and CacheMisses aggregate the per-stream GP
+	// scoring counters over the whole run (Evaluations = CacheHits +
+	// CacheMisses). They match the telemetry registry's
+	// dpreverser_gp_* counters for a single-run registry exactly.
+	Evaluations int
+	CacheHits   int
+	CacheMisses int
 	// Streams holds the prepared per-stream inference inputs the ESVs were
 	// recovered from, in extraction order. The experiment harness scores
 	// alternative algorithms on exactly these datasets (§4.4) without

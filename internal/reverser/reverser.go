@@ -2,6 +2,7 @@ package reverser
 
 import (
 	"context"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 
 	"dpreverser/internal/gp"
 	"dpreverser/internal/rig"
+	"dpreverser/internal/telemetry"
 )
 
 // ProgressKind labels a progress event.
@@ -44,10 +46,13 @@ type ProgressEvent struct {
 	// Evaluations and CacheHits report the GP engine's scoring counters
 	// for the stream (ProgressStreamDone only): of Evaluations requested
 	// scores, CacheHits came from the cross-generation fitness cache
-	// instead of the compiled VM.
+	// instead of the compiled VM. The metrics registry (see
+	// WithTelemetry) aggregates the same counters across streams and
+	// runs; these per-event fields remain for rendering convenience.
 	Evaluations int
 	CacheHits   int
-	// Elapsed is the stage or stream wall time (done events only).
+	// Elapsed is the stage or stream wall time (done events only), read
+	// from the injected telemetry clock.
 	Elapsed time.Duration
 	// Done and Total count finished vs. scheduled streams (stream events).
 	Done, Total int
@@ -55,7 +60,9 @@ type ProgressEvent struct {
 
 // ProgressFunc receives progress events. The Reverser serialises calls, so
 // implementations need no locking of their own, but they run on the
-// pipeline's goroutines and should return quickly.
+// pipeline's goroutines and should return quickly. A panic in the callback
+// does not kill the pipeline: the run is cancelled and the panic is
+// returned as an error from Reverse.
 type ProgressFunc func(ProgressEvent)
 
 // Reverser runs the DP-Reverser analysis pipeline. Construct one with New
@@ -65,6 +72,9 @@ type Reverser struct {
 	cfg         Config
 	parallelism int
 	progress    ProgressFunc
+	tel         *telemetry.Provider
+	clock       telemetry.Clock
+	met         *telemetry.PipelineMetrics
 
 	// mu serialises progress callbacks from the inference workers.
 	mu sync.Mutex
@@ -98,6 +108,15 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(rv *Reverser) { rv.progress = fn }
 }
 
+// WithTelemetry attaches a telemetry provider: the pipeline then records
+// hierarchical spans (run → stage → stream → GP generation), increments
+// the PipelineMetrics set on the provider's registry, and reads all
+// elapsed times from the provider's clock. A nil provider (the default)
+// disables instrumentation; timing then comes from a private wall clock.
+func WithTelemetry(p *telemetry.Provider) Option {
+	return func(rv *Reverser) { rv.tel = p }
+}
+
 // WithPairMaxGap sets the largest traffic-to-video timestamp distance that
 // still pairs an X observation with a Y sample.
 func WithPairMaxGap(d time.Duration) Option {
@@ -116,6 +135,13 @@ func New(opts ...Option) *Reverser {
 	for _, o := range opts {
 		o(rv)
 	}
+	if rv.tel != nil && rv.tel.Clock != nil {
+		rv.clock = rv.tel.Clock
+	}
+	if rv.clock == nil {
+		rv.clock = telemetry.NewWallClock()
+	}
+	rv.met = telemetry.NewPipelineMetrics(rv.tel.RegistryOrNil())
 	return rv
 }
 
@@ -130,59 +156,118 @@ func (rv *Reverser) Parallelism() int {
 // Config returns a copy of the pipeline configuration in effect.
 func (rv *Reverser) Config() Config { return rv.cfg }
 
-func (rv *Reverser) emit(ev ProgressEvent) {
+// tracer resolves the span recorder (nil when telemetry is disabled; all
+// span operations are nil-safe).
+func (rv *Reverser) tracer() *telemetry.Tracer { return rv.tel.TracerOrNil() }
+
+// run is the per-Reverse state: the cancel handle the panic guard pulls,
+// the root span, and the first recovered callback panic.
+type run struct {
+	rv     *Reverser
+	cancel context.CancelFunc
+	span   *telemetry.Span
+
+	// cbErr holds the first progress-callback panic, converted to an
+	// error. It is written and read under rv.mu (emit already holds it).
+	cbErr error
+}
+
+// emit serialises one progress callback. A panicking callback is
+// recovered: the first panic is recorded and cancels the run, so workers
+// stop claiming streams and Reverse reports the panic instead of letting
+// it kill a pipeline goroutine.
+func (r *run) emit(ev ProgressEvent) {
+	rv := r.rv
 	if rv.progress == nil {
 		return
 	}
 	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			if r.cbErr == nil {
+				r.cbErr = fmt.Errorf("reverser: progress callback panicked: %v", p)
+				r.cancel()
+			}
+		}
+	}()
 	rv.progress(ev)
-	rv.mu.Unlock()
 }
 
-// stage runs one pipeline stage, bracketing it with progress events.
-func (rv *Reverser) stage(name string, fn func()) {
-	rv.emit(ProgressEvent{Kind: ProgressStageStart, Stage: name})
-	start := time.Now() //dplint:allow progress events carry wall-clock stage times
+// callbackErr reads the recorded callback panic, if any.
+func (r *run) callbackErr() error {
+	r.rv.mu.Lock()
+	defer r.rv.mu.Unlock()
+	return r.cbErr
+}
+
+// stage runs one pipeline stage, bracketing it with progress events, a
+// child span, and a per-stage latency observation.
+func (r *run) stage(name string, fn func()) {
+	sp := r.span.Child("stage:"+name, telemetry.String("stage", name))
+	r.emit(ProgressEvent{Kind: ProgressStageStart, Stage: name})
+	start := r.rv.clock.Now()
 	fn()
-	rv.emit(ProgressEvent{Kind: ProgressStageDone, Stage: name, Elapsed: time.Since(start)}) //dplint:allow progress events
+	elapsed := r.rv.clock.Now() - start
+	sp.End()
+	r.rv.met.StageDuration.With(name).ObserveDuration(elapsed)
+	r.emit(ProgressEvent{Kind: ProgressStageDone, Stage: name, Elapsed: elapsed})
 }
 
 // Reverse runs the complete pipeline on a capture. Cancelling ctx aborts
 // promptly — the GP engine checks it between generations and the worker
-// pool stops claiming streams — and returns ctx.Err().
+// pool stops claiming streams — and returns ctx.Err(). A panic in the
+// progress callback likewise cancels the run and is returned as an error.
 func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &run{rv: rv, cancel: cancel}
+	r.span = rv.tracer().Start("reverse",
+		telemetry.String("car", cap.Car), telemetry.String("model", cap.Model))
+	defer r.span.End()
+
 	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
 
 	// §3.2 Steps 1-2: screening and payload assembly — one pass over the
 	// raw frames, shared by field extraction and the message count.
 	var messages []Message
-	rv.stage("assemble", func() {
-		messages, res.Stats = Assemble(cap.Frames)
+	r.stage("assemble", func() {
+		messages, res.Stats = AssembleObserved(cap.Frames, rv.assemblyObserver())
 		res.Messages = len(messages)
 	})
+	rv.met.FramesTotal.Add(float64(res.Stats.Total))
+	rv.met.MessagesAssembled.Add(float64(res.Messages))
 
 	// §3.2 Step 3: request/response pairing and field extraction.
 	var ext *Extraction
-	rv.stage("extract", func() { ext = ExtractFields(messages) })
+	r.stage("extract", func() { ext = ExtractFields(messages) })
+	rv.met.ESVObservations.Add(float64(len(ext.ESVs)))
+	rv.met.ECRObservations.Add(float64(len(ext.ECRs)))
 
 	// §3.3: camera-to-CAN clock alignment.
 	var uiFrames = cap.UIFrames
-	rv.stage("align", func() { res.Offset, uiFrames = alignUI(cap) })
+	r.stage("align", func() { res.Offset, uiFrames = alignUI(cap) })
 
 	// §3.3-§3.5 Step 1: session splitting, semantics, pairing, filtering,
 	// aggregation.
-	rv.stage("streams", func() {
+	r.stage("streams", func() {
 		res.Streams = streamsFromExtraction(ext, uiFrames, rv.cfg)
 	})
+	for _, sd := range res.Streams {
+		rv.met.StreamsExtracted.With(streamKind(sd)).Inc()
+	}
 
 	// §3.5 Steps 2-3: per-stream formula inference, fanned out across the
 	// worker pool.
 	var esvs []ReversedESV
 	var err error
-	rv.stage("infer", func() { esvs, err = rv.inferStreams(ctx, res.Streams) })
+	r.stage("infer", func() { esvs, err = r.inferStreams(ctx, res.Streams) })
+	if cbErr := r.callbackErr(); cbErr != nil {
+		return nil, cbErr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -192,17 +277,90 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	})
 
 	// §4.5: control-record extraction with active-test screen semantics.
-	rv.stage("controls", func() {
+	r.stage("controls", func() {
 		res.ECRs = reverseECRs(ext.ECRs, uiFrames)
 	})
+	rv.met.ECRsRecovered.Add(float64(len(res.ECRs)))
+
+	// Aggregate the per-stream GP counters onto the result and the
+	// registry; the two agree exactly by construction.
+	for _, e := range res.ESVs {
+		res.Evaluations += e.Evaluations
+		res.CacheHits += e.CacheHits
+		res.CacheMisses += e.CacheMisses
+		rv.met.ESVsReversed.With(e.Kind()).Inc()
+	}
+	rv.met.GPEvaluations.Add(float64(res.Evaluations))
+	rv.met.GPCacheHits.Add(float64(res.CacheHits))
+	rv.met.GPCacheMisses.Add(float64(res.CacheMisses))
+	rv.met.RunsTotal.Inc()
+
+	if cbErr := r.callbackErr(); cbErr != nil {
+		return nil, cbErr
+	}
 	return res, nil
+}
+
+// streamKind classifies a prepared stream for the extraction metric.
+func streamKind(sd StreamData) string {
+	switch {
+	case sd.Enum:
+		return "enum"
+	case sd.Dataset != nil:
+		return "formula-candidate"
+	default:
+		return "under-sampled"
+	}
+}
+
+// assemblyObserver routes per-frame reassembly failures into the labeled
+// transport-error counter.
+func (rv *Reverser) assemblyObserver() AssemblyObserver {
+	if rv.tel == nil {
+		return nil
+	}
+	return func(transport, reason string) {
+		rv.met.TransportErrors.With(transport, reason).Inc()
+	}
+}
+
+// gpGenSpanSample thins per-generation spans: every Nth generation (plus
+// generation 0) gets a span so a full-budget fleet trace stays tractable,
+// while the generation *counter* still advances on every generation.
+const gpGenSpanSample = 4
+
+// genObserver adapts the GP engine's per-generation callback to telemetry:
+// a generation counter tick per call and a sampled child span under the
+// stream's span. It runs inside the engine's sequential loop, so the
+// unsynchronised mark field is safe.
+type genObserver struct {
+	span  *telemetry.Span
+	met   *telemetry.PipelineMetrics
+	clock telemetry.Clock
+	mark  time.Duration
+}
+
+func (o *genObserver) Generation(gs gp.GenerationStats) {
+	o.met.GPGenerations.Inc()
+	now := o.clock.Now()
+	if gs.Generation%gpGenSpanSample == 0 {
+		sp := o.span.ChildFrom("gp-generation", o.mark,
+			telemetry.Int("gen", gs.Generation),
+			telemetry.Int("evals", gs.Evaluations),
+			telemetry.Int("cache_hits", gs.CacheHits))
+		sp.End()
+	}
+	o.mark = now
 }
 
 // inferStreams fans InferStream out across the worker pool. Workers claim
 // streams from a shared atomic cursor and write results by index, so the
 // output order — and, thanks to per-stream seeds, every formula — is
 // independent of scheduling.
-func (rv *Reverser) inferStreams(ctx context.Context, streams []StreamData) ([]ReversedESV, error) {
+func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]ReversedESV, error) {
+	rv := r.rv
+	inferSpan := r.span.Child("infer-pool", telemetry.Int("streams", len(streams)))
+	defer inferSpan.End()
 	out := make([]ReversedESV, len(streams))
 	workers := rv.Parallelism()
 	if workers > len(streams) {
@@ -229,21 +387,35 @@ func (rv *Reverser) inferStreams(ctx context.Context, streams []StreamData) ([]R
 				sd := streams[i]
 				cfg := rv.cfg
 				cfg.GP.Seed = streamSeed(rv.cfg.GP.Seed, sd.Key)
-				rv.emit(ProgressEvent{
+				sp := inferSpan.ChildLane("stream",
+					telemetry.String("stream", sd.Key.String()),
+					telemetry.String("label", sd.Label))
+				if rv.tel != nil {
+					cfg.GP.Observer = &genObserver{
+						span: sp, met: rv.met, clock: rv.clock, mark: rv.clock.Now(),
+					}
+				}
+				r.emit(ProgressEvent{
 					Kind: ProgressStreamStart, Stage: "infer",
 					Stream: sd.Key, Label: sd.Label,
 					Done: int(atomic.LoadInt64(&done)), Total: total,
 				})
-				start := time.Now() //dplint:allow progress events carry wall-clock stream times
+				start := rv.clock.Now()
 				esv, err := InferStream(ctx, sd, cfg)
 				if err != nil {
+					sp.End()
 					return // ctx cancelled; the post-wait check reports it
 				}
+				elapsed := rv.clock.Now() - start
 				out[i] = esv
-				rv.emit(ProgressEvent{
+				sp.SetAttr(telemetry.Int("generations", esv.Generations),
+					telemetry.Int("evals", esv.Evaluations))
+				sp.End()
+				rv.met.StreamDuration.ObserveDuration(elapsed)
+				r.emit(ProgressEvent{
 					Kind: ProgressStreamDone, Stage: "infer",
 					Stream: sd.Key, Label: sd.Label,
-					Generations: esv.Generations, Elapsed: time.Since(start), //dplint:allow progress events
+					Generations: esv.Generations, Elapsed: elapsed,
 					Evaluations: esv.Evaluations, CacheHits: esv.CacheHits,
 					Done: int(atomic.AddInt64(&done, 1)), Total: total,
 				})

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+)
+
+// CLIConfig carries the standard command-line telemetry settings shared by
+// the repo's binaries: the optional HTTP listener and the exit dumps.
+type CLIConfig struct {
+	Addr       string // -telemetry-addr
+	MetricsOut string // -metrics-out
+	TraceOut   string // -trace-out
+}
+
+// RegisterFlags installs the standard telemetry flags on fs and returns
+// the config they fill in.
+func RegisterFlags(fs *flag.FlagSet) *CLIConfig {
+	c := &CLIConfig{}
+	fs.StringVar(&c.Addr, "telemetry-addr", "",
+		"serve /metrics, /trace and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write a JSON metrics dump to this file at exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write a chrome://tracing JSON trace to this file at exit")
+	return c
+}
+
+// Enabled reports whether any telemetry flag was set.
+func (c *CLIConfig) Enabled() bool {
+	return c != nil && (c.Addr != "" || c.MetricsOut != "" || c.TraceOut != "")
+}
+
+// Activate builds the Provider the flags call for — nil when no flag was
+// set, which keeps instrumented code on its no-op path — starts the HTTP
+// listener when -telemetry-addr was given, and returns a flush function
+// that writes the -metrics-out / -trace-out dumps and stops the listener.
+// logf, when non-nil, receives human-readable status lines.
+func (c *CLIConfig) Activate(logf func(format string, args ...any)) (*Provider, func() error, error) {
+	if !c.Enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	p := New(nil)
+	var srv *http.Server
+	if c.Addr != "" {
+		s, addr, err := Serve(c.Addr, p.Metrics, p.Tracer)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv = s
+		if logf != nil {
+			logf("telemetry: serving /metrics, /trace and /debug/pprof on http://%s", addr)
+		}
+	}
+	flush := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if c.MetricsOut != "" {
+			keep(writeFileDump(c.MetricsOut, p.Metrics.WriteJSON))
+		}
+		if c.TraceOut != "" {
+			keep(writeFileDump(c.TraceOut, p.Tracer.WriteChromeTrace))
+		}
+		if srv != nil {
+			keep(srv.Close())
+		}
+		return firstErr
+	}
+	return p, flush, nil
+}
+
+// writeFileDump writes one exporter's output to a file.
+func writeFileDump(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the injectable time source every telemetry consumer reads.
+// Now reports a monotonic offset from an arbitrary per-clock epoch; only
+// differences between readings are meaningful. This is the one sanctioned
+// path to elapsed time in instrumented packages — the determinism linter
+// flags direct time.Now/time.Since in any file that imports this package.
+type Clock interface {
+	Now() time.Duration
+}
+
+// wallClock reads the process monotonic clock relative to its construction
+// instant.
+type wallClock struct {
+	base time.Time
+}
+
+// NewWallClock returns the real clock. This constructor is the single
+// place the repo's production code touches the wall clock for telemetry;
+// everything downstream sees only the Clock interface.
+func NewWallClock() Clock {
+	return &wallClock{base: time.Now()} //dplint:allow the one sanctioned real-clock constructor
+}
+
+func (c *wallClock) Now() time.Duration {
+	return time.Since(c.base) //dplint:allow the one sanctioned real-clock constructor
+}
+
+// ManualClock is a settable clock for tests: it only moves when told to,
+// so span durations and latency observations are exactly reproducible.
+// The zero value is a clock at instant zero, ready to use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewManualClock returns a manual clock positioned at start.
+func NewManualClock(start time.Duration) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now reports the clock's current instant.
+func (c *ManualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored: the
+// timeline is monotonic).
+func (c *ManualClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}

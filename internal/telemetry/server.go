@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the telemetry HTTP handler tree:
+//
+//	/metrics        Prometheus text exposition (scrape target)
+//	/metrics.json   the same registry as a JSON document
+//	/trace          chrome://tracing-compatible span dump
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// Either argument may be nil; the corresponding endpoints then serve an
+// empty document.
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dpreverser telemetry\n\n"+
+			"/metrics        Prometheus text format\n"+
+			"/metrics.json   metrics as JSON\n"+
+			"/trace          chrome://tracing span dump\n"+
+			"/debug/pprof/   Go profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			fmt.Fprintln(w, `{"metrics":[]}`)
+			return
+		}
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry listener on addr (e.g. "localhost:9090";
+// ":0" picks a free port) and returns the running server plus the bound
+// address. The caller owns shutdown via (*http.Server).Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg, tr)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

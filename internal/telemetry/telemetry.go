@@ -1,0 +1,57 @@
+// Package telemetry is the repo's observability subsystem: a hierarchical
+// tracer, a zero-dependency metrics registry with Prometheus text and JSON
+// exposition, and an HTTP server that mounts both next to net/http/pprof.
+//
+// Everything in this package reads time through the injected Clock
+// interface, never through time.Now directly — NewWallClock (the one
+// annotated real-clock constructor) is the only place the wall clock
+// enters, so production pipelines stay dplint-clean and tests drive a
+// ManualClock for byte-identical output. With a manual clock that never
+// advances, two pipeline runs at different parallelism produce identical
+// metric dumps: every counter is deterministic and every latency
+// observation is zero.
+//
+// The pipeline-facing surface is Provider — one bundle of clock, registry
+// and tracer handed to reverser.WithTelemetry and the CLIs — plus
+// PipelineMetrics, the named metric set the pipeline increments (see
+// DESIGN.md's metric-name table). All tracer, span and metric methods are
+// nil-receiver safe, so instrumented code never branches on whether
+// telemetry is enabled.
+package telemetry
+
+// Provider bundles the three telemetry facilities a pipeline consumes.
+// A nil *Provider disables telemetry entirely: the accessors return nil,
+// and every nil tracer/metric method is a no-op.
+type Provider struct {
+	// Clock is the time source for spans and latency histograms.
+	Clock Clock
+	// Metrics is the process-wide metric registry.
+	Metrics *Registry
+	// Tracer records hierarchical spans.
+	Tracer *Tracer
+}
+
+// New builds a fully enabled Provider. A nil clock means the wall clock
+// (the usual CLI configuration); tests pass a ManualClock for determinism.
+func New(clock Clock) *Provider {
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	return &Provider{Clock: clock, Metrics: NewRegistry(), Tracer: NewTracer(clock)}
+}
+
+// TracerOrNil returns the tracer, tolerating a nil provider.
+func (p *Provider) TracerOrNil() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.Tracer
+}
+
+// RegistryOrNil returns the registry, tolerating a nil provider.
+func (p *Provider) RegistryOrNil() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Metrics
+}

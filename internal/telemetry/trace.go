@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans: run → stage → stream → GP
+// generation. Spans nest by parent ID and are grouped into lanes — a lane
+// maps onto one chrome://tracing thread row, so concurrent streams render
+// side by side instead of stacking incorrectly.
+//
+// All methods are safe on a nil *Tracer and nil *Span (no-ops returning
+// nil), so instrumented code calls unconditionally.
+type Tracer struct {
+	clock Clock
+
+	mu     sync.Mutex
+	spans  []SpanData
+	nextID int64
+}
+
+// SpanData is one finished span.
+type SpanData struct {
+	// ID and Parent identify the span in the hierarchy (Parent 0 = root).
+	ID, Parent int64
+	// Lane groups spans that must not overlap on one display row; root
+	// spans and ChildLane spans start fresh lanes.
+	Lane  int64
+	Name  string
+	Start time.Duration
+	End   time.Duration
+	Attrs []Attr
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Span is an in-flight span. End publishes it to the tracer.
+type Span struct {
+	t    *Tracer
+	data SpanData
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// NewTracer returns a tracer reading time from clock (nil = wall clock).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	return &Tracer{clock: clock}
+}
+
+func (t *Tracer) newSpan(name string, parent, lane int64, start time.Duration, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	if lane == 0 {
+		lane = id
+	}
+	return &Span{t: t, data: SpanData{
+		ID: id, Parent: parent, Lane: lane, Name: name,
+		Start: start, Attrs: attrs,
+	}}
+}
+
+// Start opens a root span in its own lane.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, 0, t.clock.Now(), attrs)
+}
+
+// Child opens a sub-span in the parent's lane.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.data.ID, s.data.Lane, s.t.clock.Now(), attrs)
+}
+
+// ChildLane opens a sub-span in a fresh lane — for work that runs
+// concurrently with its siblings (per-stream inference workers).
+func (s *Span) ChildLane(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.data.ID, 0, s.t.clock.Now(), attrs)
+}
+
+// ChildFrom opens a sub-span with an explicit start instant, for callers
+// that mark a boundary first and materialise the span at its end (the GP
+// generation observer).
+func (s *Span) ChildFrom(name string, start time.Duration, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.data.ID, s.data.Lane, start, attrs)
+}
+
+// SetAttr adds an annotation to an unfinished span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.data.Attrs = append(s.data.Attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// End stamps the span's end time and publishes it. Multiple Ends are
+// idempotent; only the first counts.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = s.t.clock.Now()
+	data := s.data
+	s.mu.Unlock()
+
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, data)
+	s.t.mu.Unlock()
+}
+
+// Spans snapshots the finished spans, ordered by (start, ID) so the
+// result is stable for a frozen clock.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanData(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeEvent is one chrome://tracing "complete" event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int64             `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the finished spans as a chrome://tracing (or
+// https://ui.perfetto.dev) compatible JSON document: one complete ("X")
+// event per span, lanes mapped to thread IDs so parallel streams get
+// their own rows.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.End-s.Start) / float64(time.Microsecond),
+			Pid: 1, Tid: s.Lane,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = map[string]string{}
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndTiming(t *testing.T) {
+	clk := NewManualClock(0)
+	tr := NewTracer(clk)
+
+	root := tr.Start("run", String("car", "Car A"))
+	clk.Advance(10 * time.Millisecond)
+	stage := root.Child("stage", Int("n", 1))
+	clk.Advance(5 * time.Millisecond)
+	stage.End()
+	clk.Advance(time.Millisecond)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	r, s := spans[0], spans[1]
+	if r.Name != "run" || s.Name != "stage" {
+		t.Fatalf("order = %q, %q", r.Name, s.Name)
+	}
+	if s.Parent != r.ID {
+		t.Fatalf("stage parent = %d, want %d", s.Parent, r.ID)
+	}
+	if s.Lane != r.Lane {
+		t.Fatalf("Child must inherit the lane: %d vs %d", s.Lane, r.Lane)
+	}
+	if r.Start != 0 || r.End != 16*time.Millisecond {
+		t.Fatalf("root timing = [%v, %v]", r.Start, r.End)
+	}
+	if s.Start != 10*time.Millisecond || s.End != 15*time.Millisecond {
+		t.Fatalf("stage timing = [%v, %v]", s.Start, s.End)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != (Attr{"car", "Car A"}) {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestChildLaneGetsOwnLane(t *testing.T) {
+	tr := NewTracer(NewManualClock(0))
+	root := tr.Start("run")
+	a := root.ChildLane("stream-a")
+	b := root.ChildLane("stream-b")
+	a.End()
+	b.End()
+	root.End()
+	spans := tr.Spans()
+	lanes := map[int64]bool{}
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	if len(lanes) != 3 {
+		t.Fatalf("want 3 distinct lanes, got %d (%+v)", len(lanes), spans)
+	}
+}
+
+func TestChildFromBackdatesStart(t *testing.T) {
+	clk := NewManualClock(0)
+	tr := NewTracer(clk)
+	root := tr.Start("run")
+	clk.Advance(20 * time.Millisecond)
+	gen := root.ChildFrom("generation", 5*time.Millisecond, Int("gen", 3))
+	gen.End()
+	root.End()
+	spans := tr.Spans()
+	if spans[1].Start != 5*time.Millisecond || spans[1].End != 20*time.Millisecond {
+		t.Fatalf("generation timing = [%v, %v]", spans[1].Start, spans[1].End)
+	}
+}
+
+func TestEndIsIdempotentAndNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x") // nil tracer -> nil span
+	sp.End()
+	sp.SetAttr(String("k", "v"))
+	if sp.Child("y") != nil || sp.ChildLane("z") != nil {
+		t.Fatal("children of a nil span must be nil")
+	}
+
+	real := NewTracer(NewManualClock(0))
+	s := real.Start("once")
+	s.End()
+	s.End()
+	if got := len(real.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	clk := NewManualClock(0)
+	tr := NewTracer(clk)
+	root := tr.Start("run")
+	clk.Advance(time.Millisecond)
+	st := root.Child("stage", String("stage", "assemble"))
+	clk.Advance(2 * time.Millisecond)
+	st.End()
+	root.End()
+
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	stage := doc.TraceEvents[1]
+	if stage.Ph != "X" || stage.Ts != 1000 || stage.Dur != 2000 {
+		t.Fatalf("stage event = %+v", stage)
+	}
+	if stage.Args["stage"] != "assemble" {
+		t.Fatalf("stage args = %v", stage.Args)
+	}
+
+	// A nil tracer still writes a valid document.
+	var nilTr *Tracer
+	b.Reset()
+	if err := nilTr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace does not parse: %v", err)
+	}
+}

@@ -281,3 +281,27 @@ func (r *Reassembler) abort() {
 func (r *Reassembler) abortKeepSeq() {
 	r.buf = nil
 }
+
+// Reason maps a reassembly error to a short stable label for metrics
+// (the telemetry transport-error counter's "reason" dimension). Unknown
+// errors report "other"; nil reports "".
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadSequence):
+		return "bad-sequence"
+	case errors.Is(err, ErrLengthMismatch):
+		return "length-mismatch"
+	case errors.Is(err, ErrNotData):
+		return "not-data"
+	case errors.Is(err, ErrEmptyFrame):
+		return "empty-frame"
+	case errors.Is(err, ErrEmptyPayload):
+		return "empty-payload"
+	case errors.Is(err, ErrPayloadTooLong):
+		return "payload-too-long"
+	default:
+		return "other"
+	}
+}
