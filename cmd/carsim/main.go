@@ -25,6 +25,7 @@ import (
 	"os/signal"
 
 	"dpreverser/internal/canbridge"
+	"dpreverser/internal/faults"
 	"dpreverser/internal/sim"
 	"dpreverser/internal/vehicle"
 )
@@ -39,6 +40,8 @@ func main() {
 func run() error {
 	car := flag.String("car", "Car A", "fleet car to serve (see dpreverse -list)")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	faultSpec := flag.String("faults", "", "corrupt the streamed traffic: none, default, heavy, or key=value,...")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
 	flag.Parse()
 
 	p, ok := vehicle.ProfileByCar(*car)
@@ -50,6 +53,18 @@ func run() error {
 	defer veh.Close()
 
 	srv := canbridge.NewServer(veh.Bus, clock)
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if spec.Enabled() {
+			// The server serialises filter calls, so the stateful
+			// injector needs no locking here.
+			srv.SetFilter(faults.New(spec, *faultSeed).Stream)
+			fmt.Printf("fault injection: %s (seed %d)\n", spec, *faultSeed)
+		}
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err

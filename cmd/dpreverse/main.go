@@ -11,9 +11,16 @@
 //	dpreverse -car "Car K" -quick   # shorter recording, smaller GP budget
 //	dpreverse -car "Car A" -json    # machine-readable result on stdout
 //	dpreverse -car "Car A" -parallel 4
+//	dpreverse -car "Car A" -faults default -fault-seed 1
 //
 // Inference fans out across -parallel workers (default: all CPUs) and can
 // be interrupted with Ctrl-C; results are identical at every worker count.
+//
+// -faults corrupts the capture before analysis (dropped, duplicated,
+// reordered and bit-flipped frames, truncated transfers, OCR misreads);
+// the pipeline then degrades gracefully, listing every damaged stream in
+// the "Degraded streams" report (JSON: "degraded"). -fault-policy strict
+// turns any degradation into a non-zero exit instead.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"dpreverser/internal/diagtool"
+	"dpreverser/internal/faults"
 	"dpreverser/internal/reverser"
 	"dpreverser/internal/rig"
 	"dpreverser/internal/sim"
@@ -53,6 +61,9 @@ func run() error {
 	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
 	saveCapture := flag.String("save-capture", "", "write the collected capture (JSON) to this file")
 	loadCapture := flag.String("load-capture", "", "skip collection and analyse this capture file instead")
+	faultSpec := flag.String("faults", "", "inject capture faults: none, default, heavy, or key=value,... (e.g. drop=0.05,bitflip=0.02)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
+	faultPolicy := flag.String("fault-policy", "best-effort", "degradation policy: best-effort (report damage, keep going) or strict (fail on any damage)")
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -131,6 +142,25 @@ func run() error {
 		}
 	}
 
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if spec.Enabled() {
+			inj := faults.New(spec, *faultSeed)
+			cap.Frames = inj.Frames(cap.Frames)
+			cap.UIFrames = inj.UIFrames(cap.UIFrames)
+			inj.Publish(tel.RegistryOrNil())
+			status("Injected %d faults (%s, seed %d).", inj.Stats().Total(), spec, *faultSeed)
+		}
+	}
+
+	policy, err := reverser.ParseFaultPolicy(*faultPolicy)
+	if err != nil {
+		return err
+	}
+
 	cfg := reverser.DefaultConfig()
 	cfg.GP.Seed = *seed
 	if *quick {
@@ -141,6 +171,7 @@ func run() error {
 		reverser.WithConfig(cfg),
 		reverser.WithParallelism(*parallel),
 		reverser.WithTelemetry(tel),
+		reverser.WithFaultPolicy(policy),
 	}
 	if *progress {
 		opts = append(opts, reverser.WithProgress(renderProgress(status)))
@@ -193,6 +224,22 @@ func run() error {
 				}
 			}
 			fmt.Fprintf(w, "%02X\t%04X\t%s\t% X\t%s\n", e.Service, e.ID, e.Label, e.State, pattern)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(res.Degraded) > 0 {
+		fmt.Printf("\nDegraded streams (%d):\n", len(res.Degraded))
+		w = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "STAGE\tSTREAM\tREASON\tDETAIL")
+		for _, se := range res.Degraded {
+			id := "-"
+			if se.Key != (reverser.StreamKey{}) {
+				id = se.Key.String()
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", se.Stage, id, se.Reason, se.Detail)
 		}
 		if err := w.Flush(); err != nil {
 			return err

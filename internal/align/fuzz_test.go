@@ -1,0 +1,64 @@
+package align
+
+import (
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+	"dpreverser/internal/obd"
+	"dpreverser/internal/ocr"
+)
+
+// FuzzPairing throws arbitrary CAN payloads and OCR rows at the
+// OBD-anchored clock aligner. The contract: never panic, and either
+// return a usable offset or ErrNoAnchors — even when the traffic is
+// damaged mid-transfer and the displayed value is garbage.
+func FuzzPairing(f *testing.F) {
+	// Seed with a genuine anchor pair: a single-frame OBD vehicle-speed
+	// response and the matching displayed value…
+	speedResp := []byte{0x04, 0x41, 0x0D, 0x2A, 0x00, 0x00, 0x00, 0x00}
+	f.Add(speedResp, "Vehicle Speed", 42.0, uint16(250))
+	// …plus the same response mangled by the fault injector.
+	inj := faults.New(faults.HeavySpec(), 1)
+	for _, fr := range inj.Frames([]can.Frame{can.MustFrame(obd.FirstResponseID, speedResp)}) {
+		f.Add(fr.Payload(), "Vehicle Speed", 42.0, uint16(250))
+	}
+	f.Add([]byte{0x10, 0xFF}, "", -1e18, uint16(0)) // truncated FF, absurd value
+
+	f.Fuzz(func(t *testing.T, data []byte, label string, value float64, gapMS uint16) {
+		var frames []can.Frame
+		at := time.Duration(0)
+		for off := 0; off < len(data); off += 8 {
+			end := off + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			frames = append(frames, can.Frame{
+				ID: obd.FirstResponseID, Timestamp: at,
+				Len: end - off, Data: [8]byte{},
+			})
+			copy(frames[len(frames)-1].Data[:], data[off:end])
+			at += 100 * time.Millisecond
+		}
+		ui := []ocr.Frame{{
+			At:         time.Duration(gapMS) * time.Millisecond,
+			ScreenName: "obd-live",
+			Rows: []ocr.Row{
+				{Index: 0, Label: label, Parsed: value, ParseOK: true},
+				{Index: 1, Label: label, Value: "not a number"},
+			},
+		}}
+		off, err := EstimateOffsetOBD(frames, ui)
+		if err != nil {
+			if err != ErrNoAnchors {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		shifted := ApplyOffset(ui, off)
+		if len(shifted) != len(ui) {
+			t.Fatalf("ApplyOffset changed frame count: %d != %d", len(shifted), len(ui))
+		}
+	})
+}

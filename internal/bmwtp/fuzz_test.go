@@ -1,0 +1,66 @@
+package bmwtp
+
+import (
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+)
+
+// FuzzAssemble feeds arbitrary 8-byte frame sequences to the BMW
+// extended-addressing reassembler: no input may panic it and every error
+// must carry a stable Reason — including the address-byte-only frames the
+// plain ISO-TP reassembler never sees.
+func FuzzAssemble(f *testing.F) {
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	clean, err := Segment(0x12, payload, 0xFF)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(flatten(clean))
+	for seed := int64(1); seed <= 3; seed++ {
+		var frames []can.Frame
+		for _, d := range clean {
+			frames = append(frames, can.MustFrame(0x612, d))
+		}
+		inj := faults.New(faults.HeavySpec(), seed)
+		var mangled [][]byte
+		for _, fr := range inj.Frames(frames) {
+			mangled = append(mangled, fr.Payload())
+		}
+		f.Add(flatten(mangled))
+	}
+	f.Add([]byte{0x12})       // address byte only
+	f.Add([]byte{0x12, 0x10}) // truncated first frame after address
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Reassembler
+		for off := 0; off < len(data); off += 8 {
+			end := off + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			res, err := r.Feed(data[off:end])
+			if err != nil {
+				if Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				continue
+			}
+			if len(res.Message) > 0xFFF {
+				t.Fatalf("message longer than a first frame can announce: %d", len(res.Message))
+			}
+		}
+	})
+}
+
+func flatten(frames [][]byte) []byte {
+	var out []byte
+	for _, fr := range frames {
+		out = append(out, fr...)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package bmwtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReassemblerResync checks that the extended-addressing wrapper
+// inherits the ISO-TP salvage rules: duplicates are skipped without
+// discarding the transfer, and a new first frame resynchronizes after
+// damage — with the address byte stripped before every check.
+func TestReassemblerResync(t *testing.T) {
+	payloadA := make([]byte, 17)
+	payloadB := make([]byte, 17)
+	for i := range payloadA {
+		payloadA[i], payloadB[i] = 0x0A, 0x0B
+	}
+	a, err := Segment(0x12, payloadA, 0xFF) // FF + 2 CFs under extended addressing
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Segment(0x12, payloadB, 0xFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		frames  [][]byte
+		want    [][]byte
+		reasons map[string]int
+	}{
+		{
+			name:    "duplicate consecutive frame salvaged",
+			frames:  [][]byte{a[0], a[1], a[1], a[2]},
+			want:    [][]byte{payloadA},
+			reasons: map[string]int{"duplicate-frame": 1},
+		},
+		{
+			name:    "interleaved transfers resync on the new first frame",
+			frames:  [][]byte{a[0], a[1], b[0], b[1], b[2], a[2]},
+			want:    [][]byte{payloadB},
+			reasons: map[string]int{"unexpected-frame": 1},
+		},
+		{
+			name:    "address-only frame is rejected as short",
+			frames:  [][]byte{{0x12}, a[0], a[1], a[2]},
+			want:    [][]byte{payloadA},
+			reasons: map[string]int{"short-frame": 1},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var r Reassembler
+			var got [][]byte
+			reasons := map[string]int{}
+			for _, f := range c.frames {
+				res, err := r.Feed(f)
+				if err != nil {
+					reasons[Reason(err)]++
+				}
+				if res.Message != nil {
+					got = append(got, res.Message)
+				}
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("assembled %d messages, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], c.want[i]) {
+					t.Fatalf("message %d = % X, want % X", i, got[i], c.want[i])
+				}
+			}
+			for reason, n := range c.reasons {
+				if reasons[reason] != n {
+					t.Errorf("reason %q = %d, want %d (all: %v)", reason, reasons[reason], n, reasons)
+				}
+			}
+		})
+	}
+}

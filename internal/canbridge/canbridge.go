@@ -30,17 +30,42 @@ type Server struct {
 	bus   *can.Bus
 	clock *sim.Clock
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
+	// filter, when set, rewrites each bus frame before it is streamed
+	// to clients: it may suppress the frame (empty result), corrupt it,
+	// or expand it into several. Calls are serialised by filterMu, so a
+	// stateful filter (a fault injector) needs no locking of its own.
+	filter   func(can.Frame) []can.Frame
+	filterMu sync.Mutex
+
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]*connWriter
+	closed      bool
+	unsubscribe func()
+	wg          sync.WaitGroup
+}
+
+// connWriter serialises writes to one client connection: streamed frames
+// (from bus callbacks) interleave with OK/ERR replies (from the command
+// loop) on the same socket.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(text string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprint(w.conn, text)
 }
 
 // NewServer wraps a bus and its clock.
 func NewServer(bus *can.Bus, clock *sim.Clock) *Server {
-	return &Server{bus: bus, clock: clock, conns: map[net.Conn]bool{}}
+	return &Server{bus: bus, clock: clock, conns: map[net.Conn]*connWriter{}}
 }
+
+// SetFilter installs the stream filter. It must be called before Listen.
+func (s *Server) SetFilter(f func(can.Frame) []can.Frame) { s.filter = f }
 
 // Listen starts accepting clients on addr ("127.0.0.1:0" for an ephemeral
 // port) and returns the bound address.
@@ -51,10 +76,37 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.listener = l
+	// One server-wide bus subscription feeds every client, so a
+	// stateful filter sees each frame exactly once regardless of how
+	// many clients are attached.
+	s.unsubscribe = s.bus.Subscribe(s.broadcast)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(l)
 	return l.Addr().String(), nil
+}
+
+// broadcast streams one bus frame — after filtering — to every client.
+func (s *Server) broadcast(f can.Frame) {
+	frames := []can.Frame{f}
+	if s.filter != nil {
+		s.filterMu.Lock()
+		frames = s.filter(f)
+		s.filterMu.Unlock()
+	}
+	if len(frames) == 0 {
+		return
+	}
+	text := can.Dump(frames)
+	s.mu.Lock()
+	writers := make([]*connWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range writers {
+		w.write(text)
+	}
 }
 
 // Close stops the listener and disconnects every client.
@@ -66,11 +118,15 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	l := s.listener
+	unsub := s.unsubscribe
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
 	if l != nil {
 		l.Close()
 	}
@@ -94,7 +150,6 @@ func (s *Server) acceptLoop(l net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = true
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serve(conn)
@@ -110,22 +165,22 @@ func (s *Server) serve(conn net.Conn) {
 		conn.Close()
 	}()
 
-	// Stream every bus frame to the client. Writes are serialised through
-	// a mutex because frames may fire from this connection's own SEND
-	// processing while another client's SEND also fans out.
-	var writeMu sync.Mutex
-	unsubscribe := s.bus.Subscribe(func(f can.Frame) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		fmt.Fprint(conn, can.Dump([]can.Frame{f}))
-	})
-	defer unsubscribe()
-
-	// Greet after the subscription is live, so a client that waits for
-	// HELLO is guaranteed to see all subsequent traffic.
-	writeMu.Lock()
+	// Register, then greet, while holding the writer's lock: a broadcast
+	// that picks up the new writer blocks until the HELLO is on the
+	// wire, so a client that waits for HELLO is guaranteed to see all
+	// subsequent traffic — and nothing before it.
+	w := &connWriter{conn: conn}
+	w.mu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		w.mu.Unlock()
+		return
+	}
+	s.conns[conn] = w
+	s.mu.Unlock()
 	fmt.Fprintln(conn, "HELLO canbridge 1")
-	writeMu.Unlock()
+	w.mu.Unlock()
 
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -134,14 +189,10 @@ func (s *Server) serve(conn net.Conn) {
 			continue
 		}
 		if err := s.handleCommand(line); err != nil {
-			writeMu.Lock()
-			fmt.Fprintf(conn, "ERR %v\n", err)
-			writeMu.Unlock()
+			w.write(fmt.Sprintf("ERR %v\n", err))
 			continue
 		}
-		writeMu.Lock()
-		fmt.Fprintln(conn, "OK")
-		writeMu.Unlock()
+		w.write("OK\n")
 	}
 }
 

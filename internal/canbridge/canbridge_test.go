@@ -147,6 +147,51 @@ func TestBridgeMultipleClients(t *testing.T) {
 	c2.readUntil(t, func(line string) bool { return strings.Contains(line, "123#DEADBEEF") })
 }
 
+func TestBridgeFilterRewritesStream(t *testing.T) {
+	p, _ := vehicle.ProfileByCar("Car M")
+	clock := sim.NewClock(0)
+	veh := vehicle.Build(p, clock)
+	t.Cleanup(veh.Close)
+	srv := NewServer(veh.Bus, clock)
+	// Suppress frame 0x111 and duplicate frame 0x222 — the shape of a
+	// fault injector.
+	srv.SetFilter(func(f can.Frame) []can.Frame {
+		switch f.ID {
+		case 0x111:
+			return nil
+		case 0x222:
+			return []can.Frame{f, f}
+		}
+		return []can.Frame{f}
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := dial(t, addr)
+	c.send(t, "SEND 111#01")
+	c.send(t, "SEND 222#02")
+	c.send(t, "SEND 333#03")
+	var dups, suppressed int
+	c.readUntil(t, func(line string) bool {
+		if strings.Contains(line, "111#") {
+			suppressed++
+		}
+		if strings.Contains(line, "222#") {
+			dups++
+		}
+		return strings.Contains(line, "333#")
+	})
+	if suppressed != 0 {
+		t.Fatal("filtered frame leaked to the stream")
+	}
+	if dups != 2 {
+		t.Fatalf("duplicated frame streamed %d times, want 2", dups)
+	}
+}
+
 func TestBridgeCloseIdempotent(t *testing.T) {
 	p, _ := vehicle.ProfileByCar("Car M")
 	clock := sim.NewClock(0)

@@ -1,0 +1,161 @@
+package canbridge
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"dpreverser/internal/can"
+)
+
+// dialRetries is how many reconnect attempts a dropped connection earns
+// before a command fails. Real OBD dongles drop their socket when the
+// ignition cycles; one command must survive that.
+const dialRetries = 2
+
+// ServerError is a protocol-level rejection (an ERR line). The server
+// parsed and refused the command, so retrying the same bytes is pointless
+// and the client reports it immediately instead of reconnecting.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "canbridge: server rejected command: " + e.Msg }
+
+// Client speaks the canbridge line protocol with automatic reconnect: a
+// command interrupted by a dropped TCP connection redials (invoking the
+// Backoff hook between attempts) and re-issues itself, up to dialRetries
+// reconnects. Commands are synchronous; streamed bus frames that arrive
+// while waiting for the OK are delivered to OnFrame.
+//
+// Client is not safe for concurrent use; the line protocol interleaves
+// command replies with streamed traffic on one connection.
+type Client struct {
+	addr string
+	conn net.Conn
+	rd   *bufio.Reader
+
+	// OnFrame, if set, receives every bus frame the server streams.
+	// Frames observed on a connection that later drops are still
+	// delivered — the capture keeps everything that made it across.
+	OnFrame func(can.Frame)
+	// Backoff, if set, is invoked before reconnect attempt n (1-based).
+	// It defaults to nil — the in-process bridge reconnects instantly,
+	// and sleeping here would desynchronise the simulated rig clock. A
+	// live-bus deployment installs a real exponential sleep.
+	Backoff func(attempt int)
+
+	reconnects int
+}
+
+// Dial connects to a canbridge server and waits for its greeting.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("canbridge: dial %s: %w", c.addr, err)
+	}
+	rd := bufio.NewReader(conn)
+	greeting, err := rd.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("canbridge: reading greeting: %w", err)
+	}
+	if !strings.HasPrefix(greeting, "HELLO canbridge") {
+		conn.Close()
+		return fmt.Errorf("canbridge: unexpected greeting %q", strings.TrimSpace(greeting))
+	}
+	c.conn, c.rd = conn, rd
+	return nil
+}
+
+// Reconnects reports how many times the client redialled after a dropped
+// connection — the soak harness asserts fault runs exercised this path.
+func (c *Client) Reconnects() int { return c.reconnects }
+
+// Close tears down the connection. Safe on an already-closed client.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Send injects one frame onto the bridged bus.
+func (c *Client) Send(f can.Frame) error {
+	return c.do("SEND " + f.String())
+}
+
+// Advance moves the bridge's virtual clock forward.
+func (c *Client) Advance(d time.Duration) error {
+	return c.do(fmt.Sprintf("ADVANCE %d", d.Milliseconds()))
+}
+
+// do issues one command, reconnecting on I/O failure. A ServerError (the
+// command reached the server and was refused) is returned as-is.
+func (c *Client) do(cmd string) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			err = c.connect()
+		} else {
+			err = nil
+		}
+		if err == nil {
+			err = c.try(cmd)
+			var se *ServerError
+			if err == nil || errors.As(err, &se) {
+				return err
+			}
+			// The connection died mid-command; drop it so the next
+			// attempt redials.
+			c.conn.Close()
+			c.conn = nil
+		}
+		if attempt >= dialRetries {
+			return err
+		}
+		c.reconnects++
+		if c.Backoff != nil {
+			c.Backoff(attempt + 1)
+		}
+	}
+}
+
+// try writes cmd and reads until its OK/ERR reply, routing interleaved
+// traffic lines to OnFrame.
+func (c *Client) try(cmd string) error {
+	if _, err := fmt.Fprintln(c.conn, cmd); err != nil {
+		return err
+	}
+	for {
+		line, err := c.rd.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "OK":
+			return nil
+		case strings.HasPrefix(line, "ERR "):
+			return &ServerError{Msg: strings.TrimPrefix(line, "ERR ")}
+		case line == "":
+		default:
+			if c.OnFrame != nil {
+				if f, perr := can.ParseDumpLine(line); perr == nil {
+					c.OnFrame(f)
+				}
+			}
+		}
+	}
+}

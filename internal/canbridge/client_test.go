@@ -1,0 +1,138 @@
+package canbridge
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+)
+
+func TestClientAgainstBridge(t *testing.T) {
+	addr, veh := startVehicleBridge(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var frames []can.Frame
+	c.OnFrame = func(f can.Frame) { frames = append(frames, f) }
+
+	if err := c.Send(can.MustFrame(0x123, []byte{0xDE, 0xAD})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if veh.Clock.Now() != 1500*time.Millisecond {
+		t.Fatalf("clock = %v", veh.Clock.Now())
+	}
+	if len(frames) == 0 {
+		t.Fatal("own SEND never streamed back")
+	}
+	if c.Reconnects() != 0 {
+		t.Fatalf("healthy run reconnected %d times", c.Reconnects())
+	}
+}
+
+func TestClientServerErrorDoesNotReconnect(t *testing.T) {
+	addr, _ := startVehicleBridge(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A negative ADVANCE is refused by the server, not lost in transit:
+	// the client must surface it without burning reconnect attempts.
+	err = c.Advance(-5 * time.Millisecond)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if c.Reconnects() != 0 {
+		t.Fatalf("protocol rejection triggered %d reconnects", c.Reconnects())
+	}
+}
+
+// TestClientReconnectsAfterDrop serves two connections by hand: the first
+// greets and then hangs up on the first command, the second behaves. One
+// Advance must survive the drop via a single redial.
+func TestClientReconnectsAfterDrop(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintln(conn, "HELLO canbridge 1")
+		bufio.NewReader(conn).ReadString('\n') // swallow the doomed command
+		conn.Close()
+
+		conn2, err := l.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintln(conn2, "HELLO canbridge 1")
+		rd := bufio.NewReader(conn2)
+		for {
+			if _, err := rd.ReadString('\n'); err != nil {
+				return
+			}
+			fmt.Fprintln(conn2, "OK")
+		}
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var attempts []int
+	c.Backoff = func(n int) { attempts = append(attempts, n) }
+
+	if err := c.Advance(100 * time.Millisecond); err != nil {
+		t.Fatalf("command did not survive the drop: %v", err)
+	}
+	if c.Reconnects() != 1 {
+		t.Fatalf("reconnects = %d, want 1", c.Reconnects())
+	}
+	if len(attempts) != 1 || attempts[0] != 1 {
+		t.Fatalf("backoff attempts = %v, want [1]", attempts)
+	}
+}
+
+func TestClientGivesUpWhenServerStaysDown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintln(conn, "HELLO canbridge 1")
+		bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		l.Close() // no second connection: every redial fails
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(can.MustFrame(0x123, []byte{0x01})); err == nil {
+		t.Fatal("command succeeded with the server gone")
+	}
+	if c.Reconnects() != dialRetries {
+		t.Fatalf("reconnects = %d, want %d", c.Reconnects(), dialRetries)
+	}
+}

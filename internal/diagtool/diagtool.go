@@ -93,6 +93,14 @@ type Tool struct {
 	sessionSent map[int]bool
 
 	pollErrs int
+	retries  int
+
+	// Backoff, when non-nil, runs between request retries with the
+	// 1-based attempt number. The default is nil: the simulated bus has no
+	// transient congestion to wait out, and sleeping on the shared rig
+	// clock would shift every capture timestamp. A live-bus binding
+	// installs a real (exponential) sleep here.
+	Backoff func(attempt int)
 }
 
 type liveRow struct {
@@ -210,6 +218,36 @@ func (t *Tool) Actuators() []ActuatorItem { return append([]ActuatorItem(nil), t
 // PollErrors counts failed live-data requests.
 func (t *Tool) PollErrors() int { return t.pollErrs }
 
+// Retries counts request retransmissions performed by the polling paths.
+func (t *Tool) Retries() int { return t.retries }
+
+// pollRetries bounds how many times one diagnostic request is retried
+// before its poll cycle gives up (real tools retransmit a few times before
+// showing a read error).
+const pollRetries = 2
+
+// request sends one diagnostic request with bounded retry: a transport
+// error is retried up to pollRetries times, invoking the Backoff hook
+// between attempts. The response (which may still be a negative response —
+// the callers check) is returned as soon as any attempt succeeds.
+func (t *Tool) request(c vehicle.Client, req []byte) ([]byte, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var resp []byte
+		resp, err = c.Request(req)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= pollRetries {
+			return nil, err
+		}
+		t.retries++
+		if t.Backoff != nil {
+			t.Backoff(attempt + 1)
+		}
+	}
+}
+
 func (t *Tool) client(ecuIdx int) (vehicle.Client, error) {
 	if c, ok := t.clients[ecuIdx]; ok {
 		return c, nil
@@ -233,7 +271,7 @@ func (t *Tool) ensureSession(ecuIdx int) {
 		t.pollErrs++
 		return
 	}
-	if _, err := c.Request([]byte{uds.SIDDiagnosticSessionControl, uds.SessionExtended}); err != nil {
+	if _, err := t.request(c, []byte{uds.SIDDiagnosticSessionControl, uds.SessionExtended}); err != nil {
 		t.pollErrs++
 		return
 	}

@@ -62,7 +62,7 @@ func (t *Tool) pollUDS(c vehicle.Client) {
 			t.pollErrs++
 			continue
 		}
-		resp, err := c.Request(req)
+		resp, err := t.request(c, req)
 		if err != nil || !uds.IsPositiveResponse(resp, uds.SIDReadDataByIdentifier) {
 			t.pollErrs++
 			continue
@@ -87,7 +87,7 @@ func (t *Tool) pollKWP(c vehicle.Client) {
 	// VCDS-style prologue: read the controller identification once.
 	if !t.identRead[t.selectedECU] {
 		t.identRead[t.selectedECU] = true
-		if _, err := c.Request(kwp.BuildIdentRequest(kwp.IdentOptionECUIdent)); err != nil {
+		if _, err := t.request(c, kwp.BuildIdentRequest(kwp.IdentOptionECUIdent)); err != nil {
 			t.pollErrs++
 		}
 	}
@@ -100,7 +100,7 @@ func (t *Tool) pollKWP(c vehicle.Client) {
 		if !blocks[lid] {
 			continue
 		}
-		resp, err := c.Request(kwp.BuildReadRequest(lid))
+		resp, err := t.request(c, kwp.BuildReadRequest(lid))
 		if err != nil || !kwp.IsPositiveResponse(resp, kwp.SIDReadDataByLocalIdentifier) {
 			t.pollErrs++
 			continue
@@ -143,7 +143,7 @@ func (t *Tool) pollOBD() {
 	}
 	for i := range t.obdRows {
 		row := &t.obdRows[i]
-		resp, err := t.obdClient.Request(obd.BuildRequest(row.pid))
+		resp, err := t.request(t.obdClient, obd.BuildRequest(row.pid))
 		if err != nil {
 			t.pollErrs++
 			continue
@@ -175,7 +175,7 @@ func (t *Tool) readDTCs() {
 		t.pollErrs++
 		return
 	}
-	resp, err := c.Request(uds.BuildReadDTCRequest(0xFF))
+	resp, err := t.request(c, uds.BuildReadDTCRequest(0xFF))
 	if err != nil {
 		t.pollErrs++
 		return
@@ -200,7 +200,7 @@ func (t *Tool) clearDTCs() {
 		t.pollErrs++
 		return
 	}
-	if _, err := c.Request(uds.BuildClearDTCRequest(0xFFFFFF)); err != nil {
+	if _, err := t.request(c, uds.BuildClearDTCRequest(0xFFFFFF)); err != nil {
 		t.pollErrs++
 	}
 }
@@ -216,13 +216,13 @@ func (t *Tool) ensureUnlocked(ecuIdx int) {
 		t.pollErrs++
 		return
 	}
-	seedResp, err := c.Request([]byte{uds.SIDSecurityAccess, 0x01})
+	seedResp, err := t.request(c, []byte{uds.SIDSecurityAccess, 0x01})
 	if err != nil || !uds.IsPositiveResponse(seedResp, uds.SIDSecurityAccess) || len(seedResp) < 3 {
 		t.pollErrs++
 		return
 	}
 	key := uds.DefaultSeedToKey(seedResp[2:])
-	keyResp, err := c.Request(append([]byte{uds.SIDSecurityAccess, 0x02}, key...))
+	keyResp, err := t.request(c, append([]byte{uds.SIDSecurityAccess, 0x02}, key...))
 	if err != nil || !uds.IsPositiveResponse(keyResp, uds.SIDSecurityAccess) {
 		t.pollErrs++
 		return
@@ -244,12 +244,12 @@ func (t *Tool) startActiveTest() {
 	spec := item.Spec
 	if spec.DID != 0 {
 		// UDS IO control: freeze, then short-term adjustment.
-		if _, err := c.Request(uds.BuildIOControlRequest(uds.IOControlRequest{
+		if _, err := t.request(c, uds.BuildIOControlRequest(uds.IOControlRequest{
 			DID: spec.DID, Param: uds.IOFreezeCurrentState})); err != nil {
 			t.pollErrs++
 			return
 		}
-		if _, err := c.Request(uds.BuildIOControlRequest(uds.IOControlRequest{
+		if _, err := t.request(c, uds.BuildIOControlRequest(uds.IOControlRequest{
 			DID: spec.DID, Param: uds.IOShortTermAdjustment, State: spec.State})); err != nil {
 			t.pollErrs++
 			return
@@ -257,7 +257,7 @@ func (t *Tool) startActiveTest() {
 	} else {
 		// Legacy IO control by local identifier (service 0x30).
 		req := append([]byte{kwp.SIDIOControlByLocalIdentifier, spec.LocalID, uds.IOShortTermAdjustment}, spec.State...)
-		if _, err := c.Request(req); err != nil {
+		if _, err := t.request(c, req); err != nil {
 			t.pollErrs++
 			return
 		}
@@ -278,12 +278,12 @@ func (t *Tool) stopActiveTest() {
 	}
 	spec := item.Spec
 	if spec.DID != 0 {
-		if _, err := c.Request(uds.BuildIOControlRequest(uds.IOControlRequest{
+		if _, err := t.request(c, uds.BuildIOControlRequest(uds.IOControlRequest{
 			DID: spec.DID, Param: uds.IOReturnControlToECU})); err != nil {
 			t.pollErrs++
 		}
 	} else {
-		if _, err := c.Request([]byte{kwp.SIDIOControlByLocalIdentifier, spec.LocalID, uds.IOReturnControlToECU}); err != nil {
+		if _, err := t.request(c, []byte{kwp.SIDIOControlByLocalIdentifier, spec.LocalID, uds.IOReturnControlToECU}); err != nil {
 			t.pollErrs++
 		}
 	}

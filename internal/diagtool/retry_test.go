@@ -1,0 +1,74 @@
+package diagtool
+
+import (
+	"errors"
+	"testing"
+)
+
+// flakyClient fails its first n requests, then answers. It models the
+// transient bus congestion the retry path exists for.
+type flakyClient struct {
+	failures int
+	calls    int
+	resp     []byte
+}
+
+func (f *flakyClient) Request(req []byte) ([]byte, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, errors.New("bus congestion")
+	}
+	return f.resp, nil
+}
+
+func (f *flakyClient) Close() {}
+
+func TestRequestRetriesTransientFailures(t *testing.T) {
+	tool, _, _ := newTool(t, "Car M")
+	var attempts []int
+	tool.Backoff = func(n int) { attempts = append(attempts, n) }
+
+	fc := &flakyClient{failures: 2, resp: []byte{0x50, 0x03}}
+	resp, err := tool.request(fc, []byte{0x10, 0x03})
+	if err != nil {
+		t.Fatalf("request failed despite retry budget: %v", err)
+	}
+	if string(resp) != string(fc.resp) {
+		t.Fatalf("resp = % X", resp)
+	}
+	if fc.calls != 3 {
+		t.Fatalf("client saw %d calls, want 3", fc.calls)
+	}
+	if tool.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", tool.Retries())
+	}
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Fatalf("backoff attempts = %v, want [1 2]", attempts)
+	}
+}
+
+func TestRequestGivesUpAfterBudget(t *testing.T) {
+	tool, _, _ := newTool(t, "Car M")
+	fc := &flakyClient{failures: 10}
+	if _, err := tool.request(fc, []byte{0x10, 0x03}); err == nil {
+		t.Fatal("request succeeded against a dead client")
+	}
+	// One initial try plus pollRetries retries.
+	if fc.calls != pollRetries+1 {
+		t.Fatalf("client saw %d calls, want %d", fc.calls, pollRetries+1)
+	}
+	if tool.Retries() != pollRetries {
+		t.Fatalf("Retries() = %d, want %d", tool.Retries(), pollRetries)
+	}
+}
+
+func TestRequestNoRetryOnSuccess(t *testing.T) {
+	tool, _, _ := newTool(t, "Car M")
+	fc := &flakyClient{resp: []byte{0x50, 0x03}}
+	if _, err := tool.request(fc, []byte{0x10, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	if fc.calls != 1 || tool.Retries() != 0 {
+		t.Fatalf("calls = %d retries = %d", fc.calls, tool.Retries())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dpreverser/internal/diagtool"
+	"dpreverser/internal/faults"
 	"dpreverser/internal/gp"
 	"dpreverser/internal/kwp"
 	"dpreverser/internal/obd"
@@ -48,6 +49,14 @@ type Options struct {
 	// spans from RunFleet, plus the reverser's stage/stream spans and
 	// pipeline metrics. Counters aggregate across the whole fleet.
 	Telemetry *telemetry.Provider
+	// Faults, when non-empty, perturbs every capture before analysis:
+	// a preset name or key=value spec (see faults.ParseSpec). The
+	// pipeline then runs best-effort and reports damage on
+	// Result.Degraded — the soak experiment's input.
+	Faults string
+	// FaultSeed seeds the per-car fault injectors. Each car derives its
+	// own injector so fleet results stay order-independent.
+	FaultSeed int64
 }
 
 // workers resolves the effective parallelism.
@@ -88,6 +97,9 @@ type CarRun struct {
 	Capture rig.Capture
 	Streams []reverser.StreamData
 	Result  *reverser.Result
+	// Faults summarises the damage injected into this car's capture
+	// (zero-valued when Options.Faults was empty).
+	Faults faults.Stats
 	// Vehicle is retained as the ground-truth oracle (and for the replay
 	// experiment); it is never an input to the pipeline.
 	Vehicle *vehicle.Vehicle
@@ -115,6 +127,22 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 	if err != nil {
 		return nil, fmt.Errorf("run %s: %w", p.Car, err)
 	}
+	var faultStats faults.Stats
+	if opt.Faults != "" {
+		spec, err := faults.ParseSpec(opt.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w", p.Car, err)
+		}
+		if spec.Enabled() {
+			// Each car gets its own injector seeded from the shared
+			// fault seed, so fleet parallelism cannot reorder draws.
+			inj := faults.New(spec, opt.FaultSeed)
+			cap.Frames = inj.Frames(cap.Frames)
+			cap.UIFrames = inj.UIFrames(cap.UIFrames)
+			faultStats = inj.Stats()
+			inj.Publish(opt.Telemetry.RegistryOrNil())
+		}
+	}
 	rv := reverser.New(
 		reverser.WithConfig(opt.reverserConfig()),
 		reverser.WithParallelism(opt.workers()),
@@ -127,6 +155,7 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 	frames, corrupted := r.CameraB().Stats()
 	return &CarRun{
 		Profile: p, Capture: cap, Streams: res.Streams, Result: res, Vehicle: veh,
+		Faults:       faultStats,
 		CameraFrames: frames, CameraCorrupted: corrupted,
 	}, nil
 }

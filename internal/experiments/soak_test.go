@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dpreverser/internal/vehicle"
+)
+
+// TestFaultSoakDifferential is the resilience acceptance check: the same
+// car is reversed from a clean capture and from a fault-injected one
+// (the default spec: dropped, bit-flipped frames and OCR digit errors).
+// The faulted run must complete best-effort, attribute its damage on
+// Result.Degraded, and still recover at least 80% of the formulas the
+// clean run found — and be byte-deterministic at any parallelism.
+func TestFaultSoakDifferential(t *testing.T) {
+	p, ok := vehicle.ProfileByCar("Car M")
+	if !ok {
+		t.Fatal("Car M missing from the fleet")
+	}
+	base := Options{Quick: true, Seed: 1, Parallelism: 4}
+
+	clean, err := RunCar(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Vehicle.Close()
+
+	faulted := base
+	faulted.Faults = "default"
+	faulted.FaultSeed = 1
+	fr, err := RunCar(p, faulted)
+	if err != nil {
+		t.Fatalf("best-effort faulted run failed outright: %v", err)
+	}
+	defer fr.Vehicle.Close()
+
+	if fr.Faults.Total() == 0 {
+		t.Fatal("default spec injected no faults")
+	}
+	if len(fr.Result.Degraded) == 0 {
+		t.Fatal("faulted run reported no degradation")
+	}
+	// Every CAN ID that saw reassembly errors must be covered by the
+	// degradation report.
+	for id, n := range fr.Result.Stats.ErrorsByID {
+		if n == 0 {
+			continue
+		}
+		covered := false
+		for _, se := range fr.Result.Degraded {
+			if se.Stage != "assemble" {
+				continue
+			}
+			if se.Key.RespID == id || strings.Contains(se.Detail, fmt.Sprintf("%03X", id)) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("damaged ID %03X missing from the degradation report", id)
+		}
+	}
+
+	// Formula recovery: at least 80% of the clean run's formulas must
+	// survive the default fault load.
+	cleanFormulas := map[string]bool{}
+	for _, e := range clean.Result.ESVs {
+		if e.Formula != nil {
+			cleanFormulas[e.Key.String()] = true
+		}
+	}
+	if len(cleanFormulas) == 0 {
+		t.Fatal("clean run recovered no formulas; soak has nothing to compare")
+	}
+	recovered := 0
+	for _, e := range fr.Result.ESVs {
+		if e.Formula != nil && cleanFormulas[e.Key.String()] {
+			recovered++
+		}
+	}
+	if 5*recovered < 4*len(cleanFormulas) {
+		t.Fatalf("faulted run recovered %d of %d clean formulas (< 80%%)", recovered, len(cleanFormulas))
+	}
+
+	// Determinism: the faulted pipeline is byte-identical at any
+	// parallelism, injection included.
+	serial := faulted
+	serial.Parallelism = 1
+	wide := faulted
+	wide.Parallelism = 8
+	r1, err := RunCar(p, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Vehicle.Close()
+	r8, err := RunCar(p, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r8.Vehicle.Close()
+	j1, err := json.Marshal(r1.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := json.Marshal(r8.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("faulted result differs between Parallelism 1 and 8")
+	}
+	if r1.Faults != fr.Faults {
+		t.Fatalf("fault injection not deterministic: %+v vs %+v", r1.Faults, fr.Faults)
+	}
+}

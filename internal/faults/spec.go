@@ -1,0 +1,238 @@
+// Package faults is a deterministic, seedable fault-injection subsystem
+// for the capture → assembly → inference pipeline. It perturbs the two
+// lossy inputs a real deployment of DP-Reverser sees — CAN captures and
+// OCR'd screen readings — with the fault classes real transport traffic
+// exhibits (CAN-D, Verma et al.; "The Vehicle May Be Sick", Baek et al.):
+// frame drops, duplicates, reordering inside a jitter window, payload bit
+// flips, truncated multi-frame transfers, interleaved/aborted sessions,
+// timestamp jitter, and OCR noise on displayed Y values (digit
+// substitution, dropped decimal points, misread signs).
+//
+// Injection is byte-deterministic for a given Spec and seed: an Injector
+// consumes one private RNG sequentially over its input, independent of
+// everything downstream (including the pipeline's Parallelism), so a
+// faulted capture is as reproducible as a clean one.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec declares the fault mix. All probabilities are per-frame (or
+// per-displayed-value for the OCR classes) in [0, 1]; zero disables the
+// class.
+type Spec struct {
+	// Drop is the probability a frame is lost.
+	Drop float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// Reorder is the probability a frame is delayed past 1..ReorderWindow
+	// of its successors.
+	Reorder float64
+	// ReorderWindow bounds how far a reordered frame may move (frames).
+	ReorderWindow int
+	// BitFlip is the probability one random payload bit of a frame flips.
+	BitFlip float64
+	// Truncate is the probability a multi-frame transfer loses 1-3 of its
+	// consecutive frames right after the first frame (a transfer cut off
+	// mid-flight).
+	Truncate float64
+	// Abort is the probability a transfer's first frame is re-injected one
+	// frame later, modelling an interleaved or aborted session restarting
+	// on the same arbitration ID.
+	Abort float64
+	// Jitter is the maximum absolute timestamp perturbation applied to
+	// every frame (zero disables).
+	Jitter time.Duration
+	// OCRDigit is the per-displayed-value probability of one digit being
+	// misread.
+	OCRDigit float64
+	// OCRDecimal is the per-displayed-value probability of the decimal
+	// point being dropped ("25.00" → "2500").
+	OCRDecimal float64
+	// OCRSign is the per-displayed-value probability of the sign being
+	// misread (a lost or hallucinated leading minus).
+	OCRSign float64
+}
+
+// DefaultSpec is the reference fault mix the differential soak test runs:
+// 5% frame drop, 2% bit flip, 1% OCR digit noise.
+func DefaultSpec() Spec {
+	return Spec{Drop: 0.05, BitFlip: 0.02, OCRDigit: 0.01, ReorderWindow: 4}
+}
+
+// HeavySpec turns every fault class on at adversarial rates.
+func HeavySpec() Spec {
+	return Spec{
+		Drop: 0.10, Dup: 0.05, Reorder: 0.05, ReorderWindow: 6,
+		BitFlip: 0.05, Truncate: 0.10, Abort: 0.05,
+		Jitter:   5 * time.Millisecond,
+		OCRDigit: 0.03, OCRDecimal: 0.01, OCRSign: 0.01,
+	}
+}
+
+// Enabled reports whether any fault class is active.
+func (s Spec) Enabled() bool {
+	return s.Drop > 0 || s.Dup > 0 || s.Reorder > 0 || s.BitFlip > 0 ||
+		s.Truncate > 0 || s.Abort > 0 || s.Jitter > 0 ||
+		s.OCRDigit > 0 || s.OCRDecimal > 0 || s.OCRSign > 0
+}
+
+// String renders the spec in ParseSpec's syntax (only non-zero classes).
+func (s Spec) String() string {
+	var parts []string
+	add := func(key string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", key, v))
+		}
+	}
+	add("drop", s.Drop)
+	add("dup", s.Dup)
+	add("reorder", s.Reorder)
+	if s.Reorder > 0 && s.ReorderWindow > 0 {
+		parts = append(parts, fmt.Sprintf("window=%d", s.ReorderWindow))
+	}
+	add("flip", s.BitFlip)
+	add("truncate", s.Truncate)
+	add("abort", s.Abort)
+	if s.Jitter > 0 {
+		parts = append(parts, fmt.Sprintf("jitter=%s", s.Jitter))
+	}
+	add("ocr", s.OCRDigit)
+	add("ocr-decimal", s.OCRDecimal)
+	add("ocr-sign", s.OCRSign)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// presets are the named starting points ParseSpec accepts.
+var presets = map[string]func() Spec{
+	"none":    func() Spec { return Spec{} },
+	"default": DefaultSpec,
+	"heavy":   HeavySpec,
+}
+
+// PresetNames lists the accepted preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec parses a fault-spec string: a comma-separated sequence of
+// preset names and key=value overrides, applied left to right.
+//
+//	"default"                        the reference mix
+//	"drop=0.1,flip=0.05"             explicit classes from zero
+//	"default,ocr=0.05,jitter=2ms"    preset plus overrides
+//
+// Keys: drop, dup, reorder, window (int), flip, truncate, abort,
+// jitter (duration), ocr, ocr-decimal, ocr-sign.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, tok := range strings.Split(text, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		key = strings.TrimSpace(key)
+		if !hasVal {
+			preset, ok := presets[key]
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: unknown preset %q (have %s)",
+					key, strings.Join(PresetNames(), ", "))
+			}
+			s = preset()
+			continue
+		}
+		val = strings.TrimSpace(val)
+		if err := s.set(key, val); err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// set applies one key=value override.
+func (s *Spec) set(key, val string) error {
+	switch key {
+	case "window":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: bad window %q (want positive integer)", val)
+		}
+		s.ReorderWindow = n
+		return nil
+	case "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: bad jitter %q (want non-negative duration)", val)
+		}
+		s.Jitter = d
+		return nil
+	}
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("faults: bad probability %q for %s", val, key)
+	}
+	switch key {
+	case "drop":
+		s.Drop = p
+	case "dup":
+		s.Dup = p
+	case "reorder":
+		s.Reorder = p
+	case "flip":
+		s.BitFlip = p
+	case "truncate":
+		s.Truncate = p
+	case "abort":
+		s.Abort = p
+	case "ocr":
+		s.OCRDigit = p
+	case "ocr-decimal":
+		s.OCRDecimal = p
+	case "ocr-sign":
+		s.OCRSign = p
+	default:
+		return fmt.Errorf("faults: unknown key %q", key)
+	}
+	return nil
+}
+
+// validate bounds every probability and fills defaults.
+func (s *Spec) validate() error {
+	for _, c := range []struct {
+		name string
+		p    float64
+	}{
+		{"drop", s.Drop}, {"dup", s.Dup}, {"reorder", s.Reorder},
+		{"flip", s.BitFlip}, {"truncate", s.Truncate}, {"abort", s.Abort},
+		{"ocr", s.OCRDigit}, {"ocr-decimal", s.OCRDecimal}, {"ocr-sign", s.OCRSign},
+	} {
+		if c.p < 0 || c.p > 1 {
+			return fmt.Errorf("faults: %s probability %g outside [0, 1]", c.name, c.p)
+		}
+	}
+	if s.ReorderWindow == 0 {
+		s.ReorderWindow = 4
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package isotp_test
+
+import (
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+	"dpreverser/internal/isotp"
+)
+
+// FuzzAssemble feeds arbitrary 8-byte frame sequences to the reassembler.
+// The contract under fuzzing: never panic, classify every error with a
+// stable Reason, and never hand back a message longer than a first frame
+// can announce (12-bit length).
+func FuzzAssemble(f *testing.F) {
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	clean, err := isotp.Segment(payload, 0xCC)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(flatten(clean))
+	// Mangled seeds: the fault injector's output is exactly the damage
+	// class the resynchronization logic exists for.
+	for seed := int64(1); seed <= 3; seed++ {
+		var frames []can.Frame
+		for _, d := range clean {
+			frames = append(frames, can.MustFrame(0x7E8, d))
+		}
+		inj := faults.New(faults.HeavySpec(), seed)
+		var mangled [][]byte
+		for _, fr := range inj.Frames(frames) {
+			mangled = append(mangled, fr.Payload())
+		}
+		f.Add(flatten(mangled))
+	}
+	f.Add([]byte{0x10})             // truncated first frame
+	f.Add([]byte{0x21, 0x01, 0x02}) // orphan consecutive frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r isotp.Reassembler
+		for off := 0; off < len(data); off += 8 {
+			end := off + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			res, err := r.Feed(data[off:end])
+			if err != nil {
+				if isotp.Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				continue
+			}
+			if len(res.Message) > 0xFFF {
+				t.Fatalf("message longer than a first frame can announce: %d", len(res.Message))
+			}
+		}
+	})
+}
+
+func flatten(frames [][]byte) []byte {
+	var out []byte
+	for _, fr := range frames {
+		out = append(out, fr...)
+	}
+	return out
+}

@@ -83,6 +83,7 @@ var (
 	ErrPayloadTooLong  = errors.New("isotp: payload exceeds 4095 bytes")
 	ErrEmptyPayload    = errors.New("isotp: empty payload")
 	ErrBadSequence     = errors.New("isotp: consecutive frame out of sequence")
+	ErrDuplicateFrame  = errors.New("isotp: duplicate consecutive frame")
 	ErrUnexpectedFrame = errors.New("isotp: frame unexpected in current state")
 	ErrTruncatedFrame  = errors.New("isotp: frame too short for its type")
 	ErrNotFlowControl  = errors.New("isotp: frame is not flow control")
@@ -214,9 +215,14 @@ type Reassembler struct {
 	// only 6 bytes.
 	MinMultiFrameLen int
 
-	buf       []byte
-	expected  int
-	nextSeq   byte
+	buf      []byte
+	expected int
+	nextSeq  byte
+	// lastSeq/haveLast remember the previous accepted consecutive frame,
+	// so a retransmitted duplicate can be recognised and skipped without
+	// discarding the transfer (resynchronization under frame duplication).
+	lastSeq   byte
+	haveLast  bool
 	inFlight  bool
 	completed int
 	errors    int
@@ -272,10 +278,19 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 		}
 		seq := data[0] & 0x0F
 		if seq != r.nextSeq {
+			// A retransmitted copy of the frame just consumed is skipped
+			// and the transfer salvaged; anything else is unrecoverable
+			// (payload bytes are missing), so discard and resync on the
+			// next first frame.
+			if r.haveLast && seq == r.lastSeq {
+				r.errors++
+				return Result{}, fmt.Errorf("%w: sequence %d repeated", ErrDuplicateFrame, seq)
+			}
 			r.abort()
 			r.errors++
 			return Result{}, fmt.Errorf("%w: got %d want %d", ErrBadSequence, seq, r.nextSeq)
 		}
+		r.lastSeq, r.haveLast = seq, true
 		r.nextSeq = (r.nextSeq + 1) & 0x0F
 		remaining := r.expected - len(r.buf)
 		n := len(data) - 1
@@ -321,6 +336,8 @@ func (r *Reassembler) abort() {
 	r.buf = r.buf[:0]
 	r.expected = 0
 	r.nextSeq = 0
+	r.lastSeq = 0
+	r.haveLast = false
 	r.inFlight = false
 }
 
@@ -333,6 +350,8 @@ func Reason(err error) string {
 		return ""
 	case errors.Is(err, ErrBadSequence):
 		return "bad-sequence"
+	case errors.Is(err, ErrDuplicateFrame):
+		return "duplicate-frame"
 	case errors.Is(err, ErrUnexpectedFrame):
 		return "unexpected-frame"
 	case errors.Is(err, ErrTruncatedFrame):

@@ -1,0 +1,60 @@
+package ocr
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// This file isolates the paper's observed OCR failure modes as pure
+// helpers, shared by the Engine's corruption model and by the fault
+// injector (internal/faults), which replays the same noise onto recorded
+// Y values. Each helper reports whether it changed the text; helpers that
+// consume randomness take the caller's RNG so draw sequences stay under
+// the caller's control.
+
+// DropDecimal removes the first decimal point ("25.00" → "2500").
+func DropDecimal(text string) (string, bool) {
+	if !strings.Contains(text, ".") {
+		return text, false
+	}
+	return strings.Replace(text, ".", "", 1), true
+}
+
+// SubstituteDigit replaces one random digit with a random digit ("3.7" →
+// "8.7"). Texts with no digit are returned unchanged; the bounded retry
+// keeps the RNG consumption finite on digit-poor texts.
+func SubstituteDigit(rng *rand.Rand, text string) (string, bool) {
+	if len(text) == 0 {
+		return text, false
+	}
+	digits := []byte(text)
+	for tries := 0; tries < 8; tries++ {
+		i := rng.Intn(len(digits))
+		if digits[i] >= '0' && digits[i] <= '9' {
+			digits[i] = byte('0' + rng.Intn(10))
+			return string(digits), true
+		}
+	}
+	return text, false
+}
+
+// TruncateLeading drops the leading half of the text ("11.4" → "4"), the
+// paper's partial-recognition failure.
+func TruncateLeading(text string) (string, bool) {
+	if len(text) <= 1 {
+		return text, false
+	}
+	return text[len(text)/2:], true
+}
+
+// FlipSign misreads the sign: a leading minus is lost, or one is
+// hallucinated in front of a bare number.
+func FlipSign(text string) (string, bool) {
+	if text == "" {
+		return text, false
+	}
+	if strings.HasPrefix(text, "-") {
+		return text[1:], true
+	}
+	return "-" + text, true
+}

@@ -168,33 +168,25 @@ func rowID(id string) (idx int, part string, ok bool) {
 	return n, parts[1], true
 }
 
-// corruptValue applies one of the paper's observed OCR failure modes.
+// corruptValue applies one of the paper's observed OCR failure modes
+// (the shared helpers in noise.go, drawn with this engine's RNG).
 func (e *Engine) corruptValue(text string) string {
 	mode := e.rng.Intn(3)
 	switch mode {
 	case 0:
 		// Decimal point loss: "25.00" -> "2500".
-		if strings.Contains(text, ".") {
-			return strings.Replace(text, ".", "", 1)
+		if out, ok := DropDecimal(text); ok {
+			return out
 		}
 		fallthrough
 	case 1:
 		// Digit substitution: "3.7" -> "8.7".
-		digits := []byte(text)
-		for tries := 0; tries < 8; tries++ {
-			i := e.rng.Intn(len(digits))
-			if digits[i] >= '0' && digits[i] <= '9' {
-				digits[i] = byte('0' + e.rng.Intn(10))
-				return string(digits)
-			}
-		}
-		return text
+		out, _ := SubstituteDigit(e.rng, text)
+		return out
 	default:
 		// Leading truncation: "11.4" -> "4".
-		if len(text) > 1 {
-			return text[len(text)/2:]
-		}
-		return text
+		out, _ := TruncateLeading(text)
+		return out
 	}
 }
 

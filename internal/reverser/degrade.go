@@ -1,0 +1,158 @@
+package reverser
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// FaultPolicy selects how (*Reverser).Reverse treats damaged streams.
+type FaultPolicy int
+
+const (
+	// BestEffort (the default) contains damage per stream: every damaged
+	// stream is reported on Result.Degraded, the rest of the capture is
+	// recovered, and Reverse returns a result.
+	BestEffort FaultPolicy = iota
+	// Strict fails the run when any stream degrades. The returned error is
+	// a *DegradedError that still carries the partial result, so callers
+	// can inspect what survived.
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (p FaultPolicy) String() string {
+	if p == Strict {
+		return "strict"
+	}
+	return "best-effort"
+}
+
+// ParseFaultPolicy reads a policy name ("best-effort" or "strict").
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	switch s {
+	case "best-effort", "":
+		return BestEffort, nil
+	case "strict":
+		return Strict, nil
+	default:
+		return BestEffort, fmt.Errorf("reverser: unknown fault policy %q (want best-effort or strict)", s)
+	}
+}
+
+// WithFaultPolicy sets the degradation policy (default BestEffort).
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(rv *Reverser) { rv.policy = p }
+}
+
+// StreamError describes damage contained to one stream (or, when Key is
+// zero, to traffic that produced no recoverable stream). The pipeline
+// collects these on Result.Degraded instead of failing the run.
+type StreamError struct {
+	// Key identifies the damaged stream; the zero key marks capture-level
+	// damage with no recovered stream to attach to.
+	Key StreamKey
+	// Label is the stream's recovered semantic name, when one exists.
+	Label string
+	// Stage is the pipeline stage that observed the damage:
+	// "assemble", "pairing" or "infer".
+	Stage string
+	// Reason is a stable machine-readable cause: a transport Reason label
+	// aggregate ("transport-errors"), "outlier-pairs" or "panic".
+	Reason string
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// Error implements the error interface, so a StreamError can travel as a
+// plain error where callers want one.
+func (e StreamError) Error() string {
+	id := e.Detail
+	if e.Key != (StreamKey{}) {
+		id = fmt.Sprintf("%s: %s", e.Key.String(), e.Detail)
+	}
+	return fmt.Sprintf("reverser: %s degraded (%s): %s", e.Stage, e.Reason, id)
+}
+
+// MarshalJSON renders the entry for the result report.
+func (e StreamError) MarshalJSON() ([]byte, error) {
+	out := struct {
+		ID     string `json:"id,omitempty"`
+		Label  string `json:"label,omitempty"`
+		Stage  string `json:"stage"`
+		Reason string `json:"reason"`
+		Detail string `json:"detail,omitempty"`
+	}{Label: e.Label, Stage: e.Stage, Reason: e.Reason, Detail: e.Detail}
+	if e.Key != (StreamKey{}) {
+		out.ID = e.Key.String()
+	}
+	return json.Marshal(out)
+}
+
+// DegradedError is returned by Reverse under the Strict policy when any
+// stream degraded. Result carries the partial output.
+type DegradedError struct {
+	Result *Result
+}
+
+// Error implements the error interface.
+func (e *DegradedError) Error() string {
+	n := 0
+	if e.Result != nil {
+		n = len(e.Result.Degraded)
+	}
+	return fmt.Sprintf("reverser: strict fault policy: %d stream(s) degraded", n)
+}
+
+// assembleDegraded attributes reassembly failures to the streams that ride
+// the damaged CAN IDs. Damage on IDs that yielded no stream at all (request
+// IDs, or streams lost entirely) is reported once per ID with a zero key,
+// in ID order, so nothing disappears silently.
+func assembleDegraded(stats TrafficStats, streams []StreamData) []StreamError {
+	if len(stats.ErrorsByID) == 0 {
+		return nil
+	}
+	var out []StreamError
+	attributed := map[uint32]bool{}
+	for _, sd := range streams {
+		n := stats.ErrorsByID[sd.Key.RespID]
+		if n == 0 {
+			continue
+		}
+		attributed[sd.Key.RespID] = true
+		out = append(out, StreamError{
+			Key: sd.Key, Label: sd.Label, Stage: "assemble", Reason: "transport-errors",
+			Detail: fmt.Sprintf("%d reassembly errors on ID %03X", n, sd.Key.RespID),
+		})
+	}
+	ids := make([]uint32, 0, len(stats.ErrorsByID))
+	for id := range stats.ErrorsByID {
+		if !attributed[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out = append(out, StreamError{
+			Stage: "assemble", Reason: "transport-errors",
+			Detail: fmt.Sprintf("%d reassembly errors on ID %03X (no recovered stream)", stats.ErrorsByID[id], id),
+		})
+	}
+	return out
+}
+
+// pairingDegraded reports streams whose (X, Y) pairing rejected outliers.
+func pairingDegraded(streams []StreamData) []StreamError {
+	var out []StreamError
+	for _, sd := range streams {
+		if sd.RejectedPairs == 0 {
+			continue
+		}
+		out = append(out, StreamError{
+			Key: sd.Key, Label: sd.Label, Stage: "pairing", Reason: "outlier-pairs",
+			Detail: fmt.Sprintf("rejected %d of %d paired samples as outliers",
+				sd.RejectedPairs, sd.RejectedPairs+sd.RawPairs),
+		})
+	}
+	return out
+}

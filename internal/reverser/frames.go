@@ -8,6 +8,7 @@
 package reverser
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -67,6 +68,19 @@ type TrafficStats struct {
 	ISOTPErrors    int
 	VWTPErrors     int
 	BMWErrors      int
+	// ErrorsByID maps each CAN ID to its reassembly failure count, so the
+	// degradation report can attribute damage to the streams riding that
+	// ID. Nil until the first error; excluded from the JSON report (the
+	// attribution lands on Result.Degraded instead).
+	ErrorsByID map[uint32]int `json:"-"`
+}
+
+// bumpID records one reassembly failure against a CAN ID.
+func (s *TrafficStats) bumpID(id uint32) {
+	if s.ErrorsByID == nil {
+		s.ErrorsByID = map[uint32]int{}
+	}
+	s.ErrorsByID[id]++
 }
 
 // ISOTPMulti reports first+consecutive frames (Table 9's "Multi Frames").
@@ -116,13 +130,31 @@ func Assemble(frames []can.Frame) ([]Message, TrafficStats) {
 // AssembleObserved is Assemble with a per-error observer (nil is allowed
 // and equivalent to Assemble).
 func AssembleObserved(frames []can.Frame, obs AssemblyObserver) ([]Message, TrafficStats) {
+	messages, stats, _ := AssembleContext(context.Background(), frames, obs)
+	return messages, stats
+}
+
+// assembleCheckEvery is how often the assembly loop polls ctx: captures run
+// to millions of frames, so the loop must notice cancellation without
+// paying a ctx.Err() per frame.
+const assembleCheckEvery = 1024
+
+// AssembleContext is AssembleObserved with cooperative cancellation: the
+// frame loop checks ctx periodically and returns ctx's error (plus the
+// stats gathered so far) when the caller gives up mid-capture.
+func AssembleContext(ctx context.Context, frames []can.Frame, obs AssemblyObserver) ([]Message, TrafficStats, error) {
 	a := newAssembler()
 	a.onError = obs
-	for _, f := range frames {
+	for i, f := range frames {
+		if i%assembleCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, a.stats, err
+			}
+		}
 		a.feed(f)
 	}
 	sort.SliceStable(a.messages, func(i, j int) bool { return a.messages[i].At < a.messages[j].At })
-	return a.messages, a.stats
+	return a.messages, a.stats, nil
 }
 
 func (a *assembler) feed(f can.Frame) {
@@ -176,6 +208,7 @@ func (a *assembler) feedISOTP(f can.Frame, data []byte) {
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.ISOTPErrors++
+		a.stats.bumpID(f.ID)
 		a.reportError("isotp", isotp.Reason(err))
 		return
 	}
@@ -209,6 +242,7 @@ func (a *assembler) feedVWTP(f can.Frame, data []byte) {
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.VWTPErrors++
+		a.stats.bumpID(f.ID)
 		a.reportError("vwtp", vwtp.Reason(err))
 		return
 	}
@@ -252,6 +286,7 @@ func (a *assembler) feedBMW(f can.Frame, data []byte) {
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.BMWErrors++
+		a.stats.bumpID(f.ID)
 		a.reportError("bmwtp", bmwtp.Reason(err))
 		return
 	}

@@ -127,6 +127,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Stats       TrafficStats  `json:"stats"`
 		ESVs        []ReversedESV `json:"esvs"`
 		ECRs        []ReversedECR `json:"ecrs,omitempty"`
+		Degraded    []StreamError `json:"degraded,omitempty"`
 	}{
 		Car:         r.Car,
 		Model:       r.Model,
@@ -139,5 +140,6 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Stats:       r.Stats,
 		ESVs:        r.ESVs,
 		ECRs:        r.ECRs,
+		Degraded:    r.Degraded,
 	})
 }

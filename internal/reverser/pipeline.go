@@ -126,6 +126,13 @@ type Result struct {
 	// alternative algorithms on exactly these datasets (§4.4) without
 	// re-walking the capture.
 	Streams []StreamData
+	// Degraded reports every stream the pipeline salvaged around rather
+	// than recovered cleanly: transport damage attributed by CAN ID,
+	// pairing outliers rejected, and contained inference panics — in
+	// deterministic order (assemble, pairing, then infer by stream index).
+	// Empty on a clean capture. Under WithFaultPolicy(Strict), a non-empty
+	// report fails the run with a *DegradedError instead.
+	Degraded []StreamError
 }
 
 // Reverse runs the complete pipeline on a capture.

@@ -71,6 +71,7 @@ type ProgressFunc func(ProgressEvent)
 type Reverser struct {
 	cfg         Config
 	parallelism int
+	policy      FaultPolicy
 	progress    ProgressFunc
 	tel         *telemetry.Provider
 	clock       telemetry.Clock
@@ -144,6 +145,9 @@ func New(opts ...Option) *Reverser {
 	rv.met = telemetry.NewPipelineMetrics(rv.tel.RegistryOrNil())
 	return rv
 }
+
+// Policy reports the degradation policy in effect.
+func (rv *Reverser) Policy() FaultPolicy { return rv.policy }
 
 // Parallelism reports the effective inference worker count.
 func (rv *Reverser) Parallelism() int {
@@ -232,12 +236,22 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
 
 	// §3.2 Steps 1-2: screening and payload assembly — one pass over the
-	// raw frames, shared by field extraction and the message count.
+	// raw frames, shared by field extraction and the message count. The
+	// frame loop polls ctx, so captures of any size cancel promptly.
 	var messages []Message
+	var aerr error
 	r.stage("assemble", func() {
-		messages, res.Stats = AssembleObserved(cap.Frames, rv.assemblyObserver())
+		messages, res.Stats, aerr = AssembleContext(ctx, cap.Frames, rv.assemblyObserver())
 		res.Messages = len(messages)
 	})
+	if aerr != nil {
+		// A panicking progress callback cancels the run; report the panic,
+		// not the cancellation it caused.
+		if cbErr := r.callbackErr(); cbErr != nil {
+			return nil, cbErr
+		}
+		return nil, aerr
+	}
 	rv.met.FramesTotal.Add(float64(res.Stats.Total))
 	rv.met.MessagesAssembled.Add(float64(res.Messages))
 
@@ -260,16 +274,28 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 		rv.met.StreamsExtracted.With(streamKind(sd)).Inc()
 	}
 
+	// Damage observed so far, attributed to streams in deterministic
+	// (stream, then ID) order.
+	res.Degraded = append(res.Degraded, assembleDegraded(res.Stats, res.Streams)...)
+	res.Degraded = append(res.Degraded, pairingDegraded(res.Streams)...)
+
 	// §3.5 Steps 2-3: per-stream formula inference, fanned out across the
-	// worker pool.
+	// worker pool. A panicking stream is contained: its slot keeps the
+	// formula-less ESV and the panic joins the degradation report.
 	var esvs []ReversedESV
+	var inferErrs []*StreamError
 	var err error
-	r.stage("infer", func() { esvs, err = r.inferStreams(ctx, res.Streams) })
+	r.stage("infer", func() { esvs, inferErrs, err = r.inferStreams(ctx, res.Streams) })
 	if cbErr := r.callbackErr(); cbErr != nil {
 		return nil, cbErr
 	}
 	if err != nil {
 		return nil, err
+	}
+	for _, se := range inferErrs {
+		if se != nil {
+			res.Degraded = append(res.Degraded, *se)
+		}
 	}
 	res.ESVs = esvs
 	sort.Slice(res.ESVs, func(i, j int) bool {
@@ -295,8 +321,15 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	rv.met.GPCacheMisses.Add(float64(res.CacheMisses))
 	rv.met.RunsTotal.Inc()
 
+	for _, se := range res.Degraded {
+		rv.met.DegradedStreams.With(se.Stage).Inc()
+	}
+
 	if cbErr := r.callbackErr(); cbErr != nil {
 		return nil, cbErr
+	}
+	if rv.policy == Strict && len(res.Degraded) > 0 {
+		return nil, &DegradedError{Result: res}
 	}
 	return res, nil
 }
@@ -356,12 +389,16 @@ func (o *genObserver) Generation(gs gp.GenerationStats) {
 // inferStreams fans InferStream out across the worker pool. Workers claim
 // streams from a shared atomic cursor and write results by index, so the
 // output order — and, thanks to per-stream seeds, every formula — is
-// independent of scheduling.
-func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]ReversedESV, error) {
+// independent of scheduling. A panic inside one stream's inference is
+// recovered in place: the stream keeps a formula-less result, the panic is
+// reported by index (so the degradation report is deterministic at any
+// parallelism), and the other workers keep going.
+func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]ReversedESV, []*StreamError, error) {
 	rv := r.rv
 	inferSpan := r.span.Child("infer-pool", telemetry.Int("streams", len(streams)))
 	defer inferSpan.End()
 	out := make([]ReversedESV, len(streams))
+	degraded := make([]*StreamError, len(streams))
 	workers := rv.Parallelism()
 	if workers > len(streams) {
 		workers = len(streams)
@@ -401,8 +438,13 @@ func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]Reverse
 					Done: int(atomic.LoadInt64(&done)), Total: total,
 				})
 				start := rv.clock.Now()
-				esv, err := InferStream(ctx, sd, cfg)
-				if err != nil {
+				esv, err, panicked := safeInferStream(ctx, sd, cfg)
+				if panicked != nil {
+					degraded[i] = &StreamError{
+						Key: sd.Key, Label: sd.Label, Stage: "infer",
+						Reason: "panic", Detail: fmt.Sprintf("inference panicked: %v", panicked),
+					}
+				} else if err != nil {
 					sp.End()
 					return // ctx cancelled; the post-wait check reports it
 				}
@@ -424,9 +466,24 @@ func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]Reverse
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, degraded, nil
+}
+
+// safeInferStream runs InferStream under a panic guard. A recovered panic
+// yields the formula-less ESV the stream would report for a degenerate
+// dataset, plus the panic value for the degradation report.
+func safeInferStream(ctx context.Context, sd StreamData, cfg Config) (esv ReversedESV, err error, panicked any) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = p
+			err = nil
+			esv = ReversedESV{Key: sd.Key, Label: sd.Label, Unit: sd.Unit, Enum: sd.Enum, Pairs: sd.RawPairs}
+		}
+	}()
+	esv, err = InferStream(ctx, sd, cfg)
+	return esv, err, nil
 }
 
 // streamSeed derives the per-stream GP seed from the capture seed and the

@@ -45,6 +45,9 @@ type PipelineMetrics struct {
 	StageDuration *HistogramVec
 	// StreamDuration observes per-stream inference wall time in seconds.
 	StreamDuration *Histogram
+	// DegradedStreams counts streams reported on Result.Degraded, by the
+	// pipeline stage that damaged them (assemble|pairing|infer).
+	DegradedStreams *CounterVec
 }
 
 // Pipeline metric names, exported so tests and the CI smoke check assert
@@ -65,6 +68,11 @@ const (
 	MetricGPGenerations     = "dpreverser_gp_generations_total"
 	MetricStageDuration     = "dpreverser_stage_duration_seconds"
 	MetricStreamDuration    = "dpreverser_stream_inference_duration_seconds"
+	MetricDegradedStreams   = "dpreverser_degraded_streams_total"
+	// MetricFaultsInjected is registered by the fault injector
+	// (internal/faults), not by the pipeline, but the name lives here with
+	// the rest of the schema.
+	MetricFaultsInjected = "dpreverser_faults_injected_total"
 )
 
 // NewPipelineMetrics registers the pipeline metric set on reg. A nil
@@ -94,5 +102,7 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 		"pipeline stage wall time in seconds (injected clock)", nil, "stage")
 	m.StreamDuration = reg.Histogram(MetricStreamDuration,
 		"per-stream formula inference wall time in seconds (injected clock)", nil)
+	m.DegradedStreams = reg.CounterVec(MetricDegradedStreams,
+		"streams reported degraded, by damaging stage", "stage")
 	return m
 }

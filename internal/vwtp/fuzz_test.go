@@ -1,0 +1,65 @@
+package vwtp
+
+import (
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+)
+
+// FuzzAssemble feeds arbitrary 8-byte frame sequences to the VW TP 2.0
+// reassembler: no input may panic it, every error must carry a stable
+// Reason, and no message may exceed its 16-bit length prefix.
+func FuzzAssemble(f *testing.F) {
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	clean, err := Segment(payload, 0, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(flatten(clean))
+	for seed := int64(1); seed <= 3; seed++ {
+		var frames []can.Frame
+		for _, d := range clean {
+			frames = append(frames, can.MustFrame(0x740, d))
+		}
+		inj := faults.New(faults.HeavySpec(), seed)
+		var mangled [][]byte
+		for _, fr := range inj.Frames(frames) {
+			mangled = append(mangled, fr.Payload())
+		}
+		f.Add(flatten(mangled))
+	}
+	f.Add([]byte{0x10})       // length prefix cut off
+	f.Add([]byte{0xA0, 0x0F}) // channel-setup opcode
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Reassembler
+		for off := 0; off < len(data); off += 8 {
+			end := off + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			res, err := r.Feed(data[off:end])
+			if err != nil {
+				if Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				continue
+			}
+			if len(res.Message) > 0xFFFF {
+				t.Fatalf("message longer than the length prefix allows: %d", len(res.Message))
+			}
+		}
+	})
+}
+
+func flatten(frames [][]byte) []byte {
+	var out []byte
+	for _, fr := range frames {
+		out = append(out, fr...)
+	}
+	return out
+}

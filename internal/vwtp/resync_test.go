@@ -1,0 +1,139 @@
+package vwtp
+
+import (
+	"bytes"
+	"testing"
+
+	"dpreverser/internal/telemetry"
+)
+
+func fill(n int, v byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+func message(t *testing.T, payload []byte, seq byte) [][]byte {
+	t.Helper()
+	frames, err := Segment(payload, 15, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+// TestReassemblerResync is the TP 2.0 fault-model table: damaged data-frame
+// sequences on one channel direction must salvage what they can (duplicate
+// retransmissions), discard what they cannot (lost frames, caught by the
+// sequence check or the length prefix), and keep the channel usable for the
+// next message.
+func TestReassemblerResync(t *testing.T) {
+	payloadA := fill(20, 0x0A)
+	payloadB := fill(20, 0x0B)
+
+	cases := []struct {
+		name    string
+		frames  func(t *testing.T) [][]byte
+		want    [][]byte
+		reasons map[string]int
+	}{
+		{
+			name: "duplicate data frame is skipped and the message salvaged",
+			frames: func(t *testing.T) [][]byte {
+				fs := message(t, payloadA, 0) // 22 body bytes: seqs 0..3
+				return [][]byte{fs[0], fs[1], fs[1], fs[2], fs[3]}
+			},
+			want:    [][]byte{payloadA},
+			reasons: map[string]int{"duplicate-frame": 1},
+		},
+		{
+			name: "retransmitted final frame after completion is skipped; sequence continuity survives",
+			frames: func(t *testing.T) [][]byte {
+				a := message(t, payloadA, 0) // seqs 0..3
+				b := message(t, payloadB, 4) // continues at 4
+				fs := append(append([][]byte{}, a...), a[len(a)-1])
+				return append(fs, b...)
+			},
+			want:    [][]byte{payloadA, payloadB},
+			reasons: map[string]int{"duplicate-frame": 1},
+		},
+		{
+			name: "lost frame aborts via sequence check; length prefix rejects the stray tail; next message resyncs",
+			frames: func(t *testing.T) [][]byte {
+				a := message(t, payloadA, 0)
+				b := message(t, payloadB, 4)
+				// a[1] is lost: a[2] is out of sequence (abort); a[3] is
+				// taken for a fresh message start whose length prefix
+				// cannot match; b then assembles from scratch.
+				return append([][]byte{a[0], a[2], a[3]}, b...)
+			},
+			want:    [][]byte{payloadB},
+			reasons: map[string]int{"bad-sequence": 1, "length-mismatch": 1},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			errs := reg.CounterVec(telemetry.MetricTransportErrors, "", "transport", "reason")
+			var r Reassembler
+			var got [][]byte
+			for _, f := range c.frames(t) {
+				res, err := r.Feed(f)
+				if err != nil {
+					errs.With("vwtp", Reason(err)).Inc()
+				}
+				if res.Message != nil {
+					got = append(got, res.Message)
+				}
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("assembled %d messages, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], c.want[i]) {
+					t.Fatalf("message %d = % X, want % X", i, got[i], c.want[i])
+				}
+			}
+			for reason, n := range c.reasons {
+				if v := errs.With("vwtp", reason).Value(); v != float64(n) {
+					t.Errorf("reason %q counter = %v, want %d", reason, v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestReassemblerDuplicateDoesNotAbort pins the salvage contract on the
+// channel state: a duplicate is reported but assembly continues.
+func TestReassemblerDuplicateDoesNotAbort(t *testing.T) {
+	fs := message(t, fill(20, 0x5A), 0)
+	var r Reassembler
+	for _, f := range fs[:2] {
+		if _, err := r.Feed(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Feed(fs[1])
+	if Reason(err) != "duplicate-frame" {
+		t.Fatalf("err = %v, want duplicate-frame", err)
+	}
+	if !r.InFlight() {
+		t.Fatal("duplicate aborted the message")
+	}
+	var msg []byte
+	for _, f := range fs[2:] {
+		res, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil {
+			msg = res.Message
+		}
+	}
+	if !bytes.Equal(msg, fill(20, 0x5A)) {
+		t.Fatalf("message = % X", msg)
+	}
+}

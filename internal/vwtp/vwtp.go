@@ -86,6 +86,7 @@ var (
 	ErrEmptyFrame     = errors.New("vwtp: empty frame")
 	ErrEmptyPayload   = errors.New("vwtp: empty payload")
 	ErrBadSequence    = errors.New("vwtp: data frame out of sequence")
+	ErrDuplicateFrame = errors.New("vwtp: duplicate data frame")
 	ErrNotData        = errors.New("vwtp: frame is not a data frame")
 	ErrLengthMismatch = errors.New("vwtp: message length prefix mismatch")
 	ErrPayloadTooLong = errors.New("vwtp: payload exceeds 65535 bytes")
@@ -225,6 +226,15 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 	}
 	seq := Seq(data)
 	if r.started && seq != r.nextSeq {
+		// A retransmitted copy of the frame just consumed is skipped and
+		// the message salvaged — sequence numbers run across messages on a
+		// channel, so the previous sequence is always (nextSeq-1) mod 16.
+		// Any other gap loses payload bytes: discard and resync on the
+		// next frame (the length prefix will catch misassembly).
+		if seq == (r.nextSeq+15)&0x0F {
+			r.errors++
+			return Result{}, fmt.Errorf("%w: sequence %d repeated", ErrDuplicateFrame, seq)
+		}
 		r.abort()
 		r.errors++
 		return Result{}, fmt.Errorf("%w: got %d want %d", ErrBadSequence, seq, r.nextSeq)
@@ -291,6 +301,8 @@ func Reason(err error) string {
 		return ""
 	case errors.Is(err, ErrBadSequence):
 		return "bad-sequence"
+	case errors.Is(err, ErrDuplicateFrame):
+		return "duplicate-frame"
 	case errors.Is(err, ErrLengthMismatch):
 		return "length-mismatch"
 	case errors.Is(err, ErrNotData):
