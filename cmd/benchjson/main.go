@@ -32,7 +32,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -40,6 +39,7 @@ import (
 	"testing"
 	"time"
 
+	"dpreverser/internal/benchdoc"
 	"dpreverser/internal/gp"
 )
 
@@ -74,47 +74,28 @@ type report struct {
 }
 
 // history is the whole BENCH_gp.json document: every recorded run, oldest
-// first.
-type history struct {
-	Entries []report `json:"entries"`
-}
+// first (the artifact format shared with BENCH_server.json).
+type history = benchdoc.History[report]
 
 // loadHistory reads an existing output file, converting the legacy
 // single-report format (pre-history baselines) into a one-entry history.
 // A missing file is an empty history.
 func loadHistory(path string) (history, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return history{}, nil
-	}
+	h, raw, err := benchdoc.Load[report](path)
 	if err != nil {
 		return history{}, err
 	}
-	var h history
-	if err := json.Unmarshal(data, &h); err == nil && h.Entries != nil {
+	if h.Entries != nil || raw == nil {
 		return h, nil
 	}
 	var legacy report
-	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+	if err := json.Unmarshal(raw, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
 		if legacy.Date == "" {
 			legacy.Date = "unknown"
 		}
 		return history{Entries: []report{legacy}}, nil
 	}
 	return history{}, fmt.Errorf("%s: not a benchmark history or legacy report", path)
-}
-
-// merge inserts the new entry, replacing a same-date same-mode entry (so
-// repeated runs in one day stay idempotent) and appending otherwise.
-func merge(h history, e report) history {
-	for i, old := range h.Entries {
-		if old.Date == e.Date && old.Quick == e.Quick {
-			h.Entries[i] = e
-			return h
-		}
-	}
-	h.Entries = append(h.Entries, e)
-	return h
 }
 
 func main() {
@@ -242,13 +223,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	hist = merge(hist, rep)
-	data, err := json.MarshalIndent(&hist, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	hist.Merge(rep, func(old report) bool { return old.Date == rep.Date && old.Quick == rep.Quick })
+	if err := hist.Write(*out); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", *out, len(hist.Entries))

@@ -1,0 +1,147 @@
+// Command dpreversed is the multi-tenant reverse-engineering job server:
+// the batch pipeline behind cmd/dpreverse, re-hosted as a long-running
+// HTTP service. Tenants upload rig captures (or stream live traffic over
+// the canbridge line protocol), poll job progress, and fetch results that
+// are byte-identical with a local `dpreverse -json` run. Jobs land in a
+// sharded in-memory queue partitioned by (tenant, car, stream key) and a
+// bounded worker fleet runs them with per-tenant quotas, queue-depth
+// backpressure (429 + Retry-After) and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	dpreversed                                # HTTP API on 127.0.0.1:8780
+//	dpreversed -addr :8780 -ingest :8781      # plus live canbridge ingest
+//	dpreversed -quick                         # reduced GP budget per job
+//	dpreversed -loadtest -quick               # built-in load generator →
+//	                                          # BENCH_server.json
+//
+// API sketch (see internal/jobserver for the full surface):
+//
+//	POST   /api/v1/jobs?tenant=T       upload a capture, returns the job
+//	GET    /api/v1/jobs/{id}/events    progress; ?after=N&wait=5s long-polls
+//	GET    /api/v1/jobs/{id}/result    schema-v1 result document
+//	POST   /api/v1/streams?tenant=T    register a live stream, returns token
+//	GET    /api/v1/formulas?tenant=T   recovered formulas across jobs
+//	GET    /metrics                    Prometheus exposition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpreverser/internal/jobserver"
+	"dpreverser/internal/reverser"
+	"dpreverser/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpreversed:", err)
+		os.Exit(1)
+	}
+}
+
+// jobOptions is the base reverser configuration every job runs under.
+func jobOptions(quick bool) []reverser.Option {
+	cfg := reverser.DefaultConfig()
+	if quick {
+		cfg.GP.PopulationSize = 150
+		cfg.GP.Generations = 10
+	}
+	return []reverser.Option{reverser.WithConfig(cfg)}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8780", "HTTP listen address")
+	ingest := flag.String("ingest", "", "canbridge ingest listen address (empty disables live streams)")
+	shards := flag.Int("shards", 4, "job queue shards; (tenant, car, stream) keys pin to one shard")
+	workers := flag.Int("workers", 1, "workers per shard (total fleet = shards x workers)")
+	queueDepth := flag.Int("queue-depth", 64, "per-shard backlog limit before 429 backpressure")
+	tenantMax := flag.Int("tenant-max", 8, "per-tenant live job quota")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on rejected submissions")
+	quick := flag.Bool("quick", false, "reduced GP budget per job")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-drain budget on shutdown before jobs are cancelled")
+	loadtest := flag.Bool("loadtest", false, "run the built-in load generator instead of serving")
+	ltJobs := flag.Int("jobs", 12, "loadtest: captures to submit")
+	ltTenants := flag.Int("tenants", 3, "loadtest: tenants to spread the jobs across")
+	ltCar := flag.String("car", "Car M", "loadtest: simulated car to capture")
+	out := flag.String("o", "BENCH_server.json", "loadtest: benchmark history file to merge into")
+	date := flag.String("date", "", "loadtest: entry date, YYYY-MM-DD (default: today)")
+	seed := flag.Int64("seed", 1, "loadtest: capture simulation seed")
+	flag.Parse()
+
+	cfg := jobserver.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queueDepth,
+		TenantMaxActive: *tenantMax,
+		RetryAfter:      *retryAfter,
+		Reverser:        jobOptions(*quick),
+	}
+	if *loadtest {
+		return runLoadtest(cfg, loadtestOptions{
+			Jobs: *ltJobs, Tenants: *ltTenants, Car: *ltCar,
+			Quick: *quick, Seed: *seed, Out: *out, Date: *date,
+		})
+	}
+	return serve(cfg, *addr, *ingest, *drainTimeout)
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// admission stops, queued and running jobs finish (until -drain-timeout,
+// after which they are cancelled), and the HTTP listener shuts down.
+func serve(cfg jobserver.Config, addr, ingest string, drainTimeout time.Duration) error {
+	prov := telemetry.New(nil)
+	srv := jobserver.New(cfg, prov)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dpreversed: HTTP API on http://%s (shards=%d workers/shard=%d quota=%d)\n",
+		ln.Addr(), srv.Config().Shards, srv.Config().WorkersPerShard, srv.Config().TenantMaxActive)
+	if ingest != "" {
+		bound, err := srv.ServeIngest(ingest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dpreversed: canbridge ingest on %s\n", bound)
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		srv.Close() //nolint:errcheck // already failing
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+	}
+
+	fmt.Fprintln(os.Stderr, "dpreversed: draining (new submissions refused)")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close() //nolint:errcheck // force-close after a stuck shutdown
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w (remaining jobs were cancelled)", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "dpreversed: drained cleanly")
+	return nil
+}

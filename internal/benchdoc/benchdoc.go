@@ -1,0 +1,59 @@
+// Package benchdoc is the committed benchmark-artifact format shared by
+// cmd/benchjson (BENCH_gp.json) and the dpreversed load generator
+// (BENCH_server.json): a history document {"entries": [...]} where each
+// run appends one dated entry instead of clobbering the file, so a
+// baseline's past stays diffable. Re-running with the same merge key
+// (typically date + quick mode) replaces that entry, keeping same-day
+// re-runs idempotent.
+package benchdoc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// History is the whole artifact: every recorded run, oldest first.
+type History[E any] struct {
+	Entries []E `json:"entries"`
+}
+
+// Load reads a history file; a missing file is an empty history. The raw
+// bytes are returned alongside so callers with pre-history baselines can
+// attempt a legacy-format conversion when no entries decoded.
+func Load[E any](path string) (History[E], []byte, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return History[E]{}, nil, nil
+	}
+	if err != nil {
+		return History[E]{}, nil, err
+	}
+	var h History[E]
+	if err := json.Unmarshal(data, &h); err == nil && h.Entries != nil {
+		return h, data, nil
+	}
+	return History[E]{}, data, nil
+}
+
+// Merge inserts e, replacing the first entry same() accepts and appending
+// when none matches.
+func (h *History[E]) Merge(e E, same func(old E) bool) {
+	for i, old := range h.Entries {
+		if same(old) {
+			h.Entries[i] = e
+			return
+		}
+	}
+	h.Entries = append(h.Entries, e)
+}
+
+// Write persists the history as indented JSON with a trailing newline.
+func (h History[E]) Write(path string) error {
+	data, err := json.MarshalIndent(&h, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchdoc: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

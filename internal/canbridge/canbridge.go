@@ -16,10 +16,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
-	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"dpreverser/internal/can"
 	"dpreverser/internal/sim"
@@ -179,7 +177,7 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	s.conns[conn] = w
 	s.mu.Unlock()
-	fmt.Fprintln(conn, "HELLO canbridge 1")
+	fmt.Fprintln(conn, Format(Greeting))
 	w.mu.Unlock()
 
 	sc := bufio.NewScanner(conn)
@@ -189,31 +187,28 @@ func (s *Server) serve(conn net.Conn) {
 			continue
 		}
 		if err := s.handleCommand(line); err != nil {
-			w.write(fmt.Sprintf("ERR %v\n", err))
+			w.write(Format(MsgErr{Msg: err.Error()}) + "\n")
 			continue
 		}
-		w.write("OK\n")
+		w.write(Format(MsgOK{}) + "\n")
 	}
 }
 
 func (s *Server) handleCommand(line string) error {
-	verb, rest, _ := strings.Cut(line, " ")
-	switch strings.ToUpper(verb) {
-	case "SEND":
-		f, err := can.ParseDumpLine(fmt.Sprintf("(%.6f) %s", s.clock.Now().Seconds(), strings.TrimSpace(rest)))
-		if err != nil {
-			return err
-		}
+	msg, err := Parse(line)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case MsgSend:
+		f := m.Frame
+		f.Timestamp = s.clock.Now()
 		s.bus.Send(f)
 		return nil
-	case "ADVANCE":
-		ms, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
-		if err != nil || ms < 0 {
-			return fmt.Errorf("canbridge: bad ADVANCE argument %q", rest)
-		}
-		s.clock.Advance(time.Duration(ms) * time.Millisecond)
+	case MsgAdvance:
+		s.clock.Advance(m.D)
 		return nil
 	default:
-		return fmt.Errorf("canbridge: unknown command %q", verb)
+		return fmt.Errorf("canbridge: unexpected %q here", strings.Fields(line)[0])
 	}
 }

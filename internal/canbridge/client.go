@@ -59,22 +59,32 @@ func Dial(addr string) (*Client, error) {
 }
 
 func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, rd, err := dialHello(c.addr)
 	if err != nil {
-		return fmt.Errorf("canbridge: dial %s: %w", c.addr, err)
+		return err
+	}
+	c.conn, c.rd = conn, rd
+	return nil
+}
+
+// dialHello opens a canbridge connection and consumes the server greeting.
+func dialHello(addr string) (net.Conn, *bufio.Reader, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("canbridge: dial %s: %w", addr, err)
 	}
 	rd := bufio.NewReader(conn)
 	greeting, err := rd.ReadString('\n')
 	if err != nil {
 		conn.Close()
-		return fmt.Errorf("canbridge: reading greeting: %w", err)
+		return nil, nil, fmt.Errorf("canbridge: reading greeting: %w", err)
 	}
-	if !strings.HasPrefix(greeting, "HELLO canbridge") {
+	hello, perr := Parse(greeting)
+	if h, ok := hello.(MsgHello); perr != nil || !ok || h.Subject != Greeting.Subject {
 		conn.Close()
-		return fmt.Errorf("canbridge: unexpected greeting %q", strings.TrimSpace(greeting))
+		return nil, nil, fmt.Errorf("canbridge: unexpected greeting %q", strings.TrimSpace(greeting))
 	}
-	c.conn, c.rd = conn, rd
-	return nil
+	return conn, rd, nil
 }
 
 // Reconnects reports how many times the client redialled after a dropped
@@ -93,12 +103,12 @@ func (c *Client) Close() error {
 
 // Send injects one frame onto the bridged bus.
 func (c *Client) Send(f can.Frame) error {
-	return c.do("SEND " + f.String())
+	return c.do(Format(MsgSend{Frame: f}))
 }
 
 // Advance moves the bridge's virtual clock forward.
 func (c *Client) Advance(d time.Duration) error {
-	return c.do(fmt.Sprintf("ADVANCE %d", d.Milliseconds()))
+	return c.do(Format(MsgAdvance{D: d}))
 }
 
 // do issues one command, reconnecting on I/O failure. A ServerError (the
@@ -143,18 +153,21 @@ func (c *Client) try(cmd string) error {
 		if err != nil {
 			return err
 		}
-		line = strings.TrimSpace(line)
-		switch {
-		case line == "OK":
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		msg, perr := Parse(line)
+		if perr != nil {
+			continue // tolerate unknown lines, as the string matcher did
+		}
+		switch m := msg.(type) {
+		case MsgOK:
 			return nil
-		case strings.HasPrefix(line, "ERR "):
-			return &ServerError{Msg: strings.TrimPrefix(line, "ERR ")}
-		case line == "":
-		default:
+		case MsgErr:
+			return &ServerError{Msg: m.Msg}
+		case MsgFrame:
 			if c.OnFrame != nil {
-				if f, perr := can.ParseDumpLine(line); perr == nil {
-					c.OnFrame(f)
-				}
+				c.OnFrame(m.Frame)
 			}
 		}
 	}

@@ -1,0 +1,274 @@
+package canbridge
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"dpreverser/internal/can"
+)
+
+// IngestSink receives one live stream's events. The IngestServer calls a
+// sink from the session's connection goroutine only, so implementations
+// need no locking against the server. Close is called exactly once, after
+// the last Frame/Advance.
+type IngestSink interface {
+	// Frame delivers one streamed frame, already stamped with the
+	// session's virtual clock.
+	Frame(f can.Frame) error
+	// Advance reports the client moving the session clock forward; the
+	// server has already applied it to subsequent frame timestamps.
+	Advance(d time.Duration) error
+	// Close ends the session. complete is true when the client shut the
+	// connection down cleanly (EOF), false when the server is closing or
+	// the connection failed mid-stream.
+	Close(complete bool)
+}
+
+// IngestServer is the receiving side of the canbridge line protocol: where
+// Server streams a simulated bus out, IngestServer accepts frames in —
+// the live-capture front door of the reverse-engineering job server.
+//
+// A session:
+//
+//	server → client:  HELLO canbridge 1
+//	client → server:  HELLO <token>         bind the stream to a job
+//	server → client:  OK                    (or ERR + close for a bad token)
+//	client → server:  SEND 7E0#0210...      one frame, stamped at session time
+//	client → server:  ADVANCE 50            advance session time 50 ms
+//	client → server:  (EOF)                 finalise the stream
+//
+// Each session owns a virtual clock that starts at zero and moves only on
+// ADVANCE, so the assembled capture is as deterministic as the client's
+// own frame ordering.
+type IngestServer struct {
+	// open resolves a session token to its sink; an error refuses the
+	// session (sent to the client as an ERR line).
+	open func(token string) (IngestSink, error)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewIngestServer builds an ingest listener that resolves stream tokens
+// through open.
+func NewIngestServer(open func(token string) (IngestSink, error)) *IngestServer {
+	return &IngestServer{open: open, conns: map[net.Conn]bool{}}
+}
+
+// Listen starts accepting stream sessions on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *IngestServer) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("canbridge: ingest listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener and tears down every live session (their sinks
+// see Close(false)).
+func (s *IngestServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *IngestServer) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *IngestServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	fmt.Fprintln(conn, Format(Greeting))
+	sc := bufio.NewScanner(conn)
+
+	// Handshake: the first line must bind a token.
+	sink, err := s.handshake(sc)
+	if err != nil {
+		fmt.Fprintln(conn, Format(MsgErr{Msg: err.Error()}))
+		return
+	}
+	fmt.Fprintln(conn, Format(MsgOK{}))
+
+	// Stream loop. The session clock starts at zero; SEND stamps, ADVANCE
+	// moves.
+	var now time.Duration
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		msg, perr := Parse(line)
+		var cmdErr error
+		switch m := msg.(type) {
+		case MsgSend:
+			f := m.Frame
+			f.Timestamp = now
+			cmdErr = sink.Frame(f)
+		case MsgAdvance:
+			now += m.D
+			cmdErr = sink.Advance(m.D)
+		default:
+			cmdErr = perr
+			if cmdErr == nil {
+				cmdErr = fmt.Errorf("canbridge: unexpected %q during a stream", strings.Fields(line)[0])
+			}
+		}
+		if cmdErr != nil {
+			fmt.Fprintln(conn, Format(MsgErr{Msg: cmdErr.Error()}))
+			continue
+		}
+		fmt.Fprintln(conn, Format(MsgOK{}))
+	}
+	// EOF with no scanner error is a clean finalisation; anything else —
+	// including the server closing the socket — is a truncated stream.
+	sink.Close(sc.Err() == nil && !s.closing())
+}
+
+// closing reports whether Close is tearing the server down.
+func (s *IngestServer) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// handshake reads the client HELLO and resolves its token.
+func (s *IngestServer) handshake(sc *bufio.Scanner) (IngestSink, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		msg, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		hello, ok := msg.(MsgHello)
+		if !ok {
+			return nil, fmt.Errorf("canbridge: expected HELLO <token>, got %q", line)
+		}
+		return s.open(hello.Subject)
+	}
+	return nil, fmt.Errorf("canbridge: connection closed before HELLO")
+}
+
+// StreamConn is the client side of one ingest session: dial, stream
+// SEND/ADVANCE commands synchronously, Close to finalise. Unlike Client it
+// never redials — a dropped ingest connection means a truncated stream,
+// and silently rebinding a fresh session would hide that.
+type StreamConn struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// DialStream opens an ingest session bound to token.
+func DialStream(addr, token string) (*StreamConn, error) {
+	conn, rd, err := dialHello(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &StreamConn{conn: conn, rd: rd}
+	if err := c.command(MsgHello{Subject: token}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Send streams one frame into the session.
+func (c *StreamConn) Send(f can.Frame) error { return c.command(MsgSend{Frame: f}) }
+
+// Advance moves the session's virtual clock forward.
+func (c *StreamConn) Advance(d time.Duration) error { return c.command(MsgAdvance{D: d}) }
+
+// Close finalises the stream; the server-side sink sees a complete
+// session.
+func (c *StreamConn) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// command writes one line and waits for its OK/ERR.
+func (c *StreamConn) command(m Message) error {
+	if c.conn == nil {
+		return fmt.Errorf("canbridge: stream closed")
+	}
+	if _, err := fmt.Fprintln(c.conn, Format(m)); err != nil {
+		return err
+	}
+	for {
+		line, err := c.rd.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		msg, perr := Parse(line)
+		if perr != nil {
+			continue
+		}
+		switch reply := msg.(type) {
+		case MsgOK:
+			return nil
+		case MsgErr:
+			return &ServerError{Msg: reply.Msg}
+		}
+	}
+}

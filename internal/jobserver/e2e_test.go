@@ -1,0 +1,295 @@
+package jobserver_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dpreverser/internal/diagtool"
+	"dpreverser/internal/jobserver"
+	"dpreverser/internal/reverser"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/sim"
+	"dpreverser/internal/vehicle"
+)
+
+// collectCapture runs one Car M rig session and tears the simulation down
+// before returning, so the goroutine baseline taken afterwards is clean.
+func collectCapture(t *testing.T) rig.Capture {
+	t.Helper()
+	p, ok := vehicle.ProfileByCar("Car M")
+	if !ok {
+		t.Fatal("unknown car Car M")
+	}
+	clock := sim.NewClock(0)
+	tool, veh, err := diagtool.ForProfile(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tool.Close()
+	defer veh.Close()
+	cfg := rig.DefaultConfig()
+	cfg.ReadDuration = 20 * time.Second
+	cfg.AlignDuration = 6 * time.Second
+	cfg.TestDuration = time.Second
+	r := rig.New(tool, veh, cfg)
+	defer r.Close()
+	cap, err := r.RunFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+// e2eGPConfig is the shared quick budget: the server's jobs and the direct
+// parity run must use exactly the same configuration.
+func e2eGPConfig() reverser.Config {
+	cfg := reverser.DefaultConfig()
+	cfg.GP.PopulationSize = 150
+	cfg.GP.Generations = 10
+	cfg.GP.Seed = 7
+	return cfg
+}
+
+// apiSnapshot is the slice of the job document the e2e reads.
+type apiSnapshot struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+}
+
+// apiEvents mirrors the events endpoint document.
+type apiEvents struct {
+	Job    string `json:"job"`
+	State  string `json:"state"`
+	Events []struct {
+		Seq  int    `json:"seq"`
+		Kind string `json:"kind"`
+	} `json:"events"`
+}
+
+// doJSON issues one request and decodes the response body into out.
+func doJSON(t *testing.T, client *http.Client, method, url string, body io.Reader, wantCode int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s %s response: %v\n%s", method, url, err, raw)
+		}
+	}
+}
+
+// TestServerEndToEnd drives the whole HTTP surface the way a fleet of
+// tenants would: uploads across three tenants, quota rejections, ordered
+// progress long-polls, a result byte-identical with a direct Reverser
+// run, and a clean drain + shutdown with no goroutine leaks.
+func TestServerEndToEnd(t *testing.T) {
+	cap := collectCapture(t)
+	var capBody bytes.Buffer
+	if err := cap.Save(&capBody); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+
+	srv := jobserver.New(jobserver.Config{
+		Shards:          2,
+		QueueDepth:      16,
+		TenantMaxActive: 2,
+		Reverser:        []reverser.Option{reverser.WithConfig(e2eGPConfig())},
+	}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// Four captures across three tenants.
+	tenants := []string{"apex", "blue", "apex", "caro"}
+	var jobs []apiSnapshot
+	for _, tenant := range tenants {
+		var snap apiSnapshot
+		doJSON(t, client, "POST", ts.URL+"/api/v1/jobs?tenant="+tenant,
+			bytes.NewReader(capBody.Bytes()), http.StatusAccepted, &snap)
+		if snap.Tenant != tenant || snap.ID == "" {
+			t.Fatalf("submit returned %+v", snap)
+		}
+		jobs = append(jobs, snap)
+	}
+
+	// Quota rejections, deterministically: stream registrations occupy a
+	// dedicated tenant's two slots without touching the worker fleet, so
+	// the third submission must bounce with 429 + Retry-After.
+	var regs []struct {
+		Job   apiSnapshot `json:"job"`
+		Token string      `json:"token"`
+	}
+	for i := 0; i < 2; i++ {
+		var reg struct {
+			Job   apiSnapshot `json:"job"`
+			Token string      `json:"token"`
+		}
+		doJSON(t, client, "POST", ts.URL+"/api/v1/streams?tenant=quota&car=Car+M",
+			nil, http.StatusCreated, &reg)
+		if reg.Token == "" {
+			t.Fatal("stream registration returned no token")
+		}
+		regs = append(regs, reg)
+	}
+	resp, err := client.Post(ts.URL+"/api/v1/streams?tenant=quota", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota registration = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	for _, reg := range regs {
+		doJSON(t, client, "DELETE", ts.URL+"/api/v1/jobs/"+reg.Job.ID, nil, http.StatusOK, nil)
+	}
+
+	// Long-poll every job to completion, asserting the progress stream is
+	// gapless and ordered across polls.
+	for _, j := range jobs {
+		after, state := 0, ""
+		for deadline := 0; ; deadline++ {
+			if deadline > 600 {
+				t.Fatalf("job %s did not finish (state %s)", j.ID, state)
+			}
+			var ev apiEvents
+			doJSON(t, client, "GET",
+				fmt.Sprintf("%s/api/v1/jobs/%s/events?after=%d&wait=2s", ts.URL, j.ID, after),
+				nil, http.StatusOK, &ev)
+			for i, e := range ev.Events {
+				if e.Seq != after+i+1 {
+					t.Fatalf("job %s: event seq %d at position %d after %d — gap or reorder",
+						j.ID, e.Seq, i, after)
+				}
+			}
+			if len(ev.Events) > 0 && after == 0 && ev.Events[0].Kind != "stage-start" {
+				t.Fatalf("job %s: first event is %s", j.ID, ev.Events[0].Kind)
+			}
+			after += len(ev.Events)
+			state = ev.State
+			if state == "done" || state == "failed" || state == "cancelled" {
+				break
+			}
+		}
+		if state != "done" {
+			t.Fatalf("job %s finished %s", j.ID, state)
+		}
+		if after == 0 {
+			t.Fatalf("job %s finished with no progress events", j.ID)
+		}
+	}
+
+	// Result parity: the server's document must be byte-identical with a
+	// direct Reverser run under the same configuration.
+	req, err := http.NewRequest("GET", ts.URL+"/api/v1/jobs/"+jobs[0].ID+"/result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if err != nil || rr.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: %d %v", rr.StatusCode, err)
+	}
+	direct, err := reverser.New(reverser.WithConfig(e2eGPConfig())).
+		Reverse(context.Background(), cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want.Bytes()) {
+		t.Fatalf("served result differs from direct run (%d vs %d bytes)", len(served), want.Len())
+	}
+	if !strings.Contains(string(served), `"schema": 1`) {
+		t.Fatal("served result carries no schema version")
+	}
+
+	// The formula store aggregates the tenant's recoveries.
+	var formulas struct {
+		Formulas []struct {
+			Formula string `json:"formula"`
+		} `json:"formulas"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/api/v1/formulas?tenant=apex", nil, http.StatusOK, &formulas)
+	if len(formulas.Formulas) == 0 {
+		t.Fatal("no formulas listed for tenant apex")
+	}
+
+	// Drain: the server refuses new work with 503 + Retry-After but keeps
+	// answering reads.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Post(ts.URL+"/api/v1/jobs?tenant=apex", "application/json",
+		bytes.NewReader(capBody.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit while draining = %d (Retry-After %q), want 503 with a hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if health.Status != "draining" {
+		t.Fatalf("healthz status = %q after drain", health.Status)
+	}
+
+	// Clean shutdown: close everything and verify the goroutine population
+	// returns to the pre-server baseline.
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaked := 0
+	for i := 0; i < 500; i++ {
+		leaked = runtime.NumGoroutine() - base
+		if leaked <= 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("%d goroutines leaked after shutdown\n%s", leaked, buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,188 @@
+package jobserver
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/canbridge"
+	"dpreverser/internal/rig"
+)
+
+// ingestListener is the Server's handle on the canbridge ingest layer,
+// named so server.go stays free of the canbridge import.
+type ingestListener = *canbridge.IngestServer
+
+// StreamRegistration is what a tenant gets back from registering a live
+// stream: the job (in Streaming state) and the one-shot session token to
+// present in the canbridge HELLO.
+type StreamRegistration struct {
+	Job   *Job
+	Token string
+}
+
+// RegisterStream admits a streaming job. The capture arrives afterwards
+// over the canbridge ingest listener, bound by the returned token; a
+// clean session end (client EOF) queues the job, a dropped or aborted
+// session fails it. Registration counts against the tenant quota like any
+// other live job.
+func (s *Server) RegisterStream(tenant, car, streamName string) (StreamRegistration, error) {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return StreamRegistration{}, fmt.Errorf("jobserver: stream token: %w", err)
+	}
+	token := hex.EncodeToString(buf[:])
+
+	s.mu.Lock()
+	j, err := s.admitLocked(tenant, car, streamName, Streaming)
+	if err != nil {
+		s.mu.Unlock()
+		return StreamRegistration{}, err
+	}
+	ss := &streamSession{srv: s, job: j}
+	s.streams[token] = ss
+	s.mu.Unlock()
+	return StreamRegistration{Job: j, Token: token}, nil
+}
+
+// ServeIngest starts the canbridge ingest listener on addr ("127.0.0.1:0"
+// for an ephemeral port) and returns the bound address. The listener is
+// torn down with the server.
+func (s *Server) ServeIngest(addr string) (string, error) {
+	ing := canbridge.NewIngestServer(s.openStream)
+	bound, err := ing.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ing.Close()
+		return "", fmt.Errorf("jobserver: server is draining")
+	}
+	s.ingest = ing
+	s.mu.Unlock()
+	return bound, nil
+}
+
+// openStream resolves a HELLO token to its session sink. Each token binds
+// exactly once.
+func (s *Server) openStream(token string) (canbridge.IngestSink, error) {
+	s.mu.Lock()
+	ss, ok := s.streams[token]
+	if ok {
+		delete(s.streams, token)
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	if !ok || draining {
+		s.met.StreamSessions.With("rejected").Inc()
+		return nil, fmt.Errorf("jobserver: unknown or already-bound stream token")
+	}
+	return ss, nil
+}
+
+// streamSession adapts one registered stream onto canbridge.IngestSink,
+// accumulating frames into the job's capture until the session ends.
+type streamSession struct {
+	srv *Server
+	job *Job
+
+	mu      sync.Mutex
+	frames  []can.Frame
+	aborted bool
+	closed  bool
+}
+
+// Frame implements canbridge.IngestSink: buffer one stamped frame.
+func (ss *streamSession) Frame(f can.Frame) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.aborted || ss.closed {
+		return fmt.Errorf("jobserver: stream session closed")
+	}
+	if ss.job.State().Terminal() {
+		return fmt.Errorf("jobserver: job %s is %s", ss.job.ID, ss.job.State())
+	}
+	ss.frames = append(ss.frames, f)
+	return nil
+}
+
+// Advance implements canbridge.IngestSink. Frames arrive already stamped
+// with the session clock, so there is nothing to do beyond refusing dead
+// sessions.
+func (ss *streamSession) Advance(time.Duration) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.aborted || ss.closed {
+		return fmt.Errorf("jobserver: stream session closed")
+	}
+	return nil
+}
+
+// Close implements canbridge.IngestSink: finalise the stream. A complete
+// session queues the job with the accumulated capture; anything else
+// fails it.
+func (ss *streamSession) Close(complete bool) {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.closed = true
+	if ss.aborted {
+		complete = false
+	}
+	frames := ss.frames
+	ss.frames = nil
+	ss.mu.Unlock()
+
+	j, s := ss.job, ss.srv
+	if j.State().Terminal() {
+		// Cancelled while streaming; the books are already settled.
+		s.met.StreamSessions.With("truncated").Inc()
+		return
+	}
+	if !complete {
+		s.met.StreamSessions.With("truncated").Inc()
+		s.finalize(j, Failed, nil, "stream truncated before completion")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		// The worker fleet may already be past the point of picking the
+		// job up; refuse rather than strand it in the queue.
+		s.met.StreamSessions.With("truncated").Inc()
+		s.finalize(j, Failed, nil, "stream completed during server drain")
+		return
+	}
+	s.met.StreamSessions.With("complete").Inc()
+
+	j.mu.Lock()
+	j.capture = rig.Capture{Car: j.Car, Frames: frames}
+	j.state = Queued
+	j.notifyLocked()
+	j.mu.Unlock()
+	s.met.JobsByState.With(Streaming.String()).Add(-1)
+	s.met.JobsByState.With(Queued.String()).Add(1)
+	s.enqueue(j)
+}
+
+// abort kills a registered-but-unbound session at drain time: no
+// connection exists to finalise it, so the job is settled here.
+func (ss *streamSession) abort() {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.closed = true
+	ss.aborted = true
+	ss.mu.Unlock()
+	ss.srv.finalize(ss.job, Cancelled, nil, "")
+}

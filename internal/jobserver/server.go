@@ -1,0 +1,538 @@
+package jobserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dpreverser/internal/reverser"
+	"dpreverser/internal/rig"
+	"dpreverser/internal/telemetry"
+)
+
+// Config tunes the job server.
+type Config struct {
+	// Shards is the queue partition count. Work is assigned to a shard by
+	// hashing (tenant, car, stream key), so submissions sharing that key
+	// always land on the same shard — and with one worker per shard they
+	// execute in submission order.
+	Shards int
+	// WorkersPerShard bounds the worker fleet: Shards × WorkersPerShard
+	// pipeline runs happen concurrently at most.
+	WorkersPerShard int
+	// QueueDepth caps each shard's backlog; submissions beyond it are
+	// rejected with a Retry-After hint (HTTP 429).
+	QueueDepth int
+	// TenantMaxActive caps one tenant's live jobs (streaming + queued +
+	// running) across all shards.
+	TenantMaxActive int
+	// RetryAfter is the back-off hint returned with rejections.
+	RetryAfter time.Duration
+	// Reverser is the base option set every job's pipeline run starts
+	// from; the server appends its own telemetry and progress wiring.
+	Reverser []reverser.Option
+}
+
+// DefaultConfig sizes the server for a small deployment.
+func DefaultConfig() Config {
+	return Config{
+		Shards:          4,
+		WorkersPerShard: 1,
+		QueueDepth:      64,
+		TenantMaxActive: 8,
+		RetryAfter:      time.Second,
+	}
+}
+
+// RejectionError reports a refused submission: quota, backpressure or a
+// draining server. RetryAfter is the client's back-off hint.
+type RejectionError struct {
+	// Reason is the stable label: "tenant-quota", "queue-full" or
+	// "draining".
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("jobserver: submission rejected (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// ErrUnknownJob reports a job ID the server has never issued.
+var ErrUnknownJob = errors.New("jobserver: unknown job")
+
+// shard is one queue partition.
+type shard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Job
+	// draining makes pop return nil once the queue is empty instead of
+	// waiting.
+	draining bool
+}
+
+func newShard() *shard {
+	sh := &shard{}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// push appends a job and wakes one worker.
+func (sh *shard) push(j *Job) {
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, j)
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// depth reads the backlog length.
+func (sh *shard) depth() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.queue)
+}
+
+// pop removes the oldest queued job, blocking until one arrives. It
+// returns nil when the shard is draining and empty — the worker's exit
+// signal.
+func (sh *shard) pop() *Job {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(sh.queue) == 0 {
+		if sh.draining {
+			return nil
+		}
+		sh.cond.Wait()
+	}
+	j := sh.queue[0]
+	sh.queue = sh.queue[1:]
+	return j
+}
+
+// drain flips the shard into drain mode and wakes all workers.
+func (sh *shard) drain() {
+	sh.mu.Lock()
+	sh.draining = true
+	sh.mu.Unlock()
+	sh.cond.Broadcast()
+}
+
+// Server is the multi-tenant reverse-engineering job server core:
+// admission, the sharded queue, the worker fleet and the job/result
+// store. The HTTP layer (http.go) and the canbridge ingest layer
+// (ingest.go) sit on top.
+type Server struct {
+	cfg   Config
+	tel   *telemetry.Provider
+	clock telemetry.Clock
+	met   *telemetry.JobServerMetrics
+
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	order    []string       // job IDs in submission order
+	tenants  map[string]int // live (streaming+queued+running) jobs per tenant
+	streams  map[string]*streamSession
+	draining bool
+
+	// ingest is the optional canbridge listener; see ingest.go.
+	ingest ingestListener
+}
+
+// New builds and starts a job server: the worker fleet is running on
+// return. A nil provider disables telemetry (spans and metrics become
+// no-ops); the server then times jobs with a private wall clock.
+func New(cfg Config, tel *telemetry.Provider) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.WorkersPerShard < 1 {
+		cfg.WorkersPerShard = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.TenantMaxActive < 1 {
+		cfg.TenantMaxActive = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		tel:     tel,
+		met:     telemetry.NewJobServerMetrics(tel.RegistryOrNil()),
+		jobs:    map[string]*Job{},
+		tenants: map[string]int{},
+		streams: map[string]*streamSession{},
+	}
+	if tel != nil && tel.Clock != nil {
+		s.clock = tel.Clock
+	} else {
+		s.clock = telemetry.NewWallClock()
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard())
+	}
+	for i := range s.shards {
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(i)
+		}
+	}
+	return s
+}
+
+// Config returns the configuration in effect (after defaulting).
+func (s *Server) Config() Config { return s.cfg }
+
+// shardFor hashes the partition key. Everything that shares (tenant, car,
+// stream) shares a shard, so one worker per shard serialises a tenant's
+// related submissions in order.
+func (s *Server) shardFor(tenant, car, stream string) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", tenant, car, stream)
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// Submit admits one complete capture as a queued job. The returned error
+// is a *RejectionError for quota/backpressure/draining refusals.
+func (s *Server) Submit(tenant string, cap rig.Capture, streamName string) (*Job, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("jobserver: empty tenant")
+	}
+	s.mu.Lock()
+	j, err := s.admitLocked(tenant, cap.Car, streamName, Queued)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	j.capture = cap
+	s.mu.Unlock()
+	s.enqueue(j)
+	return j, nil
+}
+
+// admitLocked runs admission control and creates the job in its initial
+// state. Callers hold s.mu.
+func (s *Server) admitLocked(tenant, car, streamName string, initial JobState) (*Job, error) {
+	reject := func(reason string) error {
+		s.met.TenantRejections.With(tenant, reason).Inc()
+		return &RejectionError{Reason: reason, RetryAfter: s.cfg.RetryAfter}
+	}
+	if s.draining {
+		return nil, reject("draining")
+	}
+	if s.tenants[tenant] >= s.cfg.TenantMaxActive {
+		return nil, reject("tenant-quota")
+	}
+	shardIdx := s.shardFor(tenant, car, streamName)
+	if initial == Queued && s.shards[shardIdx].depth() >= s.cfg.QueueDepth {
+		return nil, reject("queue-full")
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%d", s.seq), tenant, car, streamName, initial, s.clock.Now())
+	j.shard = shardIdx
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.tenants[tenant]++
+	s.met.TenantAdmissions.With(tenant).Inc()
+	s.met.JobsByState.With(initial.String()).Add(1)
+	return j, nil
+}
+
+// enqueue hands a job to its shard and publishes the new depth.
+func (s *Server) enqueue(j *Job) {
+	sh := s.shards[j.shard]
+	sh.push(j)
+	s.met.QueueDepth.With(strconv.Itoa(j.shard)).Set(float64(sh.depth()))
+}
+
+// worker is one member of the bounded fleet, pinned to a shard.
+func (s *Server) worker(shardIdx int) {
+	defer s.wg.Done()
+	sh := s.shards[shardIdx]
+	for {
+		j := sh.pop()
+		if j == nil {
+			return
+		}
+		s.met.QueueDepth.With(strconv.Itoa(shardIdx)).Set(float64(sh.depth()))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the pipeline and finalises it.
+func (s *Server) runJob(j *Job) {
+	// Claim the job: a cancelled-in-queue job is already terminal and is
+	// simply skipped.
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if j.cancelled {
+		cancel()
+	}
+	j.cancelRun = cancel
+	prev := j.state
+	j.state = Running
+	j.started = s.clock.Now()
+	queueWait := j.started - j.submitted
+	j.notifyLocked()
+	capture := j.capture
+	j.mu.Unlock()
+	defer cancel()
+
+	s.met.JobsByState.With(prev.String()).Add(-1)
+	s.met.JobsByState.With(Running.String()).Add(1)
+	s.met.QueueWait.ObserveDuration(queueWait)
+
+	span := s.tel.TracerOrNil().Start("job",
+		telemetry.String("job", j.ID),
+		telemetry.String("tenant", j.Tenant),
+		telemetry.String("car", j.Car),
+		telemetry.Int("shard", j.shard))
+	defer span.End()
+
+	opts := make([]reverser.Option, 0, len(s.cfg.Reverser)+2)
+	opts = append(opts, s.cfg.Reverser...)
+	opts = append(opts, reverser.WithTelemetry(s.tel), reverser.WithProgress(j.record))
+	res, err := reverser.New(opts...).Reverse(ctx, capture)
+
+	final := Done
+	errMsg := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		final = Cancelled
+	default:
+		final = Failed
+		errMsg = err.Error()
+	}
+	s.finalize(j, final, res, errMsg)
+}
+
+// finalize moves a job into a terminal state and settles the accounting.
+func (s *Server) finalize(j *Job, final JobState, res *reverser.Result, errMsg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	prev := j.state
+	j.state = final
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = s.clock.Now()
+	var runTime time.Duration
+	if j.started > 0 {
+		runTime = j.finished - j.started
+	}
+	j.notifyLocked()
+	j.mu.Unlock()
+
+	s.met.JobsByState.With(prev.String()).Add(-1)
+	s.met.JobsByState.With(final.String()).Add(1)
+	s.met.JobsFinished.With(final.String()).Inc()
+	if prev == Running {
+		s.met.RunDuration.ObserveDuration(runTime)
+	}
+	s.mu.Lock()
+	s.tenants[j.Tenant]--
+	if s.tenants[j.Tenant] <= 0 {
+		delete(s.tenants, j.Tenant)
+	}
+	s.mu.Unlock()
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs lists jobs in submission order, optionally filtered by tenant.
+func (s *Server) Jobs(tenant string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenant != "" && j.Tenant != tenant {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// Cancel aborts a job: queued and streaming jobs become Cancelled
+// immediately, running jobs have their context cancelled and finalise
+// through the worker. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return nil
+	case j.state == Running:
+		j.cancelled = true
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		// Streaming or queued: mark it so the worker (or the ingest
+		// finaliser) skips it, and settle the books now.
+		j.cancelled = true
+		j.mu.Unlock()
+		s.finalize(j, Cancelled, nil, "")
+		return nil
+	}
+}
+
+// FormulaRecord is one recovered formula in the queryable store.
+type FormulaRecord struct {
+	Job     string  `json:"job"`
+	Tenant  string  `json:"tenant"`
+	Car     string  `json:"car,omitempty"`
+	ID      string  `json:"id"`
+	Label   string  `json:"label,omitempty"`
+	Unit    string  `json:"unit,omitempty"`
+	Formula string  `json:"formula"`
+	Fitness float64 `json:"fitness"`
+	Pairs   int     `json:"pairs"`
+}
+
+// Formulas lists every recovered formula across completed jobs, filtered
+// by tenant and/or car when non-empty, in (job, stream) order.
+func (s *Server) Formulas(tenant, car string) []FormulaRecord {
+	var out []FormulaRecord
+	for _, j := range s.Jobs(tenant) {
+		if car != "" && j.Car != car {
+			continue
+		}
+		res := j.Result()
+		if res == nil {
+			continue
+		}
+		for _, e := range res.ESVs {
+			if e.Formula == nil {
+				continue
+			}
+			out = append(out, FormulaRecord{
+				Job: j.ID, Tenant: j.Tenant, Car: j.Car,
+				ID: e.Key.String(), Label: e.Label, Unit: e.Unit,
+				Formula: e.FormulaString(), Fitness: e.Fitness, Pairs: e.Pairs,
+			})
+		}
+	}
+	return out
+}
+
+// QueueDepths reports each shard's backlog, for status endpoints.
+func (s *Server) QueueDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.depth()
+	}
+	return out
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits for every queued and running job to
+// finish — the graceful shutdown the daemon runs on SIGTERM. If ctx
+// expires first, the remaining jobs are cancelled and Drain keeps waiting
+// for the workers to observe the cancellation (which the GP engine does
+// between generations). Live ingest sessions are cut.
+func (s *Server) Drain(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: admission stops, all live jobs are
+// cancelled, and Close returns once the workers exit.
+func (s *Server) Close() error {
+	s.beginDrain()
+	s.cancelAll()
+	s.wg.Wait()
+	return nil
+}
+
+// beginDrain flips admission off, cuts ingest sessions and puts every
+// shard into drain mode. Idempotent.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	sessions := make([]*streamSession, 0, len(s.streams))
+	for _, ss := range s.streams {
+		sessions = append(sessions, ss)
+	}
+	ing := s.ingest
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	// Registered-but-never-bound streams are settled here; bound sessions
+	// live inside the ingest listener and are truncated by its Close.
+	for _, ss := range sessions {
+		ss.abort()
+	}
+	if ing != nil {
+		ing.Close() //nolint:errcheck // Close never fails after Listen
+	}
+	for _, sh := range s.shards {
+		sh.drain()
+	}
+}
+
+// cancelAll cancels every non-terminal job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.Cancel(id) //nolint:errcheck // unknown IDs cannot occur here
+	}
+}

@@ -1,7 +1,6 @@
 package reverser
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -40,7 +39,9 @@ func ParseFaultPolicy(s string) (FaultPolicy, error) {
 	}
 }
 
-// WithFaultPolicy sets the degradation policy (default BestEffort).
+// WithFaultPolicy sets the degradation policy: BestEffort (the default)
+// contains damage per stream and reports it on Result.Degraded; Strict
+// fails the run with a *DegradedError when any stream degrades.
 func WithFaultPolicy(p FaultPolicy) Option {
 	return func(rv *Reverser) { rv.policy = p }
 }
@@ -72,21 +73,6 @@ func (e StreamError) Error() string {
 		id = fmt.Sprintf("%s: %s", e.Key.String(), e.Detail)
 	}
 	return fmt.Sprintf("reverser: %s degraded (%s): %s", e.Stage, e.Reason, id)
-}
-
-// MarshalJSON renders the entry for the result report.
-func (e StreamError) MarshalJSON() ([]byte, error) {
-	out := struct {
-		ID     string `json:"id,omitempty"`
-		Label  string `json:"label,omitempty"`
-		Stage  string `json:"stage"`
-		Reason string `json:"reason"`
-		Detail string `json:"detail,omitempty"`
-	}{Label: e.Label, Stage: e.Stage, Reason: e.Reason, Detail: e.Detail}
-	if e.Key != (StreamKey{}) {
-		out.ID = e.Key.String()
-	}
-	return json.Marshal(out)
 }
 
 // DegradedError is returned by Reverse under the Strict policy when any

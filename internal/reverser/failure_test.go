@@ -1,6 +1,7 @@
 package reverser
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func TestReverseSurvivesFrameLoss(t *testing.T) {
 	cap, veh := collect(t, "Car M")
 	lossy := cap
 	lossy.Frames = dropFrames(cap.Frames, 23) // ~4.3% loss
-	res, err := Reverse(lossy, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), lossy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestReverseSurvivesVideoLoss(t *testing.T) {
 		}
 	}
 	lossy.UIFrames = kept
-	res, err := Reverse(lossy, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), lossy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestReverseSurvivesVideoLoss(t *testing.T) {
 }
 
 func TestReverseHandlesEmptyCapture(t *testing.T) {
-	res, err := Reverse(rig.Capture{Car: "empty"}, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), rig.Capture{Car: "empty"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestReverseHandlesTrafficOnlyCapture(t *testing.T) {
 	// formulas — the paper's limitation (1): both sides are required.
 	cap, _ := collect(t, "Car M")
 	cap.UIFrames = nil
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestReverseWithGarbageTrafficInjected(t *testing.T) {
 		}
 	}
 	cap.Frames = noisy
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestReverseWithHeavyOCRNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestReverseWithLargeCameraSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package reverser
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +8,6 @@ import (
 
 	"dpreverser/internal/gp"
 	"dpreverser/internal/ocr"
-	"dpreverser/internal/rig"
 )
 
 // Config tunes the pipeline.
@@ -133,17 +131,6 @@ type Result struct {
 	// Empty on a clean capture. Under WithFaultPolicy(Strict), a non-empty
 	// report fails the run with a *DegradedError instead.
 	Degraded []StreamError
-}
-
-// Reverse runs the complete pipeline on a capture.
-//
-// Deprecated: use New and (*Reverser).Reverse, which add cancellation,
-// parallel inference and progress reporting:
-//
-//	rv := reverser.New(reverser.WithConfig(cfg))
-//	res, err := rv.Reverse(ctx, cap)
-func Reverse(cap rig.Capture, cfg Config) (*Result, error) {
-	return New(WithConfig(cfg)).Reverse(context.Background(), cap)
 }
 
 // session is one contiguous live-data recording (one ECU's data-stream

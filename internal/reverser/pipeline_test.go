@@ -2,6 +2,7 @@ package reverser
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -67,7 +68,7 @@ func truthFor(veh *vehicle.Vehicle, key StreamKey) (ecu.DIDSpec, bool) {
 func TestReverseCarMEndToEnd(t *testing.T) {
 	// Car M (Peugeot 308): 4 formula + 14 enum ESVs — a small full run.
 	cap, veh := collect(t, "Car M")
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func formulaMatchesDecode(cap rig.Capture, key StreamKey, f *gp.Node, codec ecu.
 
 func TestReverseRecoversECRsWithSemantics(t *testing.T) {
 	cap, veh := collect(t, "Car E") // Mini R56: 3 ECRs via service 0x30
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestReverseRecoversECRsWithSemantics(t *testing.T) {
 
 func TestReverseUDSECRsIncludeFreeze(t *testing.T) {
 	cap, veh := collect(t, "Car H") // MARVEL X: 6 ECRs via 0x2F
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestReverseUDSECRsIncludeFreeze(t *testing.T) {
 
 func TestReverseKWPCar(t *testing.T) {
 	cap, veh := collect(t, "Car C") // Lavida: 5 KWP formula ESVs
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestReverseKWPCar(t *testing.T) {
 
 func TestReverseOBDStreamsAgainstStandard(t *testing.T) {
 	cap, _ := collect(t, "Car M")
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestReverseOBDStreamsAgainstStandard(t *testing.T) {
 
 func TestReverseOffsetEstimated(t *testing.T) {
 	cap, _ := collect(t, "Car M")
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestReverseOffsetEstimated(t *testing.T) {
 
 func TestSummaryRenders(t *testing.T) {
 	cap, _ := collect(t, "Car M")
-	res, err := Reverse(cap, testConfig())
+	res, err := New(WithConfig(testConfig())).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,11 +327,11 @@ func TestReverseFromPersistedCapture(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := testConfig()
-	live, err := Reverse(cap, cfg)
+	live, err := New(WithConfig(cfg)).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, err := Reverse(loaded, cfg)
+	replayed, err := New(WithConfig(cfg)).Reverse(context.Background(), loaded)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,7 +81,11 @@ type Reverser struct {
 	mu sync.Mutex
 }
 
-// Option configures a Reverser.
+// Option configures a Reverser. All options follow the WithX naming
+// convention and compose left to right: later options override earlier
+// ones. The full set is WithConfig, WithGPConfig, WithParallelism,
+// WithProgress, WithTelemetry, WithFaultPolicy, WithPairMaxGap and
+// WithMinPairs.
 type Option func(*Reverser)
 
 // WithConfig replaces the whole pipeline configuration at once. It
@@ -104,7 +108,10 @@ func WithParallelism(n int) Option {
 	return func(rv *Reverser) { rv.parallelism = n }
 }
 
-// WithProgress installs a progress callback.
+// WithProgress installs a progress callback. The Reverser serialises
+// calls (see ProgressFunc); a nil fn (the default) disables progress
+// reporting. Stage events bracket each pipeline stage, stream events each
+// stream's formula inference.
 func WithProgress(fn ProgressFunc) Option {
 	return func(rv *Reverser) { rv.progress = fn }
 }

@@ -65,26 +65,26 @@ func TestReverseDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-// The deprecated free function must keep producing exactly what the new
-// entry point produces, so existing callers migrate without churn.
-func TestDeprecatedReverseMatchesNewAPI(t *testing.T) {
+// Two fresh Reversers with the same configuration must produce identical
+// results — the constructor holds no hidden per-instance state.
+func TestRepeatedConstructionIsDeterministic(t *testing.T) {
 	cap, _ := collect(t, "Car M")
 	cfg := testConfig()
-	old, err := Reverse(cap, cfg)
+	first, err := New(WithConfig(cfg)).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(WithConfig(cfg)).Reverse(context.Background(), cap)
+	second, err := New(WithConfig(cfg)).Reverse(context.Background(), cap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldFP, newFP := fingerprints(old), fingerprints(res)
-	if len(oldFP) != len(newFP) {
-		t.Fatalf("old %d ESVs, new %d", len(oldFP), len(newFP))
+	firstFP, secondFP := fingerprints(first), fingerprints(second)
+	if len(firstFP) != len(secondFP) {
+		t.Fatalf("first %d ESVs, second %d", len(firstFP), len(secondFP))
 	}
-	for i := range oldFP {
-		if oldFP[i] != newFP[i] {
-			t.Fatalf("ESV %d: old %+v, new %+v", i, oldFP[i], newFP[i])
+	for i := range firstFP {
+		if firstFP[i] != secondFP[i] {
+			t.Fatalf("ESV %d: first %+v, second %+v", i, firstFP[i], secondFP[i])
 		}
 	}
 }

@@ -6,6 +6,17 @@ import (
 	"math"
 )
 
+// This file is the versioned result schema: the one JSON shape of a
+// reverse-engineering result, emitted identically by `dpreverse -json`,
+// the experiment harness and the job server's result endpoint. Every
+// document carries a top-level "schema" field; consumers reject versions
+// they do not understand instead of misreading silently renamed fields.
+// Bump ResultSchemaVersion on any incompatible change and record the old
+// shape in the golden files under testdata/.
+
+// ResultSchemaVersion is the current result-document schema version.
+const ResultSchemaVersion = 1
+
 // Kind classifies a reversed stream the way the result tables do.
 func (r ReversedESV) Kind() string {
 	switch {
@@ -111,11 +122,27 @@ func (r ReversedECR) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// MarshalJSON renders the full result. Streams (the raw inference inputs)
-// are deliberately omitted: they are working state for the experiment
-// harness, not part of the reversed protocol description.
+// MarshalJSON renders the degradation entry for the result report.
+func (e StreamError) MarshalJSON() ([]byte, error) {
+	out := struct {
+		ID     string `json:"id,omitempty"`
+		Label  string `json:"label,omitempty"`
+		Stage  string `json:"stage"`
+		Reason string `json:"reason"`
+		Detail string `json:"detail,omitempty"`
+	}{Label: e.Label, Stage: e.Stage, Reason: e.Reason, Detail: e.Detail}
+	if e.Key != (StreamKey{}) {
+		out.ID = e.Key.String()
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the full result document. Streams (the raw
+// inference inputs) are deliberately omitted: they are working state for
+// the experiment harness, not part of the reversed protocol description.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
+		Schema      int           `json:"schema"`
 		Car         string        `json:"car"`
 		Model       string        `json:"model,omitempty"`
 		Tool        string        `json:"tool,omitempty"`
@@ -129,6 +156,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		ECRs        []ReversedECR `json:"ecrs,omitempty"`
 		Degraded    []StreamError `json:"degraded,omitempty"`
 	}{
+		Schema:      ResultSchemaVersion,
 		Car:         r.Car,
 		Model:       r.Model,
 		Tool:        r.ToolName,

@@ -1,0 +1,130 @@
+package reverser
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dpreverser/internal/gp"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the schema golden files")
+
+// goldenResult is a hand-built result exercising every branch of the
+// schema: a formula ESV, an enum, an under-sampled stream, a control
+// record, and degradation entries with and without a stream key.
+func goldenResult() *Result {
+	formula := gp.NewBinary(gp.OpAdd,
+		gp.NewBinary(gp.OpMul, gp.NewVar(0), gp.NewConst(0.75)),
+		gp.NewConst(-48))
+	return &Result{
+		Car:      "Car G",
+		Model:    "Golden GT",
+		ToolName: "GoldScan",
+		Offset:   123456 * time.Microsecond,
+		Messages: 42,
+		Stats: TrafficStats{
+			ISOTPSingle: 30, ISOTPFirst: 4, ISOTPConsecutive: 6, ISOTPFlowControl: 4,
+			Total: 44, AssemblyErrors: 2, ISOTPErrors: 2,
+		},
+		Evaluations: 1000,
+		CacheHits:   600,
+		CacheMisses: 400,
+		ESVs: []ReversedESV{
+			{
+				Key:         StreamKey{Proto: "UDS", RespID: 0x7E8, DID: 0xF405},
+				Label:       "Engine coolant temperature",
+				Unit:        "°C",
+				Formula:     formula,
+				Fitness:     0.25,
+				Pairs:       55,
+				Generations: 30,
+				Evaluations: 900,
+				CacheHits:   540,
+				CacheMisses: 360,
+			},
+			{
+				Key:   StreamKey{Proto: "KWP", RespID: 0x300, LocalID: 0x22, Index: 1, FType: 0x05},
+				Label: "Cruise control",
+				Enum:  true,
+				Pairs: 12,
+			},
+			{
+				Key:   StreamKey{Proto: "OBD", RespID: 0x7E8, DID: 0x0D},
+				Label: "Vehicle speed",
+				Unit:  "km/h",
+				Pairs: 3,
+			},
+		},
+		ECRs: []ReversedECR{
+			{
+				Service: 0x2F, ID: 0x0115, State: []byte{0x01, 0xFF},
+				Label: "Fuel pump relay", SawFreeze: true, SawAdjust: true, SawReturn: true,
+			},
+		},
+		Degraded: []StreamError{
+			{
+				Key:   StreamKey{Proto: "UDS", RespID: 0x7E8, DID: 0xF405},
+				Label: "Engine coolant temperature", Stage: "assemble",
+				Reason: "transport-errors", Detail: "2 reassembly errors on ID 7E8",
+			},
+			{
+				Stage: "assemble", Reason: "transport-errors",
+				Detail: "1 reassembly errors on ID 7F1 (no recovered stream)",
+			},
+		},
+	}
+}
+
+// TestResultSchemaGolden pins the versioned result document byte for byte.
+// `dpreverse -json`, the experiment harness and the job server's result
+// endpoint all emit this exact shape; a diff here means the schema changed
+// and ResultSchemaVersion must be bumped (with a new golden alongside the
+// old one).
+func TestResultSchemaGolden(t *testing.T) {
+	got, err := json.MarshalIndent(goldenResult(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "result_schema_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("result document drifted from %s:\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, bump ResultSchemaVersion and regenerate with -update-golden.",
+			path, got, want)
+	}
+}
+
+// TestResultSchemaVersionField guards the contract consumers dispatch on.
+func TestResultSchemaVersionField(t *testing.T) {
+	raw, err := json.Marshal(goldenResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != ResultSchemaVersion {
+		t.Fatalf("schema field = %d, want %d", doc.Schema, ResultSchemaVersion)
+	}
+}

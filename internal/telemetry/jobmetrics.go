@@ -1,0 +1,71 @@
+package telemetry
+
+// JobServerMetrics is the named metric set the dpreversed job server
+// increments. Like PipelineMetrics, names and label schemas live here —
+// one home shared by the server, its tests and the CI smoke check — and
+// every metric method is nil-safe against a nil registry.
+type JobServerMetrics struct {
+	// JobsByState tracks the live population of jobs in each lifecycle
+	// state (queued|running|done|failed|cancelled). Terminal states only
+	// ever grow; queued/running breathe with the workload.
+	JobsByState *GaugeVec
+	// JobsFinished counts jobs reaching each terminal state
+	// (done|failed|cancelled).
+	JobsFinished *CounterVec
+	// QueueDepth tracks the number of queued jobs per shard (label: shard
+	// index as a decimal string).
+	QueueDepth *GaugeVec
+	// TenantAdmissions counts accepted submissions per tenant.
+	TenantAdmissions *CounterVec
+	// TenantRejections counts refused submissions per tenant and reason
+	// (quota|backpressure|draining).
+	TenantRejections *CounterVec
+	// QueueWait observes how long jobs sat queued before a worker picked
+	// them up, in seconds (injected clock).
+	QueueWait *Histogram
+	// RunDuration observes per-job pipeline wall time in seconds
+	// (injected clock).
+	RunDuration *Histogram
+	// StreamSessions counts canbridge ingest sessions by outcome
+	// (complete|truncated|rejected).
+	StreamSessions *CounterVec
+}
+
+// Job-server metric names, exported so tests and the CI smoke check
+// assert against one source of truth.
+const (
+	MetricJobsByState      = "dpreverser_jobs_by_state"
+	MetricJobsFinished     = "dpreverser_jobs_finished_total"
+	MetricQueueDepth       = "dpreverser_job_queue_depth"
+	MetricTenantAdmissions = "dpreverser_tenant_admissions_total"
+	MetricTenantRejections = "dpreverser_tenant_rejections_total"
+	MetricJobQueueWait     = "dpreverser_job_queue_wait_seconds"
+	MetricJobRunDuration   = "dpreverser_job_run_seconds"
+	MetricStreamSessions   = "dpreverser_stream_sessions_total"
+)
+
+// NewJobServerMetrics registers the job-server metric set on reg. A nil
+// registry yields a JobServerMetrics whose every operation is a no-op.
+func NewJobServerMetrics(reg *Registry) *JobServerMetrics {
+	m := &JobServerMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.JobsByState = reg.GaugeVec(MetricJobsByState,
+		"jobs currently in each lifecycle state", "state")
+	m.JobsFinished = reg.CounterVec(MetricJobsFinished,
+		"jobs reaching each terminal state", "state")
+	m.QueueDepth = reg.GaugeVec(MetricQueueDepth,
+		"queued jobs per shard", "shard")
+	m.TenantAdmissions = reg.CounterVec(MetricTenantAdmissions,
+		"accepted job submissions per tenant", "tenant")
+	m.TenantRejections = reg.CounterVec(MetricTenantRejections,
+		"refused job submissions per tenant and reason", "tenant", "reason")
+	m.QueueWait = reg.Histogram(MetricJobQueueWait,
+		"job queue wait in seconds (injected clock)", nil)
+	m.RunDuration = reg.Histogram(MetricJobRunDuration,
+		"per-job pipeline wall time in seconds (injected clock)", nil)
+	m.StreamSessions = reg.CounterVec(MetricStreamSessions,
+		"canbridge ingest sessions by outcome", "outcome")
+	return m
+}
