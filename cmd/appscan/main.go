@@ -125,9 +125,9 @@ func run() error {
 // With a nil provider every hook is a no-op.
 func instrumentedAnalyze(tel *telemetry.Provider) func(*appanalysis.App) []appanalysis.Formula {
 	reg := tel.RegistryOrNil()
-	scanned := reg.Counter("dpreverser_apps_scanned_total",
+	scanned := reg.Counter(telemetry.MetricAppsScanned,
 		"Telematics apps run through the dataflow analysis.")
-	found := reg.CounterVec("dpreverser_app_formulas_total",
+	found := reg.CounterVec(telemetry.MetricAppFormulas,
 		"Formulas extracted from telematics apps, by protocol kind.", "kind")
 	return func(app *appanalysis.App) []appanalysis.Formula {
 		sp := tel.TracerOrNil().Start("app-scan", telemetry.String("app", app.Name))

@@ -112,7 +112,7 @@ func run() error {
 	flag.Parse()
 
 	if *date == "" {
-		*date = time.Now().Format("2006-01-02") //dplint:allow entry dates come from the wall clock
+		*date = time.Now().Format("2006-01-02") //dplint:allow determinism entry dates come from the wall clock
 	}
 	rep := report{Date: *date, Quick: *quick}
 

@@ -1,121 +1,148 @@
-// Command dplint runs the repo's custom analyzers (internal/lint) over
-// the module source tree. Today that is the determinism analyzer: the
-// experiments must be byte-identical across runs, so time.Now/time.Since
-// and the global math/rand source are forbidden outside internal/sim.
+// Command dplint runs the repo's type-aware static-analysis suite (see
+// internal/lint). With no flags it type-checks the whole module and runs
+// every registered analyzer, printing file:line:col diagnostics and
+// exiting 1 when any survive suppression.
 //
 // Usage:
 //
-//	dplint          # lint the module rooted at the working directory
-//	dplint ./...    # same (the pattern is accepted for familiarity)
-//	dplint -tests   # also lint _test.go files
+//	dplint [flags] [module-root]
 //
-// Exit status is 1 when any diagnostic is reported. Suppress a deliberate
-// finding with a `//dplint:allow <reason>` comment on the same line or
-// the line above.
+//	-list            print the registered analyzers and exit
+//	-enable  names   run only these analyzers (comma-separated)
+//	-disable names   run all but these analyzers
+//	-tests           include _test.go files in the analysis
+//	-json            emit diagnostics (and suppressions) as JSON
+//	-audit-allows    also fail on //dplint:allow directives that
+//	                 suppressed nothing in this run
+//	-hotalloc        run the escape-analysis ratchet: rebuild the
+//	                 hotpath packages with -gcflags=-m and diff the
+//	                 escapes against the committed baseline
+//	-write-baseline  with -hotalloc: rewrite the baseline instead of
+//	                 diffing against it
+//	-baseline file   baseline path (default HOTALLOC_BASELINE.txt)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"dpreverser/internal/lint"
 )
 
-// exemptDirs are subtrees the determinism analyzer does not apply to:
-// internal/sim is the one place wall clocks and entropy are wrapped.
-var exemptDirs = []string{
-	filepath.Join("internal", "sim"),
-}
-
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "dplint:", err)
+	var (
+		listFlag      = flag.Bool("list", false, "print the registered analyzers and exit")
+		enableFlag    = flag.String("enable", "", "comma-separated analyzers to run (default all)")
+		disableFlag   = flag.String("disable", "", "comma-separated analyzers to skip")
+		testsFlag     = flag.Bool("tests", false, "include _test.go files")
+		jsonFlag      = flag.Bool("json", false, "emit diagnostics as JSON")
+		auditFlag     = flag.Bool("audit-allows", false, "fail on stale //dplint:allow directives")
+		hotallocFlag  = flag.Bool("hotalloc", false, "diff hotpath heap escapes against the baseline")
+		writeBaseline = flag.Bool("write-baseline", false, "with -hotalloc: rewrite the baseline")
+		baselineFlag  = flag.String("baseline", lint.DefaultBaselineFile, "hotalloc baseline path (relative to module root)")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.AllAnalyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+
+	analyzers, err := lint.Select(*enableFlag, *disableFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	mod, err := lint.LoadModule(root, *testsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lint.RunModule(mod, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		failed = true
+	}
+
+	if *auditFlag {
+		if ranAll := *enableFlag == "" && *disableFlag == ""; !ranAll {
+			fatal(fmt.Errorf("-audit-allows needs the full analyzer set: a directive for a skipped analyzer would look stale"))
+		}
+		for _, d := range res.StaleAllows() {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s:%d: stale //dplint:allow %v — it suppressed nothing; remove it\n",
+				d.File, d.Line, d.Args)
+		}
+	}
+
+	if *hotallocFlag {
+		if err := runHotAlloc(mod, filepath.Join(mod.Root, *baselineFlag), *writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	tests := flag.Bool("tests", false, "also lint _test.go files")
-	flag.Parse()
-
-	root := "."
-	if args := flag.Args(); len(args) == 1 && args[0] != "./..." {
-		root = strings.TrimSuffix(args[0], "/...")
+// runHotAlloc executes the escape ratchet: collect current escapes in
+// hotpath regions and either rewrite the baseline or fail on any drift.
+func runHotAlloc(mod *lint.Module, baselinePath string, write bool) error {
+	regions := lint.HotRegions(mod)
+	if len(regions) == 0 {
+		return fmt.Errorf("hotalloc: no //dplint:hotpath regions found")
 	}
-
-	files, err := collect(root, *tests)
+	current, err := lint.CollectEscapes(mod, regions)
 	if err != nil {
 		return err
 	}
-
-	fset := token.NewFileSet()
-	var parsed []*ast.File
-	for _, path := range files {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		parsed = append(parsed, f)
+	if write {
+		return os.WriteFile(baselinePath, []byte(lint.FormatBaseline(current)), 0o644)
 	}
-
-	bad := 0
-	for _, a := range []*lint.Analyzer{lint.Determinism} {
-		diags, err := lint.Run(a, fset, parsed)
-		if err != nil {
-			return err
-		}
-		for _, d := range diags {
-			fmt.Printf("%s:%d:%d: %s [dplint/%s]\n",
-				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
-			bad++
-		}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("hotalloc: %w (generate it with -hotalloc -write-baseline)", err)
 	}
-	if bad > 0 {
-		return fmt.Errorf("%d diagnostic(s)", bad)
+	baseline, err := lint.ParseBaseline(string(data))
+	if err != nil {
+		return err
+	}
+	if drift := lint.DiffBaseline(baseline, current); len(drift) > 0 {
+		for _, line := range drift {
+			fmt.Fprintln(os.Stderr, "hotalloc: "+line)
+		}
+		return fmt.Errorf("hotalloc: %d escape-profile change(s) against %s", len(drift), filepath.Base(baselinePath))
 	}
 	return nil
 }
 
-// collect walks the module tree for lintable .go files, skipping the
-// exempt subtrees, hidden and vendored directories, and (by default)
-// test files.
-func collect(root string, tests bool) ([]string, error) {
-	var out []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		rel, rerr := filepath.Rel(root, path)
-		if rerr != nil {
-			rel = path
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
-				return filepath.SkipDir
-			}
-			for _, ex := range exemptDirs {
-				if rel == ex {
-					return filepath.SkipDir
-				}
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		if !tests && strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		out = append(out, path)
-		return nil
-	})
-	return out, err
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dplint:", err)
+	os.Exit(2)
 }

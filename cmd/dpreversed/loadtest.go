@@ -100,7 +100,7 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 		return fmt.Errorf("loadtest needs at least one job and one tenant")
 	}
 	if opt.Date == "" {
-		opt.Date = time.Now().Format("2006-01-02") //dplint:allow entry dates come from the wall clock
+		opt.Date = time.Now().Format("2006-01-02") //dplint:allow determinism entry dates come from the wall clock
 	}
 
 	// One simulated capture, reused for every submission: the generator
@@ -142,7 +142,12 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	go hs.Serve(ln) //nolint:errcheck // torn down below
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = hs.Serve(ln) // returns http.ErrServerClosed on hs.Close below
+	}()
+	defer func() { <-serveDone }() // join the serve goroutine after Close
 	defer srv.Close()
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()

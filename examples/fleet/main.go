@@ -40,13 +40,13 @@ func main() {
 	}
 
 	fmt.Println("Collecting and reverse engineering the 18-car fleet ...")
-	start := time.Now() //dplint:allow progress reporting, not part of any table
+	start := time.Now() //dplint:allow determinism progress reporting, not part of any table
 	runs, err := experiments.RunFleet(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer experiments.CloseRuns(runs)
-	fmt.Printf("Fleet surveyed in %v.\n\n", time.Since(start).Round(time.Millisecond)) //dplint:allow progress reporting
+	fmt.Printf("Fleet surveyed in %v.\n\n", time.Since(start).Round(time.Millisecond)) //dplint:allow determinism progress reporting
 
 	rows := experiments.Precision(runs)
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)

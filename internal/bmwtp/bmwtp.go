@@ -119,6 +119,8 @@ type Reassembler struct {
 }
 
 // Feed consumes one raw CAN frame data field.
+//
+//dplint:hotpath bmwtp-feed
 func (r *Reassembler) Feed(data []byte) (isotp.Result, error) {
 	if len(data) < 2 {
 		return isotp.Result{}, ErrShortFrame

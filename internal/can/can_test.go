@@ -208,6 +208,33 @@ func TestSnifferFilter(t *testing.T) {
 	}
 }
 
+func TestSnifferFilterMayReadBack(t *testing.T) {
+	// Regression: the capture path used to invoke the filter with s.mu
+	// held, so a filter reading back into the sniffer (Len, Frames)
+	// self-deadlocked. Filters are immutable after construction and must
+	// run outside the lock.
+	bus := NewBus(nil)
+	var s *Sniffer
+	s = NewSniffer(bus, func(f Frame) bool {
+		return s.Len() < 2 // reads back into the sniffer
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			bus.Send(MustFrame(uint32(i+1), nil))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send deadlocked: sniffer filter ran with the capture lock held")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (filter admits while fewer than 2 captured)", s.Len())
+	}
+}
+
 func TestSnifferFramesIsCopy(t *testing.T) {
 	bus := NewBus(nil)
 	s := NewSniffer(bus, nil)

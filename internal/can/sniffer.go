@@ -23,11 +23,15 @@ type Sniffer struct {
 func NewSniffer(bus *Bus, filter func(Frame) bool) *Sniffer {
 	s := &Sniffer{filter: filter}
 	s.stop = bus.Subscribe(func(f Frame) {
+		// filter is immutable after construction, so it runs outside the
+		// lock: a filter that reads back into the sniffer (s.Len, s.Frames)
+		// must not deadlock against the capture path.
+		if s.filter != nil && !s.filter(f) {
+			return
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if s.filter == nil || s.filter(f) {
-			s.frames = append(s.frames, f)
-		}
+		s.frames = append(s.frames, f)
 	})
 	return s
 }

@@ -43,18 +43,70 @@ type Server struct {
 	wg          sync.WaitGroup
 }
 
-// connWriter serialises writes to one client connection: streamed frames
-// (from bus callbacks) interleave with OK/ERR replies (from the command
-// loop) on the same socket.
+// writerQueueDepth bounds each client's outbound queue. A client that
+// falls this many messages behind is disconnected rather than allowed to
+// exert backpressure on the bus.
+const writerQueueDepth = 256
+
+// connWriter decouples producers from one client socket: streamed frames
+// (from bus callbacks) and OK/ERR replies (from the command loop) are
+// enqueued without blocking, and a dedicated goroutine — the only thing
+// that ever writes to the connection — drains the FIFO queue onto the
+// wire. A slow or stalled client therefore cannot stall a bus broadcast
+// or any other client; once its queue overflows, its connection is
+// closed and the serve loop tears it down.
 type connWriter struct {
-	mu   sync.Mutex
 	conn net.Conn
+	ch   chan string
+	stop chan struct{} // closed by the owning serve loop on teardown
+	done chan struct{} // closed by the writer goroutine on exit
 }
 
-func (w *connWriter) write(text string) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	fmt.Fprint(w.conn, text)
+func newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{
+		conn: conn,
+		ch:   make(chan string, writerQueueDepth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// run is the per-connection writer goroutine. It exits on close(w.stop)
+// or on the first write error (peer gone); the owning serve loop joins it
+// through w.done.
+func (w *connWriter) run() {
+	defer close(w.done)
+	for {
+		select {
+		case text := <-w.ch:
+			if _, err := fmt.Fprint(w.conn, text); err != nil {
+				return
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// enqueue hands text to the writer goroutine without ever blocking the
+// caller. On a full queue the client is beyond saving: the connection is
+// closed, which unblocks the writer goroutine and fails the serve loop's
+// reads.
+func (w *connWriter) enqueue(text string) {
+	select {
+	case w.ch <- text:
+	case <-w.stop:
+	default:
+		w.conn.Close()
+	}
+}
+
+// close stops the writer goroutine and joins it.
+func (w *connWriter) close() {
+	close(w.stop)
+	<-w.done
 }
 
 // NewServer wraps a bus and its clock.
@@ -89,7 +141,11 @@ func (s *Server) broadcast(f can.Frame) {
 	frames := []can.Frame{f}
 	if s.filter != nil {
 		s.filterMu.Lock()
-		frames = s.filter(f)
+		// filterMu exists solely to serialise this call: SetFilter's
+		// documented contract is that a stateful filter needs no locking
+		// of its own. The callback is trusted not to block — it rewrites
+		// frames, nothing more — and holds no other server lock here.
+		frames = s.filter(f) //dplint:allow lockhold filterMu's one job is serialising this documented callback
 		s.filterMu.Unlock()
 	}
 	if len(frames) == 0 {
@@ -102,8 +158,10 @@ func (s *Server) broadcast(f can.Frame) {
 		writers = append(writers, w)
 	}
 	s.mu.Unlock()
+	// enqueue never blocks: a client whose queue is full is disconnected,
+	// so one stalled reader cannot hold up the bus or its peers.
 	for _, w := range writers {
-		w.write(text)
+		w.enqueue(text)
 	}
 }
 
@@ -156,29 +214,29 @@ func (s *Server) acceptLoop(l net.Listener) {
 
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
+	w := newConnWriter(conn)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		// Close the connection before joining the writer: a writer blocked
+		// mid-write to a stalled peer only unblocks once the socket dies.
 		conn.Close()
+		w.close()
 	}()
 
-	// Register, then greet, while holding the writer's lock: a broadcast
-	// that picks up the new writer blocks until the HELLO is on the
-	// wire, so a client that waits for HELLO is guaranteed to see all
-	// subsequent traffic — and nothing before it.
-	w := &connWriter{conn: conn}
-	w.mu.Lock()
+	// Greet, then register: the greeting and all subsequent broadcasts
+	// flow through the writer's FIFO queue, so a client that waits for
+	// HELLO is guaranteed to see every frame broadcast after registration
+	// — and nothing before it.
+	w.enqueue(Format(Greeting) + "\n")
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		w.mu.Unlock()
 		return
 	}
 	s.conns[conn] = w
 	s.mu.Unlock()
-	fmt.Fprintln(conn, Format(Greeting))
-	w.mu.Unlock()
 
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -187,10 +245,10 @@ func (s *Server) serve(conn net.Conn) {
 			continue
 		}
 		if err := s.handleCommand(line); err != nil {
-			w.write(Format(MsgErr{Msg: err.Error()}) + "\n")
+			w.enqueue(Format(MsgErr{Msg: err.Error()}) + "\n")
 			continue
 		}
-		w.write(Format(MsgOK{}) + "\n")
+		w.enqueue(Format(MsgOK{}) + "\n")
 	}
 }
 

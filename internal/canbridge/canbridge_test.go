@@ -192,6 +192,70 @@ func TestBridgeFilterRewritesStream(t *testing.T) {
 	}
 }
 
+func TestConnWriterSlowClientCannotStall(t *testing.T) {
+	// Regression: writes used to go to the socket synchronously under the
+	// writer's mutex, so one stalled client blocked every bus broadcast.
+	// net.Pipe has no buffering at all — the harshest possible peer: the
+	// writer goroutine blocks on its very first write and stays blocked.
+	server, client := net.Pipe()
+	defer client.Close()
+	w := newConnWriter(server)
+
+	// Every enqueue must return promptly even though nothing is reading;
+	// once the queue overflows, the connection is sacrificed instead.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < writerQueueDepth+8; i++ {
+			w.enqueue("frame\n")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue blocked on a stalled client")
+	}
+
+	// The overflow closed the pipe, which unblocks the writer goroutine;
+	// close must therefore join it promptly.
+	joined := make(chan struct{})
+	go func() {
+		w.close()
+		close(joined)
+	}()
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer goroutine not joinable after overflow")
+	}
+}
+
+func TestBridgeBroadcastSurvivesStalledClient(t *testing.T) {
+	addr, _ := startVehicleBridge(t)
+
+	// A client that reads its greeting and then never reads again.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	buf := make([]byte, 64)
+	if _, err := stalled.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy client must keep receiving traffic while the stalled one
+	// falls arbitrarily far behind.
+	c := dial(t, addr)
+	for i := 0; i < writerQueueDepth+64; i++ {
+		c.send(t, "SEND 7E0#0100")
+		// The broadcast echo precedes the OK reply; seeing both every
+		// iteration proves the stream is still flowing.
+		c.readUntil(t, func(line string) bool { return strings.Contains(line, "7E0#0100") })
+		c.readUntil(t, func(line string) bool { return line == "OK" })
+	}
+}
+
 func TestBridgeCloseIdempotent(t *testing.T) {
 	p, _ := vehicle.ProfileByCar("Car M")
 	clock := sim.NewClock(0)

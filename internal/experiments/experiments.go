@@ -181,23 +181,27 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 		cursor   int64 = -1
 		finished int64
 		wg       sync.WaitGroup
-		mu       sync.Mutex
+		progMu   sync.Mutex // serialises opt.Progress only — never guards state
+		errMu    sync.Mutex
 		firstErr error
 	)
 	progress := func(format string, args ...any) {
 		if opt.Progress == nil {
 			return
 		}
-		mu.Lock()
-		opt.Progress(format, args...)
-		mu.Unlock()
+		progMu.Lock()
+		// progMu's one job is keeping concurrent workers' progress lines
+		// from interleaving; it protects no data, so a slow or re-entrant
+		// Progress callback can delay other progress lines but nothing else.
+		opt.Progress(format, args...) //dplint:allow lockhold progMu exists solely to serialise this callback and guards no state
+		progMu.Unlock()
 	}
 	fail := func(err error) {
-		mu.Lock()
+		errMu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
-		mu.Unlock()
+		errMu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -208,14 +212,14 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 				if i >= len(fleet) || ctx.Err() != nil {
 					return
 				}
-				mu.Lock()
+				errMu.Lock()
 				broken := firstErr != nil
-				mu.Unlock()
+				errMu.Unlock()
 				if broken {
 					return
 				}
 				p := fleet[i]
-				start := time.Now() //dplint:allow progress reporting only
+				start := time.Now() //dplint:allow determinism progress reporting only
 				sp := opt.Telemetry.TracerOrNil().Start("car",
 					telemetry.String("car", p.Car), telemetry.String("model", p.Model))
 				run, err := RunCarContext(ctx, p, opt)
@@ -226,7 +230,7 @@ func RunFleetContext(ctx context.Context, opt Options) ([]*CarRun, error) {
 				}
 				runs[i] = run
 				progress("%s done in %v (%d/%d)", p.Car,
-					time.Since(start).Round(time.Millisecond), //dplint:allow progress reporting
+					time.Since(start).Round(time.Millisecond), //dplint:allow determinism progress reporting
 					atomic.AddInt64(&finished, 1), len(fleet))
 			}
 		}()

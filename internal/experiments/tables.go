@@ -359,26 +359,26 @@ func Table8(opt Options) []Table8Row {
 		// the paper's "30 generations × 1000 programs" accounting.
 		gpCfg := cfg
 		gpCfg.StopFitness = -1
-		start := time.Now() //dplint:allow Table 8 *measures* wall time
+		start := time.Now() //dplint:allow determinism Table 8 *measures* wall time
 		gpRes, err := gp.Run(d, gpCfg)
 		if err != nil {
 			panic(fmt.Sprintf("table 8 gp run: %v", err))
 		}
-		row.GPSeconds = time.Since(start).Seconds() //dplint:allow measured quantity
+		row.GPSeconds = time.Since(start).Seconds() //dplint:allow determinism measured quantity
 		row.GPEvaluations = gpRes.Evaluations
 		if gpRes.Evaluations > 0 {
 			row.GPCacheHitRate = float64(gpRes.CacheHits) / float64(gpRes.Evaluations)
 		}
-		start = time.Now() //dplint:allow Table 8 measures wall time
+		start = time.Now() //dplint:allow determinism Table 8 measures wall time
 		if _, err := regress.LinearFit(d); err != nil {
 			panic(fmt.Sprintf("table 8 linear fit: %v", err))
 		}
-		row.LRSeconds = time.Since(start).Seconds() //dplint:allow measured quantity
-		start = time.Now()                          //dplint:allow Table 8 measures wall time
+		row.LRSeconds = time.Since(start).Seconds() //dplint:allow determinism measured quantity
+		start = time.Now()                          //dplint:allow determinism Table 8 measures wall time
 		if _, err := regress.PolyFit(d, 2); err != nil {
 			panic(fmt.Sprintf("table 8 poly fit: %v", err))
 		}
-		row.PFSeconds = time.Since(start).Seconds() //dplint:allow measured quantity
+		row.PFSeconds = time.Since(start).Seconds() //dplint:allow determinism measured quantity
 		return row
 	}
 	uds := measure(mkUDS())

@@ -204,6 +204,8 @@ type Machine struct {
 func NewMachine() *Machine { return &Machine{} }
 
 // resids returns the machine-owned residual buffer resized to n.
+//
+//dplint:hotpath gp-eval
 func (m *Machine) resids(n int) []float64 {
 	if cap(m.rbuf) < n {
 		m.rbuf = make([]float64, n)
@@ -216,6 +218,8 @@ func (m *Machine) resids(n int) []float64 {
 // tree row by row. The returned slice is owned by the machine (or
 // aliases a batch column) and is valid, read-only, until the machine's
 // next Eval.
+//
+//dplint:hotpath gp-eval
 func (p *Program) Eval(b *Batch, m *Machine) []float64 {
 	n := b.n
 	if need := p.depth * n; cap(m.slab) < need {
@@ -283,6 +287,7 @@ func (p *Program) Eval(b *Batch, m *Machine) []float64 {
 	return res.vec
 }
 
+//dplint:hotpath gp-eval
 func fill(v []float64, s float64) {
 	for i := range v {
 		v[i] = s
@@ -290,6 +295,8 @@ func fill(v []float64, s float64) {
 }
 
 // runUnary applies a unary kernel over a whole column.
+//
+//dplint:hotpath gp-eval
 func runUnary(op Op, dst, src []float64) {
 	src = src[:len(dst)]
 	switch op {
@@ -331,6 +338,8 @@ func runUnary(op Op, dst, src []float64) {
 }
 
 // runBinary applies a binary kernel over two whole columns.
+//
+//dplint:hotpath gp-eval
 func runBinary(op Op, dst, a, b []float64) {
 	a = a[:len(dst)]
 	b = b[:len(dst)]

@@ -69,6 +69,8 @@ func scoreCompiled(n *Node, d *Dataset, metric func(preds []float64) float64) fl
 
 // meanDiff is the shared MAE/MSE accumulation: mean |pred-y| or mean
 // (pred-y)², infinite as soon as any difference is non-finite.
+//
+//dplint:hotpath gp-score
 func meanDiff(preds, y []float64, squared bool) float64 {
 	sum := 0.0
 	for i, v := range preds {
@@ -88,6 +90,8 @@ func meanDiff(preds, y []float64, squared bool) float64 {
 // robustMAEBounded is the allocation-free core of RobustMAE and
 // RobustMAEBounded: machine-owned scratch, batch evaluation, streaming
 // abort checks every 64 samples.
+//
+//dplint:hotpath gp-score
 func (p *Program) robustMAEBounded(b *Batch, m *Machine, bound float64) (float64, bool) {
 	preds := p.Eval(b, m)
 	n := len(preds)

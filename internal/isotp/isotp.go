@@ -241,6 +241,8 @@ type Result struct {
 // (they belong to the opposite direction). A new first or single frame
 // aborts any partial reassembly in progress, which mirrors how tools
 // recover from lost frames.
+//
+//dplint:hotpath isotp-feed
 func (r *Reassembler) Feed(data []byte) (Result, error) {
 	switch Classify(data) {
 	case SingleFrame:

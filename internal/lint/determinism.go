@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strconv"
+	"strings"
 )
 
 // Determinism rejects ambient nondeterminism outside the simulation
@@ -27,14 +29,14 @@ import (
 // Allowed:
 //   - explicitly seeded generators: rand.New, rand.NewSource, rand.NewZipf
 //   - type references (rand.Rand, rand.Source, rand.Source64)
-//   - anything carrying a //dplint:allow comment on the same or the
-//     preceding line (deliberate wall-clock use, e.g. progress reporting
-//     or the Table 8 timing measurement itself)
+//   - the internal/sim package itself
+//   - anything carrying an allow directive for this analyzer (deliberate
+//     wall-clock use, e.g. progress reporting or the Table 8 timing
+//     measurement itself)
 //
-// The check is syntactic: it matches selector expressions whose base is
-// the file's import name for "time" or "math/rand". A local identifier
-// shadowing an import name is recognised via the parser's object
-// resolution and skipped.
+// Package references resolve through the type checker, so renamed
+// imports are followed and local identifiers shadowing an import name
+// are never confused with the package.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now/time.Since and global-source math/rand " +
@@ -76,18 +78,22 @@ var timeForbiddenTelemetry = map[string]bool{
 // telemetryImportPath marks the files held to the stricter clock rule.
 const telemetryImportPath = "dpreverser/internal/telemetry"
 
+// simPathSuffix exempts the simulation substrate, the one place wall
+// clocks and entropy are wrapped.
+const simPathSuffix = "internal/sim"
+
 func runDeterminism(pass *Pass) error {
-	for _, f := range pass.Files {
-		timeNames, randNames := clockImportNames(f)
-		if len(timeNames) == 0 && len(randNames) == 0 {
-			continue
-		}
+	if p := pass.Pkg.Path; p == simPathSuffix || strings.HasSuffix(p, "/"+simPathSuffix) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
 		forbidden := timeForbidden
-		msg := "%s.%s reads the wall clock; use the internal/sim clock (or annotate //dplint:allow)"
+		msg := "%s.%s reads the wall clock; use the internal/sim clock (or annotate //dplint:allow determinism <reason>)"
 		if importsPath(f, telemetryImportPath) {
 			forbidden = timeForbiddenTelemetry
 			msg = "%s.%s bypasses the injected telemetry.Clock, the only sanctioned " +
-				"time source for telemetry users (or annotate //dplint:allow)"
+				"time source for telemetry users (or annotate //dplint:allow determinism <reason>)"
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -95,16 +101,24 @@ func runDeterminism(pass *Pass) error {
 				return true
 			}
 			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Obj != nil { // resolved object: a local, not a package
+			if !ok {
 				return true
 			}
-			switch {
-			case timeNames[id.Name] && forbidden[sel.Sel.Name]:
-				pass.Reportf(sel.Pos(), msg, id.Name, sel.Sel.Name)
-			case randNames[id.Name] && !randDeterministic[sel.Sel.Name]:
-				pass.Reportf(sel.Pos(),
-					"%s.%s draws from the global math/rand source; use a seeded rand.New(rand.NewSource(...))",
-					id.Name, sel.Sel.Name)
+			pkgName, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true // a value, not a package reference
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbidden[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), msg, id.Name, sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randDeterministic[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the global math/rand source; use a seeded rand.New(rand.NewSource(...))",
+						id.Name, sel.Sel.Name)
+				}
 			}
 			return true
 		})
@@ -120,38 +134,4 @@ func importsPath(f *ast.File, path string) bool {
 		}
 	}
 	return false
-}
-
-// clockImportNames returns the identifiers under which a file imports
-// "time" and "math/rand" (respecting renames; dot and blank imports are
-// ignored — a dot import of these packages would itself be flagged by
-// review long before this linter matters).
-func clockImportNames(f *ast.File) (timeNames, randNames map[string]bool) {
-	timeNames, randNames = map[string]bool{}, map[string]bool{}
-	for _, imp := range f.Imports {
-		path, err := strconv.Unquote(imp.Path.Value)
-		if err != nil {
-			continue
-		}
-		name := ""
-		if imp.Name != nil {
-			name = imp.Name.Name
-			if name == "_" || name == "." {
-				continue
-			}
-		}
-		switch path {
-		case "time":
-			if name == "" {
-				name = "time"
-			}
-			timeNames[name] = true
-		case "math/rand", "math/rand/v2":
-			if name == "" {
-				name = "rand"
-			}
-			randNames[name] = true
-		}
-	}
-	return timeNames, randNames
 }

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one parsed dplint comment directive.
+type Directive struct {
+	// Kind is "allow" or "hotpath".
+	Kind string `json:"kind"`
+	// File is module-relative; Line is where the comment sits.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Args carries the analyzer list (allow) or the region name (hotpath).
+	Args []string `json:"args"`
+	// Reason is the free-text remainder of an allow directive.
+	Reason string `json:"reason,omitempty"`
+
+	pos  token.Pos
+	used bool
+}
+
+// directivePrefix introduces every dplint directive.
+const directivePrefix = "dplint:"
+
+// AllowDirective is the suppression directive's full prefix, exported for
+// diagnostics that tell the user how to annotate.
+const AllowDirective = "dplint:allow"
+
+// parseDirective parses one comment. It returns (nil, "") for ordinary
+// comments, a directive for well-formed ones, and an error message for
+// comments that sit in directive position but do not parse — including
+// near-miss tokens like "dplint:allowed", which must fail loudly instead
+// of silently suppressing nothing.
+func parseDirective(c *ast.Comment) (*Directive, string) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil, "" // block comments are never directives
+	}
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil, ""
+	}
+	rest := text[len(directivePrefix):]
+	kind, rest, _ := strings.Cut(rest, " ")
+	fields := strings.Fields(rest)
+	switch kind {
+	case "allow":
+		if len(fields) == 0 {
+			return nil, "dplint:allow needs an analyzer name: //dplint:allow <analyzer>[,<analyzer>] [reason]"
+		}
+		names := strings.Split(fields[0], ",")
+		for _, n := range names {
+			if n == "" {
+				return nil, fmt.Sprintf("dplint:allow has an empty analyzer name in %q", fields[0])
+			}
+		}
+		return &Directive{
+			Kind:   "allow",
+			Args:   names,
+			Reason: strings.Join(fields[1:], " "),
+			pos:    c.Pos(),
+		}, ""
+	case "hotpath":
+		if len(fields) != 1 {
+			return nil, "dplint:hotpath needs exactly one region name: //dplint:hotpath <region>"
+		}
+		return &Directive{Kind: "hotpath", Args: fields, pos: c.Pos()}, ""
+	default:
+		return nil, fmt.Sprintf("unknown dplint directive %q (want dplint:allow or dplint:hotpath)", strings.TrimSpace(kind))
+	}
+}
+
+// scanDirectives collects every directive in the module, emitting
+// malformed-directive diagnostics under the "directives" pseudo-analyzer.
+// known guards the allow directives' analyzer names.
+func scanDirectives(m *Module, known map[string]bool) (dirs []*Directive, malformed []Diagnostic) {
+	report := func(pos token.Pos, format string, args ...any) {
+		position := m.Fset.Position(pos)
+		malformed = append(malformed, Diagnostic{
+			Analyzer: "directives",
+			File:     m.relFile(position.Filename),
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  fmt.Sprintf(format, args...),
+			pos:      pos,
+		})
+	}
+	seen := map[string]bool{} // files can appear once per package only, but be safe
+	for _, pkg := range m.Packages {
+		for i, f := range pkg.Files {
+			if seen[pkg.FilePaths[i]] {
+				continue
+			}
+			seen[pkg.FilePaths[i]] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, errMsg := parseDirective(c)
+					if errMsg != "" {
+						report(c.Pos(), "%s", errMsg)
+						continue
+					}
+					if d == nil {
+						continue
+					}
+					position := m.Fset.Position(d.pos)
+					d.File = m.relFile(position.Filename)
+					d.Line = position.Line
+					if d.Kind == "allow" {
+						for _, n := range d.Args {
+							if !known[n] {
+								report(c.Pos(), "dplint:allow names unknown analyzer %q", n)
+							}
+						}
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// allowIndex maps (file, line) to the allow directives sitting there.
+type allowIndex map[string]map[int][]*Directive
+
+func buildAllowIndex(dirs []*Directive) allowIndex {
+	idx := allowIndex{}
+	for _, d := range dirs {
+		if d.Kind != "allow" {
+			continue
+		}
+		if idx[d.File] == nil {
+			idx[d.File] = map[int][]*Directive{}
+		}
+		idx[d.File][d.Line] = append(idx[d.File][d.Line], d)
+	}
+	return idx
+}
+
+// suppresses reports whether an allow directive for the diagnostic's
+// analyzer sits on any of the candidate lines, marking the directive used.
+func (idx allowIndex) suppresses(d Diagnostic, lines []int) bool {
+	fileDirs := idx[d.File]
+	if fileDirs == nil {
+		return false
+	}
+	hit := false
+	for _, line := range lines {
+		for _, dir := range fileDirs[line] {
+			for _, name := range dir.Args {
+				if name == d.Analyzer {
+					dir.used = true
+					hit = true
+				}
+			}
+		}
+	}
+	return hit
+}
+
+// enclosingStmtLine resolves the start line of the innermost statement
+// (or, at package level, declaration spec) containing pos, so a directive
+// above a multi-line statement suppresses diagnostics reported deep
+// inside it.
+func enclosingStmtLine(m *Module, f *ast.File, pos token.Pos) int {
+	if pos < f.Pos() || pos > f.End() {
+		return 0
+	}
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == f // keep walking only from the root on a miss
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Spec, *ast.FuncDecl, *ast.GenDecl:
+			if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+				best = n
+			}
+		}
+		return true
+	})
+	if best == nil {
+		return 0
+	}
+	return m.Fset.Position(best.Pos()).Line
+}
+
+// Result is one full run of the suite over a module.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, sorted by position.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed are the findings an allow directive absorbed.
+	Suppressed []Diagnostic `json:"suppressed,omitempty"`
+	// Directives are all parsed directives (for tooling).
+	Directives []*Directive `json:"-"`
+}
+
+// StaleAllows returns the allow directives that suppressed nothing in
+// this run — dead annotations `dplint -audit-allows` refuses. Meaningful
+// only when the run included every analyzer the directives name.
+func (r *Result) StaleAllows() []*Directive {
+	var out []*Directive
+	for _, d := range r.Directives {
+		if d.Kind == "allow" && !d.used {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunModule applies the analyzers to every package of the module and
+// resolves suppression directives.
+func RunModule(m *Module, analyzers []*Analyzer) (*Result, error) {
+	known := map[string]bool{}
+	for _, a := range AllAnalyzers() {
+		known[a.Name] = true
+	}
+	dirs, malformed := scanDirectives(m, known)
+	idx := buildAllowIndex(dirs)
+
+	var all []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Module: m, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+
+	res := &Result{Directives: dirs}
+	fileAST := map[string]*ast.File{}
+	for _, pkg := range m.Packages {
+		for i, f := range pkg.Files {
+			fileAST[pkg.FilePaths[i]] = f
+		}
+	}
+	for _, d := range all {
+		lines := []int{d.Line, d.Line - 1}
+		if f := fileAST[d.File]; f != nil && d.pos.IsValid() {
+			if sl := enclosingStmtLine(m, f, d.pos); sl > 0 && sl != d.Line {
+				lines = append(lines, sl, sl-1)
+			}
+		}
+		if idx.suppresses(d, lines) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	res.Diagnostics = append(res.Diagnostics, malformed...)
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestParseDirective pins the exact-token directive grammar: well-formed
+// allow/hotpath directives parse, near-misses and malformed forms fail
+// loudly, and ordinary comments stay ordinary.
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		kind   string   // expected directive kind; "" means no directive
+		args   []string // expected Args when kind != ""
+		reason string
+		errSub string // expected substring of the error message; "" means none
+	}{
+		{text: "//dplint:allow lockhold documented hold", kind: "allow",
+			args: []string{"lockhold"}, reason: "documented hold"},
+		{text: "//dplint:allow lockhold,determinism both at once", kind: "allow",
+			args: []string{"lockhold", "determinism"}, reason: "both at once"},
+		{text: "//dplint:hotpath gp-eval", kind: "hotpath", args: []string{"gp-eval"}},
+		{text: "//dplint:allow", errSub: "needs an analyzer name"},
+		{text: "//dplint:allow ,lockhold", errSub: "empty analyzer name"},
+		{text: "//dplint:allowed lockhold oops", errSub: `unknown dplint directive "allowed"`},
+		{text: "//dplint:frobnicate", errSub: "unknown dplint directive"},
+		{text: "//dplint:hotpath", errSub: "exactly one region name"},
+		{text: "//dplint:hotpath two words", errSub: "exactly one region name"},
+		{text: "// dplint:allow lockhold not directive position"},
+		{text: "// an ordinary comment"},
+		{text: "/*dplint:allow lockhold block comments never count*/"},
+	}
+	for _, tc := range cases {
+		d, errMsg := parseDirective(&ast.Comment{Text: tc.text})
+		if tc.errSub != "" {
+			if errMsg == "" || !strings.Contains(errMsg, tc.errSub) {
+				t.Errorf("parseDirective(%q) error = %q, want substring %q", tc.text, errMsg, tc.errSub)
+			}
+			continue
+		}
+		if errMsg != "" {
+			t.Errorf("parseDirective(%q) unexpected error %q", tc.text, errMsg)
+			continue
+		}
+		if tc.kind == "" {
+			if d != nil {
+				t.Errorf("parseDirective(%q) = %+v, want no directive", tc.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Errorf("parseDirective(%q) = nil, want kind %s", tc.text, tc.kind)
+			continue
+		}
+		if d.Kind != tc.kind || d.Reason != tc.reason || len(d.Args) != len(tc.args) {
+			t.Errorf("parseDirective(%q) = %+v, want kind=%s args=%v reason=%q",
+				tc.text, d, tc.kind, tc.args, tc.reason)
+			continue
+		}
+		for i := range tc.args {
+			if d.Args[i] != tc.args[i] {
+				t.Errorf("parseDirective(%q) args = %v, want %v", tc.text, d.Args, tc.args)
+			}
+		}
+	}
+}
+
+// TestAllowSuppressionScope pins where an allow directive reaches: the
+// same line, the line below, and a multi-line statement starting on the
+// line below — but not a statement two lines down.
+func TestAllowSuppressionScope(t *testing.T) {
+	files := map[string]string{
+		"internal/scope/scope.go": `package scope
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //dplint:allow determinism progress reporting
+}
+
+func lineAbove() time.Time {
+	//dplint:allow determinism measured quantity
+	return time.Now()
+}
+
+func multiLineStmt() time.Duration {
+	//dplint:allow determinism whole statement is covered
+	d := time.Since(
+		time.Now(),
+	)
+	return d
+}
+
+func outOfScope() time.Time {
+	//dplint:allow determinism only the next statement
+	a := time.Now()
+	_ = a
+	return time.Now() // want determinism
+}
+`,
+	}
+	res := runFixture(t, files, Determinism)
+	checkMarkers(t, files, res)
+	// Both Since and Now inside the multi-line statement are absorbed by
+	// the one directive above the statement.
+	if len(res.Suppressed) != 5 {
+		t.Errorf("suppressed = %d findings, want 5:\n%v", len(res.Suppressed), res.Suppressed)
+	}
+	if stale := res.StaleAllows(); len(stale) != 0 {
+		t.Errorf("stale allows = %v, want none", stale)
+	}
+}
+
+// TestAllowWrongAnalyzerDoesNotSuppress proves suppression is matched by
+// exact analyzer name: an allow for a different analyzer leaves the
+// diagnostic standing and is itself stale.
+func TestAllowWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	files := map[string]string{
+		"internal/wrong/wrong.go": `package wrong
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //dplint:allow lockhold wrong analyzer // want determinism
+}
+`,
+	}
+	res := runFixture(t, files, Determinism, LockHold)
+	checkMarkers(t, files, res)
+	stale := res.StaleAllows()
+	if len(stale) != 1 || stale[0].Args[0] != "lockhold" {
+		t.Fatalf("stale allows = %v, want the lockhold directive", stale)
+	}
+}
+
+// TestStaleAllowDetection: a directive that suppresses nothing is
+// reported by StaleAllows with its position, the audit -audit-allows
+// enforces.
+func TestStaleAllowDetection(t *testing.T) {
+	files := map[string]string{
+		"internal/stale/stale.go": `package stale
+
+//dplint:allow determinism nothing here uses the clock
+var x = 1
+`,
+	}
+	res := runFixture(t, files, Determinism)
+	checkMarkers(t, files, res)
+	stale := res.StaleAllows()
+	if len(stale) != 1 {
+		t.Fatalf("stale allows = %v, want exactly one", stale)
+	}
+	if stale[0].File != "internal/stale/stale.go" || stale[0].Line != 3 {
+		t.Errorf("stale allow at %s:%d, want internal/stale/stale.go:3", stale[0].File, stale[0].Line)
+	}
+}
+
+// TestMalformedDirectivesAreDiagnostics: directives that fail to parse
+// surface as findings of the "directives" pseudo-analyzer instead of
+// silently suppressing nothing, and an allow naming an unknown analyzer
+// is flagged at its site.
+func TestMalformedDirectivesAreDiagnostics(t *testing.T) {
+	files := map[string]string{
+		"internal/mal/mal.go": `package mal
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //dplint:allowed determinism near miss // want directives determinism
+}
+
+func g() time.Time {
+	return time.Now() //dplint:allow nosuchanalyzer reason // want directives determinism
+}
+`,
+	}
+	res := runFixture(t, files, Determinism)
+	checkMarkers(t, files, res)
+	var sawNearMiss, sawUnknown bool
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != "directives" {
+			continue
+		}
+		if strings.Contains(d.Message, `unknown dplint directive "allowed"`) {
+			sawNearMiss = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuchanalyzer"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawNearMiss || !sawUnknown {
+		t.Errorf("directive diagnostics missing (near-miss=%v unknown=%v):\n%v",
+			sawNearMiss, sawUnknown, res.Diagnostics)
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture writes a throwaway module to a temp dir and loads it. The
+// module is named dpreverser so analyzers keyed on this repo's import
+// paths (the telemetry clock rule, the Registry metric methods) see
+// fixture packages under the paths they expect.
+func loadFixture(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module dpreverser\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := LoadModule(dir, true)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return m
+}
+
+// runFixture loads a fixture module and runs the given analyzers over it.
+func runFixture(t *testing.T, files map[string]string, analyzers ...*Analyzer) *Result {
+	t.Helper()
+	m := loadFixture(t, files)
+	res, err := RunModule(m, analyzers)
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	return res
+}
+
+// wantMarker introduces an expectation comment in fixture sources: a line
+// ending in "// want <analyzer> [<analyzer>...]" must produce exactly one
+// diagnostic per named analyzer at that line, and no other line may
+// produce any.
+const wantMarker = "// want "
+
+// checkMarkers compares a run's unsuppressed diagnostics against the
+// fixture's want markers, in the style of analysistest.
+func checkMarkers(t *testing.T, files map[string]string, res *Result) {
+	t.Helper()
+	want := map[string]int{}
+	for name, src := range files {
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		for i, line := range strings.Split(src, "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			for _, a := range strings.Fields(line[idx+len(wantMarker):]) {
+				want[fmt.Sprintf("%s:%d %s", name, i+1, a)]++
+			}
+		}
+	}
+	got := map[string]int{}
+	for _, d := range res.Diagnostics {
+		got[fmt.Sprintf("%s:%d %s", d.File, d.Line, d.Analyzer)]++
+	}
+	var missing, extra []string
+	for k, n := range want {
+		if got[k] < n {
+			missing = append(missing, k)
+		}
+	}
+	for k, n := range got {
+		if want[k] < n {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing)+len(extra) > 0 {
+		for _, d := range res.Diagnostics {
+			t.Logf("diagnostic: %s", d)
+		}
+		t.Fatalf("marker mismatch:\n  missing: %v\n  unexpected: %v", missing, extra)
+	}
+}
+
+// lineOf returns the 1-based line of the first occurrence of substr.
+func lineOf(t *testing.T, src, substr string) int {
+	t.Helper()
+	idx := strings.Index(src, substr)
+	if idx < 0 {
+		t.Fatalf("fixture does not contain %q", substr)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}

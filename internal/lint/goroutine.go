@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifecycle demands a visible stop path for every `go`
+// statement: a long-running server accumulates leaked goroutines exactly
+// where a batch program could shrug them off, so every spawn must be
+// observably joinable or cancellable. A `go` statement passes when the
+// spawned function (a literal, or a function/method declared anywhere in
+// this module) satisfies at least one of:
+//
+//   - WaitGroup pairing: the body calls (*sync.WaitGroup).Done — almost
+//     always `defer wg.Done()` — and the spawning function calls
+//     (*sync.WaitGroup).Add before the `go` statement;
+//   - context plumbing: the body (or the call's arguments) carries a
+//     context.Context, so cancellation reaches it;
+//   - completion signal: the body sends on or closes a channel, making
+//     termination observable to a receiver (the `done` / error-channel
+//     join patterns).
+//
+// Spawning an external function whose body this module cannot see (e.g.
+// `go srv.Serve(ln)`) is flagged unless a context flows through the call:
+// wrap it in a literal that signals completion, or annotate a deliberate
+// fire-and-forget with //dplint:allow goroutinelifecycle <why>.
+var GoroutineLifecycle = &Analyzer{
+	Name: "goroutinelifecycle",
+	Doc: "every `go` statement needs a visible stop path " +
+		"(WaitGroup Add/Done pairing, a context, or a completion-channel signal)",
+	Run: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		// Walk function by function so each `go` statement knows its
+		// enclosing body (for the Add-before-go check).
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, info, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkGoStmts flags unaccounted `go` statements inside body, treating
+// body as the enclosing scope for Add-before-spawn checks. Function
+// literals nested inside body are walked with their own body as the new
+// scope.
+func checkGoStmts(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				checkGoStmts(pass, info, n.Body)
+				return false
+			}
+		case *ast.GoStmt:
+			if !goStmtAccounted(pass, info, body, n) {
+				pass.Reportf(n.Pos(), "goroutine has no visible stop path: spawn with a "+
+					"WaitGroup Add/Done pair, thread a context, or signal completion on a "+
+					"channel (or annotate //dplint:allow goroutinelifecycle <why>)")
+			}
+		}
+		return true
+	})
+}
+
+func goStmtAccounted(pass *Pass, info *types.Info, enclosing *ast.BlockStmt, g *ast.GoStmt) bool {
+	spawnBody, bodyInfo := spawnedBody(pass, info, g.Call)
+	if spawnBody == nil {
+		// Opaque callee: accept only when a context flows through the call.
+		for _, arg := range g.Call.Args {
+			if t := info.TypeOf(arg); t != nil && isNamedType(t, "context", "Context") {
+				return true
+			}
+		}
+		return false
+	}
+	if bodyCallsWaitGroupDone(bodyInfo, spawnBody) && addBefore(info, enclosing, g.Pos()) {
+		return true
+	}
+	if bodyUsesContext(bodyInfo, spawnBody) {
+		return true
+	}
+	if bodySignalsChannel(bodyInfo, spawnBody) {
+		return true
+	}
+	return false
+}
+
+// spawnedBody resolves the body of the function a go statement runs — a
+// literal's own body, or the declaration of a function/method defined in
+// this module — along with the type info of the package owning that body
+// (a cross-package body is not covered by the spawning package's info).
+// External functions return nil.
+func spawnedBody(pass *Pass, info *types.Info, call *ast.CallExpr) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, info
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if fd := pass.Module.FuncDecl(fn); fd != nil {
+			if fn.Pkg() != nil {
+				if p := pass.Module.PackageByPath(fn.Pkg().Path()); p != nil {
+					return fd.Body, p.TypesInfo
+				}
+			}
+			return fd.Body, info
+		}
+	}
+	return nil, nil
+}
+
+// bodyCallsWaitGroupDone reports whether the body calls
+// (*sync.WaitGroup).Done, directly or deferred.
+func bodyCallsWaitGroupDone(info *types.Info, body *ast.BlockStmt) bool {
+	return containsCall(body, func(call *ast.CallExpr) bool {
+		return calleeFullName(info, call) == "(*sync.WaitGroup).Done"
+	})
+}
+
+// addBefore reports whether a (*sync.WaitGroup).Add call appears in the
+// enclosing body before pos.
+func addBefore(info *types.Info, enclosing *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found && n != nil
+		}
+		if call, ok := n.(*ast.CallExpr); ok &&
+			calleeFullName(info, call) == "(*sync.WaitGroup).Add" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyUsesContext reports whether the body references any value of type
+// context.Context (a parameter, a captured variable, a field read).
+func bodyUsesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if t := obj.Type(); t != nil && isNamedType(t, "context", "Context") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodySignalsChannel reports whether the body sends on or closes a
+// channel — an observable completion/termination signal.
+func bodySignalsChannel(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "close") && len(n.Args) == 1 && isChan(info, n.Args[0]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsCall reports whether any call in the subtree satisfies match.
+func containsCall(root ast.Node, match func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && match(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

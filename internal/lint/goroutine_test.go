@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+// TestGoroutineLifecycle exercises every accept rule (WaitGroup pairing,
+// context plumbing, completion-channel signal, cross-package body
+// resolution, context through an opaque call) and the reject cases each
+// rule gates (bare spawn, Done without Add, opaque call without context).
+func TestGoroutineLifecycle(t *testing.T) {
+	files := map[string]string{
+		"internal/spawnee/spawnee.go": `package spawnee
+
+import "sync"
+
+// Work is spawned by the spawn fixture across the package boundary; the
+// analyzer must resolve its body through the module-wide function index.
+func Work(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+`,
+		"internal/spawn/spawn.go": `package spawn
+
+import (
+	"context"
+	"sync"
+
+	"dpreverser/internal/spawnee"
+)
+
+func leak() {
+	go func() { println("x") }() // want goroutinelifecycle
+}
+
+func waitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want goroutinelifecycle
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func ctxBody(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func doneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+func sends(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func namedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func crossPackage() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go spawnee.Work(&wg)
+	wg.Wait()
+}
+
+var ext func()
+
+var extCtx func(context.Context)
+
+func opaque(ctx context.Context) {
+	go ext() // want goroutinelifecycle
+	go extCtx(ctx)
+}
+`,
+	}
+	res := runFixture(t, files, GoroutineLifecycle)
+	checkMarkers(t, files, res)
+}

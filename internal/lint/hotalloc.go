@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc guards the allocation profile of the pipeline's hot paths.
+// Functions annotated //dplint:hotpath <region> (the GP evaluator and the
+// per-frame reassemblers) are the per-frame and per-evaluation inner
+// loops where a new heap allocation is a real regression, but escape
+// behaviour is invisible in source review — it depends on what the
+// compiler's escape analysis proves.
+//
+// `dplint -hotalloc` makes it visible and ratcheted: it runs
+// `go build -gcflags=-m` over the packages containing hotpath regions
+// (with a scratch GOCACHE, since cached builds suppress compiler
+// diagnostics), keeps the "escapes to heap" / "moved to heap" lines that
+// fall inside annotated regions, aggregates them to (region, message,
+// count) — deliberately excluding line numbers, so unrelated edits above
+// a region do not churn the file — and diffs the result against the
+// committed HOTALLOC_BASELINE.txt. A new escape fails the check; a fixed
+// escape fails it too, until the baseline is regenerated with
+// -write-baseline and the improvement is committed.
+//
+// The analyzer's in-registry Run is the cheap half: it validates that
+// every hotpath directive actually sits on a function declaration, so a
+// drifted annotation cannot silently unguard a region.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "ratchet compiler-reported heap escapes in //dplint:hotpath regions " +
+		"against HOTALLOC_BASELINE.txt (full check via dplint -hotalloc)",
+	Run: runHotAllocDirectiveCheck,
+}
+
+// DefaultBaselineFile is the committed escape baseline at the module root.
+const DefaultBaselineFile = "HOTALLOC_BASELINE.txt"
+
+// runHotAllocDirectiveCheck verifies hotpath directives are attached to
+// function declarations: each must be the line above a func or part of
+// its doc comment.
+func runHotAllocDirectiveCheck(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		attached := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					attached[c] = true
+				}
+			}
+		}
+		funcStart := map[int]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				funcStart[pass.Fset().Position(fd.Pos()).Line] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, _ := parseDirective(c)
+				if d == nil || d.Kind != "hotpath" {
+					continue
+				}
+				line := pass.Fset().Position(c.Pos()).Line
+				if !attached[c] && !funcStart[line+1] {
+					pass.Reportf(c.Pos(),
+						"dplint:hotpath %s is not attached to a function declaration; "+
+							"the region guards nothing", d.Args[0])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// HotRegion is one annotated function: escapes reported inside its line
+// span belong to the named region. Several functions may share a region
+// name; their escapes aggregate.
+type HotRegion struct {
+	Name      string
+	File      string // module-relative
+	StartLine int
+	EndLine   int
+	Dir       string // package dir relative to module root ("." for root)
+}
+
+// HotRegions resolves every well-attached hotpath directive to the
+// function span it guards.
+func HotRegions(m *Module) []HotRegion {
+	var out []HotRegion
+	seen := map[string]bool{}
+	for _, pkg := range m.Packages {
+		for i, f := range pkg.Files {
+			if seen[pkg.FilePaths[i]] {
+				continue
+			}
+			seen[pkg.FilePaths[i]] = true
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				name := hotpathName(m, f, fd)
+				if name == "" {
+					continue
+				}
+				out = append(out, HotRegion{
+					Name:      name,
+					File:      pkg.FilePaths[i],
+					StartLine: m.Fset.Position(fd.Pos()).Line,
+					EndLine:   m.Fset.Position(fd.End()).Line,
+					Dir:       pkg.Dir,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}
+
+// hotpathName returns the region name of a hotpath directive in the
+// function's doc comment or on the line immediately above it, or "".
+func hotpathName(m *Module, f *ast.File, fd *ast.FuncDecl) string {
+	funcLine := m.Fset.Position(fd.Pos()).Line
+	var comments []*ast.Comment
+	if fd.Doc != nil {
+		comments = fd.Doc.List
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if m.Fset.Position(c.Pos()).Line == funcLine-1 {
+				comments = append(comments, c)
+			}
+		}
+	}
+	for _, c := range comments {
+		if d, _ := parseDirective(c); d != nil && d.Kind == "hotpath" {
+			return d.Args[0]
+		}
+	}
+	return ""
+}
+
+// EscapeCount aggregates the compiler's escape diagnostics for one region.
+type EscapeCount struct {
+	Region  string `json:"region"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// escapeLineRE matches one compiler diagnostic: path:line:col: message.
+var escapeLineRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+?):?$`)
+
+// CollectEscapes builds the packages containing hot regions with
+// -gcflags=-m under a scratch GOCACHE and aggregates the heap-escape
+// diagnostics falling inside the regions.
+func CollectEscapes(m *Module, regions []HotRegion) ([]EscapeCount, error) {
+	if len(regions) == 0 {
+		return nil, nil
+	}
+	dirSet := map[string]bool{}
+	for _, r := range regions {
+		dirSet[r.Dir] = true
+	}
+	var patterns []string
+	for d := range dirSet {
+		if d == "." {
+			patterns = append(patterns, ".")
+		} else {
+			patterns = append(patterns, "./"+d)
+		}
+	}
+	sort.Strings(patterns)
+
+	// A warm build cache suppresses compiler diagnostics entirely, so the
+	// build must run against a scratch cache every time.
+	scratch, err := os.MkdirTemp("", "dplint-hotalloc-gocache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Root
+	cmd.Env = append(os.Environ(), "GOCACHE="+scratch)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return ParseEscapes(string(out), regions), nil
+}
+
+// ParseEscapes maps `go build -gcflags=-m` output onto hot regions. Only
+// "escapes to heap" and "moved to heap" lines count; the informational
+// "does not escape" lines are the desired state and are ignored.
+func ParseEscapes(buildOutput string, regions []HotRegion) []EscapeCount {
+	counts := map[[2]string]int{}
+	for _, line := range strings.Split(buildOutput, "\n") {
+		sub := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if sub == nil {
+			continue
+		}
+		msg := sub[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := sub[1]
+		lineNo, _ := strconv.Atoi(sub[2])
+		for _, r := range regions {
+			if r.File == file && lineNo >= r.StartLine && lineNo <= r.EndLine {
+				counts[[2]string{r.Name, msg}]++
+				break
+			}
+		}
+	}
+	out := make([]EscapeCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, EscapeCount{Region: k[0], Message: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// baselineHeader explains the committed file; FormatBaseline always emits
+// it so regeneration is byte-stable.
+const baselineHeader = `# dplint hotalloc baseline: compiler-reported heap escapes inside
+# //dplint:hotpath regions, aggregated as region<TAB>message<TAB>count.
+# Line numbers are deliberately excluded so edits above a region do not
+# churn this file. Regenerate with:
+#
+#	go run ./cmd/dplint -hotalloc -write-baseline
+#
+`
+
+// FormatBaseline renders the committed baseline file content.
+func FormatBaseline(entries []EscapeCount) string {
+	var b strings.Builder
+	b.WriteString(baselineHeader)
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s\t%s\t%d\n", e.Region, e.Message, e.Count)
+	}
+	return b.String()
+}
+
+// ParseBaseline reads the entry lines back out of baseline file content.
+func ParseBaseline(content string) ([]EscapeCount, error) {
+	var out []EscapeCount
+	for i, line := range strings.Split(content, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want region<TAB>message<TAB>count, got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", i+1, parts[2])
+		}
+		out = append(out, EscapeCount{Region: parts[0], Message: parts[1], Count: n})
+	}
+	return out, nil
+}
+
+// DiffBaseline compares current escapes against the committed baseline.
+// Every returned line is a failure: regressions (new or grown escapes)
+// and stale entries (fixed escapes the baseline still lists — regenerate
+// to ratchet down).
+func DiffBaseline(baseline, current []EscapeCount) []string {
+	key := func(e EscapeCount) [2]string { return [2]string{e.Region, e.Message} }
+	base := map[[2]string]int{}
+	for _, e := range baseline {
+		base[key(e)] = e.Count
+	}
+	cur := map[[2]string]int{}
+	for _, e := range current {
+		cur[key(e)] = e.Count
+	}
+	var lines []string
+	for _, e := range current {
+		was := base[key(e)]
+		switch {
+		case was == 0:
+			lines = append(lines, fmt.Sprintf(
+				"new escape in region %s: %q (count %d); keep the value on the stack or regenerate the baseline with a justification",
+				e.Region, e.Message, e.Count))
+		case e.Count > was:
+			lines = append(lines, fmt.Sprintf(
+				"escape grew in region %s: %q went %d -> %d",
+				e.Region, e.Message, was, e.Count))
+		}
+	}
+	for _, e := range baseline {
+		if n, ok := cur[key(e)]; !ok || n < e.Count {
+			lines = append(lines, fmt.Sprintf(
+				"stale baseline entry for region %s: %q (baseline %d, now %d); run -write-baseline to ratchet down",
+				e.Region, e.Message, e.Count, cur[key(e)]))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

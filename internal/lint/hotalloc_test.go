@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapes(t *testing.T) {
+	regions := []HotRegion{
+		{Name: "r1", File: "internal/a/a.go", StartLine: 10, EndLine: 20, Dir: "internal/a"},
+		{Name: "r1", File: "internal/a/a.go", StartLine: 30, EndLine: 40, Dir: "internal/a"},
+		{Name: "r2", File: "internal/b/b.go", StartLine: 5, EndLine: 9, Dir: "internal/b"},
+	}
+	buildOutput := strings.Join([]string{
+		"# dpreverser/internal/a",
+		"internal/a/a.go:12:6: make([]float64, n) escapes to heap",
+		"internal/a/a.go:35:6: make([]float64, n) escapes to heap",
+		"internal/a/a.go:15:2: moved to heap: seq",
+		"internal/a/a.go:25:2: x escapes to heap",     // outside both r1 spans
+		"internal/a/a.go:11:9: inlining call to fill", // not an escape line
+		"internal/b/b.go:7:10: leaking param: data",   // informational, ignored
+		"internal/b/b.go:8:3: y does not escape",      // desired state, ignored
+		"internal/b/b.go:6:9: &y escapes to heap",
+		"",
+	}, "\n")
+	got := ParseEscapes(buildOutput, regions)
+	want := []EscapeCount{
+		// The two r1 spans aggregate; line numbers are dropped.
+		{Region: "r1", Message: "make([]float64, n) escapes to heap", Count: 2},
+		{Region: "r1", Message: "moved to heap: seq", Count: 1},
+		{Region: "r2", Message: "&y escapes to heap", Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseEscapes = %+v, want %+v", got, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	entries := []EscapeCount{
+		{Region: "gp-eval", Message: "make([]float64, n) escapes to heap", Count: 3},
+		{Region: "isotp-feed", Message: "moved to heap: seq", Count: 1},
+	}
+	content := FormatBaseline(entries)
+	if !strings.HasPrefix(content, "#") {
+		t.Errorf("baseline does not start with the explanatory header:\n%s", content)
+	}
+	back, err := ParseBaseline(content)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Errorf("round trip = %+v, want %+v", back, entries)
+	}
+	// Formatting what was parsed must reproduce the file byte-for-byte:
+	// that is the acceptance property CI's regenerate-and-diff step rests on.
+	if again := FormatBaseline(back); again != content {
+		t.Errorf("second format differs:\n%q\nvs\n%q", again, content)
+	}
+}
+
+func TestParseBaselineRejectsMalformedLines(t *testing.T) {
+	if _, err := ParseBaseline("region only one field\n"); err == nil {
+		t.Error("want error for a line without tabs")
+	}
+	if _, err := ParseBaseline("r\tmsg\tnot-a-number\n"); err == nil {
+		t.Error("want error for a non-numeric count")
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	base := []EscapeCount{
+		{Region: "r1", Message: "a escapes to heap", Count: 2},
+		{Region: "r1", Message: "b escapes to heap", Count: 1},
+		{Region: "r2", Message: "c escapes to heap", Count: 1},
+	}
+	if drift := DiffBaseline(base, base); len(drift) != 0 {
+		t.Errorf("identical profiles drift: %v", drift)
+	}
+	current := []EscapeCount{
+		{Region: "r1", Message: "a escapes to heap", Count: 3}, // grew
+		{Region: "r1", Message: "d escapes to heap", Count: 1}, // new
+		// "b" fixed entirely, "c" still listed but gone: both stale.
+	}
+	drift := DiffBaseline(base, current)
+	if len(drift) != 4 {
+		t.Fatalf("drift = %v, want 4 lines", drift)
+	}
+	joined := strings.Join(drift, "\n")
+	for _, sub := range []string{
+		`escape grew in region r1: "a escapes to heap" went 2 -> 3`,
+		`new escape in region r1: "d escapes to heap"`,
+		`stale baseline entry for region r1: "b escapes to heap"`,
+		`stale baseline entry for region r2: "c escapes to heap"`,
+	} {
+		if !strings.Contains(joined, sub) {
+			t.Errorf("drift missing %q:\n%s", sub, joined)
+		}
+	}
+}
+
+// TestHotRegionsAndDirectiveCheck resolves hotpath directives to function
+// spans (doc-comment and line-above forms, shared region names) and
+// verifies the registry-run half flags directives not attached to any
+// function declaration.
+func TestHotRegionsAndDirectiveCheck(t *testing.T) {
+	src := `package hot
+
+// Feed is the region entry point.
+//
+//dplint:hotpath hot-feed
+func Feed(b []byte) int {
+	return len(b)
+}
+
+//dplint:hotpath hot-feed
+func feedAux(b []byte) int {
+	return cap(b)
+}
+
+//dplint:hotpath hot-orphan
+var sink int
+
+func body() {
+	//dplint:hotpath hot-inner
+	_ = sink
+}
+`
+	files := map[string]string{"internal/hot/hot.go": src}
+	m := loadFixture(t, files)
+
+	regions := HotRegions(m)
+	if len(regions) != 2 {
+		t.Fatalf("HotRegions = %+v, want 2 regions", regions)
+	}
+	for i, fn := range []string{"func Feed", "func feedAux"} {
+		r := regions[i]
+		start := lineOf(t, src, fn)
+		if r.Name != "hot-feed" || r.File != "internal/hot/hot.go" ||
+			r.Dir != "internal/hot" || r.StartLine != start || r.EndLine <= start {
+			t.Errorf("region %d = %+v, want hot-feed spanning from line %d", i, r, start)
+		}
+	}
+
+	res, err := RunModule(m, []*Analyzer{HotAlloc})
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %v, want the two unattached directives", res.Diagnostics)
+	}
+	for i, region := range []string{"hot-orphan", "hot-inner"} {
+		d := res.Diagnostics[i]
+		if d.Analyzer != "hotalloc" || !strings.Contains(d.Message, region) {
+			t.Errorf("diagnostic %d = %s, want hotalloc flagging %s", i, d, region)
+		}
+	}
+}

@@ -1,97 +1,99 @@
-// Package lint is a minimal, dependency-free analysis framework in the
-// shape of golang.org/x/tools/go/analysis, plus this repo's analyzers.
+// Package lint is a dependency-free, type-aware static-analysis suite in
+// the shape of golang.org/x/tools/go/analysis, plus this repo's
+// analyzers.
 //
 // The real go/analysis framework would be the natural base, but the repo
-// builds with the standard library only, so the subset needed here — an
-// Analyzer with a Run function over parsed files, positional diagnostics,
-// and a suppression directive — is reimplemented on go/ast directly. The
-// analyzers are purely syntactic: they inspect the AST without type
-// information, which is enough for the determinism rules and keeps the
-// driver fast and install-free.
+// builds with the standard library only, so the subset needed here is
+// reimplemented directly: a Module loader that parses and type-checks
+// every package with go/parser + go/types (resolving the standard
+// library through the source importer), an Analyzer registry with
+// per-analyzer enable/disable, positional diagnostics with JSON output,
+// and scoped suppression directives.
 //
-// A diagnostic is suppressed by a `//dplint:allow` comment on the same
-// line or the line directly above, mirroring //nolint and //lint:ignore.
+// Two comment directives are recognised, both of which must start the
+// comment (standard Go directive position, no space after //):
+//
+//	//dplint:allow <analyzer>[,<analyzer>...] [reason]
+//	    suppress diagnostics from the named analyzers on the same line,
+//	    the line below, or the multi-line statement starting on the line
+//	    below. The analyzer name is required and matched exactly; a
+//	    directive that suppresses nothing is "stale" and fails
+//	    `dplint -audit-allows`.
+//
+//	//dplint:hotpath <region>
+//	    mark the function declared on the next line as an
+//	    allocation-guarded hot region for `dplint -hotalloc`; see
+//	    hotalloc.go.
 package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
+	"path/filepath"
 	"strings"
 )
 
 // Analyzer describes one check, in the style of analysis.Analyzer.
 type Analyzer struct {
-	// Name identifies the analyzer in diagnostics ("dplint/<name>").
+	// Name identifies the analyzer in diagnostics ("dplint/<name>") and in
+	// //dplint:allow directives.
 	Name string
-	// Doc is the one-paragraph description shown by the driver's -help.
+	// Doc is the one-paragraph description shown by the driver's -list.
 	Doc string
-	// Run inspects the pass's files and reports findings via Pass.Reportf.
+	// Run inspects the pass's package and reports findings via
+	// Pass.Reportf.
 	Run func(*Pass) error
 }
 
-// Pass carries one batch of parsed files through an analyzer, in the
-// style of analysis.Pass.
+// Pass carries one package through one analyzer, in the style of
+// analysis.Pass, with full type information reachable through Pkg and,
+// across package boundaries, Module.
 type Pass struct {
 	Analyzer *Analyzer
-	Fset     *token.FileSet
-	Files    []*ast.File
+	Module   *Module
+	Pkg      *Package
 
 	diags []Diagnostic
 }
 
-// Diagnostic is one finding at a resolved source position.
-type Diagnostic struct {
-	Pos      token.Position
-	Message  string
-	Analyzer string
-}
+// Fset returns the position table shared by the whole module.
+func (p *Pass) Fset() *token.FileSet { return p.Module.Fset }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
-		Pos:      p.Fset.Position(pos),
-		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+		File:     p.Module.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		pos:      pos,
 	})
 }
 
-// AllowDirective is the suppression comment recognised by every analyzer.
-const AllowDirective = "dplint:allow"
+// Diagnostic is one finding at a resolved source position. File is
+// module-relative with forward slashes.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 
-// Run applies one analyzer to a set of parsed files (which must have been
-// parsed with comments) and returns the diagnostics that are not
-// suppressed by an AllowDirective on the same or the preceding line.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File) ([]Diagnostic, error) {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files}
-	if err := a.Run(pass); err != nil {
-		return nil, err
-	}
+	pos token.Pos
+}
 
-	// Collect the lines carrying an allow directive, per file.
-	allowed := map[string]map[int]bool{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.Contains(c.Text, AllowDirective) {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if allowed[pos.Filename] == nil {
-					allowed[pos.Filename] = map[int]bool{}
-				}
-				allowed[pos.Filename][pos.Line] = true
-			}
-		}
-	}
+// String renders the driver's text format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [dplint/%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
 
-	var out []Diagnostic
-	for _, d := range pass.diags {
-		lines := allowed[d.Pos.Filename]
-		if lines[d.Pos.Line] || lines[d.Pos.Line-1] {
-			continue
-		}
-		out = append(out, d)
+// relFile maps an absolute file name under the module root to its
+// module-relative forward-slash form.
+func (m *Module) relFile(name string) string {
+	if rel, err := filepath.Rel(m.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
 	}
-	return out, nil
+	return filepath.ToSlash(name)
 }

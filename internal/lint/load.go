@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("dpreverser/internal/gp"); external test
+	// packages carry a "_test" suffix.
+	Path string
+	// Dir is the package directory relative to the module root.
+	Dir string
+	// Files are the parsed files, parallel to FilePaths (module-relative,
+	// forward slashes).
+	Files     []*ast.File
+	FilePaths []string
+	// Types and TypesInfo carry full type information for the files.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Module is a whole module loaded for analysis: every package parsed and
+// type-checked in dependency order, plus module-wide indexes the
+// analyzers share.
+type Module struct {
+	// Root is the absolute module root (the go.mod directory).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file in every package.
+	Fset *token.FileSet
+	// Packages lists the packages in topological (dependency) order.
+	Packages []*Package
+
+	// funcDecls maps each function/method object declared anywhere in the
+	// module to its syntax, so analyzers can look across package
+	// boundaries (e.g. resolving the body behind `go s.worker(i)`).
+	funcDecls map[*types.Func]*ast.FuncDecl
+	byPath    map[string]*Package
+}
+
+// FuncDecl resolves a function or method object declared in this module
+// to its declaration, or nil for external (stdlib) functions.
+func (m *Module) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return m.funcDecls[fn]
+}
+
+// PackageByPath returns the loaded package with the given import path, or
+// nil. Analyzers inspecting a body resolved across a package boundary
+// need the owning package's type information, not the current pass's.
+func (m *Module) PackageByPath(path string) *Package {
+	return m.byPath[path]
+}
+
+// cgoOff disables cgo in the shared build context exactly once: the
+// source importer type-checks the standard library from source, and the
+// pure-Go variants of net & friends are the ones that type-check without
+// running cgo.
+var cgoOff sync.Once
+
+// LoadModule parses and type-checks every package under root (a module
+// root containing go.mod). Test files are included when includeTests is
+// set: in-package _test.go files join their package, external _test
+// packages are loaded as separate entries. Hidden directories, vendor/
+// and testdata/ are skipped.
+func LoadModule(root string, includeTests bool) (*Module, error) {
+	cgoOff.Do(func() { build.Default.CgoEnabled = false })
+
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(absRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{
+		Root:      absRoot,
+		Path:      modPath,
+		Fset:      token.NewFileSet(),
+		funcDecls: map[*types.Func]*ast.FuncDecl{},
+		byPath:    map[string]*Package{},
+	}
+
+	dirs, err := packageDirs(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		ps, err := m.parseDir(dir, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	pkgs, err = topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, p := range pkgs {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.Path, m.Fset, p.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.Path, err)
+		}
+		p.Types, p.TypesInfo = tpkg, info
+		m.byPath[p.Path] = p
+		// External test packages import the package under test by its real
+		// path; only non-test packages are importable.
+		if !strings.HasSuffix(p.Path, "_test") {
+			imp.local[p.Path] = tpkg
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					m.funcDecls[fn] = fd
+				}
+			}
+		}
+	}
+	m.Packages = pkgs
+	return m, nil
+}
+
+// modulePath reads the module declaration out of a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module declaration in %s", gomod)
+}
+
+// packageDirs walks the module tree for directories containing .go files,
+// skipping hidden and vendored subtrees. Paths are module-relative ("."
+// for the root itself).
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "vendor" || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				out = append(out, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// parseDir parses one directory into its package (and, with includeTests,
+// its external test package).
+func (m *Module) parseDir(relDir string, includeTests bool) ([]*Package, error) {
+	dir := filepath.Join(m.Root, filepath.FromSlash(relDir))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.Path
+	if relDir != "." {
+		importPath = m.Path + "/" + relDir
+	}
+
+	prod := &Package{Path: importPath, Dir: relDir}
+	ext := &Package{Path: importPath + "_test", Dir: relDir}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !includeTests {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rel := name
+		if relDir != "." {
+			rel = relDir + "/" + name
+		}
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			ext.Files = append(ext.Files, f)
+			ext.FilePaths = append(ext.FilePaths, rel)
+		} else {
+			prod.Files = append(prod.Files, f)
+			prod.FilePaths = append(prod.FilePaths, rel)
+		}
+	}
+	var out []*Package
+	if len(prod.Files) > 0 {
+		out = append(out, prod)
+	}
+	if len(ext.Files) > 0 {
+		out = append(out, ext)
+	}
+	return out, nil
+}
+
+// localImports lists the module-internal import paths of a package.
+func localImports(p *Package, modPath string) []string {
+	seen := map[string]bool{}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders packages so every package follows its module-internal
+// dependencies. External test packages additionally depend on the package
+// under test.
+func topoSort(pkgs []*Package, modPath string) ([]*Package, error) {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.Path)
+		case 2:
+			return nil
+		}
+		state[p.Path] = 1
+		deps := localImports(p, modPath)
+		if under, ok := strings.CutSuffix(p.Path, "_test"); ok {
+			deps = append(deps, under)
+		}
+		for _, dep := range deps {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked in this load, and everything else (the standard
+// library) through the source importer.
+type moduleImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.local[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}

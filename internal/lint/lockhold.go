@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold forbids blocking or re-entrant operations while a sync.Mutex
+// or sync.RWMutex is held. Holding a lock across a channel operation, a
+// network write or a user-supplied callback turns one slow peer into a
+// stall for every other goroutine contending on that lock — the exact
+// failure mode a diagnostic capture server cannot afford.
+//
+// While any lock is held, the analyzer flags:
+//
+//   - channel sends, receives, selects and ranges over channels;
+//   - calls into package net (Dial, Conn.Read/Write, ...) and
+//     fmt.Fprint* aimed at a net.Conn;
+//   - time.Sleep and (*sync.WaitGroup).Wait;
+//   - calls through function-typed struct fields or parameters — user
+//     callbacks whose body the lock holder cannot see.
+//
+// It also flags returning with a lock still held and no defer-unlock
+// registered: on multi-return functions that is how unlocks get lost.
+//
+// Lock state is tracked syntactically per function body: branches are
+// analysed with a copy of the held set, so `if err { mu.Unlock(); return }`
+// does not leak state into the fall-through path. Function literals are
+// separate bodies (a closure *defined* under a lock runs later, under
+// whatever lock discipline its call site has). (*sync.Cond).Wait is
+// exempt — it releases the mutex internally — as are calls to named
+// local closures, whose bodies are visible a few lines up.
+//
+// A deliberate hold (e.g. a mutex whose documented contract is
+// serialising a callback) is annotated //dplint:allow lockhold <why>.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc: "no channel operations, network calls, sleeps or user callbacks " +
+		"while a sync.Mutex/RWMutex is held; no return paths that skip the unlock",
+	Run: runLockHold,
+}
+
+func runLockHold(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lockWalkBody(pass, info, n.Type.Params, n.Body.List, lockState{})
+				}
+			case *ast.FuncLit:
+				lockWalkBody(pass, info, n.Type.Params, n.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockEntry is one currently-held lock.
+type lockEntry struct {
+	key      string // rendered receiver expression, e.g. "s.mu"
+	pos      token.Pos
+	deferred bool // a defer <key>.Unlock() is registered
+}
+
+// lockState maps rendered receiver expressions to held locks.
+type lockState map[string]*lockEntry
+
+func (s lockState) clone() lockState {
+	out := lockState{}
+	for k, v := range s {
+		e := *v
+		out[k] = &e
+	}
+	return out
+}
+
+func (s lockState) names() string {
+	var keys []string
+	for k := range s {
+		keys = append(keys, k)
+	}
+	if len(keys) > 1 {
+		// Deterministic message independent of map order.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+	}
+	return strings.Join(keys, ", ")
+}
+
+// lockOp classifies a call as Lock/Unlock on a sync mutex and yields the
+// receiver key.
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, isLock, isUnlock bool) {
+	full := calleeFullName(info, call)
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		isLock = true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		isUnlock = true
+	default:
+		return "", false, false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X), isLock, isUnlock
+	}
+	// Promoted method on an embedded mutex: `s.Lock()` parses as a
+	// selector too, so only a bare `Lock()` inside a method lands here.
+	return "self", isLock, isUnlock
+}
+
+// lockWalkBody walks a statement list tracking held locks. Branch bodies
+// get a clone of the state so early-unlock-and-return paths stay
+// independent of the fall-through path.
+func lockWalkBody(pass *Pass, info *types.Info, params *ast.FieldList, stmts []ast.Stmt, held lockState) {
+	for _, s := range stmts {
+		lockWalkStmt(pass, info, params, s, held)
+	}
+}
+
+func lockWalkStmt(pass *Pass, info *types.Info, params *ast.FieldList, s ast.Stmt, held lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, isLock, isUnlock := lockOp(info, call); isLock || isUnlock {
+				if isLock {
+					held[key] = &lockEntry{key: key, pos: call.Pos()}
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		lockCheckExpr(pass, info, params, s.X, held)
+	case *ast.DeferStmt:
+		if key, _, isUnlock := lockOp(info, s.Call); isUnlock {
+			if e := held[key]; e != nil {
+				e.deferred = true
+			}
+			return
+		}
+		// Other deferred calls run at return; their bodies are not executed
+		// under this statement, so only their arguments are checked.
+		for _, arg := range s.Call.Args {
+			lockCheckExpr(pass, info, params, arg, held)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			lockCheckExpr(pass, info, params, res, held)
+		}
+		var leaked []string
+		for _, e := range held {
+			if !e.deferred {
+				leaked = append(leaked, e.key)
+			}
+		}
+		if len(leaked) > 0 {
+			one := lockState{}
+			for _, k := range leaked {
+				one[k] = held[k]
+			}
+			pass.Reportf(s.Pos(),
+				"return with %s still locked and no defer-unlock registered; "+
+					"unlock before returning or `defer %s.Unlock()` at the lock site",
+				one.names(), leaked[0])
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(), "channel send while %s is held; release the lock first "+
+				"(or annotate //dplint:allow lockhold <why>)", held.names())
+		}
+		lockCheckExpr(pass, info, params, s.Value, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(), "select while %s is held; release the lock first "+
+				"(or annotate //dplint:allow lockhold <why>)", held.names())
+		}
+		lockWalkStmt(pass, info, params, s.Body, held.clone())
+	case *ast.RangeStmt:
+		if len(held) > 0 && isChan(info, s.X) {
+			pass.Reportf(s.Pos(), "range over a channel while %s is held; release the lock first "+
+				"(or annotate //dplint:allow lockhold <why>)", held.names())
+		}
+		lockCheckExpr(pass, info, params, s.X, held)
+		lockWalkBody(pass, info, params, s.Body.List, held.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lockWalkStmt(pass, info, params, s.Init, held)
+		}
+		lockCheckExpr(pass, info, params, s.Cond, held)
+		lockWalkBody(pass, info, params, s.Body.List, held.clone())
+		if s.Else != nil {
+			lockWalkStmt(pass, info, params, s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lockWalkStmt(pass, info, params, s.Init, held)
+		}
+		if s.Cond != nil {
+			lockCheckExpr(pass, info, params, s.Cond, held)
+		}
+		lockWalkBody(pass, info, params, s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lockWalkStmt(pass, info, params, s.Init, held)
+		}
+		if s.Tag != nil {
+			lockCheckExpr(pass, info, params, s.Tag, held)
+		}
+		lockWalkStmt(pass, info, params, s.Body, held.clone())
+	case *ast.TypeSwitchStmt:
+		lockWalkStmt(pass, info, params, s.Body, held.clone())
+	case *ast.CaseClause:
+		lockWalkBody(pass, info, params, s.Body, held)
+	case *ast.CommClause:
+		lockWalkBody(pass, info, params, s.Body, held)
+	case *ast.BlockStmt:
+		lockWalkBody(pass, info, params, s.List, held)
+	case *ast.LabeledStmt:
+		lockWalkStmt(pass, info, params, s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine does not run under this lock; only argument
+		// evaluation is synchronous.
+		for _, arg := range s.Call.Args {
+			lockCheckExpr(pass, info, params, arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lockCheckExpr(pass, info, params, e, held)
+		}
+		for _, e := range s.Lhs {
+			lockCheckExpr(pass, info, params, e, held)
+		}
+	case *ast.DeclStmt:
+		lockCheckExpr(pass, info, params, s, held)
+	}
+}
+
+// lockCheckExpr flags blocking operations inside an expression evaluated
+// while locks are held. Function-literal subtrees are skipped: they run at
+// their own call sites.
+func lockCheckExpr(pass *Pass, info *types.Info, params *ast.FieldList, node ast.Node, held lockState) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held; release the lock first "+
+					"(or annotate //dplint:allow lockhold <why>)", held.names())
+			}
+		case *ast.CallExpr:
+			lockCheckCall(pass, info, params, n, held)
+		}
+		return true
+	})
+}
+
+// lockCheckCall flags a single call made while locks are held.
+func lockCheckCall(pass *Pass, info *types.Info, params *ast.FieldList, call *ast.CallExpr, held lockState) {
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		full := fn.FullName()
+		switch full {
+		case "time.Sleep":
+			pass.Reportf(call.Pos(), "time.Sleep while %s is held stalls every contender "+
+				"(or annotate //dplint:allow lockhold <why>)", held.names())
+			return
+		case "(*sync.WaitGroup).Wait":
+			pass.Reportf(call.Pos(), "WaitGroup.Wait while %s is held can deadlock against "+
+				"workers that need the lock to finish (or annotate //dplint:allow lockhold <why>)",
+				held.names())
+			return
+		case "(*sync.Cond).Wait": // releases the mutex internally
+			return
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "net":
+				pass.Reportf(call.Pos(), "network call %s while %s is held lets one slow peer "+
+					"stall every contender (or annotate //dplint:allow lockhold <why>)",
+					full, held.names())
+				return
+			case "fmt":
+				if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+					if t := info.TypeOf(call.Args[0]); t != nil && isNamedType(t, "net", "Conn") {
+						pass.Reportf(call.Pos(), "%s to a net.Conn while %s is held lets one slow "+
+							"peer stall every contender (or annotate //dplint:allow lockhold <why>)",
+							full, held.names())
+					}
+				}
+				return
+			}
+		}
+		return
+	}
+	// No *types.Func: a function-valued expression. Flag opaque user
+	// callbacks — struct fields and parameters — but not named local
+	// closures, whose bodies are visible in the same function.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[fun]; ok && selection.Kind() == types.FieldVal {
+			if _, isSig := selection.Type().Underlying().(*types.Signature); isSig {
+				pass.Reportf(call.Pos(), "user callback %s invoked while %s is held; the callback "+
+					"can block or re-enter the lock (or annotate //dplint:allow lockhold <why>)",
+					types.ExprString(fun), held.names())
+			}
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[fun].(*types.Var)
+		if !ok || v.Type() == nil {
+			return
+		}
+		if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+			return
+		}
+		if params != nil && params.Pos().IsValid() &&
+			v.Pos() >= params.Pos() && v.Pos() < params.End() {
+			pass.Reportf(call.Pos(), "caller-supplied callback %s invoked while %s is held; the "+
+				"callback can block or re-enter the lock (or annotate //dplint:allow lockhold <why>)",
+				fun.Name, held.names())
+		}
+	}
+}

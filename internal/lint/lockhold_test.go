@@ -1,0 +1,123 @@
+package lint
+
+import "testing"
+
+// TestLockHold exercises the blocking-under-lock rules (channel
+// operations, sleeps, WaitGroup.Wait, opaque callbacks) and their
+// negatives (unlock first, deferred unlock, local closures, Cond.Wait,
+// closures defined but not called under the lock). The net-package and
+// Fprint-to-net.Conn rules are exercised by the repo's own history of
+// real findings (internal/canbridge) rather than re-importing net here:
+// type-checking package net from source dominates fixture runtime.
+func TestLockHold(t *testing.T) {
+	files := map[string]string{
+		"internal/locks/locks.go": `package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	cond     *sync.Cond
+	onChange func(int)
+	ch       chan int
+}
+
+func (h *hub) sendUnderLock() {
+	h.mu.Lock()
+	h.ch <- 1 // want lockhold
+	h.mu.Unlock()
+}
+
+func (h *hub) sendAfterUnlock() {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- 1
+}
+
+func (h *hub) recvUnderLock() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := <-h.ch // want lockhold
+	return v
+}
+
+func (h *hub) selectUnderLock() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want lockhold
+	case v := <-h.ch:
+		_ = v
+	default:
+	}
+}
+
+func (h *hub) sleepUnderRLock() {
+	h.rw.RLock()
+	time.Sleep(time.Millisecond) // want lockhold
+	h.rw.RUnlock()
+}
+
+func (h *hub) waitUnderLock(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wg.Wait() // want lockhold
+}
+
+func (h *hub) fieldCallbackUnderLock() {
+	h.mu.Lock()
+	h.onChange(1) // want lockhold
+	h.mu.Unlock()
+}
+
+func (h *hub) paramCallbackUnderLock(cb func(int)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cb(2) // want lockhold
+}
+
+func (h *hub) localClosureUnderLock() {
+	bump := func(int) {}
+	h.mu.Lock()
+	bump(3)
+	h.mu.Unlock()
+}
+
+func (h *hub) condWaitExempt() {
+	h.mu.Lock()
+	h.cond.Wait()
+	h.mu.Unlock()
+}
+
+func (h *hub) returnWhileHeld(flip bool) int {
+	h.mu.Lock()
+	if flip {
+		h.mu.Unlock()
+		return 0
+	}
+	return 1 // want lockhold
+}
+
+func (h *hub) deferredUnlockReturn(flip bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if flip {
+		return 0
+	}
+	return 1
+}
+
+func (h *hub) closureDefinedUnderLock() func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := func() { h.ch <- 9 }
+	return f
+}
+`,
+	}
+	res := runFixture(t, files, LockHold)
+	checkMarkers(t, files, res)
+}

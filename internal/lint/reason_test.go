@@ -1,0 +1,100 @@
+package lint
+
+import "testing"
+
+// TestReasonCoverage checks the sentinel rule: in a package declaring an
+// exported Reason classifier, every exported Err* sentinel of type error
+// must be referenced inside Reason's body. Unexported sentinels,
+// non-error Err* names and packages without a classifier are exempt.
+func TestReasonCoverage(t *testing.T) {
+	files := map[string]string{
+		"internal/frob/frob.go": `package frob
+
+import "errors"
+
+var (
+	ErrCovered = errors.New("frob: covered")
+	ErrOrphan  = errors.New("frob: orphan") // want reasonexhaustive
+)
+
+// errInternal is unexported and exempt.
+var errInternal = errors.New("frob: internal")
+
+// ErrNames is not an error value and exempt.
+var ErrNames = []string{"x"}
+
+// Reason maps a frob error to a stable label; ErrOrphan is deliberately
+// missing.
+func Reason(err error) string {
+	if errors.Is(err, ErrCovered) {
+		return "covered"
+	}
+	return "other"
+}
+`,
+		"internal/noreason/noreason.go": `package noreason
+
+import "errors"
+
+// ErrLoose has no Reason classifier in this package, so no rule applies.
+var ErrLoose = errors.New("noreason: loose")
+`,
+	}
+	res := runFixture(t, files, ReasonExhaustive)
+	checkMarkers(t, files, res)
+}
+
+// TestMetricRegistrations checks the metric-family rules: names must be
+// declared constants, each family registers once module-wide (the later
+// site is the one flagged), and test files are exempt.
+func TestMetricRegistrations(t *testing.T) {
+	files := map[string]string{
+		"internal/telemetry/registry.go": `package telemetry
+
+// Registry is a minimal stand-in for the real metrics registry; the
+// analyzer keys on the package path, type name and method names only.
+type Registry struct{}
+
+func (r *Registry) Counter(name string)                   {}
+func (r *Registry) GaugeVec(name string, labels ...string) {}
+`,
+		"internal/metrics/metrics.go": `package metrics
+
+import "dpreverser/internal/telemetry"
+
+const (
+	MetricGood = "fixture_good_total"
+	MetricDup  = "fixture_dup_total"
+)
+
+func register(r *telemetry.Registry) {
+	r.Counter(MetricGood)
+	r.Counter("fixture_inline_total") // want reasonexhaustive
+	r.Counter(MetricDup)
+}
+`,
+		"internal/metrics/metrics_test.go": `package metrics
+
+import "dpreverser/internal/telemetry"
+
+// Test files register throwaway families on throwaway registries and are
+// exempt from both rules.
+func registerForTest(r *telemetry.Registry) {
+	r.Counter("fixture_test_only_total")
+}
+`,
+		"internal/metrics2/metrics2.go": `package metrics2
+
+import "dpreverser/internal/telemetry"
+
+// MetricDup collides with the metrics package's family name.
+const MetricDup = "fixture_dup_total"
+
+func register(r *telemetry.Registry) {
+	r.GaugeVec(MetricDup, "label") // want reasonexhaustive
+}
+`,
+	}
+	res := runFixture(t, files, ReasonExhaustive)
+	checkMarkers(t, files, res)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AllAnalyzers returns every registered analyzer in stable (name) order.
+func AllAnalyzers() []*Analyzer {
+	out := []*Analyzer{
+		Determinism,
+		GoroutineLifecycle,
+		LockHold,
+		ReasonExhaustive,
+		HotAlloc,
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Select resolves the driver's -enable/-disable comma lists against the
+// registry: enable empty means "all", disable is subtracted afterwards.
+func Select(enable, disable string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range AllAnalyzers() {
+		byName[a.Name] = a
+	}
+	pick := map[string]*Analyzer{}
+	if enable == "" {
+		for n, a := range byName {
+			pick[n] = a
+		}
+	} else {
+		for _, n := range splitList(enable) {
+			a, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames())
+			}
+			pick[n] = a
+		}
+	}
+	for _, n := range splitList(disable) {
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames())
+		}
+		delete(pick, n)
+	}
+	out := make([]*Analyzer, 0, len(pick))
+	for _, a := range AllAnalyzers() {
+		if _, ok := pick[a.Name]; ok {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range AllAnalyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

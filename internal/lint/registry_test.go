@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func names(as []*Analyzer) string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return strings.Join(out, ",")
+}
+
+func TestSelect(t *testing.T) {
+	all := "determinism,goroutinelifecycle,hotalloc,lockhold,reasonexhaustive"
+	cases := []struct {
+		enable, disable string
+		want            string // "" means an error is expected
+	}{
+		{"", "", all},
+		{"lockhold", "", "lockhold"},
+		{"determinism, lockhold", "", "determinism,lockhold"}, // spaces tolerated, registry order kept
+		{"", "hotalloc", "determinism,goroutinelifecycle,lockhold,reasonexhaustive"},
+		{"lockhold,determinism", "lockhold", "determinism"},
+		{"nope", "", ""},
+		{"", "nope", ""},
+	}
+	for _, tc := range cases {
+		got, err := Select(tc.enable, tc.disable)
+		if tc.want == "" {
+			if err == nil || !strings.Contains(err.Error(), `unknown analyzer "nope"`) {
+				t.Errorf("Select(%q, %q) error = %v, want unknown-analyzer error", tc.enable, tc.disable, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Select(%q, %q): %v", tc.enable, tc.disable, err)
+			continue
+		}
+		if names(got) != tc.want {
+			t.Errorf("Select(%q, %q) = %s, want %s", tc.enable, tc.disable, names(got), tc.want)
+		}
+	}
+}
+
+func TestAllAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range AllAnalyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("registry has %d analyzers, want at least 5", len(seen))
+	}
+}

@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestSelfLintClean runs the full suite over this repository itself, the
+// same way `go run ./cmd/dplint` and CI do: every diagnostic must either
+// be fixed or carry a reasoned //dplint:allow, and every allow must still
+// be earning its keep.
+func TestSelfLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module")
+	}
+	m, err := LoadModule("../..", false)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	res, err := RunModule(m, AllAnalyzers())
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("unsuppressed: %s", d)
+	}
+	for _, d := range res.StaleAllows() {
+		t.Errorf("stale allow at %s:%d (%v): it suppressed nothing; remove it", d.File, d.Line, d.Args)
+	}
+	if len(res.Suppressed) == 0 {
+		t.Error("no suppressed findings at all — the allow index is likely broken, " +
+			"since the repo carries reasoned //dplint:allow directives")
+	}
+}

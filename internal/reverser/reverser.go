@@ -202,7 +202,10 @@ func (r *run) emit(ev ProgressEvent) {
 			}
 		}
 	}()
-	rv.progress(ev)
+	// rv.mu exists to serialise exactly this call — the documented
+	// ProgressFunc contract is "called from one goroutine at a time" — and
+	// guards only cbErr, which nothing else touches while a callback runs.
+	rv.progress(ev) //dplint:allow lockhold rv.mu's documented job is serialising the ProgressFunc; it guards no pipeline state
 }
 
 // callbackErr reads the recorded callback panic, if any.

@@ -3,7 +3,6 @@ package telemetry
 import (
 	"flag"
 	"io"
-	"net/http"
 	"os"
 )
 
@@ -43,7 +42,7 @@ func (c *CLIConfig) Activate(logf func(format string, args ...any)) (*Provider, 
 		return nil, func() error { return nil }, nil
 	}
 	p := New(nil)
-	var srv *http.Server
+	var srv *Server
 	if c.Addr != "" {
 		s, addr, err := Serve(c.Addr, p.Metrics, p.Tracer)
 		if err != nil {
@@ -69,6 +68,7 @@ func (c *CLIConfig) Activate(logf func(format string, args ...any)) (*Provider, 
 		}
 		if srv != nil {
 			keep(srv.Close())
+			srv.Wait()
 		}
 		return firstErr
 	}

@@ -24,11 +24,11 @@ type wallClock struct {
 // place the repo's production code touches the wall clock for telemetry;
 // everything downstream sees only the Clock interface.
 func NewWallClock() Clock {
-	return &wallClock{base: time.Now()} //dplint:allow the one sanctioned real-clock constructor
+	return &wallClock{base: time.Now()} //dplint:allow determinism the one sanctioned real-clock constructor
 }
 
 func (c *wallClock) Now() time.Duration {
-	return time.Since(c.base) //dplint:allow the one sanctioned real-clock constructor
+	return time.Since(c.base) //dplint:allow determinism the one sanctioned real-clock constructor
 }
 
 // ManualClock is a settable clock for tests: it only moves when told to,

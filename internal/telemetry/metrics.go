@@ -97,7 +97,9 @@ func (f *family) get(values []string, make func() any) any {
 	if s, ok := f.series[key]; ok {
 		return s
 	}
-	s := make()
+	// Callers are this package's own metric constructors; the closure only
+	// allocates the series value, it cannot block or touch the registry.
+	s := make() //dplint:allow lockhold the callback is a package-private allocation closure, not user code
 	f.series[key] = s
 	f.order = append(f.order, key)
 	return s

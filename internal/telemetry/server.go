@@ -55,15 +55,36 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	return mux
 }
 
+// Server is a running telemetry listener: the embedded http.Server plus
+// a join handle on its serve goroutine, so shutdown can wait for the
+// accept loop to actually exit instead of leaking it.
+type Server struct {
+	*http.Server
+	done chan struct{}
+}
+
+// Wait blocks until the serve loop has exited; it returns promptly after
+// Close or Shutdown.
+func (s *Server) Wait() { <-s.done }
+
 // Serve starts the telemetry listener on addr (e.g. "localhost:9090";
 // ":0" picks a free port) and returns the running server plus the bound
-// address. The caller owns shutdown via (*http.Server).Close.
-func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+// address. The caller owns shutdown: Close (or Shutdown), then Wait to
+// join the serve goroutine.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr)}
-	go srv.Serve(ln)
+	srv := &Server{
+		Server: &http.Server{Handler: NewMux(reg, tr)},
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(srv.done)
+		// Serve always returns a non-nil error once the server closes;
+		// http.ErrServerClosed is the clean-shutdown case.
+		_ = srv.Server.Serve(ln)
+	}()
 	return srv, ln.Addr().String(), nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMuxEndpoints(t *testing.T) {
@@ -93,5 +94,20 @@ func TestServeBindsAndCloses(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The serve goroutine must be joinable: Wait has to return once the
+	// server is closed instead of leaking the accept loop.
+	waited := make(chan struct{})
+	go func() {
+		srv.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("srv.Wait did not return after Close; serve goroutine leaked")
 	}
 }

@@ -220,6 +220,8 @@ type Result struct {
 
 // Feed consumes one frame. Non-data frames are ignored. Sequence errors
 // abort the in-progress message.
+//
+//dplint:hotpath vwtp-feed
 func (r *Reassembler) Feed(data []byte) (Result, error) {
 	if Classify(data) != KindData {
 		return Result{}, nil
