@@ -98,6 +98,52 @@ func loadHistory(path string) (history, error) {
 	return history{}, fmt.Errorf("%s: not a benchmark history or legacy report", path)
 }
 
+// allocRatchetSlack is the tolerated allocs/op growth for GPInferOBD
+// over the committed baseline: allocation counts are deterministic
+// enough that anything past 10% means a hot path started allocating.
+const allocRatchetSlack = 1.10
+
+// findBench returns the named benchmark row from a report.
+func findBench(rep report, name string) (result, bool) {
+	for _, row := range rep.Benchmarks {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return result{}, false
+}
+
+// checkAllocRatchet compares the fresh GPInferOBD allocs/op against the
+// most recent committed entry with the same -quick setting and fails if
+// they regressed past the ratchet slack. With no comparable baseline
+// (first run, or first run at this budget) the check is a no-op —
+// merging the entry establishes the baseline.
+func checkAllocRatchet(hist history, rep report) error {
+	fresh, ok := findBench(rep, "GPInferOBD")
+	if !ok {
+		return nil
+	}
+	for i := len(hist.Entries) - 1; i >= 0; i-- {
+		old := hist.Entries[i]
+		if old.Quick != rep.Quick {
+			continue
+		}
+		base, ok := findBench(old, "GPInferOBD")
+		if !ok || base.AllocsPerOp <= 0 {
+			return nil
+		}
+		limit := int64(float64(base.AllocsPerOp) * allocRatchetSlack)
+		if fresh.AllocsPerOp > limit {
+			return fmt.Errorf("GPInferOBD allocs/op regressed: %d > %d (baseline %d from %s, +10%% slack)",
+				fresh.AllocsPerOp, limit, base.AllocsPerOp, old.Date)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %d allocs/op within ratchet (baseline %d from %s)\n",
+			"GPInferOBD ratchet", fresh.AllocsPerOp, base.AllocsPerOp, old.Date)
+		return nil
+	}
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -109,6 +155,8 @@ func run() error {
 	out := flag.String("o", "BENCH_gp.json", "benchmark history file to merge into")
 	quick := flag.Bool("quick", false, "reduced GP budget (CI smoke run)")
 	date := flag.String("date", "", "entry date, YYYY-MM-DD (default: today)")
+	allowRegress := flag.Bool("allow-regress", false,
+		"record the entry even if GPInferOBD allocs/op regress past the ratchet")
 	flag.Parse()
 
 	if *date == "" {
@@ -157,11 +205,16 @@ func run() error {
 		}
 		_ = sink
 	})
+	// The with-compile row reuses one Compiler the way the engine does
+	// (its Program aliases the compiler's scratch), so steady state is
+	// 0 allocs/op; the package-level gp.Compile would add the owned-copy
+	// cost its immutable/concurrency-safe contract requires.
+	c := gp.NewCompiler()
 	record("GPCompiledEvalWithCompile", func(b *testing.B) {
 		sink := 0.0
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			q := gp.Compile(tree)
+			q := c.Compile(tree)
 			preds := q.Eval(batch, m)
 			sink += preds[0]
 		}
@@ -222,6 +275,12 @@ func run() error {
 	hist, err := loadHistory(*out)
 	if err != nil {
 		return err
+	}
+	if err := checkAllocRatchet(hist, rep); err != nil {
+		if !*allowRegress {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING (recorded anyway):", err)
 	}
 	hist.Merge(rep, func(old report) bool { return old.Date == rep.Date && old.Quick == rep.Quick })
 	if err := hist.Write(*out); err != nil {

@@ -56,6 +56,7 @@ func run() error {
 	quick := flag.Bool("quick", false, "short recordings and reduced GP budget")
 	seed := flag.Int64("seed", 1, "seed for OCR noise and GP")
 	parallel := flag.Int("parallel", 0, "inference workers (0 = all CPUs)")
+	islands := flag.Int("islands", 1, "GP islands per stream (1 = single panmictic population)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
 	progress := flag.Bool("progress", false, "report per-stream inference progress on stderr")
 	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
@@ -163,6 +164,7 @@ func run() error {
 
 	cfg := reverser.DefaultConfig()
 	cfg.GP.Seed = *seed
+	cfg.GP.Islands = *islands
 	if *quick {
 		cfg.GP.PopulationSize = 300
 		cfg.GP.Generations = 20

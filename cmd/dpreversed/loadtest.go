@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,6 +58,14 @@ type serverReport struct {
 	Rejections int     `json:"rejections"`
 	WallMS     float64 `json:"wall_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// AllocBytesPerJob is the process-wide heap-allocation delta
+	// (runtime.MemStats.TotalAlloc) across the run divided by Jobs. The
+	// generator shares the process, so this is an upper bound on the
+	// server's own per-job footprint — but the generator's share is small
+	// and constant-shaped, so the trend tracks the inference pipeline.
+	AllocBytesPerJob uint64 `json:"alloc_bytes_per_job"`
+	// AllocsPerJob is the matching malloc-count delta per job.
+	AllocsPerJob uint64 `json:"allocs_per_job"`
 	// Latency is the client-observed submit-to-done time (queueing
 	// included); QueueWait and Run are the server's own clock readings
 	// from the job snapshots.
@@ -163,6 +172,8 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 	var rejMu sync.Mutex
 	rejections := 0
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := clock.Now()
 	var wg sync.WaitGroup
 	for i := range results {
@@ -190,6 +201,8 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 	}
 	wg.Wait()
 	wall := clock.Now() - start
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	rep := serverReport{
 		Date: opt.Date, Quick: opt.Quick, Car: p.Car,
@@ -203,6 +216,8 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 	if wall > 0 {
 		rep.JobsPerSec = float64(opt.Jobs) / wall.Seconds()
 	}
+	rep.AllocBytesPerJob = (memAfter.TotalAlloc - memBefore.TotalAlloc) / uint64(opt.Jobs)
+	rep.AllocsPerJob = (memAfter.Mallocs - memBefore.Mallocs) / uint64(opt.Jobs)
 
 	var latencies, queueWaits, runs []float64
 	for i, res := range results {
@@ -242,6 +257,8 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 	status("loadtest: latency p50/p95/max = %.0f/%.0f/%.0f ms (queue %.0f ms, run %.0f ms at p50)",
 		rep.Latency.P50MS, rep.Latency.P95MS, rep.Latency.MaxMS,
 		rep.QueueWait.P50MS, rep.Run.P50MS)
+	status("loadtest: %.1f MB allocated per job (%d mallocs)",
+		float64(rep.AllocBytesPerJob)/(1<<20), rep.AllocsPerJob)
 	status("wrote %s (%d entries)", opt.Out, len(hist.Entries))
 	return nil
 }

@@ -49,12 +49,13 @@ func main() {
 }
 
 // jobOptions is the base reverser configuration every job runs under.
-func jobOptions(quick bool) []reverser.Option {
+func jobOptions(quick bool, islands int) []reverser.Option {
 	cfg := reverser.DefaultConfig()
 	if quick {
 		cfg.GP.PopulationSize = 150
 		cfg.GP.Generations = 10
 	}
+	cfg.GP.Islands = islands
 	return []reverser.Option{reverser.WithConfig(cfg)}
 }
 
@@ -67,6 +68,7 @@ func run() error {
 	tenantMax := flag.Int("tenant-max", 8, "per-tenant live job quota")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on rejected submissions")
 	quick := flag.Bool("quick", false, "reduced GP budget per job")
+	islands := flag.Int("islands", 1, "GP islands per stream (1 = single panmictic population)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-drain budget on shutdown before jobs are cancelled")
 	loadtest := flag.Bool("loadtest", false, "run the built-in load generator instead of serving")
 	ltJobs := flag.Int("jobs", 12, "loadtest: captures to submit")
@@ -83,7 +85,7 @@ func run() error {
 		QueueDepth:      *queueDepth,
 		TenantMaxActive: *tenantMax,
 		RetryAfter:      *retryAfter,
-		Reverser:        jobOptions(*quick),
+		Reverser:        jobOptions(*quick, *islands),
 	}
 	if *loadtest {
 		return runLoadtest(cfg, loadtestOptions{

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dpreverser/internal/can"
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/isotp"
 	"dpreverser/internal/obd"
 	"dpreverser/internal/ocr"
@@ -36,6 +37,8 @@ type obdObservation struct {
 
 // decodeOBDTraffic extracts decoded OBD mode-01 responses from raw frames
 // using only public knowledge (the response CAN ID and J1979 formulas).
+// ParseResponse consumes the reassembled view before the next Feed, so no
+// message is ever materialised.
 func decodeOBDTraffic(frames []can.Frame) []obdObservation {
 	var out []obdObservation
 	var r isotp.Reassembler
@@ -43,17 +46,37 @@ func decodeOBDTraffic(frames []can.Frame) []obdObservation {
 		if f.ID != obd.FirstResponseID {
 			continue
 		}
-		res, err := r.Feed(f.Payload())
-		if err != nil || res.Message == nil {
-			continue
-		}
-		pid, v, err := obd.ParseResponse(res.Message)
-		if err != nil {
-			continue
-		}
-		out = append(out, obdObservation{pid: pid, value: v, at: f.Timestamp})
+		out = decodeOBDFrame(&r, f.Payload(), f.Timestamp, out)
 	}
 	return out
+}
+
+// decodeOBDTrafficColumnar is decodeOBDTraffic over a columnar frame
+// store, indexing payload views instead of per-frame slices.
+func decodeOBDTrafficColumnar(frames *colstore.Frames) []obdObservation {
+	var out []obdObservation
+	var r isotp.Reassembler
+	for i, n := 0, frames.Len(); i < n; i++ {
+		if frames.ID(i) != obd.FirstResponseID {
+			continue
+		}
+		out = decodeOBDFrame(&r, frames.Payload(i), frames.At(i), out)
+	}
+	return out
+}
+
+// decodeOBDFrame feeds one response-ID frame through the shared
+// reassembler and appends the decoded observation, if any.
+func decodeOBDFrame(r *isotp.Reassembler, data []byte, at time.Duration, out []obdObservation) []obdObservation {
+	res, err := r.FeedView(data)
+	if err != nil || res.Message == nil {
+		return out
+	}
+	pid, v, err := obd.ParseResponse(res.Message)
+	if err != nil {
+		return out
+	}
+	return append(out, obdObservation{pid: pid, value: v, at: at})
 }
 
 // EstimateOffsetOBD estimates the camera-minus-CAN clock offset from an
@@ -63,7 +86,18 @@ func decodeOBDTraffic(frames []can.Frame) []obdObservation {
 // median is returned — robust to OCR corruption and to values that repeat
 // over time.
 func EstimateOffsetOBD(frames []can.Frame, uiFrames []ocr.Frame) (time.Duration, error) {
-	obs := decodeOBDTraffic(frames)
+	return estimateOffset(decodeOBDTraffic(frames), uiFrames)
+}
+
+// EstimateOffsetOBDColumnar is EstimateOffsetOBD over a columnar frame
+// store, so the pipeline aligns without materialising per-frame slices.
+func EstimateOffsetOBDColumnar(frames *colstore.Frames, uiFrames []ocr.Frame) (time.Duration, error) {
+	return estimateOffset(decodeOBDTrafficColumnar(frames), uiFrames)
+}
+
+// estimateOffset matches decoded observations against the OBD UI frames
+// and returns the median offset sample.
+func estimateOffset(obs []obdObservation, uiFrames []ocr.Frame) (time.Duration, error) {
 	if len(obs) == 0 {
 		return 0, ErrNoAnchors
 	}

@@ -118,10 +118,22 @@ type Reassembler struct {
 	inner isotp.Reassembler
 }
 
-// Feed consumes one raw CAN frame data field.
+// Feed consumes one raw CAN frame data field and returns completed
+// messages as fresh heap copies the caller owns.
+func (r *Reassembler) Feed(data []byte) (isotp.Result, error) {
+	res, err := r.FeedView(data)
+	if res.Message != nil {
+		res.Message = append([]byte(nil), res.Message...)
+	}
+	return res, err
+}
+
+// FeedView consumes one raw CAN frame data field. Completed messages are
+// zero-copy views with the isotp.Reassembler.FeedView lifetime: valid
+// only until the next call on this reassembler.
 //
 //dplint:hotpath bmwtp-feed
-func (r *Reassembler) Feed(data []byte) (isotp.Result, error) {
+func (r *Reassembler) FeedView(data []byte) (isotp.Result, error) {
 	if len(data) < 2 {
 		return isotp.Result{}, ErrShortFrame
 	}
@@ -131,7 +143,7 @@ func (r *Reassembler) Feed(data []byte) (isotp.Result, error) {
 	// Extended addressing shrinks single frames to 6 bytes, so first
 	// frames of length 7 are legal here.
 	r.inner.MinMultiFrameLen = MaxSingleFrame + 1
-	return r.inner.Feed(data[1:])
+	return r.inner.FeedView(data[1:])
 }
 
 // Completed reports the number of assembled messages.

@@ -1,0 +1,120 @@
+package colstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFramesRoundTrip(t *testing.T) {
+	f := NewFrames(2, 8)
+	f.Append(0x7E0, 10*time.Millisecond, []byte{0x02, 0x01, 0x0C})
+	f.Append(0x7E8, 12*time.Millisecond, []byte{0x04, 0x41, 0x0C, 0x1A, 0xF8})
+	f.Append(0x123, 13*time.Millisecond, nil)
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if f.ID(1) != 0x7E8 || f.At(1) != 12*time.Millisecond {
+		t.Fatalf("columns wrong: id=%#x at=%v", f.ID(1), f.At(1))
+	}
+	if !bytes.Equal(f.Payload(0), []byte{0x02, 0x01, 0x0C}) {
+		t.Fatalf("payload 0 = %x", f.Payload(0))
+	}
+	if !bytes.Equal(f.Payload(1), []byte{0x04, 0x41, 0x0C, 0x1A, 0xF8}) {
+		t.Fatalf("payload 1 = %x", f.Payload(1))
+	}
+	if len(f.Payload(2)) != 0 {
+		t.Fatalf("payload 2 = %x, want empty", f.Payload(2))
+	}
+	if f.PayloadBytes() != 8 {
+		t.Fatalf("slab = %d bytes", f.PayloadBytes())
+	}
+}
+
+// Payload views are full slices (capacity capped at the span), so an
+// append through a view cannot silently overwrite the next payload.
+func TestFramesViewsAreCapped(t *testing.T) {
+	f := NewFrames(2, 16)
+	f.Append(1, 0, []byte{0xAA, 0xBB})
+	f.Append(2, 0, []byte{0xCC})
+	v := f.Payload(0)
+	if cap(v) != 2 {
+		t.Fatalf("cap = %d, want 2", cap(v))
+	}
+	v = append(v, 0xEE) // must reallocate, not clobber payload 1
+	if f.Payload(1)[0] != 0xCC {
+		t.Fatal("append through view clobbered the slab")
+	}
+}
+
+func TestFramesReset(t *testing.T) {
+	f := NewFrames(0, 0)
+	f.Append(1, 0, []byte{1, 2, 3})
+	f.Reset()
+	if f.Len() != 0 || f.PayloadBytes() != 0 {
+		t.Fatalf("reset left len=%d slab=%d", f.Len(), f.PayloadBytes())
+	}
+	f.Append(2, time.Second, []byte{9})
+	if f.ID(0) != 2 || !bytes.Equal(f.Payload(0), []byte{9}) {
+		t.Fatal("append after reset broken")
+	}
+}
+
+func TestMessagesRoundTripAndSort(t *testing.T) {
+	m := NewMessages(0, 0)
+	m.Append(30*time.Millisecond, 0x7E8, 0, 0, []byte{0x62, 0xF4, 0x0C})
+	m.Append(10*time.Millisecond, 0x300, 0x12, 2, []byte{0x61, 0x01})
+	m.Append(10*time.Millisecond, 0x301, 0, 1, []byte{0x7F, 0x22})
+	pre := m.Payload(0)
+	m.SortStableByTime()
+	if m.At(0) != 10*time.Millisecond || m.ID(0) != 0x300 || m.Addr(0) != 0x12 || m.Transport(0) != 2 {
+		t.Fatalf("sort misplaced columns: at=%v id=%#x addr=%#x tr=%d", m.At(0), m.ID(0), m.Addr(0), m.Transport(0))
+	}
+	// Stable: the two t=10ms rows keep append order.
+	if m.ID(1) != 0x301 {
+		t.Fatalf("sort not stable: second row id=%#x", m.ID(1))
+	}
+	if !bytes.Equal(m.Payload(2), []byte{0x62, 0xF4, 0x0C}) {
+		t.Fatalf("payload did not follow its row: %x", m.Payload(2))
+	}
+	// Sorting permutes columns only; pre-sort views stay valid.
+	if !bytes.Equal(pre, []byte{0x62, 0xF4, 0x0C}) {
+		t.Fatalf("sort moved slab bytes: %x", pre)
+	}
+}
+
+func TestMessagesReset(t *testing.T) {
+	m := NewMessages(4, 64)
+	m.Append(0, 1, 0, 0, []byte{1, 2})
+	m.Reset()
+	if m.Len() != 0 || m.PayloadBytes() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBufPoolClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 512, 4095, 4096, 65540} {
+		b := GetBuf(n)
+		if len(b) != 0 || cap(b) < n {
+			t.Fatalf("GetBuf(%d): len=%d cap=%d", n, len(b), cap(b))
+		}
+		PutBuf(b)
+	}
+	// Oversize requests still work; they just bypass the pool.
+	big := GetBuf(1 << 20)
+	if cap(big) < 1<<20 {
+		t.Fatal("oversize GetBuf too small")
+	}
+	PutBuf(big)
+}
+
+func TestBufPoolReuse(t *testing.T) {
+	b := GetBuf(100)
+	b = append(b, bytes.Repeat([]byte{0xAB}, 100)...)
+	PutBuf(b)
+	// The recycled buffer must come back empty.
+	b2 := GetBuf(100)
+	if len(b2) != 0 || cap(b2) < 100 {
+		t.Fatalf("recycled buffer: len=%d cap=%d", len(b2), cap(b2))
+	}
+}

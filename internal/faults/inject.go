@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpreverser/internal/can"
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/isotp"
 	"dpreverser/internal/ocr"
 	"dpreverser/internal/sim"
@@ -105,13 +106,31 @@ func (in *Injector) Frames(frames []can.Frame) []can.Frame {
 	return append(out, in.Flush()...)
 }
 
+// FramesInto perturbs a whole capture straight into a columnar frame
+// store: each delivered frame is appended to dst as it is emitted, with
+// no intermediate []can.Frame materialised. The input is not modified.
+func (in *Injector) FramesInto(frames []can.Frame, dst *colstore.Frames) {
+	emit := func(g can.Frame) { dst.Append(g.ID, g.Timestamp, g.Payload()) }
+	for _, f := range frames {
+		in.stream(f, emit)
+	}
+	in.flush(emit)
+}
+
 // Stream feeds one frame through the injector and returns the frames to
 // deliver now: zero (dropped, reordered, truncated), one, or several
 // (duplicates, delayed frames coming due). canbridge uses this form to
 // perturb live traffic; Frames uses it for recorded captures.
 func (in *Injector) Stream(f can.Frame) []can.Frame {
-	in.stats.FramesIn++
 	var out []can.Frame
+	in.stream(f, func(g can.Frame) { out = append(out, g) })
+	return out
+}
+
+// stream is the emit-callback core of Stream: frames due now are handed
+// to emit in delivery order.
+func (in *Injector) stream(f can.Frame, emit func(can.Frame)) {
+	in.stats.FramesIn++
 	data := f.Payload()
 
 	emitted := true
@@ -163,9 +182,11 @@ func (in *Injector) Stream(f can.Frame) []can.Frame {
 			reorderAfter = 1 + in.rng.Intn(in.spec.ReorderWindow)
 			in.stats.Reordered++
 		} else {
-			out = append(out, f)
+			in.stats.FramesOut++
+			emit(f)
 			if dup {
-				out = append(out, f)
+				in.stats.FramesOut++
+				emit(f)
 				in.stats.Duplicated++
 			}
 		}
@@ -176,7 +197,8 @@ func (in *Injector) Stream(f can.Frame) []can.Frame {
 	for _, h := range in.queue {
 		h.after--
 		if h.after <= 0 {
-			out = append(out, h.frame)
+			in.stats.FramesOut++
+			emit(h.frame)
 		} else {
 			rest = append(rest, h)
 		}
@@ -188,21 +210,23 @@ func (in *Injector) Stream(f can.Frame) []can.Frame {
 	if reinject != nil {
 		in.queue = append(in.queue, held{frame: *reinject, after: 1})
 	}
-
-	in.stats.FramesOut += len(out)
-	return out
 }
 
 // Flush releases every frame still parked in the delay queue, in queue
 // order. Call it after the last Stream of a capture.
 func (in *Injector) Flush() []can.Frame {
 	out := make([]can.Frame, 0, len(in.queue))
+	in.flush(func(g can.Frame) { out = append(out, g) })
+	return out
+}
+
+// flush is the emit-callback core of Flush.
+func (in *Injector) flush(emit func(can.Frame)) {
 	for _, h := range in.queue {
-		out = append(out, h.frame)
+		in.stats.FramesOut++
+		emit(h.frame)
 	}
 	in.queue = in.queue[:0]
-	in.stats.FramesOut += len(out)
-	return out
 }
 
 // suppressTruncated drops the consecutive frames of a transfer marked for

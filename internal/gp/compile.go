@@ -1,6 +1,10 @@
 package gp
 
-import "math"
+import (
+	"bytes"
+	"math"
+	"sync"
+)
 
 // This file implements the compiled evaluation engine that replaces the
 // tree-walk interpreter on the fitness hot path. A tree is flattened once
@@ -27,14 +31,42 @@ type instr struct {
 }
 
 // Program is a compiled expression tree: postfix bytecode plus the
-// compile-time facts the VM and the fitness cache need. Programs are
-// immutable and safe for concurrent use.
+// compile-time facts the VM and the fitness cache need. Programs built by
+// the package-level Compile are immutable and safe for concurrent use;
+// programs returned by (*Compiler).Compile alias their compiler's scratch
+// and are valid only until that compiler's next compilation.
 type Program struct {
 	code  []instr
 	depth int // maximum stack depth at any point of the execution
-	key   string
+	keyb  []byte
+	key   string // interned copy of keyb; empty for compiler-owned programs
 	hash  uint64
 }
+
+// Compiler holds reusable compilation scratch: the postfix emit buffer
+// (which doubles as the constant folder's stack — folding rewrites the
+// buffer tail in place) and the canonical-key buffer. A Compiler's
+// buffers grow to the largest tree it has compiled and then stop
+// allocating, so steady-state compilation is allocation-free. Not safe
+// for concurrent use; pool one per worker.
+type Compiler struct {
+	code []instr
+	key  []byte
+	swap []byte
+	prog Program
+	// nodes counts the source tree's nodes during emit — the same value
+	// Node.Size() walks the tree for, picked up for free so the engine's
+	// parsimony penalty needs no extra traversal.
+	nodes int
+}
+
+// NewCompiler returns an empty compiler; buffers grow on first use.
+func NewCompiler() *Compiler { return &Compiler{} }
+
+// compilerPool serves compile scratch to the one-shot entry points
+// (package-level Compile, the score helpers). The evolution engine does
+// not use it: each evaluator owns a compiler outright.
+var compilerPool = sync.Pool{New: func() any { return NewCompiler() }}
 
 // Compile flattens the tree to postfix bytecode with compile-time
 // constant folding: any subtree whose leaves are all constants collapses
@@ -42,94 +74,180 @@ type Program struct {
 // kernels the interpreter uses so the folded value is bit-identical to
 // what Eval would have produced. Variables with negative indices (which
 // Eval defines to read 0) fold to the constant 0.
+//
+// The returned Program is immutable and safe for concurrent use. Callers
+// compiling in a loop should prefer a Compiler, which reuses its buffers
+// instead of allocating per call.
 func Compile(root *Node) *Program {
-	p := &Program{}
-	var emit func(n *Node) bool
-	emit = func(n *Node) bool {
-		switch n.Op {
-		case OpConst:
-			p.code = append(p.code, instr{op: OpConst, c: n.Const})
-			return true
-		case OpVar:
-			if n.Var < 0 {
-				p.code = append(p.code, instr{op: OpConst, c: 0})
-				return true
-			}
-			p.code = append(p.code, instr{op: OpVar, v: n.Var})
-			return false
-		case OpAdd, OpSub, OpMul, OpDiv, OpMax, OpMin:
-			cl := emit(n.L)
-			cr := emit(n.R)
-			if cl && cr {
-				c := apply2(n.Op, p.code[len(p.code)-2].c, p.code[len(p.code)-1].c)
-				p.code = p.code[:len(p.code)-1]
-				p.code[len(p.code)-1] = instr{op: OpConst, c: c}
-				return true
-			}
-			p.code = append(p.code, instr{op: n.Op})
-			return false
-		case OpSqrt, OpLog, OpAbs, OpNeg, OpInv, OpSin, OpCos, OpTan:
-			if emit(n.L) {
-				p.code[len(p.code)-1] = instr{op: OpConst, c: apply1(n.Op, p.code[len(p.code)-1].c)}
-				return true
-			}
-			p.code = append(p.code, instr{op: n.Op})
-			return false
-		default:
-			// Unknown ops evaluate to 0 without touching their children,
-			// exactly as Eval's default case does.
-			p.code = append(p.code, instr{op: OpConst, c: 0})
-			return true
-		}
+	c := compilerPool.Get().(*Compiler)
+	depth, hash := c.compile(root)
+	p := &Program{
+		code:  append([]instr(nil), c.code...),
+		depth: depth,
+		key:   string(c.key),
+		hash:  hash,
 	}
-	emit(root)
-	p.finish()
+	compilerPool.Put(c)
 	return p
 }
 
-// finish derives the stack depth and the canonical key/hash from the
-// emitted code.
-func (p *Program) finish() {
-	cur, depth := 0, 0
-	buf := make([]byte, 0, 9*len(p.code))
-	for _, ins := range p.code {
+// Compile compiles root into the compiler's scratch buffers. The returned
+// Program aliases those buffers: it is valid until the next Compile call
+// on the same Compiler, and it is 100% allocation-free once the buffers
+// have grown to the working tree size.
+func (c *Compiler) Compile(root *Node) *Program {
+	depth, hash := c.compile(root)
+	c.prog = Program{code: c.code, depth: depth, keyb: c.key, hash: hash}
+	return &c.prog
+}
+
+// compile emits root into c.code/c.key and returns the stack depth and
+// key hash.
+func (c *Compiler) compile(root *Node) (depth int, hash uint64) {
+	c.code = c.code[:0]
+	c.key = c.key[:0]
+	c.nodes = 0
+	c.emit(root)
+	return c.finish()
+}
+
+// keyConst appends one folded-constant entry to the canonical key.
+func (c *Compiler) keyConst(v float64) {
+	bits := math.Float64bits(v)
+	c.key = append(c.key, byte(OpConst),
+		byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+}
+
+// commutative reports whether the protected kernel for op is bitwise
+// symmetric in its operands — the property that lets the canonical key
+// order the operand encodings without changing any score.
+func commutative(op Op) bool {
+	switch op {
+	case OpAdd, OpMul, OpMax, OpMin:
+		return true
+	}
+	return false
+}
+
+// swapKey exchanges the adjacent key segments [ls:ms) and [ms:len).
+func (c *Compiler) swapKey(ls, ms int) {
+	if cap(c.swap) < ms-ls {
+		c.swap = make([]byte, 0, ms-ls)
+	}
+	c.swap = append(c.swap[:0], c.key[ls:ms]...)
+	n := copy(c.key[ls:], c.key[ms:])
+	copy(c.key[ls+n:], c.swap)
+}
+
+// emit appends root's postfix code and canonical key, reporting whether
+// the emitted tail is a single folded constant. The key is built
+// alongside the code so commutative operands can be ordered
+// canonically: a postfix subtree's encoding is one contiguous segment,
+// and for Add/Mul/Max/Min — whose kernels are bitwise symmetric — the
+// two operand segments are swapped into lexicographic order. Mirrored
+// offspring (which crossover mass-produces) then share one cache entry,
+// and because the underlying scores are bitwise identical either way,
+// serving one from the other changes no result.
+func (c *Compiler) emit(n *Node) bool {
+	c.nodes++
+	switch n.Op {
+	case OpConst:
+		c.code = append(c.code, instr{op: OpConst, c: n.Const})
+		c.keyConst(n.Const)
+		return true
+	case OpVar:
+		if n.Var < 0 {
+			c.code = append(c.code, instr{op: OpConst, c: 0})
+			c.keyConst(0)
+			return true
+		}
+		c.code = append(c.code, instr{op: OpVar, v: n.Var})
+		c.key = append(c.key, byte(OpVar),
+			byte(n.Var), byte(n.Var>>8), byte(n.Var>>16), byte(n.Var>>24))
+		return false
+	case OpAdd, OpSub, OpMul, OpDiv, OpMax, OpMin:
+		ls := len(c.key)
+		cl := c.emit(n.L)
+		ms := len(c.key)
+		cr := c.emit(n.R)
+		if cl && cr {
+			v := apply2(n.Op, c.code[len(c.code)-2].c, c.code[len(c.code)-1].c)
+			c.code = c.code[:len(c.code)-1]
+			c.code[len(c.code)-1] = instr{op: OpConst, c: v}
+			c.key = c.key[:ls]
+			c.keyConst(v)
+			return true
+		}
+		c.code = append(c.code, instr{op: n.Op})
+		if commutative(n.Op) && bytes.Compare(c.key[ls:ms], c.key[ms:]) > 0 {
+			c.swapKey(ls, ms)
+		}
+		c.key = append(c.key, byte(n.Op))
+		return false
+	case OpSqrt, OpLog, OpAbs, OpNeg, OpInv, OpSin, OpCos, OpTan:
+		ls := len(c.key)
+		if c.emit(n.L) {
+			v := apply1(n.Op, c.code[len(c.code)-1].c)
+			c.code[len(c.code)-1] = instr{op: OpConst, c: v}
+			c.key = c.key[:ls]
+			c.keyConst(v)
+			return true
+		}
+		c.code = append(c.code, instr{op: n.Op})
+		c.key = append(c.key, byte(n.Op))
+		return false
+	default:
+		// Unknown ops evaluate to 0 without touching their children,
+		// exactly as Eval's default case does. The node count still has to
+		// include the unvisited children to match Node.Size().
+		c.nodes += n.Size() - 1
+		c.code = append(c.code, instr{op: OpConst, c: 0})
+		c.keyConst(0)
+		return true
+	}
+}
+
+// finish derives the stack depth from the emitted code and hashes the
+// canonical key emit built.
+func (c *Compiler) finish() (depth int, hash uint64) {
+	cur := 0
+	for _, ins := range c.code {
 		switch ins.op {
-		case OpConst:
+		case OpConst, OpVar:
 			cur++
-			bits := math.Float64bits(ins.c)
-			buf = append(buf, byte(ins.op),
-				byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
-				byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
-		case OpVar:
-			cur++
-			buf = append(buf, byte(ins.op),
-				byte(ins.v), byte(ins.v>>8), byte(ins.v>>16), byte(ins.v>>24))
 		default:
 			if ins.op.Arity() == 2 {
 				cur--
 			}
-			buf = append(buf, byte(ins.op))
 		}
 		if cur > depth {
 			depth = cur
 		}
 	}
-	p.depth = depth
-	p.key = string(buf)
 	h := uint64(14695981039346656037) // FNV-1a 64
-	for _, b := range buf {
+	for _, b := range c.key {
 		h ^= uint64(b)
 		h *= 1099511628211
 	}
-	p.hash = h
+	return depth, h
 }
 
 // Key is the canonical structural encoding of the compiled program. Two
-// trees share a key exactly when they fold to identical bytecode, which
-// makes it a collision-free fitness-cache key: crossover and elitism
-// re-create structurally identical offspring constantly, and every copy
-// maps to the same key.
-func (p *Program) Key() string { return p.key }
+// trees share a key exactly when they fold to identical bytecode up to
+// commutative operand order (Add/Mul/Max/Min operands are encoded in a
+// canonical order, and their kernels are bitwise symmetric, so key-equal
+// programs score bitwise identically). That makes it a collision-free
+// fitness-cache key: crossover and elitism re-create structurally
+// identical and mirrored offspring constantly, and every copy maps to
+// the same key. For compiler-owned programs the string is materialised
+// on demand.
+func (p *Program) Key() string {
+	if p.key == "" && len(p.keyb) > 0 {
+		return string(p.keyb)
+	}
+	return p.key
+}
 
 // Hash is the 64-bit FNV-1a digest of Key, for callers that want a fixed
 // size summary of the structure.
@@ -198,6 +316,8 @@ type Machine struct {
 	slab  []float64
 	slots []slot
 	rbuf  []float64
+	sbuf  []float64
+	ibuf  []int
 }
 
 // NewMachine returns an empty machine; buffers grow on first use.
@@ -211,6 +331,28 @@ func (m *Machine) resids(n int) []float64 {
 		m.rbuf = make([]float64, n)
 	}
 	return m.rbuf[:n]
+}
+
+// selbuf returns the machine-owned percentile-selection scratch resized
+// to n (permuted freely by the trimmed-fit helpers).
+//
+//dplint:hotpath gp-eval
+func (m *Machine) selbuf(n int) []float64 {
+	if cap(m.sbuf) < n {
+		m.sbuf = make([]float64, n)
+	}
+	return m.sbuf[:n]
+}
+
+// selidx returns the machine-owned index scratch paired with selbuf by
+// the trimmed-fit heap.
+//
+//dplint:hotpath gp-eval
+func (m *Machine) selidx(n int) []int {
+	if cap(m.ibuf) < n {
+		m.ibuf = make([]int, n)
+	}
+	return m.ibuf[:n]
 }
 
 // Eval executes the program over every sample of the batch and returns

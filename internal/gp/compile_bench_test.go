@@ -64,7 +64,12 @@ func BenchmarkGPCompiledEval(b *testing.B) {
 }
 
 // BenchmarkGPCompiledEvalWithCompile includes the per-tree Compile cost —
-// the true per-candidate cost paid on a fitness-cache miss.
+// the true per-candidate cost paid on a fitness-cache miss. It compiles
+// into sync.Pool-backed scratch the way the engine and the one-shot score
+// helpers do (the evaluator owns a Compiler; scoreCompiled leases one),
+// so steady state must report 0 allocs/op. The package-level Compile is
+// deliberately not measured here: its Program is immutable and
+// concurrency-safe, which costs owned copies by contract.
 func BenchmarkGPCompiledEvalWithCompile(b *testing.B) {
 	tree := benchTree()
 	d := benchDataset(256)
@@ -74,9 +79,11 @@ func BenchmarkGPCompiledEvalWithCompile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := Compile(tree)
+		c := compilerPool.Get().(*Compiler)
+		p := c.Compile(tree)
 		preds := p.Eval(batch, m)
 		sink += preds[0]
+		compilerPool.Put(c)
 	}
 	_ = sink
 }

@@ -7,7 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -86,6 +86,18 @@ type Config struct {
 	// tree, so results are byte-identical at every setting. 0 and 1 both
 	// evaluate serially; negative values mean runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Islands splits the population into this many independently breeding
+	// sub-populations (near-equal split, each seeded from Seed and the
+	// island index). Islands breed and score in parallel and exchange
+	// migrants on a ring — island i's champion replaces island (i+1)%k's
+	// worst individual — every MigrationInterval generations. Migration is
+	// applied sequentially in island order at a generation barrier, so
+	// results are byte-identical at any Parallelism. 0 and 1 both run the
+	// classic single panmictic population.
+	Islands int
+	// MigrationInterval is the number of generations between migrations
+	// when Islands > 1 (0 means the default of 5).
+	MigrationInterval int
 	// DisableLinearScaling turns off the Keijzer-style linear scaling of
 	// candidate programs. By default every candidate g is evaluated as
 	// a*g(x)+b with (a, b) fitted by trimmed least squares, so evolution
@@ -166,6 +178,10 @@ type Result struct {
 
 type individual struct {
 	tree *Node
+	// size caches tree.Size(): the compiler counts nodes during emit, and
+	// the variation operators draw subtree indices from the stored size,
+	// so the engine never walks a tree just to count it.
+	size int
 	// raw is the MAE (after linear scaling); fit adds the parsimony
 	// penalty.
 	raw float64
@@ -175,72 +191,240 @@ type individual struct {
 	a, b float64
 }
 
-// linearScale fits y ≈ a*g + b by least squares, then refits after
-// trimming the 20% largest residuals so OCR-style outliers in y do not
-// drag the fit (the robustness §4.4 attributes to GP). Degenerate g
-// (constant) yields a=0, b=mean(y).
-func linearScale(g, y []float64) (a, b float64) {
-	fit := func(idx []int) (float64, float64, bool) {
-		n := float64(len(idx))
-		var sg, sy, sgg, sgy float64
-		for _, i := range idx {
-			sg += g[i]
-			sy += y[i]
-			sgg += g[i] * g[i]
-			sgy += g[i] * y[i]
+// siftDownMin restores the min-heap property of h below index i.
+//
+//dplint:hotpath gp-score
+func siftDownMin(h []float64, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
 		}
-		det := n*sgg - sg*sg
-		if math.Abs(det) < 1e-12 {
-			return 0, sy / n, false
+		if r := c + 1; r < len(h) && h[r] < h[c] {
+			c = r
 		}
-		return (n*sgy - sg*sy) / det, (sy*sgg - sg*sgy) / det, true
+		if h[c] >= h[i] {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
 	}
-	all := make([]int, len(g))
-	for i := range all {
-		all[i] = i
-	}
-	a, b, ok := fit(all)
-	if !ok || len(g) < 10 {
-		return a, b
-	}
-	// Trim the worst 20% of residuals and refit.
-	type res struct {
-		i int
-		r float64
-	}
-	rs := make([]res, len(g))
-	for i := range g {
-		rs[i] = res{i, math.Abs(a*g[i] + b - y[i])}
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].r < rs[j].r })
-	keep := make([]int, 0, len(g)*4/5)
-	for _, r := range rs[:len(rs)*4/5] {
-		keep = append(keep, r.i)
-	}
-	if a2, b2, ok := fit(keep); ok {
-		return a2, b2
-	}
-	return a, b
 }
 
-// trimmedMean averages residuals after dropping the worst 20% — the same
+// siftDownPair is siftDownMin over parallel value/index arrays.
+//
+//dplint:hotpath gp-score
+func siftDownPair(h []float64, idx []int, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if r := c + 1; r < len(h) && h[r] < h[c] {
+			c = r
+		}
+		if h[c] >= h[i] {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		idx[i], idx[c] = idx[c], idx[i]
+		i = c
+	}
+}
+
+// strideFor returns a step size coprime with n, used to visit indices
+// 0, s, 2s, ... (mod n) -- a fixed pseudo-shuffle of the sample order.
+// The trim helpers keep a min-heap of the largest residuals seen so far;
+// visiting samples in index order degrades that into an eviction per
+// element whenever residuals trend with the target, which is the common
+// profile for poorly fitted candidates since datasets arrive sorted. The
+// shuffled order restores the expected ~k*ln(n/k) evictions, and being a
+// pure function of n it is fully deterministic.
+func strideFor(n int) int {
+	if n < 4 {
+		return 1
+	}
+	s := n*2/3 | 1
+	for s < n && gcd(s, n) > 1 {
+		s += 2
+	}
+	if s >= n {
+		return 1
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// linearScale fits y = a*g + b by least squares, then refits after
+// trimming the 20% largest residuals so OCR-style outliers in y do not
+// drag the fit (the robustness the paper's 4.4 attributes to GP).
+// Degenerate g (constant) yields a=0, b=mean(y).
+//
+// hv and hi must each have room for len(g)/5 entries (the hot path hands
+// in machine-owned scratch so candidate scoring stays allocation-free);
+// they hold the value/index min-heap of the dropped residuals. The
+// trimmed refit subtracts exactly the dropped samples from the
+// full-sample sums, so the whole fit is two passes: one accumulation,
+// one streaming selection. The dropped set is fully deterministic: heap
+// eviction over the strideFor pseudo-shuffle is a pure function of the
+// residual values.
+//
+//dplint:hotpath gp-score
+func linearScale(g, y []float64, hv []float64, hi []int) (a, b float64) {
+	n := len(g)
+	var sg, sy, sgg, sgy float64
+	for i := range g {
+		sg += g[i]
+		sy += y[i]
+		sgg += g[i] * g[i]
+		sgy += g[i] * y[i]
+	}
+	nf := float64(n)
+	det := nf*sgg - sg*sg
+	if math.Abs(det) < 1e-12 {
+		return 0, sy / nf
+	}
+	a = (nf*sgy - sg*sy) / det
+	b = (sy*sgg - sg*sgy) / det
+	if n < 10 {
+		return a, b
+	}
+	keep := n * 4 / 5
+	drop := n - keep
+	hv, hi = hv[:drop], hi[:drop]
+	s := strideFor(n)
+	idx, j := 0, 0
+	for t := 0; t < n; t++ {
+		r := math.Abs(a*g[idx] + b - y[idx])
+		if j < drop {
+			hv[j], hi[j] = r, idx
+			j++
+			if j == drop {
+				for k := drop/2 - 1; k >= 0; k-- {
+					siftDownPair(hv, hi, k)
+				}
+			}
+		} else if r > hv[0] {
+			hv[0], hi[0] = r, idx
+			siftDownPair(hv, hi, 0)
+		}
+		idx += s
+		if idx >= n {
+			idx -= n
+		}
+	}
+	for k := 0; k < drop; k++ {
+		i := hi[k]
+		sg -= g[i]
+		sy -= y[i]
+		sgg -= g[i] * g[i]
+		sgy -= g[i] * y[i]
+	}
+	kf := float64(keep)
+	det = kf*sgg - sg*sg
+	if math.Abs(det) < 1e-12 {
+		return a, b
+	}
+	return (kf*sgy - sg*sy) / det, (sy*sgg - sg*sgy) / det
+}
+
+// trimmedMean averages residuals after dropping the worst 20% -- the same
 // trimming linearScale applies, so structure selection cannot profit from
 // spiking through OCR-corrupted samples. Small samples (< 10) are averaged
-// untrimmed.
+// untrimmed. The prefix resids[:n/5] is clobbered in place: it becomes a
+// min-heap of the largest residuals seen so far, every element the heap
+// evicts is kept, and whatever remains in the heap at the end is the
+// dropped 20%. The kept multiset (and hence the mean) is exactly the keep
+// smallest residuals, fully deterministically, in a single pass.
+//
+//dplint:hotpath gp-score
 func trimmedMean(resids []float64) float64 {
 	if len(resids) == 0 {
 		return math.Inf(1)
 	}
 	n := len(resids)
-	if n >= 10 {
-		sort.Float64s(resids)
-		n = n * 4 / 5
+	if n < 10 {
+		sum := 0.0
+		for _, r := range resids {
+			sum += r
+		}
+		return sum / float64(n)
+	}
+	keep := n * 4 / 5
+	h := resids[:n-keep]
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownMin(h, i)
 	}
 	sum := 0.0
-	for _, r := range resids[:n] {
-		sum += r
+	for _, x := range resids[len(h):] {
+		if x > h[0] {
+			sum += h[0]
+			h[0] = x
+			siftDownMin(h, 0)
+		} else {
+			sum += x
+		}
 	}
-	return sum / float64(n)
+	return sum / float64(keep)
+}
+
+// trimmedMeanScaled computes trimmedMean over |a*preds[i]+b - y[i]|
+// without materialising the residual array: residuals are computed on
+// the fly and stream through the dropped-20% heap in strideFor order
+// (see linearScale -- index order would evict on almost every element
+// for trend-shaped residuals). The kept multiset is identical to
+// trimmedMean's; only the floating-point summation order differs, and it
+// is a pure function of the input, so scoring stays deterministic at any
+// parallelism. h must have room for len(preds)/5 values.
+//
+//dplint:hotpath gp-score
+func trimmedMeanScaled(preds, y []float64, a, b float64, h []float64) float64 {
+	n := len(preds)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	if n < 10 {
+		sum := 0.0
+		for i, v := range preds {
+			sum += math.Abs(a*v + b - y[i])
+		}
+		return sum / float64(n)
+	}
+	keep := n * 4 / 5
+	drop := n - keep
+	h = h[:drop]
+	s := strideFor(n)
+	sum := 0.0
+	idx, j := 0, 0
+	for t := 0; t < n; t++ {
+		x := math.Abs(a*preds[idx] + b - y[idx])
+		if j < drop {
+			h[j] = x
+			j++
+			if j == drop {
+				for k := drop/2 - 1; k >= 0; k-- {
+					siftDownMin(h, k)
+				}
+			}
+		} else if x > h[0] {
+			sum += h[0]
+			h[0] = x
+			siftDownMin(h, 0)
+		} else {
+			sum += x
+		}
+		idx += s
+		if idx >= n {
+			idx -= n
+		}
+	}
+	return sum / float64(keep)
 }
 
 // evaluator scores program trees on one dataset through the compiled
@@ -260,14 +444,46 @@ type evaluator struct {
 	// scratch per worker, reused across generations.
 	workers  int
 	machines []*Machine
+	// comp is the sequential phase's compile scratch: trees compile into
+	// reusable buffers and only cache misses materialise a persistent
+	// Program, so cache hits cost zero allocations.
+	comp *Compiler
 	// cache maps Program.Key to scored fitness across generations. The
 	// cached raw/a/b are pure functions of the program, so entries never
 	// invalidate; fit is recomputed per tree because the parsimony
 	// penalty depends on the (unfolded) tree size.
 	cache map[string]cacheEntry
+	// pending/missq/dupq are scoreAll's batch scratch, reused across
+	// generations: pending maps a key to its index in missq, and dupq
+	// records in-batch structural duplicates to resolve after scoring.
+	pending map[string]int
+	missq   []missRef
+	dupq    []dupRef
+	// progs/codeSlab are the per-batch program arena: compiled miss
+	// programs and their bytecode live only until the batch's scores are
+	// published, so both buffers are truncated and reused every call —
+	// steady-state compilation of a miss allocates nothing but the
+	// interned key.
+	progs    []Program
+	codeSlab []instr
 	// evals/hits/misses count scoring requests (mutated only between
 	// parallel phases; evals == hits+misses).
 	evals, hits, misses int
+}
+
+// missRef is one cache miss awaiting scoring: trees[i], of size nodes,
+// compiled to p.
+type missRef struct {
+	i, size int
+	p       *Program
+}
+
+// dupRef marks trees[i] (of size nodes) as structurally identical to
+// missq[m]'s program. Sizes are per tree, not per program: two trees can
+// fold to the same bytecode yet differ in node count, and the parsimony
+// penalty is charged on the unfolded tree.
+type dupRef struct {
+	i, m, size int
 }
 
 // cacheEntry is one cached score: the raw (post-scaling, trimmed) MAE
@@ -284,7 +500,9 @@ func newEvaluator(d *Dataset, cfg Config, workers int) *evaluator {
 		d: d, batch: NewBatch(d), cfg: cfg,
 		workers:  workers,
 		machines: make([]*Machine, workers),
+		comp:     NewCompiler(),
 		cache:    make(map[string]cacheEntry),
+		pending:  make(map[string]int),
 	}
 	for i := range e.machines {
 		e.machines[i] = NewMachine()
@@ -292,18 +510,18 @@ func newEvaluator(d *Dataset, cfg Config, workers int) *evaluator {
 	return e
 }
 
-// fromCache rebuilds an individual for tree t from a cached score. Only
-// the parsimony term depends on the tree itself.
-func (e *evaluator) fromCache(t *Node, ent cacheEntry) individual {
-	ind := individual{tree: t, raw: ent.raw, a: ent.a, b: ent.b}
-	ind.fit = ent.raw + e.cfg.ParsimonyCoeff*float64(t.Size())
+// fromCache rebuilds an individual for tree t (of the given node count)
+// from a cached score. Only the parsimony term depends on the tree itself.
+func (e *evaluator) fromCache(t *Node, ent cacheEntry, size int) individual {
+	ind := individual{tree: t, size: size, raw: ent.raw, a: ent.a, b: ent.b}
+	ind.fit = ent.raw + e.cfg.ParsimonyCoeff*float64(size)
 	return ind
 }
 
 // scoreOne evaluates one compiled program on the worker's machine.
-func (e *evaluator) scoreOne(p *Program, t *Node, m *Machine) individual {
+func (e *evaluator) scoreOne(p *Program, t *Node, m *Machine, size int) individual {
 	d, cfg := e.d, e.cfg
-	ind := individual{tree: t, a: 1, b: 0}
+	ind := individual{tree: t, size: size, a: 1, b: 0}
 	preds := p.Eval(e.batch, m)
 	for _, v := range preds {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -312,17 +530,13 @@ func (e *evaluator) scoreOne(p *Program, t *Node, m *Machine) individual {
 		}
 	}
 	if !cfg.DisableLinearScaling {
-		ind.a, ind.b = linearScale(preds, d.Y)
+		ind.a, ind.b = linearScale(preds, d.Y, m.selbuf(len(preds)), m.selidx(len(preds)))
 		if math.IsNaN(ind.a) || math.IsInf(ind.a, 0) || math.IsNaN(ind.b) || math.IsInf(ind.b, 0) {
 			ind.a, ind.b = 1, 0
 		}
 	}
-	resids := m.resids(len(preds))
-	for i, v := range preds {
-		resids[i] = math.Abs(ind.a*v + ind.b - d.Y[i])
-	}
-	ind.raw = trimmedMean(resids)
-	ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(t.Size())
+	ind.raw = trimmedMeanScaled(preds, d.Y, ind.a, ind.b, m.resids(len(preds)))
+	ind.fit = ind.raw + cfg.ParsimonyCoeff*float64(size)
 	if math.IsNaN(ind.raw) {
 		ind.raw, ind.fit = math.Inf(1), math.Inf(1)
 	}
@@ -336,41 +550,49 @@ func (e *evaluator) scoreOne(p *Program, t *Node, m *Machine) individual {
 // population order is independent of scheduling.
 func (e *evaluator) scoreAll(trees []*Node, out []individual, off int) {
 	e.evals += len(trees)
-	// Sequential phase: compile, consult the cache, and dedupe repeat
-	// structures within the batch (dups wait for the first occurrence).
-	type missRef struct {
-		i int // index into trees
-		p *Program
-	}
-	type dupRef struct {
-		i   int
-		key string
-	}
-	var misses []missRef
-	var dups []dupRef
-	pending := make(map[string]bool)
+	// Sequential phase: compile into the evaluator's scratch, consult the
+	// cache, and dedupe repeat structures within the batch (dups wait for
+	// the first occurrence). The map lookups convert the scratch key
+	// without allocating; only a genuine miss interns the key and
+	// materialises a persistent Program.
+	e.missq = e.missq[:0]
+	e.dupq = e.dupq[:0]
+	e.progs = e.progs[:0]
+	e.codeSlab = e.codeSlab[:0]
+	clear(e.pending)
 	for i, t := range trees {
-		p := Compile(t)
-		if ent, ok := e.cache[p.key]; ok {
+		depth, hash := e.comp.compile(t)
+		size := e.comp.nodes
+		if ent, ok := e.cache[string(e.comp.key)]; ok {
 			e.hits++
-			out[off+i] = e.fromCache(t, ent)
+			out[off+i] = e.fromCache(t, ent, size)
 			continue
 		}
-		if pending[p.key] {
+		if mi, ok := e.pending[string(e.comp.key)]; ok {
 			e.hits++
-			dups = append(dups, dupRef{i: i, key: p.key})
+			e.dupq = append(e.dupq, dupRef{i: i, m: mi, size: size})
 			continue
 		}
-		pending[p.key] = true
-		misses = append(misses, missRef{i: i, p: p})
+		key := string(e.comp.key)
+		// The program lives in the batch arena; growth mid-batch leaves
+		// earlier programs pointing at the old (immutable) backing array.
+		co := len(e.codeSlab)
+		e.codeSlab = append(e.codeSlab, e.comp.code...)
+		e.progs = append(e.progs, Program{
+			code:  e.codeSlab[co:len(e.codeSlab):len(e.codeSlab)],
+			depth: depth, key: key, hash: hash,
+		})
+		e.pending[key] = len(e.missq)
+		e.missq = append(e.missq, missRef{i: i, size: size, p: &e.progs[len(e.progs)-1]})
 	}
-	e.misses += len(misses)
+	e.misses += len(e.missq)
+	misses := e.missq
 
 	// Parallel phase: score the misses on worker-owned machines.
 	if e.workers <= 1 || len(misses) < 2*e.workers {
 		m := e.machines[0]
 		for _, ms := range misses {
-			out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m)
+			out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m, ms.size)
 		}
 	} else {
 		chunk := (len(misses) + e.workers - 1) / e.workers
@@ -384,7 +606,7 @@ func (e *evaluator) scoreAll(trees []*Node, out []individual, off int) {
 			go func(lo, hi int, m *Machine) {
 				defer wg.Done()
 				for _, ms := range misses[lo:hi] {
-					out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m)
+					out[off+ms.i] = e.scoreOne(ms.p, trees[ms.i], m, ms.size)
 				}
 			}(lo, hi, e.machines[w])
 		}
@@ -396,8 +618,8 @@ func (e *evaluator) scoreAll(trees []*Node, out []individual, off int) {
 		ind := out[off+ms.i]
 		e.cache[ms.p.key] = cacheEntry{raw: ind.raw, a: ind.a, b: ind.b}
 	}
-	for _, d := range dups {
-		out[off+d.i] = e.fromCache(trees[d.i], e.cache[d.key])
+	for _, d := range e.dupq {
+		out[off+d.i] = e.fromCache(trees[d.i], e.cache[misses[d.m].p.key], d.size)
 	}
 }
 
@@ -418,31 +640,48 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	if cfg.Generations < 1 {
 		return Result{}, fmt.Errorf("gp: generations %d too small", cfg.Generations)
 	}
+	k := cfg.Islands
+	if k < 1 {
+		k = 1
+	}
+	if k > 1 && cfg.PopulationSize < 2*k {
+		return Result{}, fmt.Errorf("gp: population size %d too small for %d islands", cfg.PopulationSize, k)
+	}
+	interval := cfg.MigrationInterval
+	if interval < 1 {
+		interval = 5
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	funcs := cfg.Functions
 	if len(funcs) == 0 {
 		funcs = FunctionSet
-	}
-	gen := &generator{
-		rng: rng, numVars: d.NumVars(), funcs: funcs,
-		constMin: cfg.ConstMin, constMax: cfg.ConstMax,
 	}
 	workers := cfg.Parallelism
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ev := newEvaluator(d, cfg, workers)
 
-	pop := make([]individual, cfg.PopulationSize)
-	ev.scoreAll(gen.rampedHalfAndHalf(cfg.PopulationSize, max(cfg.MaxDepth/2, 3)), pop, 0)
-	best := bestOf(pop)
-	observe(cfg.Observer, 0, best, ev)
+	// Near-equal population split: the first rem islands take one extra.
+	islands := make([]*island, k)
+	base, rem := cfg.PopulationSize/k, cfg.PopulationSize%k
+	for i := range islands {
+		size := base
+		if i < rem {
+			size++
+		}
+		seed := cfg.Seed
+		if k > 1 {
+			seed = islandSeed(cfg.Seed, i)
+		}
+		islands[i] = newIsland(d, cfg, funcs, size, seed, workers)
+	}
+	stepAll(islands, (*island).init)
+	best := globalBest(islands)
+	observe(cfg.Observer, 0, best, islands)
 
 	gens := 0
-	children := make([]*Node, cfg.PopulationSize-1)
 	for g := 0; g < cfg.Generations; g++ {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -451,28 +690,19 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 		if best.raw <= cfg.StopFitness {
 			break
 		}
-		// Breed the whole next generation first — every RNG draw happens
-		// here, in one goroutine, in a fixed order — then score the
-		// children in parallel chunks.
-		for i := range children {
-			parent := tournament(pop, cfg.TournamentSize, rng)
-			child := vary(parent.tree, pop, cfg, gen, rng)
-			if child.Depth() > cfg.MaxDepth {
-				child = hoistToDepth(child, cfg.MaxDepth, rng)
-			}
-			children[i] = child
+		stepAll(islands, (*island).step)
+		if k > 1 && gens%interval == 0 {
+			migrate(islands)
 		}
-		next := make([]individual, cfg.PopulationSize)
-		// Elitism: carry the champion over unchanged.
-		next[0] = individual{tree: best.tree.Clone(), raw: best.raw, fit: best.fit}
-		ev.scoreAll(children, next, 1)
-		pop = next
-		if b := bestOf(pop); b.fit < best.fit {
-			best = b
-		}
-		observe(cfg.Observer, gens, best, ev)
+		best = globalBest(islands)
+		observe(cfg.Observer, gens, best, islands)
 	}
-	evals := ev.evals
+	var evals, hits, misses int
+	for _, isl := range islands {
+		evals += isl.ev.evals
+		hits += isl.ev.hits
+		misses += isl.ev.misses
+	}
 
 	// Materialise the fitted linear scaling into the returned program:
 	// best = a*g + b, with near-identity coefficients snapped so they
@@ -501,18 +731,197 @@ func RunContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
 	}
 	return Result{
 		Best: final, Fitness: best.raw, Generations: gens, Evaluations: evals,
-		CacheHits: ev.hits, CacheMisses: ev.misses,
+		CacheHits: hits, CacheMisses: misses,
 	}, nil
 }
 
-// observe reports one scored generation to a configured observer.
-func observe(o Observer, gen int, best individual, ev *evaluator) {
+// island is one independently breeding sub-population with its own RNG,
+// generator, evaluator (and fitness cache), ping-ponging arenas and
+// population buffers. A single island is exactly the classic panmictic
+// engine; the only cross-island interaction is migrate, which runs
+// sequentially at a generation barrier.
+type island struct {
+	cfg      Config
+	rng      *rand.Rand
+	gen      *generator
+	ev       *evaluator
+	arenas   [2]*nodeArena
+	cur      int
+	pops     [2][]individual
+	pop      []individual
+	fits     []float64
+	children []*Node
+	// best is the island's champion; its tree is heap-cloned out of the
+	// arenas whenever it improves, so it stays valid across resets (and
+	// across islands during migration).
+	best individual
+}
+
+// islandSeed derives island i's RNG seed: the configured seed XOR a
+// 63-bit FNV-1a hash of the island index's decimal form. Distinct
+// islands explore from decorrelated streams while the whole run stays a
+// pure function of (Seed, Islands).
+func islandSeed(seed int64, i int) int64 {
+	var buf [20]byte
+	s := strconv.AppendInt(buf[:0], int64(i), 10)
+	h := uint64(14695981039346656037)
+	for _, b := range s {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return seed ^ int64(h&0x7FFFFFFFFFFFFFFF)
+}
+
+func newIsland(d *Dataset, cfg Config, funcs []Op, popSize int, seed int64, workers int) *island {
+	rng := rand.New(rand.NewSource(seed))
+	return &island{
+		cfg: cfg,
+		rng: rng,
+		gen: &generator{
+			rng: rng, numVars: d.NumVars(), funcs: funcs,
+			constMin: cfg.ConstMin, constMax: cfg.ConstMax,
+		},
+		ev: newEvaluator(d, cfg, workers),
+		// Trees live one generation: children of generation g+1 reference
+		// only fresh nodes and copies of generation-g subtrees, so breeding
+		// bump-allocates into one of two ping-ponging arenas and the
+		// previous generation's arena is recycled wholesale.
+		arenas: [2]*nodeArena{newNodeArena(), newNodeArena()},
+		// Populations ping-pong alongside the arenas: generation g+1 is
+		// scored into the slice generation g-1 occupied, so the steady-state
+		// loop allocates no per-generation slices either.
+		pops: [2][]individual{
+			make([]individual, popSize),
+			make([]individual, popSize),
+		},
+		// fits mirrors pop's fitness column densely for the tournament loop.
+		fits:     make([]float64, popSize),
+		children: make([]*Node, popSize-1),
+	}
+}
+
+// init scores the initial random population and seeds the champion.
+func (isl *island) init() {
+	isl.gen.arena = isl.arenas[isl.cur]
+	pop := isl.pops[isl.cur]
+	isl.ev.scoreAll(isl.gen.rampedHalfAndHalf(len(pop), max(isl.cfg.MaxDepth/2, 3)), pop, 0)
+	isl.pop = pop
+	for i := range pop {
+		isl.fits[i] = pop[i].fit
+	}
+	isl.best = bestOf(pop)
+	isl.best.tree = isl.best.tree.Clone()
+}
+
+// step breeds and scores one generation. All of the island's RNG draws
+// happen here, in one goroutine, in a fixed order; only miss scoring
+// fans out (and it is a pure function of the tree).
+func (isl *island) step() {
+	cfg := isl.cfg
+	build := isl.arenas[1-isl.cur]
+	build.reset()
+	isl.gen.arena = build
+	pop, fits, rng := isl.pop, isl.fits, isl.rng
+	for i := range isl.children {
+		parent := pop[tournament(fits, cfg.TournamentSize, rng)]
+		child := vary(parent, pop, fits, cfg, isl.gen, rng)
+		if child.Depth() > cfg.MaxDepth {
+			child = hoistToDepth(child, cfg.MaxDepth, rng, build)
+		}
+		isl.children[i] = child
+	}
+	next := isl.pops[1-isl.cur]
+	// Elitism: carry the champion over unchanged.
+	next[0] = individual{tree: cloneInto(build, isl.best.tree), size: isl.best.size, raw: isl.best.raw, fit: isl.best.fit}
+	isl.ev.scoreAll(isl.children, next, 1)
+	isl.pop = next
+	isl.cur = 1 - isl.cur
+	for i := range next {
+		fits[i] = next[i].fit
+	}
+	if b := bestOf(next); b.fit < isl.best.fit {
+		isl.best = b
+		isl.best.tree = isl.best.tree.Clone()
+	}
+}
+
+// stepAll runs f on every island. A single island runs inline; multiple
+// islands run concurrently and barrier here — islands share no state
+// while stepping, so scheduling cannot affect any result.
+func stepAll(islands []*island, f func(*island)) {
+	if len(islands) == 1 {
+		f(islands[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, isl := range islands {
+		wg.Add(1)
+		go func(isl *island) {
+			defer wg.Done()
+			f(isl)
+		}(isl)
+	}
+	wg.Wait()
+}
+
+// migrate exchanges champions on the ring: island i's champion (captured
+// before any replacement) overwrites the worst individual of island
+// (i+1)%k. All islands are quiescent at the call and replacements apply
+// sequentially in island order with no RNG draws, so migration is a pure
+// function of the islands' states — goroutine scheduling during the
+// preceding step cannot influence it.
+func migrate(islands []*island) {
+	k := len(islands)
+	migrants := make([]individual, k)
+	for i, isl := range islands {
+		migrants[i] = isl.best
+	}
+	for i, m := range migrants {
+		dst := islands[(i+1)%k]
+		// Worst slot: highest fitness, first such index on ties.
+		w := 0
+		for j, f := range dst.fits {
+			if f > dst.fits[w] {
+				w = j
+			}
+		}
+		// The copy lives in dst's current arena: that arena survives until
+		// the generation bred from it has been scored, which is exactly the
+		// migrant's useful lifetime (the champion itself stays heap-cloned
+		// on the source island).
+		m.tree = cloneInto(dst.arenas[dst.cur], m.tree)
+		dst.pop[w] = m
+		dst.fits[w] = m.fit
+	}
+}
+
+// globalBest returns the best champion across islands; ties keep the
+// lowest island index.
+func globalBest(islands []*island) individual {
+	best := islands[0].best
+	for _, isl := range islands[1:] {
+		if isl.best.fit < best.fit {
+			best = isl.best
+		}
+	}
+	return best
+}
+
+// observe reports one scored generation to a configured observer, with
+// counters summed across islands in island order.
+func observe(o Observer, gen int, best individual, islands []*island) {
 	if o == nil {
 		return
 	}
+	var evals, hits, misses int
+	for _, isl := range islands {
+		evals += isl.ev.evals
+		hits += isl.ev.hits
+		misses += isl.ev.misses
+	}
 	o.Generation(GenerationStats{
 		Generation: gen, BestFitness: best.raw,
-		Evaluations: ev.evals, CacheHits: ev.hits, CacheMisses: ev.misses,
+		Evaluations: evals, CacheHits: hits, CacheMisses: misses,
 	})
 }
 
@@ -526,59 +935,66 @@ func bestOf(pop []individual) individual {
 	return best
 }
 
-func tournament(pop []individual, k int, rng *rand.Rand) individual {
+// tournament draws k population indices and returns the fittest (ties
+// keep the first drawn). It scans the dense fitness slice, not the
+// population itself: k random accesses into an 8-byte-per-entry array
+// stay in cache where the 64-byte individual structs would not.
+func tournament(fits []float64, k int, rng *rand.Rand) int {
 	if k < 1 {
 		k = 1
 	}
-	best := pop[rng.Intn(len(pop))]
+	best := rng.Intn(len(fits))
 	for i := 1; i < k; i++ {
-		c := pop[rng.Intn(len(pop))]
-		if c.fit < best.fit {
+		if c := rng.Intn(len(fits)); fits[c] < fits[best] {
 			best = c
 		}
 	}
 	return best
 }
 
-// vary applies one variation operator to a cloned parent.
-func vary(parent *Node, pop []individual, cfg Config, gen *generator, rng *rand.Rand) *Node {
-	child := parent.Clone()
+// vary applies one variation operator to a copy of parent built in the
+// generator's arena. Subtree indices are drawn against the parent's
+// cached size — identical draws to walking the clone, without the walk.
+func vary(parent individual, pop []individual, fits []float64, cfg Config, gen *generator, rng *rand.Rand) *Node {
+	child := cloneInto(gen.arena, parent.tree)
 	p := rng.Float64()
 	switch {
 	case p < cfg.CrossoverProb:
-		donor := tournament(pop, cfg.TournamentSize, rng).tree
-		return crossover(child, donor, rng)
+		donor := pop[tournament(fits, cfg.TournamentSize, rng)]
+		return crossover(child, donor.tree, parent.size, donor.size, rng, gen.arena)
 	case p < cfg.CrossoverProb+cfg.SubtreeMutProb:
-		return subtreeMutate(child, gen, rng)
+		return subtreeMutate(child, parent.size, gen, rng)
 	case p < cfg.CrossoverProb+cfg.SubtreeMutProb+cfg.PointMutProb:
-		pointMutate(child, gen, rng)
+		pointMutate(child, parent.size, gen, rng)
 		return child
 	case p < cfg.CrossoverProb+cfg.SubtreeMutProb+cfg.PointMutProb+cfg.HoistMutProb:
-		return hoistMutate(child, rng)
+		return hoistMutate(child, parent.size, rng, gen.arena)
 	default:
 		return child
 	}
 }
 
 // crossover replaces a random subtree of child with a random subtree of
-// donor.
-func crossover(child, donor *Node, rng *rand.Rand) *Node {
-	ci := rng.Intn(child.Size())
-	di := rng.Intn(donor.Size())
-	graft := nodeAt(donor, di).Clone()
+// donor, copying the graft into ar (donor may belong to the previous
+// generation's arena). childSize/donorSize must equal the trees' node
+// counts.
+func crossover(child, donor *Node, childSize, donorSize int, rng *rand.Rand, ar *nodeArena) *Node {
+	ci := rng.Intn(childSize)
+	di := rng.Intn(donorSize)
+	graft := cloneInto(ar, nodeAt(donor, di))
 	return replaceNodeAt(child, ci, graft)
 }
 
 // subtreeMutate replaces a random subtree with a freshly grown one.
-func subtreeMutate(child *Node, gen *generator, rng *rand.Rand) *Node {
-	i := rng.Intn(child.Size())
+func subtreeMutate(child *Node, size int, gen *generator, rng *rand.Rand) *Node {
+	i := rng.Intn(size)
 	return replaceNodeAt(child, i, gen.grow(3))
 }
 
 // pointMutate perturbs one node in place: constants jitter, variables
 // reselect, functions swap within the same arity.
-func pointMutate(child *Node, gen *generator, rng *rand.Rand) {
-	i := rng.Intn(child.Size())
+func pointMutate(child *Node, size int, gen *generator, rng *rand.Rand) {
+	i := rng.Intn(size)
 	n := nodeAt(child, i)
 	switch n.Op {
 	case OpConst:
@@ -600,16 +1016,16 @@ func pointMutate(child *Node, gen *generator, rng *rand.Rand) {
 }
 
 // hoistMutate lifts a random subtree to the root — gplearn's anti-bloat
-// operator.
-func hoistMutate(child *Node, rng *rand.Rand) *Node {
-	i := rng.Intn(child.Size())
-	return nodeAt(child, i).Clone()
+// operator. size must equal child's node count.
+func hoistMutate(child *Node, size int, rng *rand.Rand, ar *nodeArena) *Node {
+	i := rng.Intn(size)
+	return cloneInto(ar, nodeAt(child, i))
 }
 
 // hoistToDepth repeatedly hoists until the tree fits the depth budget.
-func hoistToDepth(t *Node, maxDepth int, rng *rand.Rand) *Node {
+func hoistToDepth(t *Node, maxDepth int, rng *rand.Rand, ar *nodeArena) *Node {
 	for t.Depth() > maxDepth {
-		t = hoistMutate(t, rng)
+		t = hoistMutate(t, t.Size(), rng, ar)
 	}
 	return t
 }

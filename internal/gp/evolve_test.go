@@ -230,15 +230,11 @@ func TestRunDepthBounded(t *testing.T) {
 }
 
 func TestTournamentPicksFitter(t *testing.T) {
-	pop := []individual{
-		{tree: NewConst(1), fit: 10},
-		{tree: NewConst(2), fit: 1},
-		{tree: NewConst(3), fit: 5},
-	}
+	fits := []float64{10, 1, 5}
 	rng := newTestRNG(1)
 	wins := 0
 	for i := 0; i < 200; i++ {
-		if tournament(pop, 3, rng).fit == 1 {
+		if fits[tournament(fits, 3, rng)] == 1 {
 			wins++
 		}
 	}

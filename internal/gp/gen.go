@@ -2,23 +2,39 @@ package gp
 
 import "math/rand"
 
-// generator builds random trees for initialisation and mutation.
+// generator builds random trees for initialisation and mutation. When
+// arena is set, every node is bump-allocated from it (the engine points
+// arena at the generation under construction); a nil arena heap-allocates,
+// which keeps the generator usable standalone.
 type generator struct {
 	rng      *rand.Rand
 	numVars  int
 	funcs    []Op
 	constMin float64
 	constMax float64
+	arena    *nodeArena
+}
+
+// node materialises n in the generator's arena (or on the heap).
+func (g *generator) node(n Node) *Node {
+	var nn *Node
+	if g.arena != nil {
+		nn = g.arena.alloc()
+	} else {
+		nn = new(Node)
+	}
+	*nn = n
+	return nn
 }
 
 // randTerminal returns a variable or ephemeral constant leaf.
 func (g *generator) randTerminal() *Node {
 	// Bias toward variables: constants alone cannot explain varying data.
 	if g.numVars > 0 && g.rng.Float64() < 0.7 {
-		return NewVar(g.rng.Intn(g.numVars))
+		return g.node(Node{Op: OpVar, Var: g.rng.Intn(g.numVars)})
 	}
 	c := g.constMin + g.rng.Float64()*(g.constMax-g.constMin)
-	return NewConst(c)
+	return g.node(Node{Op: OpConst, Const: c})
 }
 
 func (g *generator) randFunction() Op {
@@ -33,9 +49,9 @@ func (g *generator) grow(depth int) *Node {
 	}
 	op := g.randFunction()
 	if op.Arity() == 1 {
-		return NewUnary(op, g.grow(depth-1))
+		return g.node(Node{Op: op, L: g.grow(depth - 1)})
 	}
-	return NewBinary(op, g.grow(depth-1), g.grow(depth-1))
+	return g.node(Node{Op: op, L: g.grow(depth - 1), R: g.grow(depth - 1)})
 }
 
 // full builds a tree where every branch reaches the target depth.
@@ -45,9 +61,9 @@ func (g *generator) full(depth int) *Node {
 	}
 	op := g.randFunction()
 	if op.Arity() == 1 {
-		return NewUnary(op, g.full(depth-1))
+		return g.node(Node{Op: op, L: g.full(depth - 1)})
 	}
-	return NewBinary(op, g.full(depth-1), g.full(depth-1))
+	return g.node(Node{Op: op, L: g.full(depth - 1), R: g.full(depth - 1)})
 }
 
 // rampedHalfAndHalf builds the initial population: tree depths ramp from 2

@@ -1,0 +1,184 @@
+package gp
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func islandTestDataset() *Dataset {
+	// Y = (256*hi + lo) / 4 — the OBD engine-RPM codec shape, small enough
+	// to keep the island runs cheap.
+	d := &Dataset{}
+	for hi := 0.0; hi <= 32; hi += 8 {
+		for lo := 0.0; lo <= 255; lo += 64 {
+			d.X = append(d.X, []float64{hi, lo})
+			d.Y = append(d.Y, (256*hi+lo)/4)
+		}
+	}
+	return d
+}
+
+func islandConfig(islands, parallelism int) Config {
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 120
+	cfg.Generations = 8
+	cfg.StopFitness = -1 // never stop early: every generation and migration runs
+	cfg.Islands = islands
+	cfg.MigrationInterval = 2
+	cfg.Parallelism = parallelism
+	cfg.Seed = 7
+	return cfg
+}
+
+// resultJSON renders the parts of a Result that must be byte-identical
+// across Parallelism settings.
+func resultJSON(t *testing.T, res Result) string {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Best        string
+		Fitness     float64
+		Generations int
+		Evaluations int
+		CacheHits   int
+		CacheMisses int
+	}{res.Best.String(), res.Fitness, res.Generations, res.Evaluations, res.CacheHits, res.CacheMisses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestIslandsDeterministicAcrossParallelism pins the engine's core
+// invariant for the island model: for any island count, the serialized
+// Result is byte-identical whether misses are scored serially or by 8
+// workers, and whether islands step inline or on their own goroutines.
+func TestIslandsDeterministicAcrossParallelism(t *testing.T) {
+	d := islandTestDataset()
+	for _, islands := range []int{1, 2, 4} {
+		var want string
+		for _, par := range []int{1, 8} {
+			res, err := Run(d, islandConfig(islands, par))
+			if err != nil {
+				t.Fatalf("islands=%d parallelism=%d: %v", islands, par, err)
+			}
+			got := resultJSON(t, res)
+			if par == 1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("islands=%d: result diverged across parallelism:\n p=1: %s\n p=%d: %s",
+					islands, want, par, got)
+			}
+		}
+	}
+}
+
+// TestIslandMigrationBoundaryDeterministic stresses the migration
+// boundary: migrating every generation with 4 islands stepping
+// concurrently, repeated runs must agree exactly — goroutine scheduling
+// during a step must not leak into the migrant exchange. Run under
+// -race this also proves the barrier synchronises all island state.
+func TestIslandMigrationBoundaryDeterministic(t *testing.T) {
+	d := islandTestDataset()
+	cfg := islandConfig(4, 8)
+	cfg.MigrationInterval = 1
+	var want string
+	for trial := 0; trial < 3; trial++ {
+		res, err := Run(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resultJSON(t, res)
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d diverged:\n first: %s\n now:   %s", trial, want, got)
+		}
+	}
+}
+
+// TestIslandsDiffer confirms islands actually change the search: the
+// island model is a different (decorrelated-seed) trajectory, not a
+// cosmetic wrapper around the panmictic engine.
+func TestIslandsDiffer(t *testing.T) {
+	d := islandTestDataset()
+	r1, err := Run(d, islandConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(d, islandConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheMisses == r4.CacheMisses && r1.Best.String() == r4.Best.String() {
+		t.Fatalf("islands=4 produced the identical run as islands=1: %s", r1.Best)
+	}
+}
+
+// TestIslandsRecover verifies search quality survives the population
+// split: four islands of 100 still recover a linear two-byte codec.
+func TestIslandsRecover(t *testing.T) {
+	d := islandTestDataset()
+	cfg := islandConfig(4, 2)
+	cfg.PopulationSize = 400
+	cfg.Generations = 25
+	cfg.StopFitness = 0.01
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y spans 0..2111, so MAE < 2 is a sub-0.1% fit of the codec.
+	if res.Fitness > 2.0 {
+		t.Fatalf("fitness = %v (best %q)", res.Fitness, res.Best)
+	}
+}
+
+// TestIslandsPopulationTooSmall pins the validation error.
+func TestIslandsPopulationTooSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 7
+	cfg.Islands = 4
+	if _, err := Run(islandTestDataset(), cfg); err == nil {
+		t.Fatal("expected error for 7 individuals across 4 islands")
+	}
+}
+
+// TestIslandsObserverCounters checks the combined per-generation
+// telemetry: counters are cumulative sums over islands and stay
+// consistent (Evaluations == CacheHits + CacheMisses, monotone), and the
+// final snapshot matches the Result exactly.
+func TestIslandsObserverCounters(t *testing.T) {
+	d := islandTestDataset()
+	cfg := islandConfig(3, 4)
+	obs := &statsObserver{}
+	cfg.Observer = obs
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := obs.stats
+	if len(snaps) != cfg.Generations+1 {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), cfg.Generations+1)
+	}
+	prev := GenerationStats{BestFitness: math.Inf(1)}
+	for i, gs := range snaps {
+		if gs.Generation != i {
+			t.Fatalf("snapshot %d has generation %d", i, gs.Generation)
+		}
+		if gs.Evaluations != gs.CacheHits+gs.CacheMisses {
+			t.Fatalf("gen %d: evals %d != hits %d + misses %d", i, gs.Evaluations, gs.CacheHits, gs.CacheMisses)
+		}
+		if gs.Evaluations < prev.Evaluations || gs.BestFitness > prev.BestFitness {
+			t.Fatalf("gen %d: counters regressed: %+v after %+v", i, gs, prev)
+		}
+		prev = gs
+	}
+	last := snaps[len(snaps)-1]
+	if last.Evaluations != res.Evaluations || last.CacheHits != res.CacheHits || last.CacheMisses != res.CacheMisses {
+		t.Fatalf("final snapshot %+v does not match result %+v", last, res)
+	}
+}

@@ -27,7 +27,7 @@ func TestCrossoverProducesValidTrees(t *testing.T) {
 	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
 	for i := 0; i < 200; i++ {
 		a, b := gen.grow(5), gen.grow(5)
-		child := crossover(a.Clone(), b, rng)
+		child := crossover(a.Clone(), b, a.Size(), b.Size(), rng, nil)
 		if !validTree(child) {
 			t.Fatalf("crossover produced invalid tree: %v", child)
 		}
@@ -38,7 +38,8 @@ func TestSubtreeMutateProducesValidTrees(t *testing.T) {
 	rng := newTestRNG(43)
 	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
 	for i := 0; i < 200; i++ {
-		child := subtreeMutate(gen.grow(5), gen, rng)
+		tree := gen.grow(5)
+		child := subtreeMutate(tree, tree.Size(), gen, rng)
 		if !validTree(child) {
 			t.Fatal("subtree mutation produced invalid tree")
 		}
@@ -51,7 +52,7 @@ func TestPointMutatePreservesShape(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		tree := gen.grow(5)
 		size, depth := tree.Size(), tree.Depth()
-		pointMutate(tree, gen, rng)
+		pointMutate(tree, size, gen, rng)
 		if !validTree(tree) {
 			t.Fatal("point mutation produced invalid tree")
 		}
@@ -67,7 +68,7 @@ func TestHoistMutateShrinksOrKeeps(t *testing.T) {
 	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
 	for i := 0; i < 200; i++ {
 		tree := gen.full(5)
-		hoisted := hoistMutate(tree, rng)
+		hoisted := hoistMutate(tree, tree.Size(), rng, nil)
 		if !validTree(hoisted) {
 			t.Fatal("hoist produced invalid tree")
 		}
@@ -82,7 +83,7 @@ func TestHoistToDepthTerminates(t *testing.T) {
 	gen := &generator{rng: rng, numVars: 2, funcs: FunctionSet, constMin: -5, constMax: 5}
 	for i := 0; i < 50; i++ {
 		tree := gen.full(9)
-		bounded := hoistToDepth(tree, 4, rng)
+		bounded := hoistToDepth(tree, 4, rng, nil)
 		if bounded.Depth() > 4 {
 			t.Fatalf("depth %d after hoistToDepth(4)", bounded.Depth())
 		}
@@ -147,7 +148,7 @@ func TestRunRecoversSqrt(t *testing.T) {
 func TestLinearScaleFitsExactly(t *testing.T) {
 	g := []float64{1, 2, 3, 4, 5}
 	y := []float64{12, 14, 16, 18, 20} // y = 2g + 10
-	a, b := linearScale(g, y)
+	a, b := linearScale(g, y, make([]float64, len(g)), make([]int, len(g)))
 	if math.Abs(a-2) > 1e-9 || math.Abs(b-10) > 1e-9 {
 		t.Fatalf("fit = %v, %v", a, b)
 	}
@@ -156,7 +157,7 @@ func TestLinearScaleFitsExactly(t *testing.T) {
 func TestLinearScaleConstantG(t *testing.T) {
 	g := []float64{3, 3, 3, 3}
 	y := []float64{5, 7, 9, 11}
-	a, b := linearScale(g, y)
+	a, b := linearScale(g, y, make([]float64, len(g)), make([]int, len(g)))
 	if a != 0 || math.Abs(b-8) > 1e-9 {
 		t.Fatalf("degenerate fit = %v, %v (want 0, mean)", a, b)
 	}
@@ -170,7 +171,7 @@ func TestLinearScaleTrimsOutliers(t *testing.T) {
 	}
 	y[10] = 5000 // decimal-loss style outlier
 	y[30] = 4000
-	a, b := linearScale(g, y)
+	a, b := linearScale(g, y, make([]float64, len(g)), make([]int, len(g)))
 	if math.Abs(a-2) > 0.05 || math.Abs(b) > 2 {
 		t.Fatalf("trimmed fit = %v, %v (outliers dragged it)", a, b)
 	}

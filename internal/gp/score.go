@@ -51,20 +51,22 @@ func RobustMAE(t *Node, d *Dataset) float64 {
 // non-negative, so once that quantity exceeds bound·keep the final
 // trimmed mean provably exceeds bound.
 func RobustMAEBounded(t *Node, d *Dataset, bound float64) (mae float64, exceeded bool) {
-	p := Compile(t)
+	c := compilerPool.Get().(*Compiler)
+	defer compilerPool.Put(c)
 	m := machinePool.Get().(*Machine)
 	defer machinePool.Put(m)
-	return p.robustMAEBounded(NewBatch(d), m, bound)
+	return c.Compile(t).robustMAEBounded(NewBatch(d), m, bound)
 }
 
 // scoreCompiled runs n's compiled form over the dataset and hands the
 // predictions to the metric — the one scoring helper behind every public
 // metric entry point.
 func scoreCompiled(n *Node, d *Dataset, metric func(preds []float64) float64) float64 {
-	p := Compile(n)
+	c := compilerPool.Get().(*Compiler)
+	defer compilerPool.Put(c)
 	m := machinePool.Get().(*Machine)
 	defer machinePool.Put(m)
-	return metric(p.Eval(NewBatch(d), m))
+	return metric(c.Compile(n).Eval(NewBatch(d), m))
 }
 
 // meanDiff is the shared MAE/MSE accumulation: mean |pred-y| or mean

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"dpreverser/internal/colstore"
 )
 
 // Frame-type nibbles per ISO 15765-2 (high nibble of the first data byte).
@@ -215,6 +217,11 @@ type Reassembler struct {
 	// only 6 bytes.
 	MinMultiFrameLen int
 
+	// buf is in-flight assembly scratch, leased from the colstore buffer
+	// pool for the duration of one transfer. It is nil whenever no
+	// transfer is in flight *and* no completed message view is pending;
+	// abort — the single release point — returns it on every path that
+	// ends a transfer, including all resynchronisation errors.
 	buf      []byte
 	expected int
 	nextSeq  byte
@@ -237,21 +244,37 @@ type Result struct {
 	NeedFlowControl bool
 }
 
-// Feed consumes one frame's data field. Flow-control frames are ignored
-// (they belong to the opposite direction). A new first or single frame
-// aborts any partial reassembly in progress, which mirrors how tools
-// recover from lost frames.
+// Feed consumes one frame's data field and returns completed messages as
+// fresh heap copies the caller owns. It is FeedView plus a copy; hot
+// consumers (the reverser's columnar assembler) use FeedView directly and
+// copy the view into their own storage once.
+func (r *Reassembler) Feed(data []byte) (Result, error) {
+	res, err := r.FeedView(data)
+	if res.Message != nil {
+		res.Message = append([]byte(nil), res.Message...)
+	}
+	return res, err
+}
+
+// FeedView consumes one frame's data field. Flow-control frames are
+// ignored (they belong to the opposite direction). A new first or single
+// frame aborts any partial reassembly in progress, which mirrors how
+// tools recover from lost frames.
+//
+// The returned Result.Message is a zero-copy view — into data for single
+// frames, into the reassembler's pooled scratch for multi-frame messages
+// — and is valid only until the next call on this reassembler (or, for
+// single frames, until the caller reuses data). Callers that retain
+// messages must copy; Feed does exactly that.
 //
 //dplint:hotpath isotp-feed
-func (r *Reassembler) Feed(data []byte) (Result, error) {
+func (r *Reassembler) FeedView(data []byte) (Result, error) {
 	switch Classify(data) {
 	case SingleFrame:
 		r.abort()
 		n := int(data[0] & 0x0F)
-		msg := make([]byte, n)
-		copy(msg, data[1:1+n])
 		r.completed++
-		return Result{Message: msg}, nil
+		return Result{Message: data[1 : 1+n : 1+n]}, nil
 
 	case FirstFrame:
 		r.abort()
@@ -261,14 +284,16 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 			minLen = MaxSingleFrame + 1
 		}
 		if r.expected < minLen {
+			expected := r.expected
+			r.expected = 0
 			r.errors++
-			return Result{}, fmt.Errorf("%w: first frame with length %d", ErrUnexpectedFrame, r.expected)
+			return Result{}, fmt.Errorf("%w: first frame with length %d", ErrUnexpectedFrame, expected)
 		}
 		n := len(data) - 2
 		if n > firstFrameData {
 			n = firstFrameData
 		}
-		r.buf = append(r.buf[:0], data[2:2+n]...)
+		r.buf = append(colstore.GetBuf(r.expected), data[2:2+n]...)
 		r.nextSeq = 1
 		r.inFlight = true
 		return Result{NeedFlowControl: true}, nil
@@ -282,8 +307,8 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 		if seq != r.nextSeq {
 			// A retransmitted copy of the frame just consumed is skipped
 			// and the transfer salvaged; anything else is unrecoverable
-			// (payload bytes are missing), so discard and resync on the
-			// next first frame.
+			// (payload bytes are missing), so discard — returning the
+			// scratch buffer — and resync on the next first frame.
 			if r.haveLast && seq == r.lastSeq {
 				r.errors++
 				return Result{}, fmt.Errorf("%w: sequence %d repeated", ErrDuplicateFrame, seq)
@@ -301,9 +326,14 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 		}
 		r.buf = append(r.buf, data[1:1+n]...)
 		if len(r.buf) >= r.expected {
-			msg := make([]byte, r.expected)
-			copy(msg, r.buf)
-			r.abort()
+			// Completion keeps the scratch buffer: the view must survive
+			// until the caller's next Feed, whose abort releases it.
+			msg := r.buf[:r.expected:r.expected]
+			r.expected = 0
+			r.nextSeq = 0
+			r.lastSeq = 0
+			r.haveLast = false
+			r.inFlight = false
 			r.completed++
 			return Result{Message: msg}, nil
 		}
@@ -334,8 +364,13 @@ func (r *Reassembler) Completed() int { return r.completed }
 // Errors reports how many malformed or out-of-order frames were seen.
 func (r *Reassembler) Errors() int { return r.errors }
 
+// abort ends any transfer — in flight or completed-and-pending — and is
+// the single point that returns the pooled scratch buffer.
 func (r *Reassembler) abort() {
-	r.buf = r.buf[:0]
+	if r.buf != nil {
+		colstore.PutBuf(r.buf)
+		r.buf = nil
+	}
 	r.expected = 0
 	r.nextSeq = 0
 	r.lastSeq = 0

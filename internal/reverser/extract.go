@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/kwp"
 	"dpreverser/internal/obd"
 	"dpreverser/internal/uds"
@@ -98,147 +99,181 @@ type Extraction struct {
 	Requests map[byte]int
 	// NegativeResponses counts 0x7F responses by rejected service.
 	NegativeResponses map[byte]int
+
+	// kwpSlab backs the KWP observations' 3-byte ESV triples; see
+	// appendKWP.
+	kwpSlab []byte
 }
 
 // ExtractFields implements §3.2 Step 3 over an assembled message stream:
 // it pairs responses with the most recent matching request and splits the
-// payloads into manufacturer-defined fields.
+// payloads into manufacturer-defined fields. It is a compatibility
+// wrapper: the messages are transposed into a columnar store and handed
+// to ExtractFieldsColumnar, which the pipeline calls directly.
 func ExtractFields(messages []Message) *Extraction {
+	ms := colstore.NewMessages(len(messages), 0)
+	for _, m := range messages {
+		ms.Append(m.At, m.ID, m.Addr, uint8(m.Transport), m.Payload)
+	}
+	return ExtractFieldsColumnar(ms)
+}
+
+// transportKinds bounds the pairing state arrays below.
+const transportKinds = 3
+
+// ExtractFieldsColumnar runs field extraction by indexing into the
+// columnar message store. Pairing state lives in transport-indexed
+// arrays — requests and responses travel on different CAN IDs (and, for
+// BMW, carry each other's addresses), but a capture's conversation is
+// serialised per transport kind, since tools wait for each response
+// before the next request — so claiming a pending slot costs no map
+// lookup and no key formatting. Extracted ESV bytes are views into the
+// store's slab (or, for KWP's decoded triples, into an extraction-owned
+// slab); the Extraction keeps the store alive through those views.
+//
+//dplint:hotpath extract-fields
+func ExtractFieldsColumnar(ms *colstore.Messages) *Extraction {
 	out := &Extraction{
 		Requests:          map[byte]int{},
 		NegativeResponses: map[byte]int{},
 	}
-	// pending tracks, per conversation stream, the latest request awaiting
-	// its response. Streams are keyed by transport identity so interleaved
-	// polls to different ECUs do not cross-pair.
-	type pendingReq struct {
-		msg Message
+	// pending tracks, per transport conversation, the latest request
+	// payload awaiting its response; pendingIOs the IO-control requests
+	// awaiting the positive/negative verdict.
+	var pending [transportKinds]struct {
+		payload []byte
+		ok      bool
 	}
-	pending := map[string]pendingReq{}
-	// pendingECR holds IO-control requests awaiting the positive/negative
-	// verdict.
-	type pendingIO struct {
+	var pendingIOs [transportKinds]struct {
 		obs ECRObservation
-	}
-	pendingIOs := map[string]pendingIO{}
-
-	streamKeyOf := func(m Message) string {
-		// Requests and responses travel on different CAN IDs (and, for
-		// BMW, carry each other's addresses), but a capture's conversation
-		// is serialised per transport kind — tools wait for each response
-		// before the next request — which suffices for pairing.
-		return fmt.Sprintf("%d", m.Transport)
+		ok  bool
 	}
 
-	for _, m := range messages {
-		if len(m.Payload) == 0 {
+	for i, n := 0, ms.Len(); i < n; i++ {
+		payload := ms.Payload(i)
+		if len(payload) == 0 {
 			continue
 		}
-		sid := m.Payload[0]
-		if IsRequest(m.Payload) {
+		at, id, addr := ms.At(i), ms.ID(i), ms.Addr(i)
+		tr := int(ms.Transport(i)) % transportKinds
+		sid := payload[0]
+		if IsRequest(payload) {
 			out.Requests[sid]++
-			key := streamKeyOf(m)
-			pending[key] = pendingReq{msg: m}
+			pending[tr].payload = payload
+			pending[tr].ok = true
 			switch sid {
 			case uds.SIDIOControlByIdentifier:
-				if len(m.Payload) >= 4 {
+				if len(payload) >= 4 {
 					obs := ECRObservation{
-						At: m.At, Service: sid, ReqID: m.ID,
-						ID:    uint16(m.Payload[1])<<8 | uint16(m.Payload[2]),
-						Param: m.Payload[3],
+						At: at, Service: sid, ReqID: id,
+						ID:    uint16(payload[1])<<8 | uint16(payload[2]),
+						Param: payload[3],
 					}
-					if len(m.Payload) > 4 {
-						obs.State = append([]byte(nil), m.Payload[4:]...)
+					if len(payload) > 4 {
+						obs.State = payload[4:]
 					}
-					pendingIOs[key] = pendingIO{obs: obs}
+					pendingIOs[tr].obs = obs
+					pendingIOs[tr].ok = true
 				}
 			case kwp.SIDIOControlByLocalIdentifier:
-				if len(m.Payload) >= 3 {
+				if len(payload) >= 3 {
 					obs := ECRObservation{
-						At: m.At, Service: sid, ReqID: m.ID,
-						ID:    uint16(m.Payload[1]),
-						Param: m.Payload[2],
+						At: at, Service: sid, ReqID: id,
+						ID:    uint16(payload[1]),
+						Param: payload[2],
 					}
-					if len(m.Payload) > 3 {
-						obs.State = append([]byte(nil), m.Payload[3:]...)
+					if len(payload) > 3 {
+						obs.State = payload[3:]
 					}
-					pendingIOs[key] = pendingIO{obs: obs}
+					pendingIOs[tr].obs = obs
+					pendingIOs[tr].ok = true
 				}
 			}
 			continue
 		}
 
 		// Response path.
-		key := streamKeyOf(m)
 		if sid == uds.NegativeResponseSID {
-			if len(m.Payload) >= 2 {
-				out.NegativeResponses[m.Payload[1]]++
-				if io, ok := pendingIOs[key]; ok &&
-					(m.Payload[1] == uds.SIDIOControlByIdentifier || m.Payload[1] == kwp.SIDIOControlByLocalIdentifier) {
-					io.obs.Positive = false
-					out.ECRs = append(out.ECRs, io.obs)
-					delete(pendingIOs, key)
+			if len(payload) >= 2 {
+				out.NegativeResponses[payload[1]]++
+				if pendingIOs[tr].ok &&
+					(payload[1] == uds.SIDIOControlByIdentifier || payload[1] == kwp.SIDIOControlByLocalIdentifier) {
+					pendingIOs[tr].obs.Positive = false
+					out.ECRs = append(out.ECRs, pendingIOs[tr].obs)
+					pendingIOs[tr].ok = false
 				}
 			}
 			continue
 		}
-		req, ok := pending[key]
-		if !ok || req.msg.Payload[0]+0x40 != sid {
+		if !pending[tr].ok || pending[tr].payload[0]+0x40 != sid {
 			continue // orphan response
 		}
-		delete(pending, key)
+		reqPayload := pending[tr].payload
+		pending[tr].ok = false
 
 		switch sid {
 		case obd.ResponseSID:
-			if pid, _, err := obd.ParseResponse(m.Payload); err == nil {
+			if pid, _, err := obd.ParseResponse(payload); err == nil {
 				out.ESVs = append(out.ESVs, ESVObservation{
-					At:    m.At,
-					Key:   StreamKey{Proto: "OBD", RespID: m.ID, DID: uint16(pid)},
-					Bytes: append([]byte(nil), m.Payload[2:]...),
+					At:    at,
+					Key:   StreamKey{Proto: "OBD", RespID: id, DID: uint16(pid)},
+					Bytes: payload[2:],
 				})
 			}
 
 		case uds.PositiveResponseSID(uds.SIDReadDataByIdentifier):
-			dids, err := uds.ParseRDBIRequest(req.msg.Payload)
+			dids, err := uds.ParseRDBIRequest(reqPayload)
 			if err != nil {
 				continue
 			}
-			records, err := uds.ParseRDBIResponse(m.Payload, dids)
+			records, err := uds.ParseRDBIResponse(payload, dids)
 			if err != nil {
 				continue
 			}
 			for _, rec := range records {
 				out.ESVs = append(out.ESVs, ESVObservation{
-					At:    m.At,
-					Key:   StreamKey{Proto: "UDS", RespID: m.ID, Addr: m.Addr, DID: rec.DID},
+					At:    at,
+					Key:   StreamKey{Proto: "UDS", RespID: id, Addr: addr, DID: rec.DID},
 					Bytes: rec.Data,
 				})
 			}
 
 		case kwp.PositiveResponseSID(kwp.SIDReadDataByLocalIdentifier):
-			localID, esvs, err := kwp.ParseReadResponse(m.Payload)
+			localID, esvs, err := kwp.ParseReadResponse(payload)
 			if err != nil {
 				continue
 			}
-			for i, e := range esvs {
+			for j, e := range esvs {
 				out.ESVs = append(out.ESVs, ESVObservation{
-					At: m.At,
-					Key: StreamKey{Proto: "KWP", RespID: m.ID, Addr: m.Addr,
-						LocalID: localID, Index: i, FType: e.FType},
-					Bytes: []byte{e.FType, e.X0, e.X1},
+					At: at,
+					Key: StreamKey{Proto: "KWP", RespID: id, Addr: addr,
+						LocalID: localID, Index: j, FType: e.FType},
+					Bytes: out.appendKWP(e.FType, e.X0, e.X1),
 				})
 			}
 
 		case uds.PositiveResponseSID(uds.SIDIOControlByIdentifier),
 			kwp.PositiveResponseSID(kwp.SIDIOControlByLocalIdentifier):
-			if io, ok := pendingIOs[key]; ok {
-				io.obs.Positive = true
-				out.ECRs = append(out.ECRs, io.obs)
-				delete(pendingIOs, key)
+			if pendingIOs[tr].ok {
+				pendingIOs[tr].obs.Positive = true
+				out.ECRs = append(out.ECRs, pendingIOs[tr].obs)
+				pendingIOs[tr].ok = false
 			}
 		}
 	}
 	return out
+}
+
+// appendKWP packs one decoded KWP (FType, X0, X1) triple onto the
+// extraction's own slab and returns the capped 3-byte view. KWP ESVs are
+// re-encoded rather than sliced from the message payload, so they need
+// somewhere contiguous to live; one shared slab replaces a 3-byte heap
+// allocation per observation. Views survive slab growth: append may move
+// the backing array, but the old array stays reachable through them.
+func (x *Extraction) appendKWP(ftype, x0, x1 byte) []byte {
+	x.kwpSlab = append(x.kwpSlab, ftype, x0, x1)
+	n := len(x.kwpSlab)
+	return x.kwpSlab[n-3 : n : n]
 }
 
 // Variables converts an observation's raw bytes into the formula-inference

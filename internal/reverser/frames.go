@@ -9,11 +9,11 @@ package reverser
 
 import (
 	"context"
-	"sort"
 	"time"
 
 	"dpreverser/internal/bmwtp"
 	"dpreverser/internal/can"
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/isotp"
 	"dpreverser/internal/vwtp"
 )
@@ -92,7 +92,10 @@ func (s TrafficStats) ISOTPMulti() int { return s.ISOTPFirst + s.ISOTPConsecutiv
 // these into the dpreverser_transport_errors_total counter.
 type AssemblyObserver func(transport, reason string)
 
-// assembler reconstructs application messages from a raw capture.
+// assembler reconstructs application messages from a raw capture. It
+// appends completed messages straight into a columnar store: the
+// reassemblers hand back zero-copy views of their pooled scratch, and the
+// store's Append is the single copy each payload costs.
 type assembler struct {
 	stats   TrafficStats
 	onError AssemblyObserver
@@ -103,7 +106,7 @@ type assembler struct {
 	vw    map[uint32]*vwtp.Reassembler
 	bmw   map[uint32]map[byte]*isotp.Reassembler
 
-	messages []Message
+	ms *colstore.Messages
 }
 
 func newAssembler() *assembler {
@@ -112,6 +115,7 @@ func newAssembler() *assembler {
 		isotp:   map[uint32]*isotp.Reassembler{},
 		vw:      map[uint32]*vwtp.Reassembler{},
 		bmw:     map[uint32]map[byte]*isotp.Reassembler{},
+		ms:      colstore.NewMessages(0, 0),
 	}
 }
 
@@ -119,6 +123,21 @@ func newAssembler() *assembler {
 // transmits on 0x6F1 and ECUs answer on 0x600+address.
 func isBMWID(id uint32) bool {
 	return id == 0x6F1 || (id >= 0x600 && id <= 0x6EF)
+}
+
+// FramesColumnar transposes a raw capture into a columnar frame store —
+// the one array-of-structs → column-major copy the pipeline performs,
+// after which every stage reads slab views.
+func FramesColumnar(frames []can.Frame) *colstore.Frames {
+	total := 0
+	for i := range frames {
+		total += frames[i].Len
+	}
+	fr := colstore.NewFrames(len(frames), total)
+	for i := range frames {
+		fr.Append(frames[i].ID, frames[i].Timestamp, frames[i].Payload())
+	}
+	return fr
 }
 
 // Assemble processes a capture in order and returns the application
@@ -142,6 +161,10 @@ const assembleCheckEvery = 1024
 // AssembleContext is AssembleObserved with cooperative cancellation: the
 // frame loop checks ctx periodically and returns ctx's error (plus the
 // stats gathered so far) when the caller gives up mid-capture.
+//
+// It materialises one owned Message (with a fresh payload copy) per
+// assembled message; the pipeline itself runs on AssembleColumnar, which
+// keeps everything in the columnar store.
 func AssembleContext(ctx context.Context, frames []can.Frame, obs AssemblyObserver) ([]Message, TrafficStats, error) {
 	a := newAssembler()
 	a.onError = obs
@@ -151,21 +174,50 @@ func AssembleContext(ctx context.Context, frames []can.Frame, obs AssemblyObserv
 				return nil, a.stats, err
 			}
 		}
-		a.feed(f)
+		a.feed(f.Timestamp, f.ID, f.Payload())
 	}
-	sort.SliceStable(a.messages, func(i, j int) bool { return a.messages[i].At < a.messages[j].At })
-	return a.messages, a.stats, nil
+	a.ms.SortStableByTime()
+	messages := make([]Message, a.ms.Len())
+	for i := range messages {
+		messages[i] = Message{
+			At: a.ms.At(i), ID: a.ms.ID(i), Addr: a.ms.Addr(i),
+			Transport: TransportKind(a.ms.Transport(i)),
+			Payload:   append([]byte(nil), a.ms.Payload(i)...),
+		}
+	}
+	return messages, a.stats, nil
 }
 
-func (a *assembler) feed(f can.Frame) {
+// AssembleColumnar is the pipeline's assembly entry: it screens and
+// reassembles a columnar frame store into a columnar message store,
+// sorted stably by completion time. No per-message []byte is
+// materialised — payload bytes move straight from the reassemblers'
+// pooled scratch into the message slab, and every downstream consumer
+// reads zero-copy views.
+func AssembleColumnar(ctx context.Context, frames *colstore.Frames, obs AssemblyObserver) (*colstore.Messages, TrafficStats, error) {
+	a := newAssembler()
+	a.onError = obs
+	for i, n := 0, frames.Len(); i < n; i++ {
+		if i%assembleCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, a.stats, err
+			}
+		}
+		a.feed(frames.At(i), frames.ID(i), frames.Payload(i))
+	}
+	a.ms.SortStableByTime()
+	return a.ms, a.stats, nil
+}
+
+//dplint:hotpath assemble-feed
+func (a *assembler) feed(at time.Duration, id uint32, data []byte) {
 	a.stats.Total++
-	data := f.Payload()
 	if len(data) == 0 {
 		return
 	}
 	// VW TP 2.0 channel setup on the broadcast range teaches us the
 	// negotiated data IDs (§3.2: screening removes these control frames).
-	if f.ID >= vwtp.BroadcastID && f.ID < vwtp.BroadcastID+0x100 {
+	if id >= vwtp.BroadcastID && id < vwtp.BroadcastID+0x100 {
 		a.stats.VWTPControl++
 		if len(data) >= 7 && data[1] == 0xD0 {
 			ecuRx := uint32(data[2]) | uint32(data[3])<<8
@@ -176,16 +228,17 @@ func (a *assembler) feed(f can.Frame) {
 		return
 	}
 	switch {
-	case a.vwtpIDs[f.ID]:
-		a.feedVWTP(f, data)
-	case isBMWID(f.ID):
-		a.feedBMW(f, data)
+	case a.vwtpIDs[id]:
+		a.feedVWTP(at, id, data)
+	case isBMWID(id):
+		a.feedBMW(at, id, data)
 	default:
-		a.feedISOTP(f, data)
+		a.feedISOTP(at, id, data)
 	}
 }
 
-func (a *assembler) feedISOTP(f can.Frame, data []byte) {
+//dplint:hotpath assemble-feed
+func (a *assembler) feedISOTP(at time.Duration, id uint32, data []byte) {
 	switch isotp.Classify(data) {
 	case isotp.SingleFrame:
 		a.stats.ISOTPSingle++
@@ -199,27 +252,26 @@ func (a *assembler) feedISOTP(f can.Frame, data []byte) {
 	default:
 		return
 	}
-	r := a.isotp[f.ID]
+	r := a.isotp[id]
 	if r == nil {
 		r = &isotp.Reassembler{}
-		a.isotp[f.ID] = r
+		a.isotp[id] = r
 	}
-	res, err := r.Feed(data)
+	res, err := r.FeedView(data)
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.ISOTPErrors++
-		a.stats.bumpID(f.ID)
+		a.stats.bumpID(id)
 		a.reportError("isotp", isotp.Reason(err))
 		return
 	}
 	if res.Message != nil {
-		a.messages = append(a.messages, Message{
-			At: f.Timestamp, ID: f.ID, Transport: TransportISOTP, Payload: res.Message,
-		})
+		a.ms.Append(at, id, 0, uint8(TransportISOTP), res.Message)
 	}
 }
 
-func (a *assembler) feedVWTP(f can.Frame, data []byte) {
+//dplint:hotpath assemble-feed
+func (a *assembler) feedVWTP(at time.Duration, id uint32, data []byte) {
 	switch vwtp.Classify(data) {
 	case vwtp.KindData:
 		if vwtp.IsLastData(data) {
@@ -233,27 +285,26 @@ func (a *assembler) feedVWTP(f can.Frame, data []byte) {
 	default:
 		return
 	}
-	r := a.vw[f.ID]
+	r := a.vw[id]
 	if r == nil {
 		r = &vwtp.Reassembler{}
-		a.vw[f.ID] = r
+		a.vw[id] = r
 	}
-	res, err := r.Feed(data)
+	res, err := r.FeedView(data)
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.VWTPErrors++
-		a.stats.bumpID(f.ID)
+		a.stats.bumpID(id)
 		a.reportError("vwtp", vwtp.Reason(err))
 		return
 	}
 	if res.Message != nil {
-		a.messages = append(a.messages, Message{
-			At: f.Timestamp, ID: f.ID, Transport: TransportVWTP, Payload: res.Message,
-		})
+		a.ms.Append(at, id, 0, uint8(TransportVWTP), res.Message)
 	}
 }
 
-func (a *assembler) feedBMW(f can.Frame, data []byte) {
+//dplint:hotpath assemble-feed
+func (a *assembler) feedBMW(at time.Duration, id uint32, data []byte) {
 	if len(data) < 2 {
 		return
 	}
@@ -271,10 +322,10 @@ func (a *assembler) feedBMW(f can.Frame, data []byte) {
 	default:
 		return
 	}
-	byAddr := a.bmw[f.ID]
+	byAddr := a.bmw[id]
 	if byAddr == nil {
 		byAddr = map[byte]*isotp.Reassembler{}
-		a.bmw[f.ID] = byAddr
+		a.bmw[id] = byAddr
 	}
 	r := byAddr[addr]
 	if r == nil {
@@ -282,18 +333,16 @@ func (a *assembler) feedBMW(f can.Frame, data []byte) {
 		r = &isotp.Reassembler{MinMultiFrameLen: 7}
 		byAddr[addr] = r
 	}
-	res, err := r.Feed(data[1:])
+	res, err := r.FeedView(data[1:])
 	if err != nil {
 		a.stats.AssemblyErrors++
 		a.stats.BMWErrors++
-		a.stats.bumpID(f.ID)
+		a.stats.bumpID(id)
 		a.reportError("bmwtp", bmwtp.Reason(err))
 		return
 	}
 	if res.Message != nil {
-		a.messages = append(a.messages, Message{
-			At: f.Timestamp, ID: f.ID, Addr: addr, Transport: TransportBMW, Payload: res.Message,
-		})
+		a.ms.Append(at, id, addr, uint8(TransportBMW), res.Message)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/gp"
 	"dpreverser/internal/rig"
 	"dpreverser/internal/telemetry"
@@ -246,13 +247,20 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
 
 	// §3.2 Steps 1-2: screening and payload assembly — one pass over the
-	// raw frames, shared by field extraction and the message count. The
-	// frame loop polls ctx, so captures of any size cancel promptly.
-	var messages []Message
+	// raw frames, shared by field extraction, alignment and the message
+	// count. The capture is transposed once into a columnar frame store
+	// and assembled into a columnar message store; the later stages read
+	// zero-copy slab views of both. The frame loop polls ctx, so captures
+	// of any size cancel promptly.
+	var fr *colstore.Frames
+	var ms *colstore.Messages
 	var aerr error
 	r.stage("assemble", func() {
-		messages, res.Stats, aerr = AssembleContext(ctx, cap.Frames, rv.assemblyObserver())
-		res.Messages = len(messages)
+		fr = FramesColumnar(cap.Frames)
+		ms, res.Stats, aerr = AssembleColumnar(ctx, fr, rv.assemblyObserver())
+		if ms != nil {
+			res.Messages = ms.Len()
+		}
 	})
 	if aerr != nil {
 		// A panicking progress callback cancels the run; report the panic,
@@ -265,15 +273,16 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	rv.met.FramesTotal.Add(float64(res.Stats.Total))
 	rv.met.MessagesAssembled.Add(float64(res.Messages))
 
-	// §3.2 Step 3: request/response pairing and field extraction.
+	// §3.2 Step 3: request/response pairing and field extraction, indexing
+	// into the columnar message store.
 	var ext *Extraction
-	r.stage("extract", func() { ext = ExtractFields(messages) })
+	r.stage("extract", func() { ext = ExtractFieldsColumnar(ms) })
 	rv.met.ESVObservations.Add(float64(len(ext.ESVs)))
 	rv.met.ECRObservations.Add(float64(len(ext.ECRs)))
 
 	// §3.3: camera-to-CAN clock alignment.
 	var uiFrames = cap.UIFrames
-	r.stage("align", func() { res.Offset, uiFrames = alignUI(cap) })
+	r.stage("align", func() { res.Offset, uiFrames = alignUI(fr, cap.UIFrames) })
 
 	// §3.3-§3.5 Step 1: session splitting, semantics, pairing, filtering,
 	// aggregation.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpreverser/internal/align"
+	"dpreverser/internal/colstore"
 	"dpreverser/internal/gp"
 	"dpreverser/internal/ocr"
 	"dpreverser/internal/rig"
@@ -51,20 +52,21 @@ type StreamData struct {
 // Result.Streams; this entry point remains for callers that only need the
 // front half.
 func ExtractStreams(cap rig.Capture, cfg Config) ([]StreamData, TrafficStats, time.Duration) {
-	messages, stats := Assemble(cap.Frames)
-	ext := ExtractFields(messages)
-	offset, uiFrames := alignUI(cap)
+	fr := FramesColumnar(cap.Frames)
+	ms, stats, _ := AssembleColumnar(context.Background(), fr, nil)
+	ext := ExtractFieldsColumnar(ms)
+	offset, uiFrames := alignUI(fr, cap.UIFrames)
 	return streamsFromExtraction(ext, uiFrames, cfg), stats, offset
 }
 
 // alignUI estimates the camera-to-CAN clock offset (§3.3) and returns the
 // UI frames shifted onto the traffic clock. Captures with no usable OBD
 // anchors keep their raw timestamps and a zero offset.
-func alignUI(cap rig.Capture) (time.Duration, []ocr.Frame) {
-	if off, err := align.EstimateOffsetOBD(cap.Frames, cap.UIFrames); err == nil {
-		return off, align.ApplyOffset(cap.UIFrames, off)
+func alignUI(fr *colstore.Frames, uiFrames []ocr.Frame) (time.Duration, []ocr.Frame) {
+	if off, err := align.EstimateOffsetOBDColumnar(fr, uiFrames); err == nil {
+		return off, align.ApplyOffset(uiFrames, off)
 	}
-	return 0, cap.UIFrames
+	return 0, uiFrames
 }
 
 // streamsFromExtraction builds the per-stream datasets from an already

@@ -170,6 +170,9 @@ func BuildRDBIResponse(records []DataRecord) []byte {
 // the corresponding response message with the same order and the field
 // value after each DID is just the corresponding ESV". Record boundaries
 // are found by scanning for the next expected DID.
+//
+// The returned records' Data fields are zero-copy views into msg; callers
+// that outlive msg (or mutate it) must copy.
 func ParseRDBIResponse(msg []byte, requested []uint16) ([]DataRecord, error) {
 	if len(msg) < 3 {
 		return nil, ErrTooShort
@@ -206,9 +209,7 @@ func ParseRDBIResponse(msg []byte, requested []uint16) ([]DataRecord, error) {
 			}
 			end = found
 		}
-		data := make([]byte, end-pos)
-		copy(data, body[pos:end])
-		records = append(records, DataRecord{DID: did, Data: data})
+		records = append(records, DataRecord{DID: did, Data: body[pos:end:end]})
 		pos = end
 	}
 	return records, nil

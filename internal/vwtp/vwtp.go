@@ -23,6 +23,8 @@ package vwtp
 import (
 	"errors"
 	"fmt"
+
+	"dpreverser/internal/colstore"
 )
 
 // Kind classifies a TP 2.0 frame by its first byte, for the screening step.
@@ -200,9 +202,17 @@ func EncodeACK(next byte, ready bool) []byte {
 // Reassembler rebuilds application payloads from a stream of TP 2.0 data
 // frames on one channel direction.
 type Reassembler struct {
-	buf       []byte
-	nextSeq   byte
-	started   bool
+	// buf is assembly scratch leased from the colstore buffer pool. It is
+	// nil when no transfer is in flight and no completed message view is
+	// pending; abort — the single release point — returns it on every
+	// path that discards a transfer, and the first data frame after a
+	// completed message releases the old lease before taking a new one.
+	buf     []byte
+	nextSeq byte
+	started bool
+	// viewLive marks that buf holds a completed message whose view was
+	// handed to the caller; it expires on the next data frame.
+	viewLive  bool
 	completed int
 	errors    int
 }
@@ -218,11 +228,27 @@ type Result struct {
 	NextSeq byte
 }
 
-// Feed consumes one frame. Non-data frames are ignored. Sequence errors
-// abort the in-progress message.
+// Feed consumes one frame and returns completed messages as fresh heap
+// copies the caller owns. It is FeedView plus a copy; hot consumers (the
+// reverser's columnar assembler) use FeedView directly and copy the view
+// into their own storage once.
+func (r *Reassembler) Feed(data []byte) (Result, error) {
+	res, err := r.FeedView(data)
+	if res.Message != nil {
+		res.Message = append([]byte(nil), res.Message...)
+	}
+	return res, err
+}
+
+// FeedView consumes one frame. Non-data frames are ignored. Sequence
+// errors abort the in-progress message.
+//
+// The returned Result.Message is a zero-copy view into the reassembler's
+// pooled scratch, valid only until the next call on this reassembler.
+// Callers that retain messages must copy; Feed does exactly that.
 //
 //dplint:hotpath vwtp-feed
-func (r *Reassembler) Feed(data []byte) (Result, error) {
+func (r *Reassembler) FeedView(data []byte) (Result, error) {
 	if Classify(data) != KindData {
 		return Result{}, nil
 	}
@@ -246,6 +272,23 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 		r.nextSeq = seq
 	}
 	r.nextSeq = (r.nextSeq + 1) & 0x0F
+	if r.viewLive {
+		// The previous message's view expires with this call; release its
+		// buffer before leasing scratch for the new message.
+		colstore.PutBuf(r.buf)
+		r.buf = nil
+		r.viewLive = false
+	}
+	if r.buf == nil {
+		// First bytes of a message. The first frame leads with the 2-byte
+		// big-endian length prefix, so the scratch lease can usually be
+		// sized for the whole message up front.
+		size := 64
+		if len(data) >= 3 {
+			size = (int(data[1])<<8 | int(data[2])) + 2
+		}
+		r.buf = colstore.GetBuf(size)
+	}
 	r.buf = append(r.buf, data[1:]...)
 
 	res := Result{NeedACK: ExpectsACK(data), NextSeq: r.nextSeq}
@@ -265,11 +308,12 @@ func (r *Reassembler) Feed(data []byte) (Result, error) {
 		r.errors++
 		return Result{}, fmt.Errorf("%w: prefix %d, assembled %d", ErrLengthMismatch, want, got)
 	}
-	msg := make([]byte, want)
-	copy(msg, r.buf[2:])
-	r.abortKeepSeq()
+	// Completion keeps the buffer — the view must survive until the next
+	// data frame, which releases it — and keeps sequence continuity:
+	// TP 2.0 sequence numbers run across messages within a channel.
+	r.viewLive = true
 	r.completed++
-	res.Message = msg
+	res.Message = r.buf[2 : 2+want : 2+want]
 	return res, nil
 }
 
@@ -279,19 +323,20 @@ func (r *Reassembler) Completed() int { return r.completed }
 // Errors reports how many protocol errors were seen.
 func (r *Reassembler) Errors() int { return r.errors }
 
-// InFlight reports whether a message is partially assembled.
-func (r *Reassembler) InFlight() bool { return len(r.buf) > 0 }
+// InFlight reports whether a message is partially assembled. A completed
+// message whose view is still pending does not count as in flight.
+func (r *Reassembler) InFlight() bool { return len(r.buf) > 0 && !r.viewLive }
 
+// abort discards the transfer — releasing the pooled scratch buffer —
+// and resets sequence tracking so the next frame resynchronises.
 func (r *Reassembler) abort() {
-	r.buf = nil
+	if r.buf != nil {
+		colstore.PutBuf(r.buf)
+		r.buf = nil
+	}
 	r.started = false
 	r.nextSeq = 0
-}
-
-// abortKeepSeq resets the buffer but keeps sequence continuity: TP 2.0
-// sequence numbers run across messages within a channel.
-func (r *Reassembler) abortKeepSeq() {
-	r.buf = nil
+	r.viewLive = false
 }
 
 // Reason maps a reassembly error to a short stable label for metrics
