@@ -37,7 +37,9 @@ type loadtestOptions struct {
 type latencyStats struct {
 	MeanMS float64 `json:"mean_ms"`
 	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
 	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
 	MaxMS  float64 `json:"max_ms"`
 }
 
@@ -92,7 +94,9 @@ func summarise(ms []float64) latencyStats {
 	return latencyStats{
 		MeanMS: sum / float64(len(sorted)),
 		P50MS:  pick(0.50),
+		P90MS:  pick(0.90),
 		P95MS:  pick(0.95),
+		P99MS:  pick(0.99),
 		MaxMS:  sorted[len(sorted)-1],
 	}
 }
@@ -254,8 +258,8 @@ func runLoadtest(cfg jobserver.Config, opt loadtestOptions) error {
 	}
 	status("loadtest: %d jobs in %.0f ms (%.2f jobs/s, %d rejections paced)",
 		opt.Jobs, rep.WallMS, rep.JobsPerSec, rejections)
-	status("loadtest: latency p50/p95/max = %.0f/%.0f/%.0f ms (queue %.0f ms, run %.0f ms at p50)",
-		rep.Latency.P50MS, rep.Latency.P95MS, rep.Latency.MaxMS,
+	status("loadtest: latency p50/p90/p99/max = %.0f/%.0f/%.0f/%.0f ms (queue %.0f ms, run %.0f ms at p50)",
+		rep.Latency.P50MS, rep.Latency.P90MS, rep.Latency.P99MS, rep.Latency.MaxMS,
 		rep.QueueWait.P50MS, rep.Run.P50MS)
 	status("loadtest: %.1f MB allocated per job (%d mallocs)",
 		float64(rep.AllocBytesPerJob)/(1<<20), rep.AllocsPerJob)

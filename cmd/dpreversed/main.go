@@ -21,8 +21,10 @@
 //	GET    /api/v1/jobs/{id}/events    progress; ?after=N&wait=5s long-polls
 //	GET    /api/v1/jobs/{id}/result    schema-v1 result document
 //	POST   /api/v1/streams?tenant=T    register a live stream, returns token
+//	GET    /api/v1/jobs/{id}/flight    per-job flight record (postmortem)
 //	GET    /api/v1/formulas?tenant=T   recovered formulas across jobs
-//	GET    /metrics                    Prometheus exposition
+//	GET    /debug/status               live HTML operator dashboard
+//	GET    /metrics                    Prometheus exposition (?family=/?prefix=)
 package main
 
 import (
@@ -70,6 +72,12 @@ func run() error {
 	quick := flag.Bool("quick", false, "reduced GP budget per job")
 	islands := flag.Int("islands", 1, "GP islands per stream (1 = single panmictic population)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-drain budget on shutdown before jobs are cancelled")
+	logFormat := flag.String("log-format", "text", "structured-log format on stderr (text or json; empty disables)")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level (debug, info, warn or error)")
+	sloQueue := flag.Duration("slo-queue-wait", 5*time.Second, "queue-wait SLO objective per job")
+	sloRun := flag.Duration("slo-run", 2*time.Minute, "run-latency SLO objective per job")
+	sloTarget := flag.Float64("slo-target", 0.99, "SLO good-fraction target (burn rate 1.0 = burning exactly the budget)")
+	flightEvents := flag.Int("flight-events", telemetry.DefaultRingCapacity, "per-job flight-recorder ring capacity (log records kept per job)")
 	loadtest := flag.Bool("loadtest", false, "run the built-in load generator instead of serving")
 	ltJobs := flag.Int("jobs", 12, "loadtest: captures to submit")
 	ltTenants := flag.Int("tenants", 3, "loadtest: tenants to spread the jobs across")
@@ -85,6 +93,10 @@ func run() error {
 		QueueDepth:      *queueDepth,
 		TenantMaxActive: *tenantMax,
 		RetryAfter:      *retryAfter,
+		QueueWaitSLO:    *sloQueue,
+		RunSLO:          *sloRun,
+		SLOTarget:       *sloTarget,
+		FlightEvents:    *flightEvents,
 		Reverser:        jobOptions(*quick, *islands),
 	}
 	if *loadtest {
@@ -93,14 +105,20 @@ func run() error {
 			Quick: *quick, Seed: *seed, Out: *out, Date: *date,
 		})
 	}
-	return serve(cfg, *addr, *ingest, *drainTimeout)
+	return serve(cfg, *addr, *ingest, *drainTimeout, *logFormat, *logLevel)
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // admission stops, queued and running jobs finish (until -drain-timeout,
 // after which they are cancelled), and the HTTP listener shuts down.
-func serve(cfg jobserver.Config, addr, ingest string, drainTimeout time.Duration) error {
+func serve(cfg jobserver.Config, addr, ingest string, drainTimeout time.Duration, logFormat, logLevel string) error {
 	prov := telemetry.New(nil)
+	lc := &telemetry.CLIConfig{LogFormat: logFormat, LogLevel: logLevel}
+	log, err := lc.BuildLogger(prov.Clock)
+	if err != nil {
+		return err
+	}
+	prov = prov.WithLogger(log)
 	srv := jobserver.New(cfg, prov)
 
 	ln, err := net.Listen("tcp", addr)
@@ -109,6 +127,7 @@ func serve(cfg jobserver.Config, addr, ingest string, drainTimeout time.Duration
 	}
 	fmt.Fprintf(os.Stderr, "dpreversed: HTTP API on http://%s (shards=%d workers/shard=%d quota=%d)\n",
 		ln.Addr(), srv.Config().Shards, srv.Config().WorkersPerShard, srv.Config().TenantMaxActive)
+	fmt.Fprintf(os.Stderr, "dpreversed: operator dashboard at http://%s/debug/status (metrics at /metrics, /metrics.json)\n", ln.Addr())
 	if ingest != "" {
 		bound, err := srv.ServeIngest(ingest)
 		if err != nil {

@@ -1,0 +1,220 @@
+// Command dptop is a terminal dashboard for a running dpreversed: it
+// polls the server's /metrics.json endpoint and redraws a compact
+// operator view — jobs by state, per-shard queue depth, tenant ledger,
+// SLO burn rates and runtime health — every interval, top-style.
+//
+// Usage:
+//
+//	dptop                                  # watch 127.0.0.1:8780 forever
+//	dptop -addr host:8780 -interval 2s     # custom target and cadence
+//	dptop -frames 1 -no-clear              # one snapshot, scrollback-friendly
+//
+// The client is deliberately decoupled from the server's internals: it
+// speaks only the public /metrics.json document and keeps its own local
+// parsing structs, so it can watch any dpreversed version that serves
+// the endpoint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// jsonMetric mirrors one family in the /metrics.json document.
+type jsonMetric struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Labels []string     `json:"labels"`
+	Series []jsonSeries `json:"series"`
+}
+
+// jsonSeries is one labeled series within a family.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels"`
+	Value  *float64          `json:"value"`
+	Count  *uint64           `json:"count"`
+	Sum    *float64          `json:"sum"`
+}
+
+// metricsDoc is the /metrics.json top-level document.
+type metricsDoc struct {
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8780", "dpreversed HTTP address to watch")
+	interval := flag.Duration("interval", time.Second, "poll cadence")
+	frames := flag.Int("frames", 0, "frames to render before exiting (0 = run until interrupted)")
+	noClear := flag.Bool("no-clear", false, "append frames instead of clearing the screen")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := "http://" + *addr + "/metrics.json"
+
+	for frame := 1; ; frame++ {
+		doc, err := fetch(client, url)
+		if *noClear {
+			fmt.Printf("--- dptop frame %d (%s) ---\n", frame, *addr)
+		} else {
+			// Clear screen, home cursor.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("dptop — %s — frame %d (every %s)\n\n", *addr, frame, *interval)
+		}
+		if err != nil {
+			fmt.Printf("unreachable: %v\n", err)
+		} else {
+			render(doc)
+		}
+		if *frames > 0 && frame >= *frames {
+			if err != nil {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch retrieves and decodes one metrics snapshot.
+func fetch(client *http.Client, url string) (*metricsDoc, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// family finds one metric family by name (nil when absent).
+func (d *metricsDoc) family(name string) *jsonMetric {
+	for i := range d.Metrics {
+		if d.Metrics[i].Name == name {
+			return &d.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// render draws one frame from the snapshot.
+func render(d *metricsDoc) {
+	section("jobs", func() {
+		kv(d, "dpreverser_jobs_by_state", "state")
+		if f := d.family("dpreverser_jobs_finished_total"); f != nil {
+			for _, line := range seriesLines(f, "state") {
+				fmt.Printf("  finished %s\n", line)
+			}
+		}
+	})
+	section("queue depth", func() {
+		kv(d, "dpreverser_job_queue_depth", "shard")
+	})
+	section("tenants", func() {
+		kv(d, "dpreverser_tenant_admissions_total", "tenant")
+		if f := d.family("dpreverser_tenant_rejections_total"); f != nil {
+			for _, s := range f.Series {
+				fmt.Printf("  rejected %s/%s = %s\n",
+					s.Labels["tenant"], s.Labels["reason"], num(s.Value))
+			}
+		}
+	})
+	section("latency (mean s)", func() {
+		hist(d, "dpreverser_job_queue_wait_seconds", "queue wait")
+		hist(d, "dpreverser_job_run_seconds", "run")
+	})
+	section("slo burn", func() {
+		if f := d.family("dpreverser_slo_burn_rate"); f != nil {
+			for _, s := range f.Series {
+				marker := ""
+				if s.Value != nil && *s.Value > 1 {
+					marker = "  <-- burning"
+				}
+				fmt.Printf("  %s @ %s = %s%s\n",
+					s.Labels["slo"], s.Labels["window"], num(s.Value), marker)
+			}
+		}
+		if f := d.family("dpreverser_slo_jobs_total"); f != nil {
+			for _, s := range f.Series {
+				fmt.Printf("  %s %s = %s\n", s.Labels["slo"], s.Labels["verdict"], num(s.Value))
+			}
+		}
+	})
+	section("runtime", func() {
+		for _, name := range []string{
+			"dpreverser_runtime_goroutines",
+			"dpreverser_runtime_heap_alloc_bytes",
+			"dpreverser_runtime_heap_objects",
+			"dpreverser_runtime_gc_cycles_total",
+		} {
+			if f := d.family(name); f != nil && len(f.Series) > 0 {
+				short := strings.TrimPrefix(name, "dpreverser_runtime_")
+				fmt.Printf("  %s = %s\n", short, num(f.Series[0].Value))
+			}
+		}
+	})
+}
+
+// section prints a titled block.
+func section(title string, body func()) {
+	fmt.Printf("%s\n", title)
+	body()
+	fmt.Println()
+}
+
+// kv prints every series of a single-label family as "label = value".
+func kv(d *metricsDoc, name, label string) {
+	f := d.family(name)
+	if f == nil {
+		return
+	}
+	for _, line := range seriesLines(f, label) {
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+// seriesLines renders a family's series as sorted "label = value" lines.
+func seriesLines(f *jsonMetric, label string) []string {
+	lines := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		lines = append(lines, fmt.Sprintf("%s = %s", s.Labels[label], num(s.Value)))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// hist prints a histogram family's mean and count.
+func hist(d *metricsDoc, name, title string) {
+	f := d.family(name)
+	if f == nil || len(f.Series) == 0 {
+		return
+	}
+	s := f.Series[0]
+	if s.Count == nil || s.Sum == nil || *s.Count == 0 {
+		fmt.Printf("  %s: no samples\n", title)
+		return
+	}
+	fmt.Printf("  %s: mean %.3fs over %d jobs\n", title, *s.Sum/float64(*s.Count), *s.Count)
+}
+
+// num formats an optional scalar.
+func num(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	if *v == float64(int64(*v)) {
+		return fmt.Sprintf("%d", int64(*v))
+	}
+	return fmt.Sprintf("%.3f", *v)
+}

@@ -30,10 +30,14 @@ const maxEventWait = 30 * time.Second
 //	POST   /api/v1/streams?tenant=T&car=C     register a live canbridge stream
 //	GET    /api/v1/formulas[?tenant=T&car=C]  recovered formulas across done jobs
 //	GET    /healthz                           liveness + drain state + queue depths
+//	GET    /debug/status                      live HTML operator dashboard
+//	GET    /api/v1/jobs/{id}/flight           per-job flight record (any state)
 //
 // Telemetry (/metrics, /metrics.json, /trace, /debug/pprof/) is mounted
-// from the server's provider. Rejected submissions return 429 (quota,
-// backpressure) or 503 (draining), both with a Retry-After header.
+// from the server's provider; each scrape first refreshes the runtime
+// and SLO-burn gauges. Rejected submissions return 429 (quota,
+// backpressure) or 503 (draining), both with a Retry-After header and a
+// correlation ID in the body.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -41,15 +45,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /api/v1/streams", s.handleRegisterStream)
 	mux.HandleFunc("GET /api/v1/formulas", s.handleFormulas)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/status", s.handleStatus)
 
 	tmux := telemetry.NewMux(s.tel.RegistryOrNil(), s.tel.TracerOrNil())
-	for _, p := range []string{"/metrics", "/metrics.json", "/trace", "/debug/pprof/"} {
-		mux.Handle(p, tmux)
+	sampled := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.SampleHealth()
+		tmux.ServeHTTP(w, r)
+	})
+	for _, p := range []string{"/metrics", "/metrics.json", "/trace"} {
+		mux.Handle(p, sampled)
 	}
+	mux.Handle("/debug/pprof/", tmux)
 	return mux
 }
 
@@ -78,7 +89,11 @@ func writeRejection(w http.ResponseWriter, rej *RejectionError) {
 	if rej.Reason == "draining" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"error": rej.Error(), "reason": rej.Reason})
+	writeJSON(w, code, map[string]string{
+		"error":       rej.Error(),
+		"reason":      rej.Reason,
+		"correlation": rej.Correlation,
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -199,12 +214,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if snap.Error != "" {
 			msg += ": " + snap.Error
 		}
-		writeJSON(w, http.StatusConflict, map[string]string{"error": msg, "state": snap.State})
+		doc := map[string]any{"error": msg, "state": snap.State}
+		// A failed job's payload carries its flight record so the
+		// postmortem (stage timings, degraded streams, correlated log
+		// tail) needs no further round trips and no re-run.
+		if snap.State == Failed.String() {
+			doc["flight"] = j.Flight()
+		}
+		writeJSON(w, http.StatusConflict, doc)
 		return
 	}
 	// Byte-identical with `dpreverse -json`: the schema-v1 document through
 	// an indenting encoder.
 	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Flight())
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"dpreverser/internal/can"
 	"dpreverser/internal/canbridge"
 	"dpreverser/internal/rig"
+	"dpreverser/internal/telemetry"
 )
 
 // ingestListener is the Server's handle on the canbridge ingest layer,
@@ -40,11 +41,13 @@ func (s *Server) RegisterStream(tenant, car, streamName string) (StreamRegistrat
 	j, err := s.admitLocked(tenant, car, streamName, Streaming)
 	if err != nil {
 		s.mu.Unlock()
+		s.logRejection(tenant, err)
 		return StreamRegistration{}, err
 	}
 	ss := &streamSession{srv: s, job: j}
 	s.streams[token] = ss
 	s.mu.Unlock()
+	j.log.Info("stream-registered")
 	return StreamRegistration{Job: j, Token: token}, nil
 }
 
@@ -144,10 +147,14 @@ func (ss *streamSession) Close(complete bool) {
 	if j.State().Terminal() {
 		// Cancelled while streaming; the books are already settled.
 		s.met.StreamSessions.With("truncated").Inc()
+		j.log.Warn("stream-session-end", telemetry.String("outcome", "truncated"),
+			telemetry.String("detail", "job already terminal"))
 		return
 	}
 	if !complete {
 		s.met.StreamSessions.With("truncated").Inc()
+		j.log.Warn("stream-session-end", telemetry.String("outcome", "truncated"),
+			telemetry.Int("frames", len(frames)))
 		s.finalize(j, Failed, nil, "stream truncated before completion")
 		return
 	}
@@ -158,10 +165,14 @@ func (ss *streamSession) Close(complete bool) {
 		// The worker fleet may already be past the point of picking the
 		// job up; refuse rather than strand it in the queue.
 		s.met.StreamSessions.With("truncated").Inc()
+		j.log.Warn("stream-session-end", telemetry.String("outcome", "truncated"),
+			telemetry.String("detail", "server draining"))
 		s.finalize(j, Failed, nil, "stream completed during server drain")
 		return
 	}
 	s.met.StreamSessions.With("complete").Inc()
+	j.log.Info("stream-session-end", telemetry.String("outcome", "complete"),
+		telemetry.Int("frames", len(frames)))
 
 	j.mu.Lock()
 	j.capture = rig.Capture{Car: j.Car, Frames: frames}

@@ -14,6 +14,7 @@ import (
 
 	"dpreverser/internal/reverser"
 	"dpreverser/internal/rig"
+	"dpreverser/internal/telemetry"
 )
 
 // JobState is a job's lifecycle position.
@@ -80,6 +81,9 @@ type ProgressRecord struct {
 	// events).
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
+	// ElapsedMS is the stage or stream wall time (done events only),
+	// from the injected telemetry clock.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 // progressKindName maps the reverser's event kinds onto wire names.
@@ -114,10 +118,20 @@ type Job struct {
 	// shard is the queue partition the job hashed to.
 	shard int
 
+	// ring is the job's flight recorder: the most recent correlated log
+	// records, teed off the job logger. log carries the job's bound
+	// correlation context; both are set at admission and never change.
+	ring *telemetry.RingSink
+	log  *telemetry.Logger
+
 	mu sync.Mutex
 	// updated is closed and replaced on every state/progress change — the
 	// broadcast primitive long-polling watchers wait on.
 	updated chan struct{}
+
+	// runLog is log plus the run's root span ID, bound when a worker
+	// claims the job.
+	runLog *telemetry.Logger
 
 	state   JobState
 	capture rig.Capture
@@ -148,6 +162,24 @@ func newJob(id, tenant, car, streamName string, state JobState, submitted time.D
 func (j *Job) notifyLocked() {
 	close(j.updated)
 	j.updated = make(chan struct{})
+}
+
+// setRunLogger binds the span-correlated run logger.
+func (j *Job) setRunLogger(l *telemetry.Logger) {
+	j.mu.Lock()
+	j.runLog = l
+	j.mu.Unlock()
+}
+
+// runLogger returns the span-correlated run logger, falling back to the
+// admission logger for jobs that never reached a worker.
+func (j *Job) runLogger() *telemetry.Logger {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.runLog != nil {
+		return j.runLog
+	}
+	return j.log
 }
 
 // State reads the current state.
@@ -226,6 +258,7 @@ func (j *Job) record(ev reverser.ProgressEvent) {
 		Evaluations: ev.Evaluations,
 		Done:        ev.Done,
 		Total:       ev.Total,
+		ElapsedMS:   float64(ev.Elapsed.Microseconds()) / 1e3,
 	}
 	if ev.Stream != (reverser.StreamKey{}) {
 		rec.Stream = ev.Stream.String()

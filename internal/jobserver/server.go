@@ -36,6 +36,17 @@ type Config struct {
 	// Reverser is the base option set every job's pipeline run starts
 	// from; the server appends its own telemetry and progress wiring.
 	Reverser []reverser.Option
+	// QueueWaitSLO / RunSLO are the latency objectives: a job whose queue
+	// wait (or run time) exceeds the bound counts against the error
+	// budget. See telemetry.SLO for the burn-rate semantics.
+	QueueWaitSLO time.Duration
+	RunSLO       time.Duration
+	// SLOTarget is the promised good fraction for both objectives
+	// (e.g. 0.99).
+	SLOTarget float64
+	// FlightEvents sizes each job's flight-recorder ring (recent log
+	// records retained per job).
+	FlightEvents int
 }
 
 // DefaultConfig sizes the server for a small deployment.
@@ -46,6 +57,10 @@ func DefaultConfig() Config {
 		QueueDepth:      64,
 		TenantMaxActive: 8,
 		RetryAfter:      time.Second,
+		QueueWaitSLO:    5 * time.Second,
+		RunSLO:          2 * time.Minute,
+		SLOTarget:       0.99,
+		FlightEvents:    telemetry.DefaultRingCapacity,
 	}
 }
 
@@ -56,6 +71,10 @@ type RejectionError struct {
 	// "draining".
 	Reason     string
 	RetryAfter time.Duration
+	// Correlation is the server-issued identifier for this refusal
+	// ("r1", "r2", ...), returned in the response body and carried by the
+	// rejection log record, so clients can quote it in support requests.
+	Correlation string
 }
 
 // Error implements the error interface.
@@ -132,19 +151,80 @@ type Server struct {
 	clock telemetry.Clock
 	met   *telemetry.JobServerMetrics
 
+	// baseLog is the logger every job logger derives from. It always
+	// exists (falling back to a sinkless logger on the server clock) so
+	// per-job flight-recorder rings record even when no stderr sink is
+	// configured.
+	baseLog  *telemetry.Logger
+	sloQueue *telemetry.SLO
+	sloRun   *telemetry.SLO
+	runtime  *telemetry.RuntimeMetrics
+	started  time.Duration // server clock at construction, for uptime
+
 	shards []*shard
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
 	seq      int
+	rejSeq   int // rejection correlation counter
 	jobs     map[string]*Job
 	order    []string       // job IDs in submission order
 	tenants  map[string]int // live (streaming+queued+running) jobs per tenant
+	tstats   map[string]*tenantStat
 	streams  map[string]*streamSession
 	draining bool
 
 	// ingest is the optional canbridge listener; see ingest.go.
 	ingest ingestListener
+}
+
+// tenantStat is the per-tenant admission ledger behind the status
+// surface's tenant table. Guarded by Server.mu.
+type tenantStat struct {
+	admitted int
+	rejected map[string]int // reason → count
+}
+
+// TenantStatus is one tenant's row in the status surface.
+type TenantStatus struct {
+	Tenant   string         `json:"tenant"`
+	Active   int            `json:"active"`
+	Admitted int            `json:"admitted"`
+	Rejected map[string]int `json:"rejected,omitempty"`
+}
+
+// TenantStats lists every tenant the server has seen, sorted by name.
+func (s *Server) TenantStats() []TenantStatus {
+	s.mu.Lock()
+	out := make([]TenantStatus, 0, len(s.tstats))
+	for name, st := range s.tstats {
+		ts := TenantStatus{Tenant: name, Active: s.tenants[name], Admitted: st.admitted}
+		if len(st.rejected) > 0 {
+			ts.Rejected = make(map[string]int, len(st.rejected))
+			for r, n := range st.rejected {
+				ts.Rejected[r] = n
+			}
+		}
+		out = append(out, ts)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// SLOs returns the two latency objectives' current status, refreshing
+// the burn gauges as a side effect.
+func (s *Server) SLOs() []telemetry.SLOStatus {
+	return []telemetry.SLOStatus{s.sloQueue.Status(), s.sloRun.Status()}
+}
+
+// SampleHealth refreshes the runtime gauges and SLO burn gauges — called
+// on every scrape and status render so the exported values are current
+// without a background sampler goroutine.
+func (s *Server) SampleHealth() telemetry.RuntimeSample {
+	s.sloQueue.Sample()
+	s.sloRun.Sample()
+	return s.runtime.Sample()
 }
 
 // New builds and starts a job server: the worker fleet is running on
@@ -166,12 +246,25 @@ func New(cfg Config, tel *telemetry.Provider) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.QueueWaitSLO <= 0 {
+		cfg.QueueWaitSLO = 5 * time.Second
+	}
+	if cfg.RunSLO <= 0 {
+		cfg.RunSLO = 2 * time.Minute
+	}
+	if cfg.SLOTarget <= 0 || cfg.SLOTarget >= 1 {
+		cfg.SLOTarget = 0.99
+	}
+	if cfg.FlightEvents < 1 {
+		cfg.FlightEvents = telemetry.DefaultRingCapacity
+	}
 	s := &Server{
 		cfg:     cfg,
 		tel:     tel,
 		met:     telemetry.NewJobServerMetrics(tel.RegistryOrNil()),
 		jobs:    map[string]*Job{},
 		tenants: map[string]int{},
+		tstats:  map[string]*tenantStat{},
 		streams: map[string]*streamSession{},
 	}
 	if tel != nil && tel.Clock != nil {
@@ -179,6 +272,17 @@ func New(cfg Config, tel *telemetry.Provider) *Server {
 	} else {
 		s.clock = telemetry.NewWallClock()
 	}
+	s.started = s.clock.Now()
+	// The base logger always exists so each job's flight-recorder ring
+	// records even when the daemon runs without a stderr sink.
+	s.baseLog = tel.LoggerOrNil()
+	if s.baseLog == nil {
+		s.baseLog = telemetry.NewLogger(s.clock)
+	}
+	reg := tel.RegistryOrNil()
+	s.sloQueue = telemetry.NewSLO(reg, s.clock, "queue-wait", cfg.QueueWaitSLO, cfg.SLOTarget)
+	s.sloRun = telemetry.NewSLO(reg, s.clock, "run", cfg.RunSLO, cfg.SLOTarget)
+	s.runtime = telemetry.NewRuntimeMetrics(reg)
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard())
 	}
@@ -213,12 +317,27 @@ func (s *Server) Submit(tenant string, cap rig.Capture, streamName string) (*Job
 	j, err := s.admitLocked(tenant, cap.Car, streamName, Queued)
 	if err != nil {
 		s.mu.Unlock()
+		s.logRejection(tenant, err)
 		return nil, err
 	}
 	j.capture = cap
 	s.mu.Unlock()
+	j.log.Info("job-admitted", telemetry.Int("frames", len(cap.Frames)))
 	s.enqueue(j)
 	return j, nil
+}
+
+// logRejection records a refused submission, quoting its correlation ID.
+// Called after s.mu is released — sinks take their own locks.
+func (s *Server) logRejection(tenant string, err error) {
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		return
+	}
+	s.baseLog.Warn("job-rejected",
+		telemetry.String("tenant", tenant),
+		telemetry.String("reason", rej.Reason),
+		telemetry.String("correlation", rej.Correlation))
 }
 
 // admitLocked runs admission control and creates the job in its initial
@@ -226,7 +345,21 @@ func (s *Server) Submit(tenant string, cap rig.Capture, streamName string) (*Job
 func (s *Server) admitLocked(tenant, car, streamName string, initial JobState) (*Job, error) {
 	reject := func(reason string) error {
 		s.met.TenantRejections.With(tenant, reason).Inc()
-		return &RejectionError{Reason: reason, RetryAfter: s.cfg.RetryAfter}
+		s.rejSeq++
+		st := s.tstats[tenant]
+		if st == nil {
+			st = &tenantStat{}
+			s.tstats[tenant] = st
+		}
+		if st.rejected == nil {
+			st.rejected = map[string]int{}
+		}
+		st.rejected[reason]++
+		return &RejectionError{
+			Reason:      reason,
+			RetryAfter:  s.cfg.RetryAfter,
+			Correlation: fmt.Sprintf("r%d", s.rejSeq),
+		}
 	}
 	if s.draining {
 		return nil, reject("draining")
@@ -241,9 +374,31 @@ func (s *Server) admitLocked(tenant, car, streamName string, initial JobState) (
 	s.seq++
 	j := newJob(fmt.Sprintf("j%d", s.seq), tenant, car, streamName, initial, s.clock.Now())
 	j.shard = shardIdx
+	// The job's correlation context binds here and follows every record
+	// the job emits, from ingest through reverser stages; the teed ring is
+	// the job's flight recorder.
+	j.ring = telemetry.NewRingSink(s.cfg.FlightEvents)
+	attrs := []telemetry.Attr{
+		telemetry.String("tenant", tenant),
+		telemetry.String("job", j.ID),
+		telemetry.Int("shard", shardIdx),
+	}
+	if car != "" {
+		attrs = append(attrs, telemetry.String("car", car))
+	}
+	if streamName != "" {
+		attrs = append(attrs, telemetry.String("stream", streamName))
+	}
+	j.log = s.baseLog.With(attrs...).Tee(j.ring)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.tenants[tenant]++
+	st := s.tstats[tenant]
+	if st == nil {
+		st = &tenantStat{}
+		s.tstats[tenant] = st
+	}
+	st.admitted++
 	s.met.TenantAdmissions.With(tenant).Inc()
 	s.met.JobsByState.With(initial.String()).Add(1)
 	return j, nil
@@ -296,6 +451,8 @@ func (s *Server) runJob(j *Job) {
 	s.met.JobsByState.With(prev.String()).Add(-1)
 	s.met.JobsByState.With(Running.String()).Add(1)
 	s.met.QueueWait.ObserveDuration(queueWait)
+	s.met.TenantQueueWait.With(j.Tenant).ObserveDuration(queueWait)
+	s.sloQueue.Observe(queueWait)
 
 	span := s.tel.TracerOrNil().Start("job",
 		telemetry.String("job", j.ID),
@@ -304,9 +461,15 @@ func (s *Server) runJob(j *Job) {
 		telemetry.Int("shard", j.shard))
 	defer span.End()
 
+	// The root span's ID joins the correlation context for every record
+	// the run emits, tying the log stream to the trace dump.
+	runLog := j.log.With(telemetry.Int64("span", span.ID()))
+	j.setRunLogger(runLog)
+	runLog.Info("job-start", telemetry.Millis("queue_wait_ms", queueWait))
+
 	opts := make([]reverser.Option, 0, len(s.cfg.Reverser)+2)
 	opts = append(opts, s.cfg.Reverser...)
-	opts = append(opts, reverser.WithTelemetry(s.tel), reverser.WithProgress(j.record))
+	opts = append(opts, reverser.WithTelemetry(s.tel.WithLogger(runLog)), reverser.WithProgress(j.record))
 	res, err := reverser.New(opts...).Reverse(ctx, capture)
 
 	final := Done
@@ -318,6 +481,13 @@ func (s *Server) runJob(j *Job) {
 	default:
 		final = Failed
 		errMsg = err.Error()
+		// Under the strict fault policy the error still carries the
+		// partial result; keep it so the flight record can name the
+		// degraded streams in the postmortem.
+		var deg *reverser.DegradedError
+		if errors.As(err, &deg) && deg.Result != nil {
+			res = deg.Result
+		}
 	}
 	s.finalize(j, final, res, errMsg)
 }
@@ -346,6 +516,8 @@ func (s *Server) finalize(j *Job, final JobState, res *reverser.Result, errMsg s
 	s.met.JobsFinished.With(final.String()).Inc()
 	if prev == Running {
 		s.met.RunDuration.ObserveDuration(runTime)
+		s.met.TenantRunDuration.With(j.Tenant).ObserveDuration(runTime)
+		s.sloRun.Observe(runTime)
 	}
 	s.mu.Lock()
 	s.tenants[j.Tenant]--
@@ -353,6 +525,19 @@ func (s *Server) finalize(j *Job, final JobState, res *reverser.Result, errMsg s
 		delete(s.tenants, j.Tenant)
 	}
 	s.mu.Unlock()
+
+	attrs := []telemetry.Attr{
+		telemetry.String("state", final.String()),
+		telemetry.Millis("run_ms", runTime),
+	}
+	if errMsg != "" {
+		attrs = append(attrs, telemetry.String("error", errMsg))
+	}
+	if final == Failed {
+		j.runLogger().Error("job-finished", attrs...)
+	} else {
+		j.runLogger().Info("job-finished", attrs...)
+	}
 }
 
 // Job looks a job up by ID.
@@ -473,6 +658,7 @@ func (s *Server) Draining() bool {
 // for the workers to observe the cancellation (which the GP engine does
 // between generations). Live ingest sessions are cut.
 func (s *Server) Drain(ctx context.Context) error {
+	s.baseLog.Info("drain-begin")
 	s.beginDrain()
 	done := make(chan struct{})
 	go func() {
@@ -481,8 +667,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.baseLog.Info("drain-complete")
 		return nil
 	case <-ctx.Done():
+		s.baseLog.Warn("drain-deadline-exceeded", telemetry.String("action", "cancelling remaining jobs"))
 		s.cancelAll()
 		<-done
 		return ctx.Err()

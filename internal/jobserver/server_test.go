@@ -215,6 +215,7 @@ func TestCancelRunningJob(t *testing.T) {
 	cfg := reverser.DefaultConfig()
 	cfg.GP.PopulationSize = 1000
 	cfg.GP.Generations = 100000
+	cfg.GP.StopFitness = -1 // never stop early: the run must outlive test patience
 	srv := New(Config{Reverser: []reverser.Option{reverser.WithConfig(cfg)}}, nil)
 	defer srv.Close()
 

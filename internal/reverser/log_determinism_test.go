@@ -1,0 +1,99 @@
+package reverser
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dpreverser/internal/telemetry"
+)
+
+// logRun executes the full pipeline at the given parallelism under a
+// frozen manual clock, capturing every record (Debug included) in a ring
+// large enough to never evict.
+func logRun(t *testing.T, parallelism int) *telemetry.RingSink {
+	t.Helper()
+	cap, _ := collect(t, "Car M")
+	clock := telemetry.NewManualClock(0)
+	ring := telemetry.NewRingSink(4096)
+	prov := telemetry.New(clock).WithLogger(
+		telemetry.NewLogger(clock, ring).WithLevel(telemetry.LevelDebug))
+	rv := New(WithConfig(testConfig()), WithParallelism(parallelism), WithTelemetry(prov))
+	if _, err := rv.Reverse(context.Background(), cap); err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped := ring.Snapshot(); dropped != 0 {
+		t.Fatalf("ring evicted %d records; grow the test capacity", dropped)
+	}
+	return ring
+}
+
+// TestLogDeterminismAcrossParallelism is the observability contract the
+// reverser's logging must keep: the emitted record multiset — and hence
+// the canonical DumpJSON bytes — is identical whether the inference pool
+// runs one worker or eight. Stream-scoped records bind only
+// scheduling-independent attributes, so only arrival order may differ.
+func TestLogDeterminismAcrossParallelism(t *testing.T) {
+	r1 := logRun(t, 1)
+	r8 := logRun(t, 8)
+
+	recs1, _ := r1.Snapshot()
+	recs8, _ := r8.Snapshot()
+	if len(recs1) == 0 {
+		t.Fatal("pipeline emitted no log records")
+	}
+	if len(recs1) != len(recs8) {
+		t.Fatalf("record counts differ: P1=%d P8=%d", len(recs1), len(recs8))
+	}
+
+	// Multiset equality, exactly: count rendered records on one side,
+	// drain on the other.
+	render := func(r telemetry.Record) string {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	counts := make(map[string]int, len(recs1))
+	for _, r := range recs1 {
+		counts[render(r)]++
+	}
+	for _, r := range recs8 {
+		k := render(r)
+		if counts[k] == 0 {
+			t.Fatalf("P8 emitted a record P1 did not: %s", k)
+		}
+		counts[k]--
+	}
+
+	// And the canonical dump is byte-identical.
+	var d1, d8 bytes.Buffer
+	if err := r1.DumpJSON(&d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r8.DumpJSON(&d8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1.Bytes(), d8.Bytes()) {
+		t.Fatalf("canonical dumps differ:\nP1:\n%s\nP8:\n%s", d1.Bytes(), d8.Bytes())
+	}
+
+	// The run actually logged the interesting events.
+	var streamDones, stageDones, gpGens int
+	for _, r := range recs1 {
+		switch r.Msg {
+		case "stream-done":
+			streamDones++
+		case "stage-done":
+			stageDones++
+		case "gp-generation":
+			gpGens++
+		}
+	}
+	if streamDones == 0 || stageDones == 0 || gpGens == 0 {
+		t.Fatalf("missing event kinds: stream-done=%d stage-done=%d gp-generation=%d",
+			streamDones, stageDones, gpGens)
+	}
+}

@@ -77,6 +77,13 @@ type Reverser struct {
 	tel         *telemetry.Provider
 	clock       telemetry.Clock
 	met         *telemetry.PipelineMetrics
+	// log is the provider's structured logger (usually carrying the job
+	// server's correlation context); nil disables logging. Stream-scoped
+	// records bind only deterministic attributes (stream key, label, GP
+	// counters) — never scheduling-dependent values like completion
+	// counts or per-stream span IDs — so the emitted record multiset is
+	// identical at any parallelism.
+	log *telemetry.Logger
 
 	// mu serialises progress callbacks from the inference workers.
 	mu sync.Mutex
@@ -151,6 +158,7 @@ func New(opts ...Option) *Reverser {
 		rv.clock = telemetry.NewWallClock()
 	}
 	rv.met = telemetry.NewPipelineMetrics(rv.tel.RegistryOrNil())
+	rv.log = rv.tel.LoggerOrNil()
 	return rv
 }
 
@@ -226,6 +234,8 @@ func (r *run) stage(name string, fn func()) {
 	elapsed := r.rv.clock.Now() - start
 	sp.End()
 	r.rv.met.StageDuration.With(name).ObserveDuration(elapsed)
+	r.rv.log.Info("stage-done",
+		telemetry.String("stage", name), telemetry.Millis("elapsed_ms", elapsed))
 	r.emit(ProgressEvent{Kind: ProgressStageDone, Stage: name, Elapsed: elapsed})
 }
 
@@ -243,6 +253,9 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	r.span = rv.tracer().Start("reverse",
 		telemetry.String("car", cap.Car), telemetry.String("model", cap.Model))
 	defer r.span.End()
+	runStart := rv.clock.Now()
+	rv.log.Info("run-start",
+		telemetry.String("car", cap.Car), telemetry.Int("frames", len(cap.Frames)))
 
 	res := &Result{Car: cap.Car, Model: cap.Model, ToolName: cap.ToolName}
 
@@ -342,7 +355,21 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 
 	for _, se := range res.Degraded {
 		rv.met.DegradedStreams.With(se.Stage).Inc()
+		// Degraded entries are already in deterministic (stream, ID) order,
+		// so these warnings are too.
+		rv.log.Warn("stream-degraded",
+			telemetry.String("stream", se.Key.String()),
+			telemetry.String("label", se.Label),
+			telemetry.String("stage", se.Stage),
+			telemetry.String("reason", se.Reason),
+			telemetry.String("detail", se.Detail))
 	}
+	rv.log.Info("run-done",
+		telemetry.Int("esvs", len(res.ESVs)),
+		telemetry.Int("ecrs", len(res.ECRs)),
+		telemetry.Int("evaluations", res.Evaluations),
+		telemetry.Int("degraded", len(res.Degraded)),
+		telemetry.Millis("elapsed_ms", rv.clock.Now()-runStart))
 
 	if cbErr := r.callbackErr(); cbErr != nil {
 		return nil, cbErr
@@ -389,10 +416,15 @@ type genObserver struct {
 	span  *telemetry.Span
 	met   *telemetry.PipelineMetrics
 	clock telemetry.Clock
+	log   *telemetry.Logger // stream-scoped; Debug-level generation marks
+	next  gp.Observer       // user-configured observer, preserved, not replaced
 	mark  time.Duration
 }
 
 func (o *genObserver) Generation(gs gp.GenerationStats) {
+	if o.next != nil {
+		o.next.Generation(gs)
+	}
 	o.met.GPGenerations.Inc()
 	now := o.clock.Now()
 	if gs.Generation%gpGenSpanSample == 0 {
@@ -401,6 +433,10 @@ func (o *genObserver) Generation(gs gp.GenerationStats) {
 			telemetry.Int("evals", gs.Evaluations),
 			telemetry.Int("cache_hits", gs.CacheHits))
 		sp.End()
+		o.log.Debug("gp-generation",
+			telemetry.Int("gen", gs.Generation),
+			telemetry.Int("evals", gs.Evaluations),
+			telemetry.Int("cache_hits", gs.CacheHits))
 	}
 	o.mark = now
 }
@@ -446,9 +482,16 @@ func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]Reverse
 				sp := inferSpan.ChildLane("stream",
 					telemetry.String("stream", sd.Key.String()),
 					telemetry.String("label", sd.Label))
+				// Stream-scoped logger: key and label only. Binding the
+				// span ID here would leak scheduling order into the log
+				// multiset and break parallelism-independence.
+				slog := rv.log.With(
+					telemetry.String("stream", sd.Key.String()),
+					telemetry.String("label", sd.Label))
 				if rv.tel != nil {
 					cfg.GP.Observer = &genObserver{
-						span: sp, met: rv.met, clock: rv.clock, mark: rv.clock.Now(),
+						span: sp, met: rv.met, clock: rv.clock, log: slog,
+						next: cfg.GP.Observer, mark: rv.clock.Now(),
 					}
 				}
 				r.emit(ProgressEvent{
@@ -473,6 +516,10 @@ func (r *run) inferStreams(ctx context.Context, streams []StreamData) ([]Reverse
 					telemetry.Int("evals", esv.Evaluations))
 				sp.End()
 				rv.met.StreamDuration.ObserveDuration(elapsed)
+				slog.Info("stream-done",
+					telemetry.Int("generations", esv.Generations),
+					telemetry.Int("evaluations", esv.Evaluations),
+					telemetry.Millis("elapsed_ms", elapsed))
 				r.emit(ProgressEvent{
 					Kind: ProgressStreamDone, Stage: "infer",
 					Stream: sd.Key, Label: sd.Label,

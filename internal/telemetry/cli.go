@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"os"
 )
@@ -12,6 +13,8 @@ type CLIConfig struct {
 	Addr       string // -telemetry-addr
 	MetricsOut string // -metrics-out
 	TraceOut   string // -trace-out
+	LogFormat  string // -log-format: "", "text" or "json"
+	LogLevel   string // -log-level: debug|info|warn|error
 }
 
 // RegisterFlags installs the standard telemetry flags on fs and returns
@@ -24,12 +27,39 @@ func RegisterFlags(fs *flag.FlagSet) *CLIConfig {
 		"write a JSON metrics dump to this file at exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "",
 		"write a chrome://tracing JSON trace to this file at exit")
+	fs.StringVar(&c.LogFormat, "log-format", "",
+		"emit structured logs to stderr in this format (text or json; empty disables)")
+	fs.StringVar(&c.LogLevel, "log-level", "info",
+		"minimum structured-log level (debug, info, warn or error)")
 	return c
 }
 
 // Enabled reports whether any telemetry flag was set.
 func (c *CLIConfig) Enabled() bool {
-	return c != nil && (c.Addr != "" || c.MetricsOut != "" || c.TraceOut != "")
+	return c != nil && (c.Addr != "" || c.MetricsOut != "" || c.TraceOut != "" || c.LogFormat != "")
+}
+
+// BuildLogger constructs the stderr logger the -log-format / -log-level
+// flags call for, reading time from clock (nil = wall clock). An empty
+// LogFormat yields a nil logger (every method a no-op).
+func (c *CLIConfig) BuildLogger(clock Clock) (*Logger, error) {
+	if c == nil || c.LogFormat == "" {
+		return nil, nil
+	}
+	var sink Sink
+	switch c.LogFormat {
+	case "text":
+		sink = NewTextSink(os.Stderr)
+	case "json":
+		sink = NewJSONSink(os.Stderr)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", c.LogFormat)
+	}
+	lvl, err := ParseLevel(c.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	return NewLogger(clock, sink).WithLevel(lvl), nil
 }
 
 // Activate builds the Provider the flags call for — nil when no flag was
@@ -42,6 +72,11 @@ func (c *CLIConfig) Activate(logf func(format string, args ...any)) (*Provider, 
 		return nil, func() error { return nil }, nil
 	}
 	p := New(nil)
+	log, err := c.BuildLogger(p.Clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Logger = log
 	var srv *Server
 	if c.Addr != "" {
 		s, addr, err := Serve(c.Addr, p.Metrics, p.Tracer)

@@ -14,7 +14,17 @@ import (
 // histograms as cumulative le-buckets plus _sum and _count. Families and
 // series are sorted, so the output is byte-stable for a given state.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusFiltered(w, nil)
+}
+
+// WritePrometheusFiltered is WritePrometheus restricted to families for
+// which keep returns true (nil keep means all) — the ?family=/?prefix=
+// query filter behind /metrics.
+func (r *Registry) WritePrometheusFiltered(w io.Writer, keep func(name string) bool) error {
 	for _, f := range r.sortedFamilies() {
+		if keep != nil && !keep(f.name) {
+			continue
+		}
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
@@ -145,8 +155,17 @@ type JSONBucket struct {
 // Snapshot returns the registry's current state in the JSON dump shape,
 // deterministically ordered.
 func (r *Registry) Snapshot() []JSONMetric {
+	return r.SnapshotFiltered(nil)
+}
+
+// SnapshotFiltered is Snapshot restricted to families for which keep
+// returns true (nil keep means all).
+func (r *Registry) SnapshotFiltered(keep func(name string) bool) []JSONMetric {
 	var out []JSONMetric
 	for _, f := range r.sortedFamilies() {
+		if keep != nil && !keep(f.name) {
+			continue
+		}
 		jm := JSONMetric{Name: f.name, Help: f.help, Kind: f.kind, Labels: f.labelNames}
 		for _, s := range f.sortedSeries() {
 			jm.Series = append(jm.Series, jsonSeries(f, s))
@@ -187,9 +206,15 @@ func jsonSeries(f *family, s any) JSONSeries {
 // {"metrics": [...]}. Like the Prometheus writer it is fully sorted, so
 // two registries in the same state dump byte-identically.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.WriteJSONFiltered(w, nil)
+}
+
+// WriteJSONFiltered is WriteJSON restricted to families for which keep
+// returns true (nil keep means all).
+func (r *Registry) WriteJSONFiltered(w io.Writer, keep func(name string) bool) error {
 	doc := struct {
 		Metrics []JSONMetric `json:"metrics"`
-	}{Metrics: r.Snapshot()}
+	}{Metrics: r.SnapshotFiltered(keep)}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

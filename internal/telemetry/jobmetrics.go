@@ -29,6 +29,10 @@ type JobServerMetrics struct {
 	// StreamSessions counts canbridge ingest sessions by outcome
 	// (complete|truncated|rejected).
 	StreamSessions *CounterVec
+	// TenantQueueWait breaks queue wait down per tenant, in seconds.
+	TenantQueueWait *HistogramVec
+	// TenantRunDuration breaks run latency down per tenant, in seconds.
+	TenantRunDuration *HistogramVec
 }
 
 // Job-server metric names, exported so tests and the CI smoke check
@@ -42,6 +46,9 @@ const (
 	MetricJobQueueWait     = "dpreverser_job_queue_wait_seconds"
 	MetricJobRunDuration   = "dpreverser_job_run_seconds"
 	MetricStreamSessions   = "dpreverser_stream_sessions_total"
+
+	MetricTenantQueueWait   = "dpreverser_tenant_job_queue_wait_seconds"
+	MetricTenantRunDuration = "dpreverser_tenant_job_run_seconds"
 )
 
 // NewJobServerMetrics registers the job-server metric set on reg. A nil
@@ -67,5 +74,9 @@ func NewJobServerMetrics(reg *Registry) *JobServerMetrics {
 		"per-job pipeline wall time in seconds (injected clock)", nil)
 	m.StreamSessions = reg.CounterVec(MetricStreamSessions,
 		"canbridge ingest sessions by outcome", "outcome")
+	m.TenantQueueWait = reg.HistogramVec(MetricTenantQueueWait,
+		"per-tenant job queue wait in seconds (injected clock)", nil, "tenant")
+	m.TenantRunDuration = reg.HistogramVec(MetricTenantRunDuration,
+		"per-tenant pipeline wall time in seconds (injected clock)", nil, "tenant")
 	return m
 }

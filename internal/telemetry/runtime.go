@@ -1,0 +1,71 @@
+package telemetry
+
+import "runtime"
+
+// RuntimeMetrics exposes Go runtime health as gauges, sampled on demand
+// (each scrape or status render) rather than by a background goroutine —
+// there is nothing to leak and nothing for goroutinelifecycle to flag.
+
+// Runtime metric names, exported for tests and the CI smoke check.
+const (
+	MetricRuntimeGoroutines   = "dpreverser_runtime_goroutines"
+	MetricRuntimeHeapAlloc    = "dpreverser_runtime_heap_alloc_bytes"
+	MetricRuntimeHeapObjects  = "dpreverser_runtime_heap_objects"
+	MetricRuntimeGCPauseTotal = "dpreverser_runtime_gc_pause_seconds_total"
+	MetricRuntimeGCCycles     = "dpreverser_runtime_gc_cycles_total"
+)
+
+// RuntimeMetrics is the sampled runtime gauge set. Methods are nil-safe.
+type RuntimeMetrics struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapObjects *Gauge
+	gcPause     *Gauge
+	gcCycles    *Gauge
+}
+
+// RuntimeSample is one point-in-time reading, reused by /debug/status.
+type RuntimeSample struct {
+	Goroutines  int     `json:"goroutines"`
+	HeapAlloc   uint64  `json:"heap_alloc_bytes"`
+	HeapObjects uint64  `json:"heap_objects"`
+	GCPauseSec  float64 `json:"gc_pause_seconds_total"`
+	GCCycles    uint32  `json:"gc_cycles_total"`
+}
+
+// NewRuntimeMetrics registers the runtime gauge family set on reg.
+func NewRuntimeMetrics(reg *Registry) *RuntimeMetrics {
+	m := &RuntimeMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.goroutines = reg.Gauge(MetricRuntimeGoroutines, "live goroutines")
+	m.heapAlloc = reg.Gauge(MetricRuntimeHeapAlloc, "bytes of allocated heap objects")
+	m.heapObjects = reg.Gauge(MetricRuntimeHeapObjects, "allocated heap objects")
+	m.gcPause = reg.Gauge(MetricRuntimeGCPauseTotal, "cumulative GC stop-the-world pause seconds")
+	m.gcCycles = reg.Gauge(MetricRuntimeGCCycles, "completed GC cycles")
+	return m
+}
+
+// Sample reads the runtime and refreshes the gauges, returning the
+// reading for direct rendering.
+func (m *RuntimeMetrics) Sample() RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSample{
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAlloc:   ms.HeapAlloc,
+		HeapObjects: ms.HeapObjects,
+		GCPauseSec:  float64(ms.PauseTotalNs) / 1e9,
+		GCCycles:    ms.NumGC,
+	}
+	if m == nil {
+		return s
+	}
+	m.goroutines.Set(float64(s.Goroutines))
+	m.heapAlloc.Set(float64(s.HeapAlloc))
+	m.heapObjects.Set(float64(s.HeapObjects))
+	m.gcPause.Set(s.GCPauseSec)
+	m.gcCycles.Set(float64(s.GCCycles))
+	return s
+}

@@ -5,7 +5,36 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
+	"strings"
 )
+
+// NameFilter builds a keep predicate from ?family= (exact match,
+// repeatable) and ?prefix= query parameters. With neither present it
+// returns nil, meaning "keep everything". Exported so the job-server
+// status surface applies the same filter semantics.
+func NameFilter(q url.Values) func(name string) bool {
+	families := q["family"]
+	prefixes := q["prefix"]
+	if len(families) == 0 && len(prefixes) == 0 {
+		return nil
+	}
+	exact := make(map[string]bool, len(families))
+	for _, f := range families {
+		exact[f] = true
+	}
+	return func(name string) bool {
+		if exact[name] {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
 
 // NewMux builds the telemetry HTTP handler tree:
 //
@@ -32,7 +61,7 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
-			reg.WritePrometheus(w)
+			reg.WritePrometheusFiltered(w, NameFilter(r.URL.Query()))
 		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
@@ -41,11 +70,11 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			fmt.Fprintln(w, `{"metrics":[]}`)
 			return
 		}
-		reg.WriteJSON(w)
+		reg.WriteJSONFiltered(w, NameFilter(r.URL.Query()))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		tr.WriteChromeTrace(w)
+		tr.WriteChromeTraceFiltered(w, NameFilter(r.URL.Query()))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

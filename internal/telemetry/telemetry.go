@@ -19,9 +19,9 @@
 // telemetry is enabled.
 package telemetry
 
-// Provider bundles the three telemetry facilities a pipeline consumes.
+// Provider bundles the telemetry facilities a pipeline consumes.
 // A nil *Provider disables telemetry entirely: the accessors return nil,
-// and every nil tracer/metric method is a no-op.
+// and every nil tracer/metric/logger method is a no-op.
 type Provider struct {
 	// Clock is the time source for spans and latency histograms.
 	Clock Clock
@@ -29,6 +29,9 @@ type Provider struct {
 	Metrics *Registry
 	// Tracer records hierarchical spans.
 	Tracer *Tracer
+	// Logger emits structured log records; usually carries correlation
+	// attributes bound by the caller (see WithLogger).
+	Logger *Logger
 }
 
 // New builds a fully enabled Provider. A nil clock means the wall clock
@@ -54,4 +57,25 @@ func (p *Provider) RegistryOrNil() *Registry {
 		return nil
 	}
 	return p.Metrics
+}
+
+// LoggerOrNil returns the logger, tolerating a nil provider.
+func (p *Provider) LoggerOrNil() *Logger {
+	if p == nil {
+		return nil
+	}
+	return p.Logger
+}
+
+// WithLogger returns a shallow copy of the provider carrying l — how the
+// job server hands each worker run a job-scoped logger while sharing the
+// process registry and tracer. On a nil receiver it returns a provider
+// holding only the logger.
+func (p *Provider) WithLogger(l *Logger) *Provider {
+	if p == nil {
+		return &Provider{Logger: l}
+	}
+	d := *p
+	d.Logger = l
+	return &d
 }

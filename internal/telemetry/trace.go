@@ -115,6 +115,15 @@ func (s *Span) ChildFrom(name string, start time.Duration, attrs ...Attr) *Span 
 	return s.t.newSpan(name, s.data.ID, s.data.Lane, start, attrs)
 }
 
+// ID returns the span's tracer-unique identifier (0 for a nil span) —
+// what log records carry to correlate with the trace dump.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
 // SetAttr adds an annotation to an unfinished span.
 func (s *Span) SetAttr(attrs ...Attr) {
 	if s == nil {
@@ -182,6 +191,13 @@ type chromeEvent struct {
 // event per span, lanes mapped to thread IDs so parallel streams get
 // their own rows.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceFiltered(w, nil)
+}
+
+// WriteChromeTraceFiltered is WriteChromeTrace restricted to spans whose
+// name keep accepts (nil keep means all) — the ?family=/?prefix= query
+// filter behind /trace.
+func (t *Tracer) WriteChromeTraceFiltered(w io.Writer, keep func(name string) bool) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
 		return err
@@ -189,6 +205,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
+		if keep != nil && !keep(s.Name) {
+			continue
+		}
 		ev := chromeEvent{
 			Name: s.Name, Ph: "X",
 			Ts:  float64(s.Start) / float64(time.Microsecond),
