@@ -20,7 +20,13 @@
 // reordered and bit-flipped frames, truncated transfers, OCR misreads);
 // the pipeline then degrades gracefully, listing every damaged stream in
 // the "Degraded streams" report (JSON: "degraded"). -fault-policy strict
-// turns any degradation into a non-zero exit instead.
+// turns any degradation into a non-zero exit instead. The "adversarial"
+// preset switches from random damage to deliberate transport-layer
+// attacks (hostile flow control, first-frame floods, interleaved
+// transfers, session replays, slow drips); attacked streams are
+// attributed by class in the degraded report, e.g.
+// fc-starve=1 saturates one class (also: ff-flood, interleave,
+// session-replay, slow-drip).
 package main
 
 import (
@@ -62,7 +68,7 @@ func run() error {
 	showTraffic := flag.Bool("traffic", false, "print the Table 9 frame-mix statistics")
 	saveCapture := flag.String("save-capture", "", "write the collected capture (JSON) to this file")
 	loadCapture := flag.String("load-capture", "", "skip collection and analyse this capture file instead")
-	faultSpec := flag.String("faults", "", "inject capture faults: none, default, heavy, or key=value,... (e.g. drop=0.05,bitflip=0.02)")
+	faultSpec := flag.String("faults", "", "inject capture faults: none, default, heavy, adversarial, or key=value,... (e.g. drop=0.05,bitflip=0.02 or fc-starve=1)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
 	faultPolicy := flag.String("fault-policy", "best-effort", "degradation policy: best-effort (report damage, keep going) or strict (fail on any damage)")
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)

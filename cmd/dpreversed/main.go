@@ -78,6 +78,10 @@ func run() error {
 	sloRun := flag.Duration("slo-run", 2*time.Minute, "run-latency SLO objective per job")
 	sloTarget := flag.Float64("slo-target", 0.99, "SLO good-fraction target (burn rate 1.0 = burning exactly the budget)")
 	flightEvents := flag.Int("flight-events", telemetry.DefaultRingCapacity, "per-job flight-recorder ring capacity (log records kept per job)")
+	ingestIdle := flag.Duration("ingest-idle-timeout", 2*time.Minute, "fail an ingest session whose peer sends nothing for this long (0 disables)")
+	ingestFrames := flag.Int("ingest-max-frames", 2_000_000, "per-session ingest frame budget (0 = unlimited)")
+	ingestBytes := flag.Int64("ingest-max-bytes", 64<<20, "per-session ingest payload-byte budget (0 = unlimited)")
+	ingestScreen := flag.Bool("ingest-screen", true, "reject streamed captures carrying transport-layer attack signatures at admission")
 	loadtest := flag.Bool("loadtest", false, "run the built-in load generator instead of serving")
 	ltJobs := flag.Int("jobs", 12, "loadtest: captures to submit")
 	ltTenants := flag.Int("tenants", 3, "loadtest: tenants to spread the jobs across")
@@ -98,6 +102,11 @@ func run() error {
 		SLOTarget:       *sloTarget,
 		FlightEvents:    *flightEvents,
 		Reverser:        jobOptions(*quick, *islands),
+
+		IngestIdleTimeout: *ingestIdle,
+		IngestMaxFrames:   *ingestFrames,
+		IngestMaxBytes:    *ingestBytes,
+		ScreenStreams:     *ingestScreen,
 	}
 	if *loadtest {
 		return runLoadtest(cfg, loadtestOptions{

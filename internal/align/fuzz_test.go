@@ -6,6 +6,7 @@ import (
 
 	"dpreverser/internal/can"
 	"dpreverser/internal/faults"
+	"dpreverser/internal/isotp"
 	"dpreverser/internal/obd"
 	"dpreverser/internal/ocr"
 )
@@ -22,6 +23,23 @@ func FuzzPairing(f *testing.F) {
 	// …plus the same response mangled by the fault injector.
 	inj := faults.New(faults.HeavySpec(), 1)
 	for _, fr := range inj.Frames([]can.Frame{can.MustFrame(obd.FirstResponseID, speedResp)}) {
+		f.Add(fr.Payload(), "Vehicle Speed", 42.0, uint16(250))
+	}
+	// …and by the adversarial injector: a multi-frame transfer on the
+	// anchor ID draws forged flow control, floods and replays, each of
+	// whose frame shapes seeds the corpus.
+	long := make([]byte, 24)
+	copy(long, speedResp)
+	chunks, err := isotp.Segment(long, 0x00)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var transfer []can.Frame
+	for _, d := range chunks {
+		transfer = append(transfer, can.MustFrame(obd.FirstResponseID, d))
+	}
+	adv := faults.New(faults.AdversarialSpec(), 2)
+	for _, fr := range adv.Frames(transfer) {
 		f.Add(fr.Payload(), "Vehicle Speed", 42.0, uint16(250))
 	}
 	f.Add([]byte{0x10, 0xFF}, "", -1e18, uint16(0)) // truncated FF, absurd value

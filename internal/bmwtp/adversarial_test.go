@@ -1,0 +1,105 @@
+package bmwtp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dpreverser/internal/bmwtp"
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+)
+
+// TestAdversarialResync runs each attack class against one extended-
+// addressing transfer on 0x612, then feeds a clean probe transfer: the
+// reassembler must resynchronise — the probe assembles, every error has
+// a stable Reason, and nothing panics on the address-prefixed forgeries.
+func TestAdversarialResync(t *testing.T) {
+	cases := []struct {
+		name string
+		spec faults.Spec
+	}{
+		{"fc-starve", faults.Spec{FCStarve: 1}},
+		{"ff-flood", faults.Spec{FFFlood: 1}},
+		{"interleave", faults.Spec{Interleave: 1}},
+		{"session-replay", faults.Spec{SessionReplay: 1}},
+		{"slow-drip", faults.Spec{SlowDrip: 1}},
+	}
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	victim, err := bmwtp.Segment(0x12, payload, 0xFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]byte, 24)
+	for i := range probe {
+		probe[i] = byte(0x80 + i)
+	}
+	probeChunks, err := bmwtp.Segment(0x12, probe, 0xFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var in []can.Frame
+			for _, d := range victim {
+				in = append(in, can.MustFrame(0x612, d))
+			}
+			out := faults.New(tc.spec, 7).Frames(in)
+			var r bmwtp.Reassembler
+			for _, f := range out {
+				if _, err := r.Feed(f.Payload()); err != nil && bmwtp.Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+			}
+			var got []byte
+			for _, d := range probeChunks {
+				res, err := r.Feed(d)
+				if err != nil && bmwtp.Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				if res.Message != nil {
+					got = append([]byte(nil), res.Message...)
+				}
+			}
+			if !bytes.Equal(got, probe) {
+				t.Fatalf("probe transfer after %s assembled %d bytes, want %d", tc.name, len(got), len(probe))
+			}
+		})
+	}
+}
+
+// TestResetEvictsPendingState: Reset drops the inner reassembler's
+// in-flight transfer so the next one assembles from idle.
+func TestResetEvictsPendingState(t *testing.T) {
+	payload := make([]byte, 40)
+	chunks, err := bmwtp.Segment(0x12, payload, 0xFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r bmwtp.Reassembler
+	if _, err := r.Feed(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !r.InFlight() {
+		t.Fatal("first frame did not open a transfer")
+	}
+	r.Reset()
+	if r.InFlight() {
+		t.Fatal("Reset left a transfer in flight")
+	}
+	var got []byte
+	for _, d := range chunks {
+		res, err := r.Feed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("post-Reset transfer assembled %d bytes, want %d", len(got), len(payload))
+	}
+}

@@ -155,6 +155,10 @@ func (r *Reassembler) Errors() int { return r.inner.Errors() }
 // InFlight reports whether a reassembly is in progress.
 func (r *Reassembler) InFlight() bool { return r.inner.InFlight() }
 
+// Reset discards any in-flight transfer and returns the reassembler to
+// idle; counters are preserved.
+func (r *Reassembler) Reset() { r.inner.Reset() }
+
 // Reason maps a reassembly error to a short stable label for metrics.
 // BMW extended addressing reuses the ISO-TP state machine under a
 // one-byte address prefix, so most reasons delegate to isotp.Reason; the

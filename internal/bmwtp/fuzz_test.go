@@ -1,8 +1,9 @@
-package bmwtp
+package bmwtp_test
 
 import (
 	"testing"
 
+	"dpreverser/internal/bmwtp"
 	"dpreverser/internal/can"
 	"dpreverser/internal/faults"
 )
@@ -16,28 +17,25 @@ func FuzzAssemble(f *testing.F) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	clean, err := Segment(0x12, payload, 0xFF)
+	clean, err := bmwtp.Segment(0x12, payload, 0xFF)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(flatten(clean))
 	for seed := int64(1); seed <= 3; seed++ {
-		var frames []can.Frame
-		for _, d := range clean {
-			frames = append(frames, can.MustFrame(0x612, d))
-		}
-		inj := faults.New(faults.HeavySpec(), seed)
-		var mangled [][]byte
-		for _, fr := range inj.Frames(frames) {
-			mangled = append(mangled, fr.Payload())
-		}
-		f.Add(flatten(mangled))
+		f.Add(flatten(mangle(clean, faults.HeavySpec(), seed)))
+	}
+	// Attack-shaped seeds: forged flow-control bursts, first-frame floods,
+	// replays and drips under extended addressing (ID 0x612 is in the BMW
+	// range, so the injector address-prefixes its forgeries).
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(flatten(mangle(clean, faults.AdversarialSpec(), seed)))
 	}
 	f.Add([]byte{0x12})       // address byte only
 	f.Add([]byte{0x12, 0x10}) // truncated first frame after address
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var r Reassembler
+		var r bmwtp.Reassembler
 		for off := 0; off < len(data); off += 8 {
 			end := off + 8
 			if end > len(data) {
@@ -45,7 +43,7 @@ func FuzzAssemble(f *testing.F) {
 			}
 			res, err := r.Feed(data[off:end])
 			if err != nil {
-				if Reason(err) == "" {
+				if bmwtp.Reason(err) == "" {
 					t.Fatalf("unclassified error: %v", err)
 				}
 				continue
@@ -55,6 +53,19 @@ func FuzzAssemble(f *testing.F) {
 			}
 		}
 	})
+}
+
+func mangle(chunks [][]byte, spec faults.Spec, seed int64) [][]byte {
+	inj := faults.New(spec, seed)
+	var frames []can.Frame
+	for _, d := range chunks {
+		frames = append(frames, can.MustFrame(0x612, d))
+	}
+	var mangled [][]byte
+	for _, fr := range inj.Frames(frames) {
+		mangled = append(mangled, fr.Payload())
+	}
+	return mangled
 }
 
 func flatten(frames [][]byte) []byte {

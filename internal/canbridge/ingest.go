@@ -28,6 +28,47 @@ type IngestSink interface {
 	Close(complete bool)
 }
 
+// FailableSink is optionally implemented by an IngestSink that wants the
+// distinct reason a session was failed by the server's ingest guardrails
+// (idle timeout, frame or byte budget). Fail is called at most once, from
+// the session goroutine, immediately before Close(false).
+type FailableSink interface {
+	Fail(reason string)
+}
+
+// Stable session-failure reasons the ingest guardrails report through
+// FailableSink.Fail.
+const (
+	// ReasonIdleTimeout: the peer sent nothing for IngestLimits.IdleTimeout.
+	ReasonIdleTimeout = "idle-timeout"
+	// ReasonFrameBudget: the session streamed more than MaxFrames frames.
+	ReasonFrameBudget = "frame-budget"
+	// ReasonByteBudget: the session streamed more than MaxBytes payload bytes.
+	ReasonByteBudget = "byte-budget"
+)
+
+// IngestLimits bounds one ingest session against hostile or wedged peers.
+// The zero value disables every guardrail (the pre-hardening behaviour).
+type IngestLimits struct {
+	// IdleTimeout fails a session that sends no line for this long. Two
+	// mechanisms enforce it: a per-read network deadline (wall-clock mode
+	// only), and the ExpireIdle sweep, which works against any clock.
+	IdleTimeout time.Duration
+	// MaxFrames caps SEND commands per session; 0 is unlimited.
+	MaxFrames int
+	// MaxBytes caps total streamed payload bytes per session; 0 is
+	// unlimited.
+	MaxBytes int64
+	// Clock supplies the idle-tracking time base. Nil uses the wall
+	// clock (and arms real read deadlines); tests inject a manual clock
+	// and drive ExpireIdle themselves.
+	Clock func() time.Duration
+	// SweepInterval is the background idle-sweep period; 0 disables the
+	// sweeper goroutine (callers drive ExpireIdle, or rely on read
+	// deadlines).
+	SweepInterval time.Duration
+}
+
 // IngestServer is the receiving side of the canbridge line protocol: where
 // Server streams a simulated bus out, IngestServer accepts frames in —
 // the live-capture front door of the reverse-engineering job server.
@@ -47,19 +88,129 @@ type IngestSink interface {
 type IngestServer struct {
 	// open resolves a session token to its sink; an error refuses the
 	// session (sent to the client as an ERR line).
-	open func(token string) (IngestSink, error)
+	open   func(token string) (IngestSink, error)
+	limits IngestLimits
+	epoch  time.Time
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
+	sessions map[net.Conn]*ingestSession
 	closed   bool
+	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
+// ingestSession is the server's guardrail bookkeeping for one live
+// connection, guarded by the server mutex.
+type ingestSession struct {
+	lastActive time.Duration
+	failReason string
+}
+
 // NewIngestServer builds an ingest listener that resolves stream tokens
-// through open.
+// through open, with no session guardrails.
 func NewIngestServer(open func(token string) (IngestSink, error)) *IngestServer {
-	return &IngestServer{open: open, conns: map[net.Conn]bool{}}
+	return NewIngestServerLimited(open, IngestLimits{})
+}
+
+// NewIngestServerLimited builds an ingest listener whose sessions are
+// bounded by limits.
+func NewIngestServerLimited(open func(token string) (IngestSink, error), limits IngestLimits) *IngestServer {
+	return &IngestServer{
+		open:     open,
+		limits:   limits,
+		epoch:    time.Now(), //dplint:allow determinism idle-session tracking needs a wall-clock epoch when no clock is injected
+		conns:    map[net.Conn]bool{},
+		sessions: map[net.Conn]*ingestSession{},
+		stop:     make(chan struct{}),
+	}
+}
+
+// now reads the idle-tracking clock.
+func (s *IngestServer) now() time.Duration {
+	if s.limits.Clock != nil {
+		return s.limits.Clock()
+	}
+	return time.Since(s.epoch) //dplint:allow determinism idle-session tracking needs the wall clock when no clock is injected
+}
+
+// touch records activity on a session.
+func (s *IngestServer) touch(conn net.Conn) {
+	at := s.now()
+	s.mu.Lock()
+	if sess := s.sessions[conn]; sess != nil {
+		sess.lastActive = at
+	}
+	s.mu.Unlock()
+}
+
+// fail records the guardrail reason a session is being killed for. Only
+// the first reason sticks.
+func (s *IngestServer) fail(conn net.Conn, reason string) {
+	s.mu.Lock()
+	if sess := s.sessions[conn]; sess != nil && sess.failReason == "" {
+		sess.failReason = reason
+	}
+	s.mu.Unlock()
+}
+
+// failReason reads (without clearing) a session's recorded failure.
+func (s *IngestServer) failReason(conn net.Conn) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess := s.sessions[conn]; sess != nil {
+		return sess.failReason
+	}
+	return ""
+}
+
+// armDeadline sets the per-read network deadline enforcing IdleTimeout.
+// Only wall-clock sessions arm real deadlines; under an injected clock
+// the ExpireIdle sweep is the enforcement path.
+func (s *IngestServer) armDeadline(conn net.Conn) {
+	if s.limits.IdleTimeout <= 0 || s.limits.Clock != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout)) //dplint:allow determinism network read deadlines are wall-clock by nature
+}
+
+// ExpireIdle fails every session that has been silent for at least
+// IdleTimeout, closing its connection so the session goroutine unblocks
+// and reports ReasonIdleTimeout to the sink. The background sweeper calls
+// it periodically; tests with an injected clock call it directly. Returns
+// the number of sessions expired.
+func (s *IngestServer) ExpireIdle() int {
+	if s.limits.IdleTimeout <= 0 {
+		return 0
+	}
+	now := s.now()
+	s.mu.Lock()
+	var expired []net.Conn
+	for conn, sess := range s.sessions {
+		if sess.failReason == "" && now-sess.lastActive >= s.limits.IdleTimeout {
+			sess.failReason = ReasonIdleTimeout
+			expired = append(expired, conn)
+		}
+	}
+	s.mu.Unlock()
+	for _, conn := range expired {
+		conn.Close()
+	}
+	return len(expired)
+}
+
+// sweepLoop drives ExpireIdle until the server closes.
+func (s *IngestServer) sweepLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(s.limits.SweepInterval):
+			s.ExpireIdle()
+		}
+	}
 }
 
 // Listen starts accepting stream sessions on addr ("127.0.0.1:0" for an
@@ -74,6 +225,10 @@ func (s *IngestServer) Listen(addr string) (string, error) {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(l)
+	if s.limits.IdleTimeout > 0 && s.limits.SweepInterval > 0 {
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
 	return l.Addr().String(), nil
 }
 
@@ -86,6 +241,7 @@ func (s *IngestServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.stop)
 	l := s.listener
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -124,9 +280,13 @@ func (s *IngestServer) acceptLoop(l net.Listener) {
 
 func (s *IngestServer) serve(conn net.Conn) {
 	defer s.wg.Done()
+	s.mu.Lock()
+	s.sessions[conn] = &ingestSession{lastActive: s.now()}
+	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
+		delete(s.sessions, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
@@ -135,28 +295,45 @@ func (s *IngestServer) serve(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 
 	// Handshake: the first line must bind a token.
+	s.armDeadline(conn)
 	sink, err := s.handshake(sc)
 	if err != nil {
 		fmt.Fprintln(conn, Format(MsgErr{Msg: err.Error()}))
 		return
 	}
 	fmt.Fprintln(conn, Format(MsgOK{}))
+	s.touch(conn)
 
 	// Stream loop. The session clock starts at zero; SEND stamps, ADVANCE
-	// moves.
+	// moves. Frame and byte budgets guard reassembly state against a
+	// hostile peer streaming without bound.
 	var now time.Duration
+	var frames int
+	var bytes int64
+	s.armDeadline(conn)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		s.touch(conn)
 		msg, perr := Parse(line)
 		var cmdErr error
+		var budget string
 		switch m := msg.(type) {
 		case MsgSend:
-			f := m.Frame
-			f.Timestamp = now
-			cmdErr = sink.Frame(f)
+			frames++
+			bytes += int64(m.Frame.Len)
+			switch {
+			case s.limits.MaxFrames > 0 && frames > s.limits.MaxFrames:
+				budget = ReasonFrameBudget
+			case s.limits.MaxBytes > 0 && bytes > s.limits.MaxBytes:
+				budget = ReasonByteBudget
+			default:
+				f := m.Frame
+				f.Timestamp = now
+				cmdErr = sink.Frame(f)
+			}
 		case MsgAdvance:
 			now += m.D
 			cmdErr = sink.Advance(m.D)
@@ -166,15 +343,35 @@ func (s *IngestServer) serve(conn net.Conn) {
 				cmdErr = fmt.Errorf("canbridge: unexpected %q during a stream", strings.Fields(line)[0])
 			}
 		}
+		if budget != "" {
+			s.fail(conn, budget)
+			fmt.Fprintln(conn, Format(MsgErr{Msg: "canbridge: session " + budget + " exceeded"}))
+			break
+		}
 		if cmdErr != nil {
 			fmt.Fprintln(conn, Format(MsgErr{Msg: cmdErr.Error()}))
 			continue
 		}
 		fmt.Fprintln(conn, Format(MsgOK{}))
+		s.armDeadline(conn)
+	}
+	// A read-deadline expiry is the wall-clock face of the idle timeout.
+	reason := s.failReason(conn)
+	if reason == "" {
+		if ne, ok := sc.Err().(net.Error); ok && ne.Timeout() {
+			reason = ReasonIdleTimeout
+			s.fail(conn, reason)
+		}
+	}
+	if reason != "" {
+		if fs, ok := sink.(FailableSink); ok {
+			fs.Fail(reason)
+		}
 	}
 	// EOF with no scanner error is a clean finalisation; anything else —
-	// including the server closing the socket — is a truncated stream.
-	sink.Close(sc.Err() == nil && !s.closing())
+	// a guardrail kill, the server closing the socket, or a dropped
+	// connection — is a truncated stream.
+	sink.Close(reason == "" && sc.Err() == nil && !s.closing())
 }
 
 // closing reports whether Close is tearing the server down.

@@ -1,0 +1,201 @@
+package canbridge
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dpreverser/internal/can"
+)
+
+// failSink is a recordingSink that also captures the guardrail failure
+// reason delivered through FailableSink.
+type failSink struct {
+	*recordingSink
+	mu     sync.Mutex
+	reason string
+}
+
+func newFailSink() *failSink { return &failSink{recordingSink: newRecordingSink()} }
+
+func (s *failSink) Fail(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reason = reason
+}
+
+func (s *failSink) failedWith() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reason
+}
+
+// testClock is a hand-driven time base for deterministic idle expiry.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *testClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func startLimitedIngest(t *testing.T, limits IngestLimits, sink IngestSink) (*IngestServer, string) {
+	t.Helper()
+	srv := NewIngestServerLimited(func(string) (IngestSink, error) { return sink, nil }, limits)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+// TestIngestIdleTimeoutManualClock: with an injected clock, ExpireIdle
+// fails exactly the sessions that have been silent past the timeout,
+// with the distinct idle-timeout reason — no wall time involved.
+func TestIngestIdleTimeoutManualClock(t *testing.T) {
+	clk := &testClock{}
+	sink := newFailSink()
+	srv, addr := startLimitedIngest(t,
+		IngestLimits{IdleTimeout: 100 * time.Millisecond, Clock: clk.Now}, sink)
+
+	c, err := DialStream(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(can.MustFrame(0x7E0, []byte{0x01})); err != nil {
+		t.Fatal(err)
+	}
+	// Still fresh: a sweep before the deadline expires nothing.
+	clk.Advance(50 * time.Millisecond)
+	if n := srv.ExpireIdle(); n != 0 {
+		t.Fatalf("ExpireIdle expired %d fresh sessions", n)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if n := srv.ExpireIdle(); n != 1 {
+		t.Fatalf("ExpireIdle = %d, want 1", n)
+	}
+	if complete := waitClosed(t, sink.recordingSink); complete {
+		t.Fatal("idle-expired session reported complete")
+	}
+	if got := sink.failedWith(); got != ReasonIdleTimeout {
+		t.Fatalf("fail reason = %q, want %q", got, ReasonIdleTimeout)
+	}
+}
+
+// TestIngestFrameBudget: the session dies with a distinct reason on the
+// frame past the budget, and the overflowing frame never reaches the sink.
+func TestIngestFrameBudget(t *testing.T) {
+	sink := newFailSink()
+	_, addr := startLimitedIngest(t, IngestLimits{MaxFrames: 3}, sink)
+
+	c, err := DialStream(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Send(can.MustFrame(0x7E0, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = c.Send(can.MustFrame(0x7E0, []byte{0xFF}))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("over-budget send err = %v, want *ServerError", err)
+	}
+	if complete := waitClosed(t, sink.recordingSink); complete {
+		t.Fatal("budget-killed session reported complete")
+	}
+	if got := sink.failedWith(); got != ReasonFrameBudget {
+		t.Fatalf("fail reason = %q, want %q", got, ReasonFrameBudget)
+	}
+	if n := len(sink.snapshot()); n != 3 {
+		t.Fatalf("sink got %d frames, want the 3 under budget", n)
+	}
+}
+
+// TestIngestByteBudget: same guardrail, counted in payload bytes.
+func TestIngestByteBudget(t *testing.T) {
+	sink := newFailSink()
+	_, addr := startLimitedIngest(t, IngestLimits{MaxBytes: 12}, sink)
+
+	c, err := DialStream(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	full := can.MustFrame(0x7E0, []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	if err := c.Send(full); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Send(full)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("over-budget send err = %v, want *ServerError", err)
+	}
+	if complete := waitClosed(t, sink.recordingSink); complete {
+		t.Fatal("budget-killed session reported complete")
+	}
+	if got := sink.failedWith(); got != ReasonByteBudget {
+		t.Fatalf("fail reason = %q, want %q", got, ReasonByteBudget)
+	}
+}
+
+// TestIngestWallClockReadDeadline: without an injected clock the idle
+// timeout is enforced by real per-read network deadlines — a peer that
+// dials and goes silent is cut off without any sweep being driven.
+func TestIngestWallClockReadDeadline(t *testing.T) {
+	sink := newFailSink()
+	_, addr := startLimitedIngest(t, IngestLimits{IdleTimeout: 100 * time.Millisecond}, sink)
+
+	c, err := DialStream(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Send nothing: the read deadline must kill the session on its own.
+	if complete := waitClosed(t, sink.recordingSink); complete {
+		t.Fatal("idle session reported complete")
+	}
+	if got := sink.failedWith(); got != ReasonIdleTimeout {
+		t.Fatalf("fail reason = %q, want %q", got, ReasonIdleTimeout)
+	}
+}
+
+// TestIngestZeroLimitsUnbounded: the zero IngestLimits keeps the original
+// behaviour — no deadline, no budgets, clean EOF still completes.
+func TestIngestZeroLimitsUnbounded(t *testing.T) {
+	sink := newFailSink()
+	_, addr := startLimitedIngest(t, IngestLimits{}, sink)
+
+	c, err := DialStream(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Send(can.MustFrame(0x7E0, []byte{byte(i), 1, 2, 3, 4, 5, 6, 7})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if complete := waitClosed(t, sink.recordingSink); !complete {
+		t.Fatal("clean unbounded session reported incomplete")
+	}
+	if got := sink.failedWith(); got != "" {
+		t.Fatalf("unexpected fail reason %q", got)
+	}
+}

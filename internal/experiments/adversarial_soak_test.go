@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpreverser/internal/faults"
+	"dpreverser/internal/reverser"
+	"dpreverser/internal/vehicle"
+)
+
+// TestAdversarialSoak is the attack-resilience acceptance check: Car M is
+// reversed under each adversarial class saturated (probability 1.0). Every
+// run must complete best-effort (no hard failure), attribute every
+// injector-attacked CAN ID on Result.Degraded with the right attack
+// class, still recover at least 80% of the clean run's formulas on the
+// streams the injector did not touch — and stay byte-deterministic
+// between Parallelism 1 and 8.
+func TestAdversarialSoak(t *testing.T) {
+	p, ok := vehicle.ProfileByCar("Car M")
+	if !ok {
+		t.Fatal("Car M missing from the fleet")
+	}
+	base := Options{Quick: true, Seed: 1, Parallelism: 1}
+
+	clean, err := RunCar(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Vehicle.Close()
+	cleanFormulas := map[reverser.StreamKey]bool{}
+	for _, e := range clean.Result.ESVs {
+		if e.Formula != nil {
+			cleanFormulas[e.Key] = true
+		}
+	}
+	if len(cleanFormulas) == 0 {
+		t.Fatal("clean run recovered no formulas; soak has nothing to compare")
+	}
+
+	cases := []struct {
+		name  string
+		class string
+	}{
+		{"fc-starve", faults.ClassFCStarvation},
+		{"ff-flood", faults.ClassFirstFrameFlood},
+		{"interleave", faults.ClassInterleave},
+		{"session-replay", faults.ClassSessionStarvation},
+		{"slow-drip", faults.ClassSlowDrip},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := base
+			opt.Faults = tc.name + "=1"
+			opt.FaultSeed = 1
+			fr, err := RunCar(p, opt)
+			if err != nil {
+				t.Fatalf("best-effort adversarial run failed outright: %v", err)
+			}
+			defer fr.Vehicle.Close()
+			if len(fr.AttackedIDs) == 0 {
+				t.Fatal("injector attacked no IDs at probability 1.0")
+			}
+
+			// Attribution: every attacked ID shows up in the degradation
+			// report at the attack stage under its class label.
+			for id := range fr.AttackedIDs {
+				covered := false
+				for _, se := range fr.Result.Degraded {
+					if se.Stage != reverser.StageAttack || se.Reason != tc.class {
+						continue
+					}
+					if se.Key.RespID == id || strings.Contains(se.Detail, fmt.Sprintf("%03X", id)) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("attacked ID %03X not attributed as %s", id, tc.class)
+				}
+			}
+
+			// Containment: streams the injector did not touch still yield
+			// at least 80% of the clean run's formulas.
+			unattacked, recovered := 0, 0
+			for key := range cleanFormulas {
+				if _, hit := fr.AttackedIDs[key.RespID]; hit {
+					continue
+				}
+				unattacked++
+			}
+			if unattacked == 0 {
+				t.Fatal("attack covered every clean stream; containment unmeasurable")
+			}
+			for _, e := range fr.Result.ESVs {
+				if e.Formula == nil || !cleanFormulas[e.Key] {
+					continue
+				}
+				if _, hit := fr.AttackedIDs[e.Key.RespID]; hit {
+					continue
+				}
+				recovered++
+			}
+			if 5*recovered < 4*unattacked {
+				t.Fatalf("recovered %d of %d unattacked formulas (< 80%%)", recovered, unattacked)
+			}
+
+			// Determinism: injection and containment are byte-identical at
+			// any parallelism.
+			wide := opt
+			wide.Parallelism = 8
+			r8, err := RunCar(p, wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r8.Vehicle.Close()
+			j1, err := json.Marshal(fr.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j8, err := json.Marshal(r8.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1, j8) {
+				t.Fatal("adversarial result differs between Parallelism 1 and 8")
+			}
+			if r8.Faults != fr.Faults || !reflect.DeepEqual(r8.AttackedIDs, fr.AttackedIDs) {
+				t.Fatal("adversarial injection not deterministic across parallelism")
+			}
+		})
+	}
+}

@@ -100,6 +100,11 @@ type CarRun struct {
 	// Faults summarises the damage injected into this car's capture
 	// (zero-valued when Options.Faults was empty).
 	Faults faults.Stats
+	// AttackedIDs is the injector's ground truth for adversarial specs:
+	// each CAN ID it attacked, mapped to the attack classes used. Nil when
+	// no adversarial fault fired. Kept off faults.Stats so that struct
+	// stays ==-comparable.
+	AttackedIDs map[uint32][]string
 	// Vehicle is retained as the ground-truth oracle (and for the replay
 	// experiment); it is never an input to the pipeline.
 	Vehicle *vehicle.Vehicle
@@ -128,6 +133,7 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 		return nil, fmt.Errorf("run %s: %w", p.Car, err)
 	}
 	var faultStats faults.Stats
+	var attacked map[uint32][]string
 	if opt.Faults != "" {
 		spec, err := faults.ParseSpec(opt.Faults)
 		if err != nil {
@@ -140,6 +146,7 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 			cap.Frames = inj.Frames(cap.Frames)
 			cap.UIFrames = inj.UIFrames(cap.UIFrames)
 			faultStats = inj.Stats()
+			attacked = inj.AttackedIDs()
 			inj.Publish(opt.Telemetry.RegistryOrNil())
 		}
 	}
@@ -155,7 +162,7 @@ func RunCarContext(ctx context.Context, p vehicle.Profile, opt Options) (*CarRun
 	frames, corrupted := r.CameraB().Stats()
 	return &CarRun{
 		Profile: p, Capture: cap, Streams: res.Streams, Result: res, Vehicle: veh,
-		Faults:       faultStats,
+		Faults: faultStats, AttackedIDs: attacked,
 		CameraFrames: frames, CameraCorrupted: corrupted,
 	}, nil
 }

@@ -30,6 +30,13 @@ type Stats struct {
 	// below break corruption down by failure mode.
 	Values, CorruptedValues            int
 	DigitSubs, DecimalDrops, SignFlips int
+
+	// Adversarial attack counts: transfers answered with hostile
+	// flow-control bursts, forged first-frame floods, forged transfers
+	// interleaved into real ones, first frames replayed mid-session, and
+	// transfers dripped dry (plus the consecutive frames withheld).
+	FCStarveBursts, FFFloods, InterleavedFFs, ReplayedFFs int
+	DrippedTransfers, DrippedFrames                       int
 }
 
 // Counts maps stable kind labels to fault counts, the shape the
@@ -46,6 +53,12 @@ func (s Stats) Counts() map[string]int {
 		"ocr-digit":   s.DigitSubs,
 		"ocr-decimal": s.DecimalDrops,
 		"ocr-sign":    s.SignFlips,
+
+		"fc-starve":      s.FCStarveBursts,
+		"ff-flood":       s.FFFloods,
+		"interleave":     s.InterleavedFFs,
+		"session-replay": s.ReplayedFFs,
+		"slow-drip":      s.DrippedFrames,
 	}
 }
 
@@ -76,6 +89,7 @@ type Injector struct {
 
 	queue    []held
 	truncate map[uint32]int
+	adv      advState
 }
 
 // New builds an injector for spec with a deterministic seed.
@@ -87,6 +101,7 @@ func New(spec Spec, seed int64) *Injector {
 		spec:     spec,
 		rng:      sim.NewRand(seed),
 		truncate: map[uint32]int{},
+		adv:      newAdvState(),
 	}
 }
 
@@ -132,9 +147,12 @@ func (in *Injector) Stream(f can.Frame) []can.Frame {
 func (in *Injector) stream(f can.Frame, emit func(can.Frame)) {
 	in.stats.FramesIn++
 	data := f.Payload()
+	in.learnVWTP(f.ID, data)
 
 	emitted := true
 	switch {
+	case in.suppressDripped(f.ID, data):
+		emitted = false
 	case in.suppressTruncated(f.ID, data):
 		emitted = false
 	case in.spec.Drop > 0 && in.rng.Float64() < in.spec.Drop:
@@ -188,6 +206,9 @@ func (in *Injector) stream(f can.Frame, emit func(can.Frame)) {
 				in.stats.FramesOut++
 				emit(f)
 				in.stats.Duplicated++
+			}
+			if in.spec.Adversarial() {
+				in.injectAdversarial(f, data, emit)
 			}
 		}
 	}

@@ -57,6 +57,32 @@ type Spec struct {
 	// OCRSign is the per-displayed-value probability of the sign being
 	// misread (a lost or hallucinated leading minus).
 	OCRSign float64
+
+	// The adversarial classes below model the transport-layer DoS attacks
+	// of "The Vehicle May Be Sick" (Baek et al.). Each probability is
+	// per-transfer: it is rolled once on every multi-frame transfer's
+	// opening frame, and a hit injects that attack against the transfer.
+
+	// FCStarve is the probability a transfer is answered with a burst of
+	// forged hostile flow-control frames: wait states, a zero-block-size
+	// maximum-STmin lockup, and an overflow abort.
+	FCStarve float64
+	// FFFlood is the probability a transfer's first frame is followed by a
+	// flood of forged first frames announcing near-maximum lengths, each
+	// restarting reassembly with a large pending buffer.
+	FFFlood float64
+	// Interleave is the probability a competing forged transfer is
+	// interleaved into an in-flight one: small, varying first frames
+	// injected between its consecutive frames.
+	Interleave float64
+	// SessionReplay is the probability a transfer's real first frame is
+	// replayed byte-identically while the transfer is in flight,
+	// restarting the session from zero (session starvation).
+	SessionReplay float64
+	// SlowDrip is the probability a transfer's consecutive frames are all
+	// withheld after the first frame: the transfer opens, then drips
+	// nothing and never completes.
+	SlowDrip float64
 }
 
 // DefaultSpec is the reference fault mix the differential soak test runs:
@@ -75,11 +101,28 @@ func HeavySpec() Spec {
 	}
 }
 
+// AdversarialSpec turns on every transport-layer attack class at the
+// rates the adversarial soak runs: no random damage, only deliberately
+// hostile traffic shapes.
+func AdversarialSpec() Spec {
+	return Spec{
+		FCStarve: 0.25, FFFlood: 0.20, Interleave: 0.20,
+		SessionReplay: 0.20, SlowDrip: 0.15,
+	}
+}
+
 // Enabled reports whether any fault class is active.
 func (s Spec) Enabled() bool {
 	return s.Drop > 0 || s.Dup > 0 || s.Reorder > 0 || s.BitFlip > 0 ||
 		s.Truncate > 0 || s.Abort > 0 || s.Jitter > 0 ||
-		s.OCRDigit > 0 || s.OCRDecimal > 0 || s.OCRSign > 0
+		s.OCRDigit > 0 || s.OCRDecimal > 0 || s.OCRSign > 0 ||
+		s.Adversarial()
+}
+
+// Adversarial reports whether any transport-attack class is active.
+func (s Spec) Adversarial() bool {
+	return s.FCStarve > 0 || s.FFFlood > 0 || s.Interleave > 0 ||
+		s.SessionReplay > 0 || s.SlowDrip > 0
 }
 
 // String renders the spec in ParseSpec's syntax (only non-zero classes).
@@ -105,6 +148,11 @@ func (s Spec) String() string {
 	add("ocr", s.OCRDigit)
 	add("ocr-decimal", s.OCRDecimal)
 	add("ocr-sign", s.OCRSign)
+	add("fc-starve", s.FCStarve)
+	add("ff-flood", s.FFFlood)
+	add("interleave", s.Interleave)
+	add("session-replay", s.SessionReplay)
+	add("slow-drip", s.SlowDrip)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -113,9 +161,10 @@ func (s Spec) String() string {
 
 // presets are the named starting points ParseSpec accepts.
 var presets = map[string]func() Spec{
-	"none":    func() Spec { return Spec{} },
-	"default": DefaultSpec,
-	"heavy":   HeavySpec,
+	"none":        func() Spec { return Spec{} },
+	"default":     DefaultSpec,
+	"heavy":       HeavySpec,
+	"adversarial": AdversarialSpec,
 }
 
 // PresetNames lists the accepted preset names, sorted.
@@ -136,7 +185,8 @@ func PresetNames() []string {
 //	"default,ocr=0.05,jitter=2ms"    preset plus overrides
 //
 // Keys: drop, dup, reorder, window (int), flip, truncate, abort,
-// jitter (duration), ocr, ocr-decimal, ocr-sign.
+// jitter (duration), ocr, ocr-decimal, ocr-sign, fc-starve, ff-flood,
+// interleave, session-replay, slow-drip.
 func ParseSpec(text string) (Spec, error) {
 	var s Spec
 	text = strings.TrimSpace(text)
@@ -211,6 +261,16 @@ func (s *Spec) set(key, val string) error {
 		s.OCRDecimal = p
 	case "ocr-sign":
 		s.OCRSign = p
+	case "fc-starve":
+		s.FCStarve = p
+	case "ff-flood":
+		s.FFFlood = p
+	case "interleave":
+		s.Interleave = p
+	case "session-replay":
+		s.SessionReplay = p
+	case "slow-drip":
+		s.SlowDrip = p
 	default:
 		return fmt.Errorf("faults: unknown key %q", key)
 	}
@@ -226,6 +286,9 @@ func (s *Spec) validate() error {
 		{"drop", s.Drop}, {"dup", s.Dup}, {"reorder", s.Reorder},
 		{"flip", s.BitFlip}, {"truncate", s.Truncate}, {"abort", s.Abort},
 		{"ocr", s.OCRDigit}, {"ocr-decimal", s.OCRDecimal}, {"ocr-sign", s.OCRSign},
+		{"fc-starve", s.FCStarve}, {"ff-flood", s.FFFlood},
+		{"interleave", s.Interleave}, {"session-replay", s.SessionReplay},
+		{"slow-drip", s.SlowDrip},
 	} {
 		if c.p < 0 || c.p > 1 {
 			return fmt.Errorf("faults: %s probability %g outside [0, 1]", c.name, c.p)

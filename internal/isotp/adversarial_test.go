@@ -1,0 +1,141 @@
+package isotp_test
+
+import (
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+	"dpreverser/internal/isotp"
+)
+
+// attacked runs one clean 40-byte transfer on 0x7E8 through the injector
+// with a single attack class saturated.
+func attacked(t *testing.T, spec faults.Spec) []can.Frame {
+	t.Helper()
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	chunks, err := isotp.Segment(payload, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []can.Frame
+	for _, d := range chunks {
+		in = append(in, can.MustFrame(0x7E8, d))
+	}
+	return faults.New(spec, 7).Frames(in)
+}
+
+// TestAdversarialResync feeds each attack class's output followed by a
+// clean transfer: the reassembler must never stall — whatever the attack
+// left in flight, the next genuine transfer assembles, and every error
+// along the way carries a stable Reason.
+func TestAdversarialResync(t *testing.T) {
+	cases := []struct {
+		name string
+		spec faults.Spec
+	}{
+		{"fc-starve", faults.Spec{FCStarve: 1}},
+		{"ff-flood", faults.Spec{FFFlood: 1}},
+		{"interleave", faults.Spec{Interleave: 1}},
+		{"session-replay", faults.Spec{SessionReplay: 1}},
+		{"slow-drip", faults.Spec{SlowDrip: 1}},
+	}
+	probe := make([]byte, 24)
+	for i := range probe {
+		probe[i] = byte(0x80 + i)
+	}
+	cleanChunks, err := isotp.Segment(probe, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r isotp.Reassembler
+			feed := func(data []byte) []byte {
+				res, err := r.Feed(data)
+				if err != nil && isotp.Reason(err) == "" {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				return res.Message
+			}
+			for _, f := range attacked(t, tc.spec) {
+				if msg := feed(f.Payload()); len(msg) > 0xFFF {
+					t.Fatalf("message longer than announceable: %d", len(msg))
+				}
+			}
+			var got []byte
+			for _, d := range cleanChunks {
+				if msg := feed(d); msg != nil {
+					got = append([]byte(nil), msg...)
+				}
+			}
+			if len(got) != len(probe) {
+				t.Fatalf("clean transfer after %s: assembled %d bytes, want %d", tc.name, len(got), len(probe))
+			}
+			for i, b := range probe {
+				if got[i] != b {
+					t.Fatalf("clean transfer after %s: byte %d = %#x, want %#x", tc.name, i, got[i], b)
+				}
+			}
+		})
+	}
+}
+
+// TestFCStarveVictimSurvives: forged flow control is receiver-to-sender
+// traffic, so the reassembler (which models the receiver) ignores it and
+// the attacked transfer itself still assembles.
+func TestFCStarveVictimSurvives(t *testing.T) {
+	var r isotp.Reassembler
+	var got []byte
+	for _, f := range attacked(t, faults.Spec{FCStarve: 1}) {
+		res, err := r.Feed(f.Payload())
+		if err != nil {
+			t.Fatalf("hostile flow control caused a reassembly error: %v", err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if len(got) != 40 {
+		t.Fatalf("victim transfer assembled %d bytes, want 40", len(got))
+	}
+}
+
+// TestResetEvictsPendingState: Reset mid-transfer drops in-flight state
+// without touching counters, and the next transfer assembles from idle.
+func TestResetEvictsPendingState(t *testing.T) {
+	payload := make([]byte, 40)
+	chunks, err := isotp.Segment(payload, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r isotp.Reassembler
+	if _, err := r.Feed(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !r.InFlight() {
+		t.Fatal("first frame did not open a transfer")
+	}
+	errsBefore, doneBefore := r.Errors(), r.Completed()
+	r.Reset()
+	if r.InFlight() {
+		t.Fatal("Reset left a transfer in flight")
+	}
+	if r.Errors() != errsBefore || r.Completed() != doneBefore {
+		t.Fatal("Reset disturbed the counters")
+	}
+	for _, d := range chunks {
+		res, err := r.Feed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil && len(res.Message) != 40 {
+			t.Fatalf("post-Reset transfer assembled %d bytes", len(res.Message))
+		}
+	}
+	if r.Completed() != doneBefore+1 {
+		t.Fatal("transfer after Reset did not complete")
+	}
+}

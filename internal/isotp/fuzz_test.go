@@ -36,6 +36,21 @@ func FuzzAssemble(f *testing.F) {
 		}
 		f.Add(flatten(mangled))
 	}
+	// Adversarial seeds: each attack class's forged-frame shapes (hostile
+	// flow control, oversize first-frame floods, interleaved restarts,
+	// byte-identical replays, dripped transfers) seed the corpus directly.
+	for seed := int64(1); seed <= 3; seed++ {
+		var frames []can.Frame
+		for _, d := range clean {
+			frames = append(frames, can.MustFrame(0x7E8, d))
+		}
+		inj := faults.New(faults.AdversarialSpec(), seed)
+		var mangled [][]byte
+		for _, fr := range inj.Frames(frames) {
+			mangled = append(mangled, fr.Payload())
+		}
+		f.Add(flatten(mangled))
+	}
 	f.Add([]byte{0x10})             // truncated first frame
 	f.Add([]byte{0x21, 0x01, 0x02}) // orphan consecutive frame
 

@@ -364,6 +364,13 @@ func (r *Reassembler) Completed() int { return r.completed }
 // Errors reports how many malformed or out-of-order frames were seen.
 func (r *Reassembler) Errors() int { return r.errors }
 
+// Reset discards any in-flight transfer and returns the reassembler to
+// idle, releasing its pending buffer; completion and error counters are
+// preserved. The assembler uses it to evict pending state when hostile
+// traffic opens more transfers than the pipeline will hold. A message
+// view obtained from FeedView is invalidated by Reset.
+func (r *Reassembler) Reset() { r.abort() }
+
 // abort ends any transfer — in flight or completed-and-pending — and is
 // the single point that returns the pooled scratch buffer.
 func (r *Reassembler) abort() {

@@ -4,11 +4,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"dpreverser/internal/can"
 	"dpreverser/internal/canbridge"
+	"dpreverser/internal/reverser"
 	"dpreverser/internal/rig"
 	"dpreverser/internal/telemetry"
 )
@@ -53,9 +55,22 @@ func (s *Server) RegisterStream(tenant, car, streamName string) (StreamRegistrat
 
 // ServeIngest starts the canbridge ingest listener on addr ("127.0.0.1:0"
 // for an ephemeral port) and returns the bound address. The listener is
-// torn down with the server.
+// torn down with the server. Sessions run under the configured ingest
+// guardrails: idle timeout, frame budget, byte budget.
 func (s *Server) ServeIngest(addr string) (string, error) {
-	ing := canbridge.NewIngestServer(s.openStream)
+	lim := canbridge.IngestLimits{
+		IdleTimeout: s.cfg.IngestIdleTimeout,
+		MaxFrames:   s.cfg.IngestMaxFrames,
+		MaxBytes:    s.cfg.IngestMaxBytes,
+	}
+	if mc, ok := s.clock.(*telemetry.ManualClock); ok {
+		// Tests drive the server on a manual clock: idle expiry follows
+		// it (via ExpireIdleStreams) instead of real read deadlines.
+		lim.Clock = mc.Now
+	} else if lim.IdleTimeout > 0 {
+		lim.SweepInterval = lim.IdleTimeout / 4
+	}
+	ing := canbridge.NewIngestServerLimited(s.openStream, lim)
 	bound, err := ing.Listen(addr)
 	if err != nil {
 		return "", err
@@ -69,6 +84,20 @@ func (s *Server) ServeIngest(addr string) (string, error) {
 	s.ingest = ing
 	s.mu.Unlock()
 	return bound, nil
+}
+
+// ExpireIdleStreams sweeps the ingest listener's sessions for idle peers
+// and fails them, returning how many were expired. The canbridge layer
+// runs this sweep itself on a wall clock; servers on a manual clock
+// (tests) call it after advancing time.
+func (s *Server) ExpireIdleStreams() int {
+	s.mu.Lock()
+	ing := s.ingest
+	s.mu.Unlock()
+	if ing == nil {
+		return 0
+	}
+	return ing.ExpireIdle()
 }
 
 // openStream resolves a HELLO token to its session sink. Each token binds
@@ -94,10 +123,22 @@ type streamSession struct {
 	srv *Server
 	job *Job
 
-	mu      sync.Mutex
-	frames  []can.Frame
-	aborted bool
-	closed  bool
+	mu         sync.Mutex
+	frames     []can.Frame
+	aborted    bool
+	closed     bool
+	failReason string
+}
+
+// Fail implements canbridge.FailableSink: record the distinct guardrail
+// reason (idle-timeout, frame-budget, byte-budget) the ingest layer is
+// about to fail this session with, so Close(false) can attribute it.
+func (ss *streamSession) Fail(reason string) {
+	ss.mu.Lock()
+	if ss.failReason == "" {
+		ss.failReason = reason
+	}
+	ss.mu.Unlock()
 }
 
 // Frame implements canbridge.IngestSink: buffer one stamped frame.
@@ -141,6 +182,7 @@ func (ss *streamSession) Close(complete bool) {
 	}
 	frames := ss.frames
 	ss.frames = nil
+	reason := ss.failReason
 	ss.mu.Unlock()
 
 	j, s := ss.job, ss.srv
@@ -152,10 +194,18 @@ func (ss *streamSession) Close(complete bool) {
 		return
 	}
 	if !complete {
-		s.met.StreamSessions.With("truncated").Inc()
-		j.log.Warn("stream-session-end", telemetry.String("outcome", "truncated"),
+		outcome := "truncated"
+		errMsg := "stream truncated before completion"
+		if reason != "" {
+			// A guardrail kill carries its distinct reason through to the
+			// session metric and the job's terminal error.
+			outcome = reason
+			errMsg = "stream session failed: " + reason
+		}
+		s.met.StreamSessions.With(outcome).Inc()
+		j.log.Warn("stream-session-end", telemetry.String("outcome", outcome),
 			telemetry.Int("frames", len(frames)))
-		s.finalize(j, Failed, nil, "stream truncated before completion")
+		s.finalize(j, Failed, nil, errMsg)
 		return
 	}
 	s.mu.Lock()
@@ -169,6 +219,21 @@ func (ss *streamSession) Close(complete bool) {
 			telemetry.String("detail", "server draining"))
 		s.finalize(j, Failed, nil, "stream completed during server drain")
 		return
+	}
+	if s.cfg.ScreenStreams {
+		if findings := reverser.ScreenFrames(frames); len(findings) > 0 {
+			classes := make([]string, 0, len(findings))
+			for _, f := range findings {
+				classes = append(classes, fmt.Sprintf("%s on %03X", f.Class, f.ID))
+			}
+			s.met.StreamSessions.With("attack-rejected").Inc()
+			j.log.Warn("stream-session-end", telemetry.String("outcome", "attack-rejected"),
+				telemetry.Int("frames", len(frames)),
+				telemetry.String("signatures", strings.Join(classes, "; ")))
+			s.finalize(j, Failed, nil,
+				"stream rejected at admission: attack signatures: "+strings.Join(classes, "; "))
+			return
+		}
 	}
 	s.met.StreamSessions.With("complete").Inc()
 	j.log.Info("stream-session-end", telemetry.String("outcome", "complete"),

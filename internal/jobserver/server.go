@@ -47,6 +47,20 @@ type Config struct {
 	// FlightEvents sizes each job's flight-recorder ring (recent log
 	// records retained per job).
 	FlightEvents int
+	// IngestIdleTimeout fails a canbridge ingest session whose peer sends
+	// nothing for this long, so an idle connection cannot hold its
+	// tenant-quota slot forever. 0 disables the timeout.
+	IngestIdleTimeout time.Duration
+	// IngestMaxFrames / IngestMaxBytes are per-session streaming budgets;
+	// a session that exceeds either is failed with a distinct reason.
+	// 0 means unlimited.
+	IngestMaxFrames int
+	IngestMaxBytes  int64
+	// ScreenStreams runs transport-layer attack screening
+	// (reverser.ScreenFrames) over every completed ingest stream at
+	// admission: a capture carrying attack signatures is rejected before
+	// it can occupy a worker.
+	ScreenStreams bool
 }
 
 // DefaultConfig sizes the server for a small deployment.
@@ -61,6 +75,11 @@ func DefaultConfig() Config {
 		RunSLO:          2 * time.Minute,
 		SLOTarget:       0.99,
 		FlightEvents:    telemetry.DefaultRingCapacity,
+
+		IngestIdleTimeout: 2 * time.Minute,
+		IngestMaxFrames:   2_000_000,
+		IngestMaxBytes:    64 << 20,
+		ScreenStreams:     true,
 	}
 }
 

@@ -8,6 +8,7 @@
 package reverser
 
 import (
+	"bytes"
 	"context"
 	"time"
 
@@ -73,6 +74,11 @@ type TrafficStats struct {
 	// ID. Nil until the first error; excluded from the JSON report (the
 	// attribution lands on Result.Degraded instead).
 	ErrorsByID map[uint32]int `json:"-"`
+	// AttackProfiles accumulates per-ID attack-signature features for
+	// DetectAttacks. Nil until the first multi-frame or flow-control
+	// event; excluded from the JSON report (classified findings land on
+	// Result.Degraded instead).
+	AttackProfiles map[uint32]*AttackProfile `json:"-"`
 }
 
 // bumpID records one reassembly failure against a CAN ID.
@@ -106,17 +112,46 @@ type assembler struct {
 	vw    map[uint32]*vwtp.Reassembler
 	bmw   map[uint32]map[byte]*isotp.Reassembler
 
+	// pending bounds in-flight multi-frame state: pendingSet is
+	// authoritative, pending remembers insertion order (it may hold
+	// stale entries, skipped at eviction time).
+	pending    []pendingKey
+	pendingSet map[pendingKey]bool
+
 	ms *colstore.Messages
+}
+
+// pendingKey names one in-flight transfer for the pending-state cap.
+type pendingKey struct {
+	id   uint32
+	addr byte
+	kind uint8 // a TransportKind
 }
 
 func newAssembler() *assembler {
 	return &assembler{
-		vwtpIDs: map[uint32]bool{},
-		isotp:   map[uint32]*isotp.Reassembler{},
-		vw:      map[uint32]*vwtp.Reassembler{},
-		bmw:     map[uint32]map[byte]*isotp.Reassembler{},
-		ms:      colstore.NewMessages(0, 0),
+		vwtpIDs:    map[uint32]bool{},
+		isotp:      map[uint32]*isotp.Reassembler{},
+		vw:         map[uint32]*vwtp.Reassembler{},
+		bmw:        map[uint32]map[byte]*isotp.Reassembler{},
+		pendingSet: map[pendingKey]bool{},
+		ms:         colstore.NewMessages(0, 0),
 	}
+}
+
+// prof returns the attack profile for id, creating it lazily.
+//
+//dplint:hotpath assemble-feed
+func (a *assembler) prof(id uint32) *AttackProfile {
+	p := a.stats.AttackProfiles[id]
+	if p == nil {
+		if a.stats.AttackProfiles == nil {
+			a.stats.AttackProfiles = map[uint32]*AttackProfile{}
+		}
+		p = &AttackProfile{}
+		a.stats.AttackProfiles[id] = p
+	}
+	return p
 }
 
 // isBMWID recognises the BMW extended-addressing convention: the tool
@@ -176,6 +211,7 @@ func AssembleContext(ctx context.Context, frames []can.Frame, obs AssemblyObserv
 		}
 		a.feed(f.Timestamp, f.ID, f.Payload())
 	}
+	a.finish()
 	a.ms.SortStableByTime()
 	messages := make([]Message, a.ms.Len())
 	for i := range messages {
@@ -205,6 +241,7 @@ func AssembleColumnar(ctx context.Context, frames *colstore.Frames, obs Assembly
 		}
 		a.feed(frames.At(i), frames.ID(i), frames.Payload(i))
 	}
+	a.finish()
 	a.ms.SortStableByTime()
 	return a.ms, a.stats, nil
 }
@@ -239,7 +276,8 @@ func (a *assembler) feed(at time.Duration, id uint32, data []byte) {
 
 //dplint:hotpath assemble-feed
 func (a *assembler) feedISOTP(at time.Duration, id uint32, data []byte) {
-	switch isotp.Classify(data) {
+	kind := isotp.Classify(data)
+	switch kind {
 	case isotp.SingleFrame:
 		a.stats.ISOTPSingle++
 	case isotp.FirstFrame:
@@ -248,7 +286,8 @@ func (a *assembler) feedISOTP(at time.Duration, id uint32, data []byte) {
 		a.stats.ISOTPConsecutive++
 	case isotp.FlowControlFrame:
 		a.stats.ISOTPFlowControl++
-		return // screened out: carries no payload
+		a.observeFC(id, data) // screened out: carries no payload
+		return
 	default:
 		return
 	}
@@ -257,16 +296,91 @@ func (a *assembler) feedISOTP(at time.Duration, id uint32, data []byte) {
 		r = &isotp.Reassembler{}
 		a.isotp[id] = r
 	}
+	a.feedISOTPInner(at, id, 0, uint8(TransportISOTP), kind, r, data)
+}
+
+// feedISOTPInner drives one ISO-TP state machine (plain or under a BMW
+// address prefix) and maintains the ID's attack profile around it.
+//
+//dplint:hotpath assemble-feed
+func (a *assembler) feedISOTPInner(at time.Duration, id uint32, addr byte, transport uint8, kind isotp.FrameType, r *isotp.Reassembler, data []byte) {
+	if kind == isotp.FirstFrame {
+		p := a.prof(id)
+		if ffLength(data) >= floodLengthFloor {
+			p.MaxLenFF++
+		}
+		if r.InFlight() {
+			p.observeRestart(data)
+		}
+	}
 	res, err := r.FeedView(data)
-	if err != nil {
+	switch {
+	case err != nil:
 		a.stats.AssemblyErrors++
-		a.stats.ISOTPErrors++
 		a.stats.bumpID(id)
-		a.reportError("isotp", isotp.Reason(err))
+		if transport == uint8(TransportBMW) {
+			a.stats.BMWErrors++
+			a.reportError("bmwtp", bmwtp.Reason(err))
+		} else {
+			a.stats.ISOTPErrors++
+			a.reportError("isotp", isotp.Reason(err))
+		}
+		if kind == isotp.ConsecutiveFrame {
+			a.prof(id).SeqErrors++
+		}
+	case res.Message != nil:
+		a.ms.Append(at, id, addr, transport, res.Message)
+		if kind == isotp.ConsecutiveFrame {
+			p := a.prof(id)
+			p.MFCompleted++
+			p.cfSince = 0
+		}
+	default:
+		if kind == isotp.ConsecutiveFrame {
+			a.prof(id).cfSince++
+		}
+	}
+	if kind == isotp.FirstFrame && err == nil {
+		p := a.prof(id)
+		p.MFStarted++
+		p.cfSince = 0
+		p.lastFF = append(p.lastFF[:0], data...)
+	}
+	a.syncPending(pendingKey{id: id, addr: addr, kind: transport}, r.InFlight())
+}
+
+// observeRestart classifies one first frame that arrived while a
+// transfer was already in flight on the ID.
+//
+//dplint:hotpath assemble-feed
+func (p *AttackProfile) observeRestart(ff []byte) {
+	if len(p.lastFF) > 0 && bytes.Equal(p.lastFF, ff) {
+		p.RestartsIdentical++
+		if p.cfSince > 0 {
+			p.RestartsIdenticalFed++
+		} else {
+			p.RestartsIdenticalBarren++
+		}
+	} else if ffLength(ff) != ffLength(p.lastFF) {
+		p.RestartsNewLength++
+	}
+	if p.cfSince == 0 {
+		p.RestartsBarren++
+	}
+}
+
+// observeFC screens one ISO-TP flow-control frame for hostile shapes:
+// wait states, overflow aborts, and maximum/reserved-STmin throttles —
+// the frames a flow-control starvation attack floods.
+//
+//dplint:hotpath assemble-feed
+func (a *assembler) observeFC(id uint32, data []byte) {
+	fc, err := isotp.DecodeFlowControl(data)
+	if err != nil {
 		return
 	}
-	if res.Message != nil {
-		a.ms.Append(at, id, 0, uint8(TransportISOTP), res.Message)
+	if fc.Status == isotp.Wait || fc.Status == isotp.Overflow || fc.STmin >= 127*time.Millisecond {
+		a.prof(id).HostileFC++
 	}
 }
 
@@ -279,7 +393,15 @@ func (a *assembler) feedVWTP(at time.Duration, id uint32, data []byte) {
 		} else {
 			a.stats.VWTPWaiting++
 		}
-	case vwtp.KindACK, vwtp.KindChannelParams, vwtp.KindDisconnect, vwtp.KindChannelSetup:
+	case vwtp.KindACK:
+		a.stats.VWTPControl++
+		if vwtp.IsNotReady(data) {
+			// Receiver-not-ready is TP 2.0's wait state: a hostile peer
+			// floods it to stall the sender (flow-control starvation).
+			a.prof(id).HostileFC++
+		}
+		return
+	case vwtp.KindChannelParams, vwtp.KindDisconnect, vwtp.KindChannelSetup:
 		a.stats.VWTPControl++
 		return
 	default:
@@ -290,17 +412,22 @@ func (a *assembler) feedVWTP(at time.Duration, id uint32, data []byte) {
 		r = &vwtp.Reassembler{}
 		a.vw[id] = r
 	}
+	if !r.InFlight() {
+		a.prof(id).MFStarted++
+	}
 	res, err := r.FeedView(data)
-	if err != nil {
+	switch {
+	case err != nil:
 		a.stats.AssemblyErrors++
 		a.stats.VWTPErrors++
 		a.stats.bumpID(id)
 		a.reportError("vwtp", vwtp.Reason(err))
-		return
-	}
-	if res.Message != nil {
+		a.prof(id).SeqErrors++
+	case res.Message != nil:
 		a.ms.Append(at, id, 0, uint8(TransportVWTP), res.Message)
+		a.prof(id).MFCompleted++
 	}
+	a.syncPending(pendingKey{id: id, kind: uint8(TransportVWTP)}, r.InFlight())
 }
 
 //dplint:hotpath assemble-feed
@@ -309,7 +436,8 @@ func (a *assembler) feedBMW(at time.Duration, id uint32, data []byte) {
 		return
 	}
 	addr := data[0]
-	switch isotp.Classify(data[1:]) {
+	kind := isotp.Classify(data[1:])
+	switch kind {
 	case isotp.SingleFrame:
 		a.stats.ISOTPSingle++
 	case isotp.FirstFrame:
@@ -318,6 +446,7 @@ func (a *assembler) feedBMW(at time.Duration, id uint32, data []byte) {
 		a.stats.ISOTPConsecutive++
 	case isotp.FlowControlFrame:
 		a.stats.ISOTPFlowControl++
+		a.observeFC(id, data[1:])
 		return
 	default:
 		return
@@ -333,16 +462,89 @@ func (a *assembler) feedBMW(at time.Duration, id uint32, data []byte) {
 		r = &isotp.Reassembler{MinMultiFrameLen: 7}
 		byAddr[addr] = r
 	}
-	res, err := r.FeedView(data[1:])
-	if err != nil {
-		a.stats.AssemblyErrors++
-		a.stats.BMWErrors++
-		a.stats.bumpID(id)
-		a.reportError("bmwtp", bmwtp.Reason(err))
+	a.feedISOTPInner(at, id, addr, uint8(TransportBMW), kind, r, data[1:])
+}
+
+// syncPending keeps the in-flight transfer set consistent with one
+// reassembler's state after a feed, evicting the oldest pending
+// transfer when hostile traffic pushes the set past the cap.
+//
+//dplint:hotpath assemble-feed
+func (a *assembler) syncPending(key pendingKey, inFlight bool) {
+	if !inFlight {
+		if a.pendingSet[key] {
+			delete(a.pendingSet, key)
+		}
 		return
 	}
-	if res.Message != nil {
-		a.ms.Append(at, id, addr, uint8(TransportBMW), res.Message)
+	if a.pendingSet[key] {
+		return
+	}
+	a.pendingSet[key] = true
+	a.pending = append(a.pending, key)
+	for len(a.pendingSet) > maxPendingTransfers {
+		a.evictOldestPending()
+	}
+}
+
+// evictOldestPending resets the longest-pending in-flight transfer and
+// records the eviction as an assembly error with the stable reason
+// "pending-overflow", attributed to the evicted ID.
+func (a *assembler) evictOldestPending() {
+	for len(a.pending) > 0 {
+		key := a.pending[0]
+		a.pending = a.pending[1:]
+		if !a.pendingSet[key] {
+			continue // stale: the transfer completed or aborted earlier
+		}
+		delete(a.pendingSet, key)
+		transport := "isotp"
+		switch TransportKind(key.kind) {
+		case TransportVWTP:
+			transport = "vwtp"
+			if r := a.vw[key.id]; r != nil {
+				r.Reset()
+			}
+			a.stats.VWTPErrors++
+		case TransportBMW:
+			transport = "bmwtp"
+			if r := a.bmw[key.id][key.addr]; r != nil {
+				r.Reset()
+			}
+			a.stats.BMWErrors++
+		default:
+			if r := a.isotp[key.id]; r != nil {
+				r.Reset()
+			}
+			a.stats.ISOTPErrors++
+		}
+		a.stats.AssemblyErrors++
+		a.stats.bumpID(key.id)
+		a.prof(key.id).Evicted++
+		a.reportError(transport, "pending-overflow")
+		return
+	}
+}
+
+// finish marks transfers still pending when the capture ended — the
+// no-completion tail a slow-drip attack leaves behind.
+func (a *assembler) finish() {
+	for id, r := range a.isotp {
+		if r.InFlight() {
+			a.prof(id).InFlightAtEnd = true
+		}
+	}
+	for id, r := range a.vw {
+		if r.InFlight() {
+			a.prof(id).InFlightAtEnd = true
+		}
+	}
+	for id, byAddr := range a.bmw {
+		for _, r := range byAddr {
+			if r.InFlight() {
+				a.prof(id).InFlightAtEnd = true
+			}
+		}
 	}
 }
 

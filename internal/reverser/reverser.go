@@ -311,6 +311,19 @@ func (rv *Reverser) Reverse(ctx context.Context, cap rig.Capture) (*Result, erro
 	res.Degraded = append(res.Degraded, assembleDegraded(res.Stats, res.Streams)...)
 	res.Degraded = append(res.Degraded, pairingDegraded(res.Streams)...)
 
+	// Attack detection over the assembly-layer profiles: each classified
+	// finding becomes a degraded-stream entry (Reason = attack class), a
+	// point on the attack-signature counter, and a flight-recorder event.
+	attacks := DetectAttacks(res.Stats)
+	res.Degraded = append(res.Degraded, attackDegraded(attacks, res.Streams)...)
+	for _, f := range attacks {
+		rv.met.AttackSignatures.With(f.Class).Inc()
+		rv.log.Warn("attack-detected",
+			telemetry.String("id", fmt.Sprintf("%03X", f.ID)),
+			telemetry.String("class", f.Class),
+			telemetry.String("detail", f.Detail))
+	}
+
 	// §3.5 Steps 2-3: per-stream formula inference, fanned out across the
 	// worker pool. A panicking stream is contained: its slot keeps the
 	// formula-less ESV and the panic joins the degradation report.

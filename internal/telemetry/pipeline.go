@@ -46,8 +46,12 @@ type PipelineMetrics struct {
 	// StreamDuration observes per-stream inference wall time in seconds.
 	StreamDuration *Histogram
 	// DegradedStreams counts streams reported on Result.Degraded, by the
-	// pipeline stage that damaged them (assemble|pairing|infer).
+	// pipeline stage that damaged them (assemble|pairing|infer|attack).
 	DegradedStreams *CounterVec
+	// AttackSignatures counts classified transport-layer attack findings
+	// by attack class (flow-control-starvation|first-frame-flood|
+	// interleaved-transfer|session-starvation|slow-drip).
+	AttackSignatures *CounterVec
 }
 
 // Pipeline metric names, exported so tests and the CI smoke check assert
@@ -69,6 +73,7 @@ const (
 	MetricStageDuration     = "dpreverser_stage_duration_seconds"
 	MetricStreamDuration    = "dpreverser_stream_inference_duration_seconds"
 	MetricDegradedStreams   = "dpreverser_degraded_streams_total"
+	MetricAttackSignatures  = "dpreverser_attack_signatures_total"
 	// MetricFaultsInjected is registered by the fault injector
 	// (internal/faults), not by the pipeline, but the name lives here with
 	// the rest of the schema.
@@ -109,5 +114,7 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 		"per-stream formula inference wall time in seconds (injected clock)", nil)
 	m.DegradedStreams = reg.CounterVec(MetricDegradedStreams,
 		"streams reported degraded, by damaging stage", "stage")
+	m.AttackSignatures = reg.CounterVec(MetricAttackSignatures,
+		"classified transport-layer attack signatures by class", "class")
 	return m
 }

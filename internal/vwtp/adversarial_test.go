@@ -1,0 +1,89 @@
+package vwtp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dpreverser/internal/can"
+	"dpreverser/internal/faults"
+	"dpreverser/internal/vwtp"
+)
+
+// TestAdversarialNotReadyBurstNoStall: a hostile peer's receiver-not-ready
+// ACK burst is sender-directed traffic — the reassembler ignores it and
+// the attacked message still assembles, as does the one after it.
+func TestAdversarialNotReadyBurstNoStall(t *testing.T) {
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	clean, err := vwtp.Segment(payload, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := can.MustFrame(vwtp.BroadcastID+0x01, []byte{0x00, 0xD0, 0x40, 0x07, 0x40, 0x07, 0x01})
+	in := append([]can.Frame{setup}, toFrames(clean)...)
+	inj := faults.New(faults.Spec{FCStarve: 1}, 9)
+	out := inj.Frames(in)
+	if inj.Stats().FCStarveBursts != 1 {
+		t.Fatalf("stats = %+v, want one not-ready burst", inj.Stats())
+	}
+	var r vwtp.Reassembler
+	var got []byte
+	for _, f := range out {
+		if f.ID != 0x740 {
+			continue // broadcast channel setup never reaches a data reassembler
+		}
+		res, err := r.Feed(f.Payload())
+		if err != nil {
+			t.Fatalf("not-ready burst caused a reassembly error: %v", err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("attacked message assembled %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+// TestResetEvictsPendingState: Reset mid-message returns the reassembler
+// to idle so the next message assembles from a clean start.
+func TestResetEvictsPendingState(t *testing.T) {
+	payload := make([]byte, 40)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	chunks, err := vwtp.Segment(payload, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatal("need a multi-frame message")
+	}
+	var r vwtp.Reassembler
+	if _, err := r.Feed(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !r.InFlight() {
+		t.Fatal("first data frame did not open a message")
+	}
+	r.Reset()
+	if r.InFlight() {
+		t.Fatal("Reset left a message in flight")
+	}
+	// Sequence numbering restarts from idle, so the same chunks replay.
+	var got []byte
+	for _, d := range chunks {
+		res, err := r.Feed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message != nil {
+			got = res.Message
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("post-Reset message assembled %d bytes, want %d", len(got), len(payload))
+	}
+}

@@ -1,10 +1,11 @@
-package vwtp
+package vwtp_test
 
 import (
 	"testing"
 
 	"dpreverser/internal/can"
 	"dpreverser/internal/faults"
+	"dpreverser/internal/vwtp"
 )
 
 // FuzzAssemble feeds arbitrary 8-byte frame sequences to the VW TP 2.0
@@ -15,19 +16,24 @@ func FuzzAssemble(f *testing.F) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	clean, err := Segment(payload, 0, 0)
+	clean, err := vwtp.Segment(payload, 0, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(flatten(clean))
 	for seed := int64(1); seed <= 3; seed++ {
-		var frames []can.Frame
-		for _, d := range clean {
-			frames = append(frames, can.MustFrame(0x740, d))
-		}
-		inj := faults.New(faults.HeavySpec(), seed)
+		f.Add(flatten(mangle(clean, faults.HeavySpec(), seed)))
+	}
+	// Attack-shaped seeds: the adversarial injector needs to see the VW TP
+	// channel setup to learn 0x740 as a data ID, so prepend the broadcast
+	// 0xD0 response teaching rx/tx 0x740 before mangling.
+	setup := can.MustFrame(vwtp.BroadcastID+0x01, []byte{0x00, 0xD0, 0x40, 0x07, 0x40, 0x07, 0x01})
+	for seed := int64(1); seed <= 3; seed++ {
+		spec := faults.AdversarialSpec()
+		spec.FCStarve = 1
+		inj := faults.New(spec, seed)
 		var mangled [][]byte
-		for _, fr := range inj.Frames(frames) {
+		for _, fr := range inj.Frames(append([]can.Frame{setup}, toFrames(clean)...)) {
 			mangled = append(mangled, fr.Payload())
 		}
 		f.Add(flatten(mangled))
@@ -36,7 +42,7 @@ func FuzzAssemble(f *testing.F) {
 	f.Add([]byte{0xA0, 0x0F}) // channel-setup opcode
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var r Reassembler
+		var r vwtp.Reassembler
 		for off := 0; off < len(data); off += 8 {
 			end := off + 8
 			if end > len(data) {
@@ -44,7 +50,7 @@ func FuzzAssemble(f *testing.F) {
 			}
 			res, err := r.Feed(data[off:end])
 			if err != nil {
-				if Reason(err) == "" {
+				if vwtp.Reason(err) == "" {
 					t.Fatalf("unclassified error: %v", err)
 				}
 				continue
@@ -54,6 +60,23 @@ func FuzzAssemble(f *testing.F) {
 			}
 		}
 	})
+}
+
+func toFrames(chunks [][]byte) []can.Frame {
+	var frames []can.Frame
+	for _, d := range chunks {
+		frames = append(frames, can.MustFrame(0x740, d))
+	}
+	return frames
+}
+
+func mangle(chunks [][]byte, spec faults.Spec, seed int64) [][]byte {
+	inj := faults.New(spec, seed)
+	var mangled [][]byte
+	for _, fr := range inj.Frames(toFrames(chunks)) {
+		mangled = append(mangled, fr.Payload())
+	}
+	return mangled
 }
 
 func flatten(frames [][]byte) []byte {

@@ -116,6 +116,13 @@ func Classify(data []byte) Kind {
 	}
 }
 
+// IsNotReady reports whether a frame is a receiver-not-ready ACK (0xBx):
+// the TP 2.0 wait state, which a hostile peer floods to stall a sender
+// indefinitely.
+func IsNotReady(data []byte) bool {
+	return len(data) > 0 && data[0]>>4 == opACKNotReady
+}
+
 // IsLastData reports whether a data frame's opcode marks the final packet
 // of a message — the check the paper's assembly step performs.
 func IsLastData(data []byte) bool {
@@ -326,6 +333,11 @@ func (r *Reassembler) Errors() int { return r.errors }
 // InFlight reports whether a message is partially assembled. A completed
 // message whose view is still pending does not count as in flight.
 func (r *Reassembler) InFlight() bool { return len(r.buf) > 0 && !r.viewLive }
+
+// Reset discards any in-flight message and returns the reassembler to
+// idle, releasing its pending buffer; completion and error counters are
+// preserved. A message view obtained from FeedView is invalidated.
+func (r *Reassembler) Reset() { r.abort() }
 
 // abort discards the transfer — releasing the pooled scratch buffer —
 // and resets sequence tracking so the next frame resynchronises.
